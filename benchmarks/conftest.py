@@ -1,0 +1,23 @@
+"""Shared settings for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one figure (or extension experiment)
+of the paper.  The benchmark fixture times the full experiment run; the bodies
+additionally assert the figure's qualitative shape so a benchmark run doubles
+as a reproduction check.  ``BENCH_SETTINGS`` keeps the runs small enough to
+iterate on (a handful of replications, shorter horizon); pass ``--full`` style
+settings through ``examples/reproduce_paper.py`` or the CLI for the paper's
+full 20-replication protocol.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+
+
+@pytest.fixture(scope="session")
+def bench_settings() -> ExperimentSettings:
+    """Small but representative experiment settings used by every benchmark."""
+    return ExperimentSettings.quick(replications=3, horizon=25_000.0,
+                                    num_targets=12, num_mules=3)

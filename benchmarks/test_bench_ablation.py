@@ -1,0 +1,38 @@
+"""Ablation benchmarks — EXT-A1 (location initialisation) and EXT-A2 (TSP heuristic).
+
+EXT-A1 isolates the mechanism behind Figure 8's zero-SD bars: B-TCTP with the
+start-point relocation disabled degenerates into CHB-like behaviour.  EXT-A2
+quantifies how much the phase-1 circuit heuristic matters for the visiting
+interval.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.ablation_init import run_ablation_init
+from repro.experiments.ablation_tsp import run_ablation_tsp
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_location_initialization(benchmark, bench_settings):
+    data = benchmark(run_ablation_init, bench_settings, mule_counts=(2, 4))
+
+    for row in data["rows"]:
+        _n, sd_with, sd_without, dcdt_with, dcdt_without = row
+        assert sd_with == pytest.approx(0.0, abs=1e-6)
+        assert sd_without > sd_with
+        # the initialisation step does not change the circuit, so the mean DCDT matches
+        assert dcdt_with == pytest.approx(dcdt_without, rel=0.05)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_tsp_heuristics(benchmark):
+    settings = ExperimentSettings.quick(replications=2, horizon=15_000.0,
+                                        num_targets=15, num_mules=2)
+    data = benchmark(run_ablation_tsp, settings, target_counts=(15,), simulate=False)
+
+    lengths = {label: length for _h, label, length, _d in data["rows"]}
+    assert lengths["hull+2opt"] <= lengths["hull-insertion"] + 1e-6
+    assert lengths["nn+2opt"] <= lengths["nearest-neighbor"] + 1e-6
+    # the paper's convex-hull insertion is a solid heuristic: it should beat plain NN on average
+    assert lengths["hull-insertion"] <= lengths["nearest-neighbor"] * 1.05

@@ -1,0 +1,33 @@
+"""EXT-E1 benchmark — mule survival and delivered data, W-TCTP vs RW-TCTP.
+
+The paper's Section V lists "energy efficiency of DM" among its metrics without
+a dedicated figure; this benchmark times the extension experiment from
+DESIGN.md and asserts its expected outcome: with the recharge schedule the
+fleet survives and delivers at least as much data.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.ext_energy import run_energy_experiment
+
+BATTERY = 60_000.0
+
+
+@pytest.fixture(scope="module")
+def energy_settings():
+    return ExperimentSettings.quick(replications=2, horizon=30_000.0,
+                                    num_targets=8, num_mules=2)
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_energy_survival(benchmark, energy_settings):
+    data = benchmark(run_energy_experiment, energy_settings,
+                     battery_capacities=(BATTERY,))
+
+    detail = data["detail"][BATTERY]
+    assert detail["RW-TCTP"]["survival"] >= detail["W-TCTP"]["survival"]
+    assert detail["RW-TCTP"]["survival"] == pytest.approx(1.0)
+    assert detail["W-TCTP"]["survival"] < 1.0
+    assert detail["RW-TCTP"]["recharges"] > 0
+    assert detail["RW-TCTP"]["delivered"] >= detail["W-TCTP"]["delivered"]

@@ -1,0 +1,26 @@
+"""FIG10 benchmark — average SD of the Shortest-Length vs Balancing-Length policies.
+
+Times the Figure 10 sweep and re-asserts the shape: the Balancing-Length
+policy keeps the SD of the visiting intervals smaller than the Shortest-Length
+policy (in aggregate over the sweep), which is the figure's headline claim.
+"""
+
+import pytest
+
+from repro.experiments.fig10_policy_sd import run_fig10
+
+VIP_COUNTS = (1, 2)
+VIP_WEIGHTS = (2, 3)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig10_policy_sd(benchmark, bench_settings):
+    data = benchmark(run_fig10, bench_settings, vip_counts=VIP_COUNTS, vip_weights=VIP_WEIGHTS)
+
+    shortest_total = sum(data["sd"]["shortest"].values())
+    balanced_total = sum(data["sd"]["balanced"].values())
+    assert balanced_total < shortest_total, (
+        "Balancing-Length should keep the SD of visiting intervals below Shortest-Length"
+    )
+    # The SD under Shortest-Length grows quickly with the VIP weight (Figure 10's steep axis).
+    assert data["sd"]["shortest"][(2, 3)] > data["sd"]["balanced"][(2, 3)]

@@ -1,0 +1,25 @@
+"""FIG7 benchmark — Data Collection Delay Time per visit (Random / Sweep / CHB / TCTP).
+
+Times the full Figure 7 experiment and re-asserts its qualitative shape:
+TCTP's DCDT is flat, Random's fluctuates and has the worst average.
+"""
+
+import pytest
+
+from repro.experiments.fig7_dcdt import run_fig7
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig7_dcdt_series(benchmark, bench_settings):
+    data = benchmark(run_fig7, bench_settings)
+
+    assert set(data["series"]) == {"random", "sweep", "chb", "b-tctp"}
+    assert all(len(s) == 41 for s in data["series"].values())
+
+    # Shape checks straight out of the paper's Figure 7 discussion.
+    avg = data["average_dcdt"]
+    spread = data["dcdt_spread"]
+    assert avg["random"] == max(avg.values()), "Random should have the worst average DCDT"
+    assert spread["b-tctp"] < 0.05 * avg["b-tctp"], "TCTP's DCDT should be (near-)constant"
+    assert spread["random"] > spread["b-tctp"]
+    assert spread["chb"] > spread["b-tctp"]

@@ -1,0 +1,23 @@
+"""FIG8 benchmark — SD of visiting intervals, CHB vs TCTP over (#targets, #mules).
+
+Times the Figure 8 sweep and re-asserts its shape: TCTP's SD is zero for every
+combination, CHB's is positive.
+"""
+
+import pytest
+
+from repro.experiments.fig8_sd import run_fig8
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig8_sd_grid(benchmark, bench_settings):
+    data = benchmark(run_fig8, bench_settings,
+                     target_counts=(10, 16), mule_counts=(2, 4))
+
+    assert set(data["grid"]) == {"chb", "b-tctp"}
+    assert len(data["rows"]) == 4
+
+    for value in data["grid"]["b-tctp"].values():
+        assert value == pytest.approx(0.0, abs=1e-6), "TCTP's SD must stay at zero (Figure 8)"
+    for value in data["grid"]["chb"].values():
+        assert value > 0.0, "CHB's SD must be positive (Figure 8)"

@@ -1,0 +1,29 @@
+"""FIG9 benchmark — average DCDT of the Shortest-Length vs Balancing-Length policies.
+
+Times the Figure 9 sweep over (#VIPs, VIP weight) and re-asserts the shape:
+DCDT grows with VIP count and weight, and the Shortest-Length policy (shorter
+WPP) never reports a larger DCDT than the Balancing-Length policy.
+"""
+
+import pytest
+
+from repro.experiments.fig9_policy_dcdt import run_fig9
+
+VIP_COUNTS = (1, 2)
+VIP_WEIGHTS = (2, 3)
+
+
+@pytest.mark.benchmark(group="figures")
+def test_fig9_policy_dcdt(benchmark, bench_settings):
+    data = benchmark(run_fig9, bench_settings, vip_counts=VIP_COUNTS, vip_weights=VIP_WEIGHTS)
+
+    for policy in ("shortest", "balanced"):
+        grid = data["dcdt"][policy]
+        # increasing VIP weight (at fixed count) increases the DCDT
+        assert grid[(1, 3)] > grid[(1, 2)]
+        # increasing the number of VIPs (at fixed weight) does not decrease it
+        assert grid[(2, 3)] >= grid[(1, 3)] * 0.95
+
+    for key in data["dcdt"]["shortest"]:
+        assert data["dcdt"]["shortest"][key] <= data["dcdt"]["balanced"][key] + 1e-6
+        assert data["wpp_length"]["shortest"][key] <= data["wpp_length"]["balanced"][key] + 1e-6

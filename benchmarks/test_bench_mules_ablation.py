@@ -1,0 +1,28 @@
+"""EXT-A3 benchmark — fleet-size / break-edge-policy interaction, measured vs predicted.
+
+Times the ablation that quantifies where Figure 10's "Balancing-Length wins"
+ordering holds (one mule per walk) and where mule phase offsets invert it, and
+checks the analytic predictions track the simulation.
+"""
+
+import pytest
+
+from repro.experiments import ExperimentSettings
+from repro.experiments.ablation_mules import run_ablation_mules
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_mule_interference(benchmark):
+    settings = ExperimentSettings.quick(replications=2, horizon=60_000.0,
+                                        num_targets=12, num_mules=2)
+    data = benchmark(run_ablation_mules, settings, mule_counts=(1, 2),
+                     num_vips=1, vip_weight=2)
+
+    detail = data["detail"]
+    # Figure 10's ordering with one mule: balanced <= shortest (analytically).
+    assert detail[1]["balanced"]["predicted"] <= detail[1]["shortest"]["predicted"] + 1e-6
+    # Predictions and measurements agree on which policy is steadier in each cell.
+    for n in (1, 2):
+        predicted_winner = min(("shortest", "balanced"), key=lambda p: detail[n][p]["predicted"])
+        measured_winner = min(("shortest", "balanced"), key=lambda p: detail[n][p]["measured"])
+        assert predicted_winner == measured_winner

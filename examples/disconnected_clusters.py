@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's motivating scenario: disconnected target clusters, four strategies compared.
+
+The introduction motivates data mules with targets "distributed over several
+disconnected areas": no static multi-hop network can cover them, so mobility
+must.  This example
+
+1. generates a clustered scenario and *verifies* that the target set is
+   disconnected at the paper's 20 m communication range,
+2. runs all four Section V strategies (Random, Sweep, CHB, B-TCTP) on it, and
+3. prints the head-to-head comparison of DCDT, SD and maximal visiting
+   interval — the Figure 7/8 story on a single instance.
+
+Run with::
+
+    python examples/disconnected_clusters.py
+"""
+
+from __future__ import annotations
+
+from repro import PatrolSimulator, SimulationConfig, clustered_scenario, get_strategy
+from repro.experiments.reporting import format_table
+from repro.network.field import connected_components_by_range
+from repro.sim.metrics import average_dcdt, average_sd, max_visiting_interval
+
+
+def main() -> None:
+    scenario = clustered_scenario(num_targets=24, num_mules=4, num_clusters=4, seed=13)
+
+    # 1. How disconnected is the field, really?
+    components = connected_components_by_range(
+        [t.position for t in scenario.targets], scenario.params.communication_range
+    )
+    sizes = sorted((len(c) for c in components), reverse=True)
+    print(f"{scenario.num_targets} targets fall into {len(components)} radio-disconnected "
+          f"groups (sizes {sizes}) at a {scenario.params.communication_range:.0f} m range —")
+    print("no static multi-hop network can cover them; the data mules provide connectivity.\n")
+
+    # 2. Run the four strategies of Section V.
+    rows = []
+    for name in ("random", "sweep", "chb", "b-tctp"):
+        kwargs = {"seed": 13} if name == "random" else {}
+        planner = get_strategy(name, **kwargs)
+        plan = planner.plan(scenario.fresh_copy())
+        result = PatrolSimulator(scenario.fresh_copy(), plan,
+                                 SimulationConfig(horizon=80_000.0)).run()
+        rows.append([
+            plan.strategy,
+            average_dcdt(result),
+            average_sd(result),
+            max_visiting_interval(result),
+            result.total_distance() / scenario.num_mules,
+        ])
+
+    # 3. Report.
+    print(format_table(
+        ["strategy", "mean DCDT (s)", "SD (s)", "max interval (s)", "distance/mule (m)"],
+        rows,
+        title="Disconnected-cluster scenario: Section V strategies head to head",
+        precision=1,
+    ))
+    print("B-TCTP keeps the SD at zero and the maximal visiting interval lowest — the")
+    print("equal-spacing start points are doing exactly what Section 2.2-B promises.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Quickstart: plan a B-TCTP patrol, simulate it, and read the paper's metrics.
+
+This is the smallest end-to-end use of the library:
+
+1. generate a random scenario (targets + sink + data mules) on the paper's
+   800 m x 800 m field;
+2. build the B-TCTP patrol plan (shared Hamiltonian circuit + equally spaced
+   start points);
+3. run the discrete-event simulator for a few hours of simulated time;
+4. print the visiting-interval metrics and compare them with the closed form
+   ``|P| / (n * v)`` the algorithm is designed to achieve.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PatrolSimulator, SimulationConfig, plan_btctp, uniform_scenario
+from repro.sim.metrics import average_dcdt, average_sd, interval_statistics, max_visiting_interval
+
+
+def main() -> None:
+    # 1. A random scenario: 20 targets, 4 data mules, everything seeded.
+    scenario = uniform_scenario(num_targets=20, num_mules=4, seed=7)
+    print(f"scenario: {scenario.name} — {scenario.num_targets} targets, "
+          f"{scenario.num_mules} mules, field {scenario.field.width:.0f} m")
+
+    # 2. Plan with B-TCTP (Section II of the paper).
+    plan = plan_btctp(scenario)
+    print(f"patrolling path length : {plan.metadata['path_length']:.1f} m")
+    print(f"theoretical interval   : {plan.metadata['expected_visiting_interval']:.1f} s "
+          "(|P| / (n * v))")
+
+    # 3. Simulate ~14 hours of patrolling.
+    result = PatrolSimulator(scenario, plan, SimulationConfig(horizon=50_000.0)).run()
+
+    # 4. Metrics.
+    stats = interval_statistics(result)
+    print()
+    print(f"target visits recorded : {stats['total_intervals'] + stats['targets_visited']}")
+    print(f"mean visiting interval : {average_dcdt(result):.1f} s")
+    print(f"max visiting interval  : {max_visiting_interval(result):.1f} s")
+    print(f"SD of intervals        : {average_sd(result):.3f} s  (B-TCTP keeps this at zero)")
+    print(f"data delivered to sink : {result.total_delivered_data():.0f} units")
+    print(f"distance travelled     : {result.total_distance():.0f} m by {scenario.num_mules} mules")
+
+
+if __name__ == "__main__":
+    main()

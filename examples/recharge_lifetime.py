@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Energy-aware patrolling: RW-TCTP keeps the fleet alive, W-TCTP runs dry.
+
+Section IV of the paper: data mules have a finite battery (moving costs
+8.267 J/m, collecting costs 0.075 J) and must visit a recharge station before
+exhaustion.  RW-TCTP computes the number of rounds ``r`` a full battery
+supports (Equation 4), patrols the Weighted Patrolling Path for ``r - 1``
+rounds, and takes the Weighted Recharge Path — which detours through the
+station — on the ``r``-th round.
+
+This example runs the same battery-limited scenario with and without the
+recharge schedule and reports mule survival, recharges, delivered data and the
+visiting intervals over a long horizon.
+
+Run with::
+
+    python examples/recharge_lifetime.py
+"""
+
+from __future__ import annotations
+
+from repro import PatrolSimulator, SimulationConfig, plan_rwtctp, plan_wtctp, uniform_scenario
+from repro.energy.model import EnergyModel, patrolling_rounds
+from repro.sim.metrics import average_dcdt, max_visiting_interval
+
+
+def run(scenario, plan, horizon=120_000.0):
+    return PatrolSimulator(scenario.fresh_copy(), plan, SimulationConfig(horizon=horizon)).run()
+
+
+def main() -> None:
+    battery = 150_000.0  # joules — a few patrol rounds' worth
+    scenario = uniform_scenario(
+        num_targets=15, num_mules=3, seed=5,
+        mule_battery=battery, with_recharge_station=True,
+    )
+    print(f"{scenario.num_targets} targets, {scenario.num_mules} mules, "
+          f"battery {battery:.0f} J, recharge station at "
+          f"({scenario.recharge_station.position.x:.0f}, {scenario.recharge_station.position.y:.0f})")
+
+    # What does Equation (4) predict?
+    rw_plan = plan_rwtctp(scenario)
+    model: EnergyModel = scenario.params.energy_model
+    r = patrolling_rounds(battery, rw_plan.metadata["wpp_length"], scenario.num_targets, model)
+    print(f"WPP length {rw_plan.metadata['wpp_length']:.0f} m, "
+          f"WRP length {rw_plan.metadata['wrp_length']:.0f} m")
+    print(f"Equation (4): a full battery supports r = {r} patrol rounds "
+          f"-> recharge every {rw_plan.metadata['patrol_rounds']} rounds")
+    print()
+
+    w_plan = plan_wtctp(scenario)
+    results = {
+        "W-TCTP (no recharge)": run(scenario, w_plan),
+        "RW-TCTP (with recharge)": run(scenario, rw_plan),
+    }
+
+    for name, result in results.items():
+        alive = len(result.surviving_mules())
+        recharges = sum(t.recharges for t in result.traces.values())
+        death_times = [t.death_time for t in result.traces.values() if t.death_time is not None]
+        first_death = min(death_times) if death_times else None
+        print(f"--- {name} ---")
+        print(f"  surviving mules      : {alive}/{scenario.num_mules}")
+        if first_death is not None:
+            print(f"  first battery death  : t = {first_death:.0f} s")
+        print(f"  recharges performed  : {recharges}")
+        print(f"  data delivered       : {result.total_delivered_data():.0f} units")
+        print(f"  mean DCDT while alive: {average_dcdt(result):.1f} s")
+        print(f"  max visiting interval: {max_visiting_interval(result):.0f} s")
+        print()
+
+    print("RW-TCTP trades a slightly longer lap (the recharge detour) for an immortal fleet;")
+    print("without it the mules die mid-patrol and coverage stops entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Reproduce every figure of the paper's evaluation section in one run.
+
+Runs the Figure 7, 8, 9 and 10 experiments (plus the energy extension) with a
+configurable replication count and prints the same tables the benchmark
+harness and ``python -m repro figN`` produce.  With ``--full`` the paper's
+20-replication protocol is used; the default is a quick pass that finishes in
+well under a minute.
+
+Run with::
+
+    python examples/reproduce_paper.py            # quick pass
+    python examples/reproduce_paper.py --full     # paper protocol (20 replications)
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import (
+    ExperimentSettings,
+    ablation_init,
+    ablation_tsp,
+    ext_energy,
+    fig10_policy_sd,
+    fig7_dcdt,
+    fig8_sd,
+    fig9_policy_dcdt,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true",
+                        help="use the paper's protocol (20 replications, long horizon)")
+    parser.add_argument("--skip-ablations", action="store_true",
+                        help="only run the four paper figures")
+    args = parser.parse_args()
+
+    settings = ExperimentSettings() if args.full else ExperimentSettings.quick(replications=5)
+    print(f"running with {settings.replications} replications, "
+          f"horizon {settings.horizon:.0f} s, {settings.num_targets} targets, "
+          f"{settings.num_mules} mules\n")
+
+    stages = [
+        ("Figure 7 (DCDT per visit)", fig7_dcdt.main),
+        ("Figure 8 (SD: CHB vs TCTP)", fig8_sd.main),
+        ("Figure 9 (policy DCDT)", fig9_policy_dcdt.main),
+        ("Figure 10 (policy SD)", fig10_policy_sd.main),
+    ]
+    if not args.skip_ablations:
+        stages += [
+            ("EXT-E1 (energy / recharge)", ext_energy.main),
+            ("EXT-A1 (location initialisation ablation)", ablation_init.main),
+            ("EXT-A2 (TSP heuristic ablation)", ablation_tsp.main),
+        ]
+
+    for title, runner in stages:
+        print("=" * 72)
+        print(title)
+        print("=" * 72)
+        start = time.perf_counter()
+        runner(settings)
+        print(f"[{title}] completed in {time.perf_counter() - start:.1f} s\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""repro — reproduction of "Patrolling Mechanisms for Disconnected Targets in
+Wireless Mobile Data Mules Networks" (Chang, Lin, Hsieh, Ho — ICPP 2011).
+
+The package implements the paper's three patrolling algorithms (B-TCTP,
+W-TCTP, RW-TCTP), the baselines they are compared against (Random, Sweep,
+CHB), the wireless data-mule network substrate, a discrete-event patrolling
+simulator, and an experiment harness regenerating every figure of the paper's
+evaluation section.
+
+Quickstart
+----------
+>>> from repro import uniform_scenario, plan_btctp, PatrolSimulator, SimulationConfig
+>>> from repro.sim.metrics import average_sd, average_dcdt
+>>> scenario = uniform_scenario(num_targets=15, num_mules=3, seed=1)
+>>> plan = plan_btctp(scenario)
+>>> result = PatrolSimulator(scenario, plan, SimulationConfig(horizon=20_000)).run()
+>>> round(average_sd(result), 3)   # B-TCTP visits every target at a fixed cadence
+0.0
+"""
+
+from repro.core import (
+    BTCTPPlanner,
+    RWTCTPPlanner,
+    WTCTPPlanner,
+    PatrolPlan,
+    plan_btctp,
+    plan_rwtctp,
+    plan_wtctp,
+)
+from repro.baselines import CHBPlanner, RandomPlanner, SweepPlanner, get_strategy, available_strategies
+from repro.network import Scenario, SimulationParameters, Target, Sink, RechargeStation, DataMule
+from repro.sim import PatrolSimulator, SimulationConfig, SimulationResult
+from repro.workloads import (
+    ScenarioConfig,
+    generate_scenario,
+    uniform_scenario,
+    clustered_scenario,
+    figure1_scenario,
+    single_vip_scenario,
+    grid_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core algorithms
+    "BTCTPPlanner",
+    "WTCTPPlanner",
+    "RWTCTPPlanner",
+    "PatrolPlan",
+    "plan_btctp",
+    "plan_wtctp",
+    "plan_rwtctp",
+    # baselines
+    "RandomPlanner",
+    "SweepPlanner",
+    "CHBPlanner",
+    "get_strategy",
+    "available_strategies",
+    # network substrate
+    "Scenario",
+    "SimulationParameters",
+    "Target",
+    "Sink",
+    "RechargeStation",
+    "DataMule",
+    # simulator
+    "PatrolSimulator",
+    "SimulationConfig",
+    "SimulationResult",
+    # workloads
+    "ScenarioConfig",
+    "generate_scenario",
+    "uniform_scenario",
+    "clustered_scenario",
+    "figure1_scenario",
+    "single_vip_scenario",
+    "grid_scenario",
+]

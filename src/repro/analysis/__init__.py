@@ -1,0 +1,30 @@
+"""Analytic models of the patrolling algorithms.
+
+The simulator measures; this subpackage *predicts*.  For B-TCTP and the
+weighted variants the steady-state visiting behaviour has a closed form once
+the patrol structure is fixed, because the mules move at constant speed along
+a fixed closed walk with fixed phase offsets.  The analysis module exposes
+those closed forms — per-target visit phases, visiting intervals, SD, lower
+bounds on the achievable interval — so tests and users can cross-check the
+discrete-event simulation against theory (and so the multi-mule interference
+effect documented in EXPERIMENTS.md can be computed exactly instead of
+observed empirically).
+"""
+
+from repro.analysis.theory import (
+    PatrolAnalysis,
+    analyze_loop,
+    interval_lower_bound,
+    predicted_interval_btctp,
+    predicted_sd_for_offsets,
+    vip_visit_offsets,
+)
+
+__all__ = [
+    "PatrolAnalysis",
+    "analyze_loop",
+    "interval_lower_bound",
+    "predicted_interval_btctp",
+    "predicted_sd_for_offsets",
+    "vip_visit_offsets",
+]

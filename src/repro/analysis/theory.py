@@ -1,0 +1,214 @@
+"""Closed-form analysis of fixed-walk patrolling.
+
+Setting: ``n`` data mules move at speed ``v`` along the same closed walk of
+length ``L`` (a Hamiltonian circuit for B-TCTP, a weighted patrolling path for
+W-TCTP), with arc-length phase offsets ``phi_1 .. phi_n`` (B-TCTP's location
+initialisation makes these ``k L / n``).  A target that appears in the walk at
+arc positions ``s_1 .. s_w`` (``w`` = its weight) is visited at times
+
+    t = (s_j - phi_i) / v  (mod L / v)        for every mule i and occurrence j.
+
+The steady-state visiting intervals of the target are therefore the
+circular gaps of the multiset ``{ (s_j - phi_i) mod L }`` divided by ``v``.
+Everything the paper measures in Figures 7-10 follows from those gaps:
+
+* B-TCTP (w = 1, equally spaced mules): all gaps are ``L / n`` -> interval
+  ``L / (n v)``, SD = 0.
+* W-TCTP with one mule: the gaps are the VIP's cycle lengths -> the
+  Balancing-Length policy directly minimises their spread.
+* W-TCTP with several mules: the gaps interleave cycle lengths with mule
+  offsets, which is why balancing the cycles alone does not always minimise
+  the SD (the interference effect recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point, distance
+
+__all__ = [
+    "PatrolAnalysis",
+    "analyze_loop",
+    "vip_visit_offsets",
+    "predicted_interval_btctp",
+    "predicted_sd_for_offsets",
+    "interval_lower_bound",
+]
+
+
+def predicted_interval_btctp(path_length: float, num_mules: int, velocity: float) -> float:
+    """B-TCTP's steady-state visiting interval ``L / (n v)`` (same as Section II predicts)."""
+    if num_mules <= 0 or velocity <= 0:
+        raise ValueError("num_mules and velocity must be positive")
+    return path_length / (num_mules * velocity)
+
+
+def interval_lower_bound(hull_perimeter: float, num_mules: int, velocity: float) -> float:
+    """A lower bound on the max visiting interval achievable by *any* shared-circuit strategy.
+
+    Any closed tour through all targets is at least as long as the convex hull
+    perimeter, and with ``n`` mules on one circuit some target waits at least
+    ``length / (n v)`` between visits; hence no shared-circuit schedule can
+    beat ``hull_perimeter / (n v)``.
+    """
+    if num_mules <= 0 or velocity <= 0:
+        raise ValueError("num_mules and velocity must be positive")
+    return hull_perimeter / (num_mules * velocity)
+
+
+def _circular_gaps(positions: Sequence[float], length: float) -> list[float]:
+    """Gaps between consecutive positions around a circle of circumference ``length``."""
+    if length <= 0:
+        raise ValueError("length must be positive")
+    pos = sorted(p % length for p in positions)
+    if not pos:
+        return []
+    gaps = [b - a for a, b in zip(pos, pos[1:])]
+    gaps.append(length - (pos[-1] - pos[0]))
+    return gaps
+
+
+def vip_visit_offsets(
+    occurrence_arcs: Sequence[float],
+    mule_offsets: Sequence[float],
+    length: float,
+) -> list[float]:
+    """Arc positions (mod ``length``) at which *some* mule passes the target.
+
+    ``occurrence_arcs`` are the arc lengths of the target's occurrences in the
+    walk; ``mule_offsets`` are the mules' phase offsets along the same walk.
+    """
+    return sorted(
+        (s - phi) % length for s in occurrence_arcs for phi in mule_offsets
+    )
+
+
+def predicted_sd_for_offsets(
+    occurrence_arcs: Sequence[float],
+    mule_offsets: Sequence[float],
+    length: float,
+    velocity: float,
+) -> float:
+    """Steady-state SD of the target's visiting intervals (the paper's SD formula)."""
+    if velocity <= 0:
+        raise ValueError("velocity must be positive")
+    offsets = vip_visit_offsets(occurrence_arcs, mule_offsets, length)
+    gaps = _circular_gaps(offsets, length)
+    intervals = [g / velocity for g in gaps]
+    if len(intervals) < 2:
+        return 0.0
+    return float(np.std(intervals, ddof=1))
+
+
+@dataclass(frozen=True)
+class PatrolAnalysis:
+    """Analytic steady-state prediction for one closed patrol walk.
+
+    Attributes
+    ----------
+    length:
+        Length of the walk (one lap), metres.
+    lap_time:
+        Time for one lap at the given velocity.
+    occurrences:
+        Target id -> arc positions of its occurrences along the walk.
+    mule_offsets:
+        Phase offsets (arc lengths) of the mules along the walk.
+    velocity:
+        Mule speed in m/s.
+    """
+
+    length: float
+    lap_time: float
+    occurrences: dict[str, tuple[float, ...]]
+    mule_offsets: tuple[float, ...]
+    velocity: float
+
+    # ------------------------------------------------------------------ #
+    def intervals_for(self, target_id: str) -> list[float]:
+        """Predicted steady-state visiting intervals of ``target_id`` (seconds, one lap's worth)."""
+        arcs = self.occurrences[target_id]
+        offsets = vip_visit_offsets(arcs, self.mule_offsets, self.length)
+        return [g / self.velocity for g in _circular_gaps(offsets, self.length)]
+
+    def mean_interval(self, target_id: str) -> float:
+        """Mean predicted interval; equals ``lap_time / (w * n)`` for every target."""
+        intervals = self.intervals_for(target_id)
+        return float(np.mean(intervals)) if intervals else float("nan")
+
+    def sd(self, target_id: str) -> float:
+        """Predicted SD of the target's visiting intervals (paper's formula, ``n-1``)."""
+        intervals = self.intervals_for(target_id)
+        if len(intervals) < 2:
+            return 0.0
+        return float(np.std(intervals, ddof=1))
+
+    def max_interval(self) -> float:
+        """Predicted maximal visiting interval over all targets."""
+        return max(max(self.intervals_for(t)) for t in self.occurrences)
+
+    def average_sd(self) -> float:
+        """Mean SD over all targets — the quantity plotted in Figures 8 and 10."""
+        sds = [self.sd(t) for t in self.occurrences]
+        return float(np.mean(sds)) if sds else float("nan")
+
+    def summary(self) -> dict:
+        return {
+            "length": self.length,
+            "lap_time": self.lap_time,
+            "num_mules": len(self.mule_offsets),
+            "max_interval": self.max_interval(),
+            "average_sd": self.average_sd(),
+        }
+
+
+def analyze_loop(
+    loop: Sequence[str],
+    coordinates: Mapping[str, Point],
+    *,
+    num_mules: int | None = None,
+    mule_offsets: Sequence[float] | None = None,
+    velocity: float = 2.0,
+) -> PatrolAnalysis:
+    """Build a :class:`PatrolAnalysis` for a closed walk.
+
+    Either ``num_mules`` (equally spaced offsets, as after B-TCTP's location
+    initialisation) or explicit ``mule_offsets`` must be given.
+    """
+    loop = list(loop)
+    if not loop:
+        raise ValueError("loop must be non-empty")
+    if (num_mules is None) == (mule_offsets is None):
+        raise ValueError("give exactly one of num_mules or mule_offsets")
+    if velocity <= 0:
+        raise ValueError("velocity must be positive")
+
+    # Arc positions of every loop vertex.
+    arcs: list[float] = [0.0]
+    for a, b in zip(loop[:-1], loop[1:]):
+        arcs.append(arcs[-1] + distance(coordinates[a], coordinates[b]))
+    length = arcs[-1] + distance(coordinates[loop[-1]], coordinates[loop[0]])
+    if length <= 0:
+        raise ValueError("loop has zero length")
+
+    occurrences: dict[str, list[float]] = {}
+    for node, arc in zip(loop, arcs):
+        occurrences.setdefault(node, []).append(arc)
+
+    if mule_offsets is None:
+        assert num_mules is not None
+        if num_mules <= 0:
+            raise ValueError("num_mules must be positive")
+        mule_offsets = [k * length / num_mules for k in range(num_mules)]
+
+    return PatrolAnalysis(
+        length=length,
+        lap_time=length / velocity,
+        occurrences={k: tuple(v) for k, v in occurrences.items()},
+        mule_offsets=tuple(float(o) for o in mule_offsets),
+        velocity=velocity,
+    )

@@ -1,0 +1,25 @@
+"""Baseline patrolling strategies the paper compares against (Section V).
+
+* **Random** — every data mule repeatedly picks a uniformly random next
+  target (reference behaviour used in [4]'s comparisons).
+* **Sweep** — the DMs are divided into groups and each DM patrols only the
+  targets of its own group (reference [4], "Sweep Coverage with Mobile
+  Sensors").
+* **CHB** — all DMs follow the same convex-hull-based Hamiltonian circuit
+  from wherever they start (reference [5]); no location initialisation, no
+  weights, no recharge handling.
+"""
+
+from repro.baselines.base import PatrolStrategy, get_strategy, available_strategies
+from repro.baselines.random_patrol import RandomPlanner
+from repro.baselines.sweep import SweepPlanner
+from repro.baselines.chb import CHBPlanner
+
+__all__ = [
+    "PatrolStrategy",
+    "get_strategy",
+    "available_strategies",
+    "RandomPlanner",
+    "SweepPlanner",
+    "CHBPlanner",
+]

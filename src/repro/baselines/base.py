@@ -1,0 +1,90 @@
+"""Common strategy interface and the strategy registry.
+
+Every planner in the library — the three TCTP variants and the three
+baselines — satisfies the small :class:`PatrolStrategy` protocol: a ``name``
+and a ``plan(scenario)`` method returning a
+:class:`~repro.core.plan.PatrolPlan`.  The registry lets experiments and the
+CLI refer to strategies by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.plan import PatrolPlan
+from repro.network.scenario import Scenario
+
+__all__ = ["PatrolStrategy", "register_strategy", "get_strategy", "available_strategies"]
+
+
+@runtime_checkable
+class PatrolStrategy(Protocol):
+    """Anything that can turn a scenario into a patrol plan."""
+
+    name: str
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:  # pragma: no cover - protocol signature
+        ...
+
+
+_REGISTRY: dict[str, Callable[..., PatrolStrategy]] = {}
+
+
+def register_strategy(name: str, factory: Callable[..., PatrolStrategy]) -> None:
+    """Register a strategy factory under ``name`` (case-insensitive)."""
+    key = name.lower()
+    if key in _REGISTRY:
+        raise ValueError(f"strategy {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_strategies() -> list[str]:
+    """Names of all registered strategies."""
+    _ensure_defaults()
+    return sorted(_REGISTRY)
+
+
+def get_strategy(name: str, **kwargs) -> PatrolStrategy:
+    """Instantiate a registered strategy by name.
+
+    Keyword arguments are forwarded to the factory, e.g.
+    ``get_strategy("w-tctp", policy="shortest")`` or
+    ``get_strategy("random", seed=7)``.
+    """
+    _ensure_defaults()
+    try:
+        factory = _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
+        ) from exc
+    return factory(**kwargs)
+
+
+def _ensure_defaults() -> None:
+    """Populate the registry lazily (avoids import cycles at module load)."""
+    if _REGISTRY:
+        return
+    from repro.baselines.chb import CHBPlanner
+    from repro.baselines.random_patrol import RandomPlanner
+    from repro.baselines.sweep import SweepPlanner
+    from repro.core.btctp import BTCTPPlanner
+    from repro.core.rwtctp import RWTCTPPlanner
+    from repro.core.wtctp import WTCTPPlanner
+
+    _REGISTRY.update(
+        {
+            "random": lambda **kw: RandomPlanner(**kw),
+            "sweep": lambda **kw: SweepPlanner(**kw),
+            "chb": lambda **kw: CHBPlanner(**kw),
+            "b-tctp": lambda **kw: BTCTPPlanner(**kw),
+            "btctp": lambda **kw: BTCTPPlanner(**kw),
+            "tctp": lambda **kw: BTCTPPlanner(**kw),
+            "w-tctp": lambda **kw: WTCTPPlanner(**kw),
+            "wtctp": lambda **kw: WTCTPPlanner(**kw),
+            "rw-tctp": lambda **kw: RWTCTPPlanner(**kw),
+            "rwtctp": lambda **kw: RWTCTPPlanner(**kw),
+        }
+    )

@@ -1,0 +1,51 @@
+"""The CHB baseline (reference [5]: convex-hull based data gathering).
+
+"The CHB approach constructs an efficient Hamiltonian Circuit and then all DMs
+visit each target along the constructed Hamiltonian Circuit.  However, the CHB
+approach does not consider the situations of the scenario with different
+weighted targets and the recharge problem." (Section V)
+
+The construction is identical to B-TCTP's phase 1 — the same convex-hull
+insertion circuit — but there is **no location initialisation**: each mule
+simply enters the circuit at its nearest node and follows it.  Mules therefore
+stay bunched the way they were deployed, consecutive gaps along the circuit
+differ, and the per-target visiting intervals oscillate periodically — the
+behaviour Figures 7 and 8 attribute to CHB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import LoopRoute, PatrolPlan
+from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.graphs.validation import validate_tour
+from repro.network.scenario import Scenario
+
+__all__ = ["CHBPlanner"]
+
+
+@dataclass
+class CHBPlanner:
+    """Planner for the CHB baseline (shared circuit, no initialisation, no weights)."""
+
+    tsp_method: str = "hull-insertion"
+    improve_tour: bool = False
+    name: str = "CHB"
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        coords = scenario.patrol_points()
+        tour = build_hamiltonian_circuit(
+            coords, method=self.tsp_method, improve=self.improve_tour, start=scenario.sink.id
+        )
+        validate_tour(tour, expected_nodes=list(coords))
+        loop = list(tour.order)
+
+        routes = {}
+        for mule in scenario.mules:
+            nearest = tour.nearest_node(mule.position)
+            routes[mule.id] = LoopRoute(
+                mule.id, loop, tour.coordinates, entry_index=loop.index(nearest), start=None
+            )
+        metadata = {"path_length": tour.length(), "tour": loop}
+        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)

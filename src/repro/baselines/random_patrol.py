@@ -1,0 +1,61 @@
+"""The Random baseline: every mule wanders to a uniformly random next target.
+
+"The Random approach randomly selects the non-visited target as its next
+destination" (Section V).  Each mule draws independently from its own seeded
+stream, so a run is reproducible but the mules are uncoordinated — which is
+exactly why the Data Collection Delay Time fluctuates wildly in Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.plan import PatrolPlan, StochasticRoute
+from repro.network.scenario import Scenario
+
+__all__ = ["RandomPlanner"]
+
+
+@dataclass
+class RandomPlanner:
+    """Planner for the Random baseline.
+
+    Parameters
+    ----------
+    seed:
+        Base seed; mule ``i`` uses sub-stream ``i`` of this seed so adding a
+        mule does not perturb the others' trajectories.
+    include_sink:
+        Whether the sink is part of the random destination pool (it is, per
+        Section 2.1 — mules must still return data to the sink occasionally).
+    avoid_repeat:
+        Do not pick the target the mule is currently standing on.
+    """
+
+    seed: int | None = 0
+    include_sink: bool = True
+    avoid_repeat: bool = True
+    name: str = "Random"
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        coords = scenario.patrol_points()
+        candidates = [t.id for t in scenario.targets]
+        if self.include_sink:
+            candidates.append(scenario.sink.id)
+
+        seed_seq = np.random.SeedSequence(self.seed)
+        children = seed_seq.spawn(len(scenario.mules))
+
+        routes = {}
+        for child, mule in zip(children, scenario.mules):
+            routes[mule.id] = StochasticRoute(
+                mule.id,
+                candidates,
+                coords,
+                rng=np.random.default_rng(child),
+                avoid_repeat=self.avoid_repeat,
+            )
+        metadata = {"seed": self.seed, "candidates": len(candidates)}
+        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)

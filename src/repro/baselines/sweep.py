@@ -1,0 +1,100 @@
+"""The Sweep baseline (reference [4]: "Sweep Coverage with Mobile Sensors").
+
+"The Sweep approach initially divides the DMs into several groups and then
+each DM individually patrols the targets of one group" (Section V).  We
+partition the targets into one group per data mule by sweeping an angular
+sector around the field centre (a deterministic stand-in for CSWEEP's
+partitioning), build a convex-hull-insertion cycle per group (always including
+the sink so collected data can be delivered), and let each mule patrol its own
+group's cycle.  Because the groups' cycles have very different lengths, the
+visiting intervals oscillate — the behaviour Figure 7 shows for Sweep.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.plan import LoopRoute, PatrolPlan
+from repro.geometry.point import Point, centroid
+from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.network.scenario import Scenario
+from repro.network.targets import Target
+
+__all__ = ["SweepPlanner", "partition_targets_by_angle", "partition_targets_balanced"]
+
+
+def partition_targets_by_angle(targets: list[Target], num_groups: int, center: Point) -> list[list[Target]]:
+    """Split targets into contiguous angular sectors around ``center``.
+
+    Targets are sorted by their polar angle and chopped into ``num_groups``
+    consecutive runs of (as near as possible) equal cardinality, which mimics a
+    sweep-line partition of the field.
+    """
+    if num_groups <= 0:
+        raise ValueError("num_groups must be positive")
+    ordered = sorted(
+        targets,
+        key=lambda t: (math.atan2(t.position.y - center.y, t.position.x - center.x), t.id),
+    )
+    groups: list[list[Target]] = [[] for _ in range(num_groups)]
+    n = len(ordered)
+    for i, t in enumerate(ordered):
+        # proportional assignment keeps group sizes within one of each other
+        g = min(i * num_groups // max(n, 1), num_groups - 1)
+        groups[g].append(t)
+    return groups
+
+
+def partition_targets_balanced(targets: list[Target], num_groups: int, center: Point) -> list[list[Target]]:
+    """Angular partition followed by rebalancing of empty groups.
+
+    Guarantees every group is non-empty whenever there are at least as many
+    targets as groups (a mule with nothing to patrol would sit idle forever).
+    """
+    groups = partition_targets_by_angle(targets, num_groups, center)
+    if len(targets) < num_groups:
+        return groups
+    # Move targets from the largest groups into empty ones.
+    for gi, group in enumerate(groups):
+        while not group:
+            donor = max(range(len(groups)), key=lambda j: len(groups[j]))
+            if len(groups[donor]) <= 1:
+                break
+            group.append(groups[donor].pop())
+    return groups
+
+
+@dataclass
+class SweepPlanner:
+    """Planner for the Sweep baseline (one target group per data mule)."""
+
+    include_sink_in_groups: bool = True
+    tsp_method: str = "hull-insertion"
+    name: str = "Sweep"
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        center = scenario.field.center if scenario.field is not None else centroid(
+            [t.position for t in scenario.targets]
+        )
+        groups = partition_targets_balanced(list(scenario.targets), scenario.num_mules, center)
+
+        routes = {}
+        group_info = []
+        for mule, group in zip(scenario.mules, groups):
+            coords = {t.id: t.position for t in group}
+            if self.include_sink_in_groups or not coords:
+                coords[scenario.sink.id] = scenario.sink.position
+            start = scenario.sink.id if scenario.sink.id in coords else next(iter(coords))
+            tour = build_hamiltonian_circuit(coords, method=self.tsp_method, start=start)
+            loop = list(tour.order)
+            entry = loop.index(tour.nearest_node(mule.position))
+            routes[mule.id] = LoopRoute(mule.id, loop, tour.coordinates, entry_index=entry, start=None)
+            group_info.append({
+                "mule": mule.id,
+                "targets": [t.id for t in group],
+                "cycle_length": tour.length(),
+            })
+
+        metadata = {"groups": group_info}
+        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)

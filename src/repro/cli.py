@@ -1,0 +1,189 @@
+"""Command-line interface: run a single scenario or regenerate a paper figure.
+
+Examples
+--------
+Run one strategy on a random scenario and print the interval metrics::
+
+    python -m repro simulate --strategy b-tctp --targets 20 --mules 4 --seed 3
+
+Regenerate the paper's figures (full protocol, 20 replications)::
+
+    python -m repro fig7
+    python -m repro fig8 --quick        # small/quick variant
+    python -m repro fig9
+    python -m repro fig10
+
+Extension experiments from DESIGN.md::
+
+    python -m repro energy
+    python -m repro ablation-init
+    python -m repro ablation-tsp
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Callable, Sequence
+
+from repro.baselines.base import available_strategies, get_strategy
+from repro.experiments import ExperimentSettings
+from repro.experiments import (
+    ablation_init,
+    ablation_mules,
+    ablation_tsp,
+    ext_energy,
+    fig10_policy_sd,
+    fig7_dcdt,
+    fig8_sd,
+    fig9_policy_dcdt,
+)
+from repro.experiments.reporting import format_table, print_report
+from repro.sim.engine import PatrolSimulator, SimulationConfig
+from repro.sim.metrics import average_dcdt, average_sd, interval_statistics, max_visiting_interval
+from repro.workloads.generator import ScenarioConfig, generate_scenario
+
+__all__ = ["main", "build_parser"]
+
+
+_FIGURE_RUNNERS: dict[str, Callable] = {
+    "fig7": fig7_dcdt.main,
+    "fig8": fig8_sd.main,
+    "fig9": fig9_policy_dcdt.main,
+    "fig10": fig10_policy_sd.main,
+    "energy": ext_energy.main,
+    "ablation-init": ablation_init.main,
+    "ablation-tsp": ablation_tsp.main,
+    "ablation-mules": ablation_mules.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed separately for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-patrol",
+        description="Reproduction of the ICPP 2011 data-mule patrolling paper "
+                    "(B-TCTP / W-TCTP / RW-TCTP).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one strategy on one generated scenario")
+    sim.add_argument("--strategy", default="b-tctp", choices=available_strategies())
+    sim.add_argument("--targets", type=int, default=20)
+    sim.add_argument("--mules", type=int, default=4)
+    sim.add_argument("--vips", type=int, default=0)
+    sim.add_argument("--vip-weight", type=int, default=2)
+    sim.add_argument("--policy", default="balanced", choices=["shortest", "balanced"])
+    sim.add_argument("--seed", type=int, default=0)
+    sim.add_argument("--horizon", type=float, default=60_000.0)
+    sim.add_argument("--battery", type=float, default=None)
+    sim.add_argument("--recharge", action="store_true", help="place a recharge station")
+    sim.add_argument("--clustered", action="store_true", help="use disconnected target clusters")
+    sim.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    for name, runner in _FIGURE_RUNNERS.items():
+        p = sub.add_parser(name, help=f"reproduce {name} of the evaluation")
+        p.add_argument("--quick", action="store_true",
+                       help="small replication count / short horizon (for smoke runs)")
+        p.add_argument("--replications", type=int, default=None)
+        p.add_argument("--horizon", type=float, default=None)
+        p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    lst = sub.add_parser("strategies", help="list the available strategies")
+    lst.add_argument("--json", action="store_true")
+    return parser
+
+
+def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
+    settings = ExperimentSettings.quick() if args.quick else ExperimentSettings()
+    overrides = {}
+    if args.replications is not None:
+        overrides["replications"] = args.replications
+    if args.horizon is not None:
+        overrides["horizon"] = args.horizon
+    if overrides:
+        settings = ExperimentSettings(**{**settings.__dict__, **overrides})
+    return settings
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    needs_recharge = args.recharge or args.strategy.replace("_", "-").startswith("rw")
+    cfg = ScenarioConfig(
+        num_targets=args.targets,
+        num_mules=args.mules,
+        num_vips=args.vips,
+        vip_weight=args.vip_weight,
+        distribution="clustered" if args.clustered else "uniform",
+        mule_battery=args.battery if args.battery is not None else (200_000.0 if needs_recharge else None),
+        with_recharge_station=needs_recharge,
+        mule_placement="random",
+    )
+    scenario = generate_scenario(cfg, args.seed)
+    kwargs = {}
+    if args.strategy in ("w-tctp", "wtctp", "rw-tctp", "rwtctp"):
+        kwargs["policy"] = args.policy
+    if args.strategy == "random":
+        kwargs["seed"] = args.seed
+    planner = get_strategy(args.strategy, **kwargs)
+    plan = planner.plan(scenario)
+    result = PatrolSimulator(scenario, plan, SimulationConfig(horizon=args.horizon)).run()
+
+    stats = interval_statistics(result)
+    payload = {
+        "strategy": plan.strategy,
+        "scenario": scenario.name,
+        "num_targets": scenario.num_targets,
+        "num_mules": scenario.num_mules,
+        "average_dcdt": average_dcdt(result),
+        "average_sd": average_sd(result),
+        "max_visiting_interval": max_visiting_interval(result),
+        "delivered_data": result.total_delivered_data(),
+        "total_distance": result.total_distance(),
+        "dead_mules": result.dead_mules(),
+        **{f"interval_{k}": v for k, v in stats.items()},
+    }
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        rows = [[k, v] for k, v in payload.items()]
+        print_report(format_table(["metric", "value"], rows,
+                                  title=f"Simulation of {plan.strategy} on {scenario.name}"))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.command == "simulate":
+        return _run_simulate(args)
+    if args.command == "strategies":
+        names = available_strategies()
+        if args.json:
+            print(json.dumps(names))
+        else:
+            print("\n".join(names))
+        return 0
+    if args.command in _FIGURE_RUNNERS:
+        settings = _settings_from_args(args)
+        data = _FIGURE_RUNNERS[args.command](settings)
+        if getattr(args, "json", False):
+            print(json.dumps(_jsonable(data), indent=2, sort_keys=True))
+        return 0
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+def _jsonable(obj):
+    """Convert experiment dictionaries (which may use tuple keys) into JSON-safe data."""
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    return obj
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""The paper's contribution: the B-TCTP, W-TCTP and RW-TCTP patrolling algorithms.
+
+* :mod:`repro.core.btctp` — Section II: shared Hamiltonian circuit, equal-length
+  segmentation and location initialisation.
+* :mod:`repro.core.wtctp` — Section III: Weighted Patrolling Path construction
+  with the Shortest-Length / Balancing-Length break-edge policies and the
+  counter-clockwise-angle patrolling rule.
+* :mod:`repro.core.rwtctp` — Section IV: Weighted Recharge Path and the
+  energy-aware round schedule.
+"""
+
+from repro.core.plan import LoopRoute, AlternatingLoopRoute, StochasticRoute, MuleRoute, PatrolPlan
+from repro.core.start_points import compute_start_points, assign_mules_to_start_points, StartPointAssignment
+from repro.core.policies import (
+    BreakEdgePolicy,
+    ShortestLengthPolicy,
+    BalancingLengthPolicy,
+    get_policy,
+)
+from repro.core.patrol_rules import angle_walk, build_patrol_walk
+from repro.core.btctp import BTCTPPlanner, plan_btctp
+from repro.core.wtctp import WTCTPPlanner, plan_wtctp, build_weighted_patrolling_path
+from repro.core.rwtctp import RWTCTPPlanner, plan_rwtctp, build_weighted_recharge_path
+
+__all__ = [
+    "MuleRoute",
+    "LoopRoute",
+    "AlternatingLoopRoute",
+    "StochasticRoute",
+    "PatrolPlan",
+    "compute_start_points",
+    "assign_mules_to_start_points",
+    "StartPointAssignment",
+    "BreakEdgePolicy",
+    "ShortestLengthPolicy",
+    "BalancingLengthPolicy",
+    "get_policy",
+    "angle_walk",
+    "build_patrol_walk",
+    "BTCTPPlanner",
+    "plan_btctp",
+    "WTCTPPlanner",
+    "plan_wtctp",
+    "build_weighted_patrolling_path",
+    "RWTCTPPlanner",
+    "plan_rwtctp",
+    "build_weighted_recharge_path",
+]

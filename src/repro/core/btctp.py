@@ -1,0 +1,129 @@
+"""B-TCTP: the Basic Target-Coverage Target-Patrolling algorithm (Section II).
+
+Phase 1 — path construction: every data mule independently builds the same
+Hamiltonian circuit over all targets plus the sink, using the convex-hull
+insertion heuristic (the same construction the CHB baseline uses).
+
+Phase 2 — patrolling strategy: the most-north target becomes the reference
+start point; the circuit is partitioned into ``n`` equal-length segments whose
+endpoints are the start points; every mule drives to its assigned start point
+(closest first, energy-based displacement on conflicts) and then patrols the
+circuit counter-clockwise.  Because consecutive mules are separated by exactly
+``|P| / n`` metres of path and move at the same speed, every target is visited
+every ``|P| / (n·v)`` seconds with zero variance — the property Figures 7 and
+8 of the paper demonstrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import LoopRoute, PatrolPlan
+from repro.core.start_points import assign_mules_to_start_points, compute_start_points
+from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.graphs.tour import Tour
+from repro.graphs.validation import validate_tour
+from repro.network.scenario import Scenario
+
+__all__ = ["BTCTPPlanner", "plan_btctp", "expected_visiting_interval"]
+
+
+def expected_visiting_interval(path_length: float, num_mules: int, velocity: float) -> float:
+    """Closed-form visiting interval of B-TCTP: ``|P| / (n * v)``.
+
+    With the mules equally spaced along the circuit and all moving at the same
+    velocity, every point of the path (hence every target) is passed by some
+    mule exactly once per ``|P| / (n v)`` seconds.
+    """
+    if num_mules <= 0:
+        raise ValueError("num_mules must be positive")
+    if velocity <= 0:
+        raise ValueError("velocity must be positive")
+    return path_length / (num_mules * velocity)
+
+
+@dataclass
+class BTCTPPlanner:
+    """Planner object form of B-TCTP (handy for strategy registries and ablations).
+
+    Parameters
+    ----------
+    tsp_method:
+        Hamiltonian-circuit heuristic: ``"hull-insertion"`` (paper default),
+        ``"nearest-neighbor"`` or ``"christofides"``.
+    improve_tour:
+        Run a 2-opt pass on the circuit (ablation EXT-A2; the paper does not).
+    location_initialization:
+        Perform the phase-2 start-point assignment.  Disabling it degrades
+        B-TCTP into "CHB with shared direction" and is used by the EXT-A1
+        ablation to isolate the contribution of the initialisation step.
+    """
+
+    tsp_method: str = "hull-insertion"
+    improve_tour: bool = False
+    location_initialization: bool = True
+    name: str = "B-TCTP"
+
+    def build_circuit(self, scenario: Scenario) -> Tour:
+        """Phase 1: the shared Hamiltonian circuit over targets plus sink."""
+        coords = scenario.patrol_points()
+        tour = build_hamiltonian_circuit(
+            coords, method=self.tsp_method, improve=self.improve_tour, start=scenario.sink.id
+        )
+        validate_tour(tour, expected_nodes=list(coords))
+        return tour
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        """Run both phases and return the per-mule patrol plan."""
+        tour = self.build_circuit(scenario)
+        loop = list(tour.order)
+        coords = tour.coordinates
+
+        routes: dict[str, LoopRoute] = {}
+        metadata: dict = {
+            "path_length": tour.length(),
+            "tour": loop,
+            "expected_visiting_interval": expected_visiting_interval(
+                tour.length(), scenario.num_mules, scenario.params.mule_velocity
+            ),
+        }
+
+        if self.location_initialization:
+            start_points = compute_start_points(loop, coords, scenario.num_mules)
+            assignment = assign_mules_to_start_points(
+                start_points,
+                {m.id: m.position for m in scenario.mules},
+                {m.id: m.remaining_energy for m in scenario.mules},
+            )
+            metadata["start_points"] = [
+                {"index": sp.index, "x": sp.position.x, "y": sp.position.y, "arc": sp.arc_length}
+                for sp in start_points
+            ]
+            for mule in scenario.mules:
+                sp = assignment.start_point_for(mule.id)
+                routes[mule.id] = LoopRoute(
+                    mule.id,
+                    loop,
+                    coords,
+                    entry_index=sp.entry_index,
+                    start=sp.position,
+                )
+        else:
+            for mule in scenario.mules:
+                nearest = tour.nearest_node(mule.position)
+                routes[mule.id] = LoopRoute(
+                    mule.id, loop, coords, entry_index=loop.index(nearest), start=None
+                )
+
+        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)
+
+
+def plan_btctp(scenario: Scenario, *, tsp_method: str = "hull-insertion",
+               improve_tour: bool = False, location_initialization: bool = True) -> PatrolPlan:
+    """Functional wrapper around :class:`BTCTPPlanner` (see its docstring)."""
+    planner = BTCTPPlanner(
+        tsp_method=tsp_method,
+        improve_tour=improve_tour,
+        location_initialization=location_initialization,
+    )
+    return planner.plan(scenario)

@@ -1,0 +1,230 @@
+"""RW-TCTP: W-TCTP with recharge (Section IV).
+
+Each mule constructs two structures:
+
+* the **weighted patrolling path** (WPP ``P̄``), exactly as in W-TCTP, and
+* the **weighted recharge path** (WRP ``P̃``), obtained from the WPP by
+  breaking the edge that minimises Exp. (3)
+  ``|g_y R| + |g_{y+1} R| - |g_y g_{y+1}|`` and connecting both break points
+  to the recharge station ``R``.
+
+Equation (4) then gives the number of rounds a full battery supports,
+
+    r = M_Energy / ( |P̄| · c_m + h · c_s ),
+
+and the schedule is: patrol the WPP for ``r - 1`` laps, then take the WRP lap
+(which passes through ``R``) to recharge, and repeat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.core.patrol_rules import build_patrol_walk
+from repro.core.plan import AlternatingLoopRoute, PatrolPlan
+from repro.core.policies import BreakEdgePolicy, get_policy
+from repro.core.start_points import assign_mules_to_start_points, compute_start_points
+from repro.core.wtctp import build_weighted_patrolling_path
+from repro.energy.model import EnergyModel, patrolling_rounds
+from repro.geometry.point import Point, distance
+from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.graphs.multitour import MultiTour
+from repro.graphs.tour import Tour
+from repro.graphs.validation import validate_walk_visits, validate_weighted_recharge_path
+from repro.network.scenario import Scenario
+
+__all__ = ["build_weighted_recharge_path", "RWTCTPPlanner", "plan_rwtctp"]
+
+
+def build_weighted_recharge_path(
+    wpp: MultiTour,
+    weights: Mapping[str, int],
+    recharge_id: str,
+    recharge_position: Point,
+    *,
+    walk_start: str,
+) -> tuple[MultiTour, list[str]]:
+    """Insert the recharge station into a WPP, producing the WRP and its walk.
+
+    The break edge is the one minimising Exp. (3); both break points are
+    connected to the recharge station, which therefore joins the structure as
+    a weight-1 node (Definition 5).
+    """
+    wrp = wpp.copy()
+    wrp.add_node(recharge_id, recharge_position)
+
+    candidates = [(u, v, k) for (u, v, k) in wrp.edges() if recharge_id not in (u, v)]
+    if not candidates:
+        raise ValueError("weighted patrolling path has no edge to break for the recharge station")
+
+    def added_length(edge: tuple[str, str, int]) -> float:
+        u, v, _k = edge
+        return (
+            distance(wrp.point(u), recharge_position)
+            + distance(wrp.point(v), recharge_position)
+            - distance(wrp.point(u), wrp.point(v))
+        )
+
+    u, v, key = min(candidates, key=lambda e: (added_length(e), str(e[0]), str(e[1])))
+    wrp.break_edge(u, v, recharge_id, key=key)
+
+    validate_weighted_recharge_path(wrp, weights, recharge_id)
+    walk = build_patrol_walk(wrp, walk_start)
+    combined = dict(weights)
+    combined[recharge_id] = 1
+    validate_walk_visits(walk, combined)
+    return wrp, walk
+
+
+@dataclass
+class RWTCTPPlanner:
+    """Planner object form of RW-TCTP.
+
+    Parameters
+    ----------
+    policy:
+        Break-edge policy used for the underlying WPP construction.
+    treat_targets_as_vips:
+        Section IV opens with "treat the recharge station as a NTP and all the
+        targets are treated as VIPs"; in the evaluation the target weights of
+        the scenario are used as-is.  When this flag is set, every target of
+        weight 1 is promoted to ``vip_weight`` before building the WPP.
+    vip_weight:
+        Promotion weight used when ``treat_targets_as_vips`` is enabled.
+    """
+
+    policy: str = "balanced"
+    tsp_method: str = "hull-insertion"
+    improve_tour: bool = False
+    location_initialization: bool = True
+    treat_targets_as_vips: bool = False
+    vip_weight: int = 2
+    name: str = "RW-TCTP"
+
+    # ------------------------------------------------------------------ #
+    def build_structures(self, scenario: Scenario) -> dict:
+        """Phase 1: Hamiltonian circuit, WPP, WRP and both traversal walks."""
+        if scenario.recharge_station is None:
+            raise ValueError("RW-TCTP requires a scenario with a recharge station")
+        coords = scenario.patrol_points()
+        tour = build_hamiltonian_circuit(
+            coords, method=self.tsp_method, improve=self.improve_tour, start=scenario.sink.id
+        )
+        weights = scenario.weights()
+        if self.treat_targets_as_vips:
+            weights = {
+                n: (max(w, self.vip_weight) if n != scenario.sink.id else w)
+                for n, w in weights.items()
+            }
+        wpp, wpp_walk = build_weighted_patrolling_path(tour, weights, self.policy)
+        wrp, wrp_walk = build_weighted_recharge_path(
+            wpp,
+            weights,
+            scenario.recharge_station.id,
+            scenario.recharge_station.position,
+            walk_start=scenario.sink.id,
+        )
+        return {
+            "tour": tour,
+            "weights": weights,
+            "wpp": wpp,
+            "wpp_walk": wpp_walk,
+            "wrp": wrp,
+            "wrp_walk": wrp_walk,
+        }
+
+    def compute_rounds(self, scenario: Scenario, wpp_length: float) -> int:
+        """Equation (4) with the scenario's energy model and mule battery capacity."""
+        model: EnergyModel = scenario.params.energy_model
+        capacities = [
+            m.battery.capacity for m in scenario.mules if m.battery is not None
+        ]
+        if not capacities:
+            raise ValueError("RW-TCTP requires mules with batteries (finite M_Energy)")
+        m_energy = min(capacities)  # plan for the weakest mule so nobody dies
+        r = patrolling_rounds(m_energy, wpp_length, scenario.num_targets, model)
+        return max(r, 1)
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        structures = self.build_structures(scenario)
+        wpp: MultiTour = structures["wpp"]
+        wrp: MultiTour = structures["wrp"]
+        wpp_walk: list[str] = structures["wpp_walk"]
+        wrp_walk: list[str] = structures["wrp_walk"]
+
+        patrol_loop = wpp_walk[:-1] if wpp_walk[0] == wpp_walk[-1] else list(wpp_walk)
+        recharge_loop = wrp_walk[:-1] if wrp_walk[0] == wrp_walk[-1] else list(wrp_walk)
+        coords = wrp.coordinates  # superset: includes the recharge station
+
+        rounds = self.compute_rounds(scenario, wpp.length())
+
+        metadata: dict = {
+            "hamiltonian_length": structures["tour"].length(),
+            "wpp_length": wpp.length(),
+            "wrp_length": wrp.length(),
+            "patrol_rounds": rounds,
+            "policy": get_policy(self.policy).name,
+            "recharge_station": scenario.recharge_station.id,
+        }
+
+        routes: dict[str, AlternatingLoopRoute] = {}
+        if self.location_initialization:
+            start_points = compute_start_points(patrol_loop, coords, scenario.num_mules)
+            assignment = assign_mules_to_start_points(
+                start_points,
+                {m.id: m.position for m in scenario.mules},
+                {m.id: m.remaining_energy for m in scenario.mules},
+            )
+            for mule in scenario.mules:
+                sp = assignment.start_point_for(mule.id)
+                routes[mule.id] = AlternatingLoopRoute(
+                    mule.id,
+                    patrol_loop,
+                    recharge_loop,
+                    coords,
+                    patrol_rounds=rounds,
+                    entry_index=sp.entry_index,
+                    start=sp.position,
+                )
+        else:
+            for mule in scenario.mules:
+                nearest = min(
+                    range(len(patrol_loop)),
+                    key=lambda i: mule.position.distance_to(coords[patrol_loop[i]]),
+                )
+                routes[mule.id] = AlternatingLoopRoute(
+                    mule.id,
+                    patrol_loop,
+                    recharge_loop,
+                    coords,
+                    patrol_rounds=rounds,
+                    entry_index=nearest,
+                    start=None,
+                )
+
+        return PatrolPlan(
+            strategy=f"{self.name}[{get_policy(self.policy).name}]", routes=routes, metadata=metadata
+        )
+
+
+def plan_rwtctp(
+    scenario: Scenario,
+    *,
+    policy: str = "balanced",
+    tsp_method: str = "hull-insertion",
+    improve_tour: bool = False,
+    location_initialization: bool = True,
+    treat_targets_as_vips: bool = False,
+    vip_weight: int = 2,
+) -> PatrolPlan:
+    """Functional wrapper around :class:`RWTCTPPlanner` (see its docstring)."""
+    planner = RWTCTPPlanner(
+        policy=policy,
+        tsp_method=tsp_method,
+        improve_tour=improve_tour,
+        location_initialization=location_initialization,
+        treat_targets_as_vips=treat_targets_as_vips,
+        vip_weight=vip_weight,
+    )
+    return planner.plan(scenario)

@@ -1,0 +1,172 @@
+"""W-TCTP: Weighted TCTP (Section III).
+
+Phase 1 — weighted patrolling path (WPP) construction: starting from the
+Hamiltonian circuit of B-TCTP, each VIP ``g_i`` (weight ``w_i > 1``) triggers
+``w_i - 1`` cycle-construction steps that break an edge of the current path and
+reconnect the break points to the VIP.  VIPs are processed in descending
+weight (priority ``p_i = w_i``); break edges are chosen by either the
+Shortest-Length or the Balancing-Length policy.
+
+Phase 2 — patrolling strategy: the traversal order through each VIP is fixed
+by the counter-clockwise minimal-included-angle rule
+(:mod:`repro.core.patrol_rules`), so every mule follows the identical closed
+walk in which a VIP of weight ``w`` appears ``w`` times per lap.  Location
+initialisation then spaces the mules equally along that walk, exactly as in
+B-TCTP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.core.patrol_rules import build_patrol_walk
+from repro.core.plan import LoopRoute, PatrolPlan
+from repro.core.policies import BreakEdgePolicy, get_policy
+from repro.core.start_points import assign_mules_to_start_points, compute_start_points
+from repro.geometry.point import Point
+from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.graphs.multitour import MultiTour
+from repro.graphs.tour import Tour
+from repro.graphs.validation import validate_walk_visits, validate_weighted_patrolling_path
+from repro.network.scenario import Scenario
+
+__all__ = ["build_weighted_patrolling_path", "WTCTPPlanner", "plan_wtctp"]
+
+
+def build_weighted_patrolling_path(
+    tour: Tour,
+    weights: Mapping[str, int],
+    policy: "str | BreakEdgePolicy" = "balanced",
+) -> tuple[MultiTour, list[str]]:
+    """Construct the WPP multigraph and its traversal walk from a Hamiltonian circuit.
+
+    Parameters
+    ----------
+    tour:
+        The phase-1 Hamiltonian circuit (every target exactly once).
+    weights:
+        Node -> weight; nodes absent from the mapping default to weight 1.
+        Weights below 1 are rejected.
+    policy:
+        Break-edge policy name or instance (``"shortest"`` / ``"balanced"``).
+
+    Returns
+    -------
+    (structure, walk):
+        The WPP as a :class:`MultiTour` (VIP ``g_i`` has degree ``2 w_i``) and
+        the closed traversal walk chosen by the patrolling rule (first node
+        repeated at the end).
+    """
+    policy_obj = get_policy(policy)
+    full_weights = {n: int(weights.get(n, 1)) for n in tour.order}
+    for node, w in full_weights.items():
+        if w < 1:
+            raise ValueError(f"weight of {node!r} must be >= 1, got {w}")
+
+    structure = MultiTour.from_tour(tour)
+    # Descending weight = descending priority (Section 3.1-B); deterministic
+    # tie-break on the identifier so all mules build the same WPP.
+    vips = sorted(
+        (n for n, w in full_weights.items() if w > 1),
+        key=lambda n: (-full_weights[n], str(n)),
+    )
+    for vip in vips:
+        policy_obj.apply(structure, vip, full_weights[vip])
+
+    validate_weighted_patrolling_path(structure, full_weights)
+
+    start = tour.order[0]
+    walk = build_patrol_walk(structure, start)
+    validate_walk_visits(walk, full_weights)
+    return structure, walk
+
+
+@dataclass
+class WTCTPPlanner:
+    """Planner object form of W-TCTP.
+
+    Parameters
+    ----------
+    policy:
+        ``"shortest"`` (Exp. 1) or ``"balanced"`` (Exp. 2) break-edge policy.
+    tsp_method / improve_tour:
+        Passed through to the phase-1 Hamiltonian-circuit construction.
+    location_initialization:
+        Space the mules equally along the WPP before patrolling (paper default).
+    """
+
+    policy: str = "balanced"
+    tsp_method: str = "hull-insertion"
+    improve_tour: bool = False
+    location_initialization: bool = True
+    name: str = field(default="W-TCTP")
+
+    def build_structures(self, scenario: Scenario) -> tuple[Tour, MultiTour, list[str]]:
+        """Phase 1: Hamiltonian circuit, WPP multigraph and traversal walk."""
+        coords = scenario.patrol_points()
+        tour = build_hamiltonian_circuit(
+            coords, method=self.tsp_method, improve=self.improve_tour, start=scenario.sink.id
+        )
+        weights = scenario.weights()
+        structure, walk = build_weighted_patrolling_path(tour, weights, self.policy)
+        return tour, structure, walk
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        tour, structure, walk = self.build_structures(scenario)
+        loop = list(walk[:-1]) if len(walk) > 1 and walk[0] == walk[-1] else list(walk)
+        coords: dict[str, Point] = structure.coordinates
+
+        metadata: dict = {
+            "hamiltonian_length": tour.length(),
+            "wpp_length": structure.length(),
+            "walk": loop,
+            "policy": get_policy(self.policy).name,
+            "vip_cycles": {
+                vip.id: [c.length for c in structure.cycles_at(vip.id, walk)]
+                for vip in scenario.vips()
+            },
+        }
+
+        routes: dict[str, LoopRoute] = {}
+        if self.location_initialization:
+            start_points = compute_start_points(loop, coords, scenario.num_mules)
+            assignment = assign_mules_to_start_points(
+                start_points,
+                {m.id: m.position for m in scenario.mules},
+                {m.id: m.remaining_energy for m in scenario.mules},
+            )
+            for mule in scenario.mules:
+                sp = assignment.start_point_for(mule.id)
+                routes[mule.id] = LoopRoute(
+                    mule.id, loop, coords, entry_index=sp.entry_index, start=sp.position
+                )
+        else:
+            for mule in scenario.mules:
+                # Without initialisation the mule enters the walk at its nearest waypoint.
+                nearest = min(
+                    range(len(loop)),
+                    key=lambda i: mule.position.distance_to(coords[loop[i]]),
+                )
+                routes[mule.id] = LoopRoute(mule.id, loop, coords, entry_index=nearest, start=None)
+
+        return PatrolPlan(strategy=f"{self.name}[{get_policy(self.policy).name}]",
+                          routes=routes, metadata=metadata)
+
+
+def plan_wtctp(
+    scenario: Scenario,
+    *,
+    policy: str = "balanced",
+    tsp_method: str = "hull-insertion",
+    improve_tour: bool = False,
+    location_initialization: bool = True,
+) -> PatrolPlan:
+    """Functional wrapper around :class:`WTCTPPlanner` (see its docstring)."""
+    planner = WTCTPPlanner(
+        policy=policy,
+        tsp_method=tsp_method,
+        improve_tour=improve_tour,
+        location_initialization=location_initialization,
+    )
+    return planner.plan(scenario)

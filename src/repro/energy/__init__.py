@@ -1,0 +1,12 @@
+"""Energy substrate: batteries and the paper's consumption model.
+
+Section 5.1 fixes the two consumption constants used throughout the
+evaluation: 8.267 J per metre of movement and 0.075 J per data collection.
+RW-TCTP (Section IV) uses these to compute the number of patrolling rounds a
+mule can complete before it must detour through the recharge station.
+"""
+
+from repro.energy.battery import Battery
+from repro.energy.model import EnergyModel, patrolling_rounds
+
+__all__ = ["Battery", "EnergyModel", "patrolling_rounds"]

@@ -1,0 +1,81 @@
+"""A simple battery with capacity, drain, refill and depletion tracking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Battery"]
+
+
+@dataclass
+class Battery:
+    """Finite energy store of a data mule.
+
+    Attributes
+    ----------
+    capacity:
+        Full-charge energy in joules (the paper's ``M_Energy``).
+    remaining:
+        Current energy; defaults to the full capacity.
+
+    Draining below zero clamps at zero and marks the battery depleted; the
+    simulator turns the owning mule ``DEAD`` at that point, which is exactly
+    the failure mode RW-TCTP is designed to avoid.
+    """
+
+    capacity: float
+    remaining: float = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ValueError("battery capacity must be positive")
+        if self.remaining is None:
+            self.remaining = self.capacity
+        if not 0 <= self.remaining <= self.capacity:
+            raise ValueError("remaining energy must lie in [0, capacity]")
+        self.total_drained = 0.0
+        self.total_recharged = 0.0
+        self.recharge_count = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def depleted(self) -> bool:
+        return self.remaining <= 0.0
+
+    @property
+    def fraction(self) -> float:
+        """Remaining charge as a fraction of capacity in ``[0, 1]``."""
+        return self.remaining / self.capacity
+
+    def drain(self, amount: float) -> float:
+        """Consume ``amount`` joules; returns the energy actually drained."""
+        if amount < 0:
+            raise ValueError("cannot drain a negative amount")
+        drained = min(amount, self.remaining)
+        self.remaining -= drained
+        self.total_drained += drained
+        return drained
+
+    def refill(self) -> float:
+        """Recharge to full capacity; returns the energy added."""
+        added = self.capacity - self.remaining
+        self.remaining = self.capacity
+        self.total_recharged += added
+        self.recharge_count += 1
+        return added
+
+    def charge(self, amount: float) -> float:
+        """Add ``amount`` joules without exceeding capacity; returns the energy added."""
+        if amount < 0:
+            raise ValueError("cannot charge a negative amount")
+        added = min(amount, self.capacity - self.remaining)
+        self.remaining += added
+        self.total_recharged += added
+        return added
+
+    def copy(self) -> "Battery":
+        b = Battery(self.capacity, self.remaining)
+        b.total_drained = self.total_drained
+        b.total_recharged = self.total_recharged
+        b.recharge_count = self.recharge_count
+        return b

@@ -1,0 +1,72 @@
+"""The paper's energy-consumption model and the RW-TCTP round computation.
+
+Equation (4) of the paper:
+
+    r = M_Energy / ( |P̄| * c_m  +  h * c_s )
+
+where ``|P̄|`` is the length of the weighted patrolling path, ``c_m`` the
+movement cost per metre, ``h`` the number of targets and ``c_s`` the cost of
+collecting one target's data.  A mule patrols the WPP ``r - 1`` times and then
+follows the weighted recharge path on the ``r``-th round.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["EnergyModel", "patrolling_rounds"]
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """Energy cost coefficients (defaults are the paper's Section 5.1 values)."""
+
+    move_cost_per_meter: float = 8.267  # J/m
+    collect_cost: float = 0.075         # J per data collection
+
+    def __post_init__(self) -> None:
+        if self.move_cost_per_meter < 0 or self.collect_cost < 0:
+            raise ValueError("energy cost coefficients must be non-negative")
+
+    def movement_energy(self, dist: float) -> float:
+        """Energy to drive ``dist`` metres."""
+        if dist < 0:
+            raise ValueError("distance must be non-negative")
+        return dist * self.move_cost_per_meter
+
+    def collection_energy(self, num_collections: int = 1) -> float:
+        """Energy to collect data from ``num_collections`` targets."""
+        if num_collections < 0:
+            raise ValueError("num_collections must be non-negative")
+        return num_collections * self.collect_cost
+
+    def round_energy(self, path_length: float, num_targets: int) -> float:
+        """Energy required for one full traversal of a patrolling path."""
+        return self.movement_energy(path_length) + self.collection_energy(num_targets)
+
+    def rounds_supported(self, initial_energy: float, path_length: float, num_targets: int) -> int:
+        """Number of complete patrolling rounds ``r`` supported by ``initial_energy`` (Equ. 4)."""
+        return patrolling_rounds(initial_energy, path_length, num_targets, self)
+
+
+def patrolling_rounds(
+    initial_energy: float,
+    path_length: float,
+    num_targets: int,
+    model: EnergyModel | None = None,
+) -> int:
+    """Equation (4): how many rounds a mule can patrol before it must recharge.
+
+    The result is floored (the paper's ⌊·⌋ brackets) and never negative.  A
+    zero result means the mule cannot complete even one round on a full
+    battery; RW-TCTP then patrols the recharge path on every round.
+    """
+    if model is None:
+        model = EnergyModel()
+    if initial_energy < 0:
+        raise ValueError("initial energy must be non-negative")
+    per_round = model.round_energy(path_length, num_targets)
+    if per_round <= 0:
+        raise ValueError("per-round energy must be positive to compute patrolling rounds")
+    return max(int(math.floor(initial_energy / per_round)), 0)

@@ -1,0 +1,39 @@
+"""Experiment harness regenerating every figure of the paper's evaluation (Section V).
+
+Each module corresponds to one figure (or one extension experiment from
+DESIGN.md) and exposes a ``run(...)`` function returning a plain dictionary of
+series/rows plus a ``main()`` that prints the same data as an ASCII table.
+Experiments average over several seeded replications (the paper uses 20).
+"""
+
+from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.fig7_dcdt import run_fig7
+from repro.experiments.fig8_sd import run_fig8
+from repro.experiments.fig9_policy_dcdt import run_fig9
+from repro.experiments.fig10_policy_sd import run_fig10
+from repro.experiments.ext_energy import run_energy_experiment
+from repro.experiments.ablation_init import run_ablation_init
+from repro.experiments.ablation_tsp import run_ablation_tsp
+from repro.experiments.ablation_mules import run_ablation_mules
+from repro.experiments.reporting import format_table, format_series, print_report
+from repro.experiments.results_io import save_result, load_result, export_grid_csv
+
+__all__ = [
+    "ExperimentSettings",
+    "replicate_seeds",
+    "run_strategy_on_scenario",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_energy_experiment",
+    "run_ablation_init",
+    "run_ablation_tsp",
+    "run_ablation_mules",
+    "format_table",
+    "format_series",
+    "print_report",
+    "save_result",
+    "load_result",
+    "export_grid_csv",
+]

@@ -1,0 +1,102 @@
+"""Shared plumbing for the figure-reproduction experiments.
+
+Every experiment follows the same pattern: build a scenario from a seed, plan
+with one or more strategies, simulate for a horizon long enough to observe
+tens of visits per target, extract the paper's metrics and average over the
+replications.  This module centralises that plumbing so the per-figure modules
+only describe the parameter grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.baselines.base import PatrolStrategy, get_strategy
+from repro.core.plan import PatrolPlan
+from repro.network.scenario import Scenario
+from repro.sim.engine import PatrolSimulator, SimulationConfig
+from repro.sim.recorder import SimulationResult
+from repro.workloads.generator import ScenarioConfig, generate_scenario
+
+__all__ = [
+    "ExperimentSettings",
+    "replicate_seeds",
+    "run_strategy_on_scenario",
+    "simulate_plan",
+    "averaged_metric",
+]
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Run-size knobs shared by all experiments.
+
+    The defaults reproduce the paper's protocol (20 replications); the
+    benchmark suite and the test suite use smaller values through the
+    ``quick()`` constructor so they stay fast.
+    """
+
+    replications: int = 20
+    horizon: float = 60_000.0
+    base_seed: int = 2011      # the paper's publication year, for determinism with no magic
+    num_targets: int = 20
+    num_mules: int = 4
+    mule_placement: str = "random"
+    distribution: str = "uniform"
+
+    @classmethod
+    def quick(cls, **overrides) -> "ExperimentSettings":
+        """Small settings for tests / smoke benchmarks (3 replications, short horizon)."""
+        defaults = dict(replications=3, horizon=25_000.0, num_targets=12, num_mules=3)
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    def scenario_config(self, **overrides) -> ScenarioConfig:
+        """Scenario config following these settings, with per-experiment overrides."""
+        base = dict(
+            num_targets=self.num_targets,
+            num_mules=self.num_mules,
+            distribution=self.distribution,
+            mule_placement=self.mule_placement,
+        )
+        base.update(overrides)
+        return ScenarioConfig(**base)
+
+
+def replicate_seeds(settings: ExperimentSettings) -> list[int]:
+    """Deterministic list of per-replication seeds."""
+    return [settings.base_seed + 1000 * k for k in range(settings.replications)]
+
+
+def simulate_plan(scenario: Scenario, plan: PatrolPlan, *, horizon: float,
+                  track_energy: bool = True) -> SimulationResult:
+    """Run one simulation of ``plan`` on a fresh copy of ``scenario``."""
+    sim = PatrolSimulator(scenario.fresh_copy(), plan,
+                          SimulationConfig(horizon=horizon, track_energy=track_energy))
+    return sim.run()
+
+
+def run_strategy_on_scenario(
+    strategy: "str | PatrolStrategy",
+    scenario: Scenario,
+    *,
+    horizon: float,
+    track_energy: bool = True,
+    **strategy_kwargs,
+) -> SimulationResult:
+    """Plan + simulate in one call; ``strategy`` may be a registry name or an instance."""
+    planner = get_strategy(strategy, **strategy_kwargs) if isinstance(strategy, str) else strategy
+    working = scenario.fresh_copy()
+    plan = planner.plan(working)
+    return simulate_plan(working, plan, horizon=horizon, track_energy=track_energy)
+
+
+def averaged_metric(
+    values: Iterable[float],
+) -> float:
+    """Mean of the finite values (experiments ignore NaNs from unvisited targets)."""
+    arr = np.asarray([v for v in values if np.isfinite(v)], dtype=float)
+    return float(arr.mean()) if arr.size else float("nan")

@@ -1,0 +1,105 @@
+"""EXT-E1 — energy efficiency / mule lifetime with and without recharge scheduling.
+
+Section V's introduction lists "energy efficiency of DM" among the studied
+metrics but the paper shows no dedicated figure.  This extension experiment
+quantifies the effect RW-TCTP is designed for: with a finite battery, a
+W-TCTP mule dies after roughly ``r`` rounds (Equation 4), while an RW-TCTP
+mule detours through the recharge station before exhaustion and keeps
+patrolling for the whole horizon.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.rwtctp import RWTCTPPlanner
+from repro.core.wtctp import WTCTPPlanner
+from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.reporting import format_table, print_report
+from repro.sim.metrics import average_dcdt
+from repro.workloads.generator import generate_scenario
+
+__all__ = ["run_energy_experiment", "main"]
+
+DEFAULT_BATTERIES: tuple[float, ...] = (50_000.0, 100_000.0, 200_000.0)
+
+
+def run_energy_experiment(
+    settings: ExperimentSettings | None = None,
+    *,
+    battery_capacities: Sequence[float] = DEFAULT_BATTERIES,
+    policy: str = "balanced",
+) -> dict:
+    """Compare W-TCTP (no recharge) against RW-TCTP for several battery capacities.
+
+    Returns one row per battery capacity with, for each algorithm: fraction of
+    surviving mules, total delivered data, number of recharges, and the mean
+    DCDT while alive.
+    """
+    settings = settings or ExperimentSettings()
+    seeds = replicate_seeds(settings)
+
+    rows: list[list] = []
+    detail: dict[float, dict[str, dict[str, float]]] = {}
+
+    for capacity in battery_capacities:
+        acc = {
+            "W-TCTP": {"survival": [], "delivered": [], "recharges": [], "dcdt": []},
+            "RW-TCTP": {"survival": [], "delivered": [], "recharges": [], "dcdt": []},
+        }
+        for seed in seeds:
+            scenario = generate_scenario(
+                settings.scenario_config(
+                    mule_battery=capacity, with_recharge_station=True
+                ),
+                seed,
+            )
+            for name, planner in (
+                ("W-TCTP", WTCTPPlanner(policy=policy)),
+                ("RW-TCTP", RWTCTPPlanner(policy=policy)),
+            ):
+                result = run_strategy_on_scenario(
+                    planner, scenario, horizon=settings.horizon, track_energy=True
+                )
+                num_mules = len(result.traces)
+                acc[name]["survival"].append(len(result.surviving_mules()) / num_mules)
+                acc[name]["delivered"].append(result.total_delivered_data())
+                acc[name]["recharges"].append(sum(t.recharges for t in result.traces.values()))
+                acc[name]["dcdt"].append(average_dcdt(result))
+
+        detail[capacity] = {
+            name: {metric: float(np.nanmean(vals)) for metric, vals in metrics.items()}
+            for name, metrics in acc.items()
+        }
+        row = [capacity]
+        for name in ("W-TCTP", "RW-TCTP"):
+            d = detail[capacity][name]
+            row.extend([d["survival"], d["delivered"], d["recharges"], d["dcdt"]])
+        rows.append(row)
+
+    return {
+        "experiment": "ext-energy",
+        "battery_capacities": list(battery_capacities),
+        "detail": detail,
+        "rows": rows,
+        "settings": {"replications": settings.replications, "horizon": settings.horizon},
+    }
+
+
+def main(settings: ExperimentSettings | None = None) -> dict:
+    """Run the energy experiment and print its table (returns the raw data)."""
+    data = run_energy_experiment(settings)
+    headers = ["battery (J)"]
+    for name in ("W-TCTP", "RW-TCTP"):
+        headers.extend([f"{name} surv", f"{name} data", f"{name} rechg", f"{name} DCDT"])
+    print_report(
+        format_table(headers, data["rows"],
+                     title="EXT-E1 - mule survival and delivered data, with vs without recharge")
+    )
+    return data
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,88 @@
+"""Figure 8 — SD of the visiting intervals: CHB vs TCTP over (#targets, #mules).
+
+The paper shows a 3-D bar chart: for every combination of target count and
+data-mule count, the average per-target standard deviation of visiting
+intervals.  Expected shape: TCTP stays at (essentially) zero everywhere; CHB's
+SD is positive and grows with the number of data mules.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.reporting import format_table, print_report
+from repro.sim.metrics import average_sd
+from repro.workloads.generator import generate_scenario
+
+__all__ = ["run_fig8", "main"]
+
+DEFAULT_TARGET_COUNTS: tuple[int, ...] = (10, 20, 30, 40)
+DEFAULT_MULE_COUNTS: tuple[int, ...] = (2, 4, 6, 8)
+
+
+def run_fig8(
+    settings: ExperimentSettings | None = None,
+    *,
+    target_counts: Sequence[int] = DEFAULT_TARGET_COUNTS,
+    mule_counts: Sequence[int] = DEFAULT_MULE_COUNTS,
+    strategies: Sequence[str] = ("chb", "b-tctp"),
+) -> dict:
+    """Run the Figure 8 sweep.
+
+    Returns ``{"grid": {strategy: {(h, n): mean SD}}, "rows": [...]}`` where
+    ``rows`` is a flat table (one row per (h, n) pair) convenient for
+    reporting.
+    """
+    settings = settings or ExperimentSettings()
+    seeds = replicate_seeds(settings)
+
+    grid: dict[str, dict[tuple[int, int], float]] = {s: {} for s in strategies}
+    rows: list[list] = []
+
+    for h in target_counts:
+        for n in mule_counts:
+            per_strategy: dict[str, list[float]] = {s: [] for s in strategies}
+            for seed in seeds:
+                scenario = generate_scenario(
+                    settings.scenario_config(num_targets=h, num_mules=n), seed
+                )
+                for strat in strategies:
+                    kwargs = {"seed": seed} if strat == "random" else {}
+                    result = run_strategy_on_scenario(
+                        strat, scenario, horizon=settings.horizon, track_energy=False, **kwargs
+                    )
+                    per_strategy[strat].append(average_sd(result))
+            row = [h, n]
+            for strat in strategies:
+                mean_sd = float(np.nanmean(per_strategy[strat]))
+                grid[strat][(h, n)] = mean_sd
+                row.append(mean_sd)
+            rows.append(row)
+
+    return {
+        "experiment": "fig8",
+        "target_counts": list(target_counts),
+        "mule_counts": list(mule_counts),
+        "strategies": list(strategies),
+        "grid": grid,
+        "rows": rows,
+        "settings": {"replications": settings.replications, "horizon": settings.horizon},
+    }
+
+
+def main(settings: ExperimentSettings | None = None) -> dict:
+    """Run Figure 8 and print the SD table (returns the raw data)."""
+    data = run_fig8(settings)
+    headers = ["targets", "mules"] + [f"SD {s}" for s in data["strategies"]]
+    print_report(
+        format_table(headers, data["rows"],
+                     title="Figure 8 - SD of visiting interval (s), CHB vs TCTP")
+    )
+    return data
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

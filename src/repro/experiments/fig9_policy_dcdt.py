@@ -1,0 +1,105 @@
+"""Figure 9 — average DCDT of W-TCTP's two break-edge policies over (#VIPs, weight).
+
+The paper varies the number of VIPs and the VIP weight and reports the average
+Data Collection Delay Time under the Shortest-Length and Balancing-Length
+policies.  Expected shape: DCDT increases with both the VIP count and the VIP
+weight for both policies, and the Shortest-Length policy (shorter total WPP)
+stays at or below the Balancing-Length policy.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.wtctp import WTCTPPlanner
+from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.reporting import format_table, print_report
+from repro.sim.metrics import average_dcdt
+from repro.workloads.generator import generate_scenario
+
+__all__ = ["run_fig9", "main"]
+
+DEFAULT_VIP_COUNTS: tuple[int, ...] = (1, 2, 3, 4)
+DEFAULT_VIP_WEIGHTS: tuple[int, ...] = (2, 3, 4)
+POLICIES: tuple[str, ...] = ("shortest", "balanced")
+
+
+def run_fig9(
+    settings: ExperimentSettings | None = None,
+    *,
+    vip_counts: Sequence[int] = DEFAULT_VIP_COUNTS,
+    vip_weights: Sequence[int] = DEFAULT_VIP_WEIGHTS,
+    policies: Sequence[str] = POLICIES,
+    num_mules: int = 1,
+) -> dict:
+    """Run the Figure 9 sweep; returns rows of (num_vips, weight, DCDT per policy, WPP length per policy).
+
+    ``num_mules`` defaults to 1: the break-edge policies shape the spacing of a
+    VIP's visits along a single patrol walk, and the paper's Figure 9/10
+    comparison is about that per-walk effect (see EXPERIMENTS.md for the
+    multi-mule interference ablation).
+    """
+    settings = settings or ExperimentSettings()
+    seeds = replicate_seeds(settings)
+
+    rows: list[list] = []
+    grid: dict[str, dict[tuple[int, int], float]] = {p: {} for p in policies}
+    lengths: dict[str, dict[tuple[int, int], float]] = {p: {} for p in policies}
+
+    for num_vips in vip_counts:
+        for weight in vip_weights:
+            per_policy: dict[str, list[float]] = {p: [] for p in policies}
+            per_policy_len: dict[str, list[float]] = {p: [] for p in policies}
+            for seed in seeds:
+                scenario = generate_scenario(
+                    settings.scenario_config(num_vips=num_vips, vip_weight=weight,
+                                             num_mules=num_mules),
+                    seed,
+                )
+                for policy in policies:
+                    planner = WTCTPPlanner(policy=policy)
+                    working = scenario.fresh_copy()
+                    plan = planner.plan(working)
+                    result = run_strategy_on_scenario(
+                        planner, scenario, horizon=settings.horizon, track_energy=False
+                    )
+                    per_policy[policy].append(average_dcdt(result))
+                    per_policy_len[policy].append(plan.metadata["wpp_length"])
+            row = [num_vips, weight]
+            for policy in policies:
+                dcdt = float(np.nanmean(per_policy[policy]))
+                wpp_len = float(np.nanmean(per_policy_len[policy]))
+                grid[policy][(num_vips, weight)] = dcdt
+                lengths[policy][(num_vips, weight)] = wpp_len
+                row.extend([dcdt, wpp_len])
+            rows.append(row)
+
+    return {
+        "experiment": "fig9",
+        "vip_counts": list(vip_counts),
+        "vip_weights": list(vip_weights),
+        "policies": list(policies),
+        "dcdt": grid,
+        "wpp_length": lengths,
+        "rows": rows,
+        "settings": {"replications": settings.replications, "horizon": settings.horizon},
+    }
+
+
+def main(settings: ExperimentSettings | None = None) -> dict:
+    """Run Figure 9 and print the DCDT table (returns the raw data)."""
+    data = run_fig9(settings)
+    headers = ["#VIP", "weight"]
+    for policy in data["policies"]:
+        headers.extend([f"DCDT {policy}", f"|WPP| {policy}"])
+    print_report(
+        format_table(headers, data["rows"],
+                     title="Figure 9 - average DCDT (s) per break-edge policy")
+    )
+    return data
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

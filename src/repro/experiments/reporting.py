@@ -1,0 +1,77 @@
+"""ASCII reporting helpers: tables and series printed by the experiment CLI.
+
+The paper's figures are bar charts / line plots; this library reports the same
+numbers as plain-text tables (and optional CSV strings) so results can be
+inspected in a terminal or diffed in CI without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+import io
+import math
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "to_csv", "print_report"]
+
+
+def _fmt(value, precision: int = 2) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence], *, precision: int = 2,
+                 title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    str_rows = [[_fmt(c, precision) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    out.write(line(list(headers)) + "\n")
+    out.write("-+-".join("-" * w for w in widths) + "\n")
+    for row in str_rows:
+        out.write(line(row) + "\n")
+    return out.getvalue()
+
+
+def format_series(series: Mapping[str, Sequence[float]], *, x_label: str = "index",
+                  x_values: Sequence | None = None, precision: int = 2,
+                  title: str | None = None) -> str:
+    """Render named series (e.g. one per strategy) side by side, one x value per row."""
+    names = list(series)
+    length = max((len(v) for v in series.values()), default=0)
+    if x_values is None:
+        x_values = list(range(length))
+    rows = []
+    for i in range(length):
+        row = [x_values[i] if i < len(x_values) else i]
+        for name in names:
+            vals = series[name]
+            row.append(vals[i] if i < len(vals) else None)
+        rows.append(row)
+    return format_table([x_label] + names, rows, precision=precision, title=title)
+
+
+def to_csv(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Minimal CSV serialisation (no quoting needed for the numeric reports we emit)."""
+    lines = [",".join(str(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(_fmt(c, 6) for c in row))
+    return "\n".join(lines) + "\n"
+
+
+def print_report(text: str) -> None:
+    """Print an experiment report (kept as a function so tests can capture it)."""
+    print(text, end="" if text.endswith("\n") else "\n")

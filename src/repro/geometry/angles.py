@@ -1,0 +1,93 @@
+"""Angle utilities for the W-TCTP patrolling rule.
+
+Section 3.2 of the paper resolves the traversal order at a VIP with the rule:
+"When a DM arrives at a VIP ``g_i`` from target ``g_j``, it selects a target
+``g_k`` ... which has minimal included angle with the former route ``g_j`` to
+``g_i`` in the counterclockwise direction".  The helpers here compute headings
+and counter-clockwise included angles so that rule can be applied verbatim and
+deterministically by every data mule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.point import Point, _coords
+
+__all__ = [
+    "normalize_angle",
+    "heading",
+    "ccw_angle",
+    "included_angle",
+    "orientation",
+    "turn_direction",
+]
+
+_TWO_PI = 2.0 * math.pi
+
+
+def normalize_angle(theta: float) -> float:
+    """Map an angle in radians into ``[0, 2*pi)``."""
+    theta = math.fmod(theta, _TWO_PI)
+    if theta < 0.0:
+        theta += _TWO_PI
+    return theta
+
+
+def heading(origin, target) -> float:
+    """Heading (radians, CCW from +x axis, in ``[0, 2*pi)``) of ``origin -> target``.
+
+    Raises ``ValueError`` when the two points coincide — a patrolling edge of
+    zero length has no direction and the caller must handle that case.
+    """
+    ox, oy = _coords(origin)
+    tx, ty = _coords(target)
+    if ox == tx and oy == ty:
+        raise ValueError("heading undefined for coincident points")
+    return normalize_angle(math.atan2(ty - oy, tx - ox))
+
+
+def ccw_angle(from_heading: float, to_heading: float) -> float:
+    """Counter-clockwise rotation (in ``[0, 2*pi)``) taking ``from_heading`` to ``to_heading``."""
+    return normalize_angle(to_heading - from_heading)
+
+
+def included_angle(vertex, from_point, to_point) -> float:
+    """CCW included angle at ``vertex`` from edge ``vertex->from_point`` to ``vertex->to_point``.
+
+    This is the quantity minimised by the W-TCTP patrolling rule: the incoming
+    route is ``from_point -> vertex`` so the reference direction at the vertex
+    is ``vertex -> from_point``; the candidate outgoing edge is
+    ``vertex -> to_point``.  The rotation is measured counter-clockwise.
+    """
+    h_in = heading(vertex, from_point)
+    h_out = heading(vertex, to_point)
+    return ccw_angle(h_in, h_out)
+
+
+def orientation(a, b, c, *, eps: float = 1e-12) -> int:
+    """Orientation of the ordered triple: +1 CCW, -1 CW, 0 collinear."""
+    ax, ay = _coords(a)
+    bx, by = _coords(b)
+    cx, cy = _coords(c)
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    scale = max(abs(bx - ax), abs(by - ay), abs(cx - ax), abs(cy - ay), 1.0)
+    if cross > eps * scale:
+        return 1
+    if cross < -eps * scale:
+        return -1
+    return 0
+
+
+def turn_direction(prev_point, vertex, next_point) -> str:
+    """Classify the turn at ``vertex`` along ``prev -> vertex -> next``.
+
+    Returns ``"left"``, ``"right"`` or ``"straight"``; useful for diagnostics
+    and for tests on patrol walk geometry.
+    """
+    o = orientation(prev_point, vertex, next_point)
+    if o > 0:
+        return "left"
+    if o < 0:
+        return "right"
+    return "straight"

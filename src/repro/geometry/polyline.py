@@ -1,0 +1,142 @@
+"""Polyline arithmetic: arc-length parametrisation of patrolling routes.
+
+A patrolling route is a closed polyline through target points.  B-TCTP's
+location-initialisation step needs to place ``n`` start points at equal
+arc-length spacing along the route, and the simulator needs to know where a
+data mule is after travelling a given distance.  Both reduce to arc-length
+queries on a polyline, implemented here with cumulative-length arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point, as_array
+
+__all__ = ["Polyline", "point_along", "resample_positions"]
+
+
+class Polyline:
+    """A (optionally closed) polyline with arc-length queries.
+
+    Parameters
+    ----------
+    vertices:
+        Ordered vertices of the polyline.  For a closed polyline the first
+        vertex must *not* be repeated at the end; closure is handled by the
+        ``closed`` flag.
+    closed:
+        Whether the polyline loops back from the last vertex to the first.
+    """
+
+    def __init__(self, vertices: Sequence, *, closed: bool = False) -> None:
+        arr = as_array(vertices)
+        if arr.shape[0] == 0:
+            raise ValueError("a polyline needs at least one vertex")
+        self._vertices = arr
+        self.closed = bool(closed)
+        if closed and arr.shape[0] > 1:
+            seg_pts = np.vstack([arr, arr[:1]])
+        else:
+            seg_pts = arr
+        seg = np.diff(seg_pts, axis=0)
+        seg_len = np.sqrt((seg ** 2).sum(axis=1)) if seg.size else np.empty(0)
+        self._segment_lengths = seg_len
+        self._cumulative = np.concatenate([[0.0], np.cumsum(seg_len)])
+
+    # ------------------------------------------------------------------ #
+    @property
+    def vertices(self) -> np.ndarray:
+        """Vertex coordinates as an ``(n, 2)`` array (read-only view)."""
+        v = self._vertices.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self._vertices.shape[0])
+
+    @property
+    def length(self) -> float:
+        """Total arc length of the polyline (including the closing segment if closed)."""
+        return float(self._cumulative[-1])
+
+    @property
+    def segment_lengths(self) -> np.ndarray:
+        s = self._segment_lengths.view()
+        s.flags.writeable = False
+        return s
+
+    # ------------------------------------------------------------------ #
+    def vertex(self, i: int) -> Point:
+        """The ``i``-th vertex as a :class:`Point` (supports negative indices)."""
+        x, y = self._vertices[i]
+        return Point(float(x), float(y))
+
+    def arc_length_of_vertex(self, i: int) -> float:
+        """Arc length from the first vertex to vertex ``i`` along the polyline."""
+        if i < 0:
+            i += self.num_vertices
+        if not 0 <= i < self.num_vertices:
+            raise IndexError(f"vertex index {i} out of range")
+        return float(self._cumulative[i])
+
+    def point_at(self, s: float) -> Point:
+        """Point at arc length ``s`` from the start.
+
+        For closed polylines ``s`` wraps modulo the total length; for open
+        polylines it is clamped to ``[0, length]``.
+        """
+        total = self.length
+        if total == 0.0:
+            return self.vertex(0)
+        if self.closed:
+            s = float(np.fmod(s, total))
+            if s < 0.0:
+                s += total
+        else:
+            s = min(max(s, 0.0), total)
+        idx = int(np.searchsorted(self._cumulative, s, side="right")) - 1
+        idx = min(max(idx, 0), len(self._segment_lengths) - 1)
+        seg_start = self._cumulative[idx]
+        seg_len = self._segment_lengths[idx]
+        if seg_len == 0.0:
+            x, y = self._vertices[idx]
+            return Point(float(x), float(y))
+        t = (s - seg_start) / seg_len
+        a = self._vertices[idx]
+        b = self._vertices[(idx + 1) % self.num_vertices] if self.closed else self._vertices[idx + 1]
+        x, y = a + t * (b - a)
+        return Point(float(x), float(y))
+
+    def equally_spaced(self, n: int, *, offset: float = 0.0) -> list[Point]:
+        """``n`` points spaced ``length / n`` apart starting at arc length ``offset``.
+
+        This is the geometric core of B-TCTP's start-point computation: the
+        patrolling path is divided into ``n`` equal-length segments and the
+        segment endpoints become the start points of the data mules.
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not self.closed:
+            raise ValueError("equally_spaced is defined for closed polylines only")
+        step = self.length / n
+        return [self.point_at(offset + k * step) for k in range(n)]
+
+    def nearest_vertex(self, point) -> int:
+        """Index of the vertex closest to ``point``."""
+        arr = as_array([point])[0]
+        d = np.sqrt(((self._vertices - arr) ** 2).sum(axis=1))
+        return int(np.argmin(d))
+
+
+def point_along(vertices: Sequence, s: float, *, closed: bool = True) -> Point:
+    """Convenience wrapper: point at arc length ``s`` of the polyline ``vertices``."""
+    return Polyline(vertices, closed=closed).point_at(s)
+
+
+def resample_positions(vertices: Sequence, n: int, *, closed: bool = True) -> list[Point]:
+    """``n`` equally spaced points along the polyline ``vertices``."""
+    return Polyline(vertices, closed=closed).equally_spaced(n)

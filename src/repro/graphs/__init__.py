@@ -1,0 +1,42 @@
+"""Tour and patrol-structure data types plus Hamiltonian-circuit heuristics.
+
+The paper's algorithms all operate on two kinds of structures:
+
+* a **Hamiltonian circuit** ``P`` visiting every target exactly once
+  (:class:`repro.graphs.tour.Tour`), built with the convex-hull based
+  heuristic of reference [5] (:mod:`repro.graphs.hamiltonian`), and
+* a **weighted patrolling path** ``P̄`` / **weighted recharge path** ``P̃``
+  in which a VIP of weight ``w`` is intersected by ``w`` cycles
+  (:class:`repro.graphs.multitour.MultiTour`).
+"""
+
+from repro.graphs.tour import Tour
+from repro.graphs.multitour import MultiTour, CycleInfo
+from repro.graphs.hamiltonian import (
+    convex_hull_insertion_tour,
+    nearest_neighbor_tour,
+    christofides_tour,
+    build_hamiltonian_circuit,
+)
+from repro.graphs.improve import two_opt, or_opt, improve_tour
+from repro.graphs.validation import (
+    validate_tour,
+    validate_weighted_patrolling_path,
+    validate_weighted_recharge_path,
+)
+
+__all__ = [
+    "Tour",
+    "MultiTour",
+    "CycleInfo",
+    "convex_hull_insertion_tour",
+    "nearest_neighbor_tour",
+    "christofides_tour",
+    "build_hamiltonian_circuit",
+    "two_opt",
+    "or_opt",
+    "improve_tour",
+    "validate_tour",
+    "validate_weighted_patrolling_path",
+    "validate_weighted_recharge_path",
+]

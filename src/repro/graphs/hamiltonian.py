@@ -1,0 +1,169 @@
+"""Hamiltonian-circuit construction heuristics (phase 1 of every TCTP variant).
+
+The paper builds its base patrolling path with the convex-hull concept of
+reference [5]: start from the convex hull of the targets and repeatedly insert
+the interior target whose insertion is cheapest.  That heuristic is what the
+``CHB`` baseline of Section V is named after, and it is also the default
+``Hamiltonian_CycleConstruct()`` used by B-TCTP / W-TCTP / RW-TCTP.
+
+Alternative constructions (nearest-neighbour, Christofides via networkx) are
+provided for the ablation experiment EXT-A2 and as drop-in replacements.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.geometry.hull import convex_hull_indices
+from repro.geometry.point import Point, as_point, distance, distance_matrix
+from repro.graphs.tour import Tour
+
+__all__ = [
+    "convex_hull_insertion_tour",
+    "nearest_neighbor_tour",
+    "christofides_tour",
+    "build_hamiltonian_circuit",
+    "TOUR_BUILDERS",
+]
+
+NodeId = Hashable
+
+
+def _prepare(coordinates: Mapping[NodeId, Point]) -> tuple[list[NodeId], np.ndarray]:
+    nodes = list(coordinates)
+    pts = [as_point(coordinates[n]) for n in nodes]
+    return nodes, distance_matrix(pts)
+
+
+def convex_hull_insertion_tour(coordinates: Mapping[NodeId, Point]) -> Tour:
+    """Convex-hull cheapest-insertion tour (the CHB construction of ref. [5]).
+
+    1. Start with the convex hull of all targets (already a sub-tour).
+    2. Repeatedly pick the (interior point, edge) pair whose insertion
+       increases the tour length least, and insert it.
+
+    Deterministic for a given input ordering, so every data mule builds the
+    same circuit — a requirement of the distributed algorithms in the paper.
+    """
+    nodes = list(coordinates)
+    if not nodes:
+        raise ValueError("cannot build a tour over zero targets")
+    pts = [as_point(coordinates[n]) for n in nodes]
+    if len(nodes) <= 3:
+        return Tour(nodes, dict(zip(nodes, pts))).counterclockwise()
+
+    dmat = distance_matrix(pts)
+    hull = convex_hull_indices(pts)
+    tour_idx: list[int] = list(hull)
+    remaining = [i for i in range(len(nodes)) if i not in set(hull)]
+
+    while remaining:
+        best = None  # (cost, point_index, insert_position)
+        m = len(tour_idx)
+        for p in remaining:
+            for pos in range(m):
+                a = tour_idx[pos]
+                b = tour_idx[(pos + 1) % m]
+                cost = dmat[a, p] + dmat[p, b] - dmat[a, b]
+                if best is None or cost < best[0] - 1e-12:
+                    best = (cost, p, pos + 1)
+        assert best is not None
+        _, p, pos = best
+        tour_idx.insert(pos, p)
+        remaining.remove(p)
+
+    order = [nodes[i] for i in tour_idx]
+    return Tour(order, dict(zip(nodes, pts))).counterclockwise()
+
+
+def nearest_neighbor_tour(
+    coordinates: Mapping[NodeId, Point], *, start: NodeId | None = None
+) -> Tour:
+    """Greedy nearest-neighbour tour starting from ``start`` (default: first node)."""
+    nodes = list(coordinates)
+    if not nodes:
+        raise ValueError("cannot build a tour over zero targets")
+    pts = {n: as_point(coordinates[n]) for n in nodes}
+    if start is None:
+        start = nodes[0]
+    if start not in pts:
+        raise KeyError(start)
+    unvisited = set(nodes)
+    unvisited.discard(start)
+    order = [start]
+    current = start
+    while unvisited:
+        nxt = min(unvisited, key=lambda n: (distance(pts[current], pts[n]), str(n)))
+        order.append(nxt)
+        unvisited.discard(nxt)
+        current = nxt
+    return Tour(order, pts).counterclockwise()
+
+
+def christofides_tour(coordinates: Mapping[NodeId, Point]) -> Tour:
+    """Christofides 1.5-approximation tour via ``networkx`` (ablation comparator)."""
+    import networkx as nx
+
+    nodes = list(coordinates)
+    if not nodes:
+        raise ValueError("cannot build a tour over zero targets")
+    pts = {n: as_point(coordinates[n]) for n in nodes}
+    if len(nodes) <= 3:
+        return Tour(nodes, pts).counterclockwise()
+    g = nx.Graph()
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            g.add_edge(a, b, weight=distance(pts[a], pts[b]))
+    cycle = nx.approximation.christofides(g, weight="weight")
+    # networkx returns a closed walk with the start repeated at the end
+    order = list(cycle[:-1])
+    return Tour(order, pts).counterclockwise()
+
+
+TOUR_BUILDERS: dict[str, Callable[[Mapping[NodeId, Point]], Tour]] = {
+    "hull-insertion": convex_hull_insertion_tour,
+    "nearest-neighbor": nearest_neighbor_tour,
+    "christofides": christofides_tour,
+}
+
+
+def build_hamiltonian_circuit(
+    coordinates: Mapping[NodeId, Point],
+    *,
+    method: str = "hull-insertion",
+    improve: bool = False,
+    start: NodeId | None = None,
+) -> Tour:
+    """Build the shared Hamiltonian circuit used by all patrolling algorithms.
+
+    Parameters
+    ----------
+    coordinates:
+        Node -> point mapping (targets plus the sink).
+    method:
+        One of ``"hull-insertion"`` (paper default), ``"nearest-neighbor"``,
+        ``"christofides"``.
+    improve:
+        Apply a 2-opt improvement pass after construction.
+    start:
+        Rotate the resulting cycle so this node comes first (e.g. the sink).
+    """
+    try:
+        builder = TOUR_BUILDERS[method]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown tour construction method {method!r}; expected one of {sorted(TOUR_BUILDERS)}"
+        ) from exc
+    if method == "nearest-neighbor":
+        tour = nearest_neighbor_tour(coordinates, start=start)
+    else:
+        tour = builder(coordinates)
+    if improve:
+        from repro.graphs.improve import two_opt
+
+        tour = two_opt(tour)
+    if start is not None and start in tour:
+        tour = tour.rotated_to(start)
+    return tour.counterclockwise().rotated_to(start) if start is not None and start in tour else tour.counterclockwise()

@@ -1,0 +1,115 @@
+"""Local-search tour improvement (2-opt and Or-opt).
+
+The paper's heuristics stop at the convex-hull insertion circuit; these
+improvement passes are provided for the EXT-A2 ablation (how much does a
+better Hamiltonian circuit shrink the visiting interval?) and as optional
+post-processing for users of the library.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.geometry.point import distance_matrix
+from repro.graphs.tour import Tour
+
+__all__ = ["two_opt", "or_opt", "improve_tour"]
+
+NodeId = Hashable
+
+
+def _tour_matrix(tour: Tour) -> tuple[list[NodeId], np.ndarray]:
+    nodes = list(tour.order)
+    dmat = distance_matrix([tour.point(n) for n in nodes])
+    return nodes, dmat
+
+
+def _order_length(order_idx: list[int], dmat: np.ndarray) -> float:
+    idx = np.asarray(order_idx)
+    return float(dmat[idx, np.roll(idx, -1)].sum())
+
+
+def two_opt(tour: Tour, *, max_rounds: int = 50, tol: float = 1e-9) -> Tour:
+    """Classic 2-opt: reverse tour segments while any reversal shortens the tour.
+
+    Runs full improvement rounds until no improving move exists or
+    ``max_rounds`` is reached.  Complexity is O(rounds * n^2), fine at the
+    paper's scales (n <= a few hundred).
+    """
+    n = len(tour)
+    if n < 4:
+        return tour
+    nodes, dmat = _tour_matrix(tour)
+    order = list(range(n))
+
+    improved = True
+    rounds = 0
+    while improved and rounds < max_rounds:
+        improved = False
+        rounds += 1
+        for i in range(n - 1):
+            a, b = order[i], order[i + 1]
+            for j in range(i + 2, n):
+                c = order[j]
+                d = order[(j + 1) % n]
+                if d == a:
+                    continue
+                delta = (dmat[a, c] + dmat[b, d]) - (dmat[a, b] + dmat[c, d])
+                if delta < -tol:
+                    order[i + 1 : j + 1] = reversed(order[i + 1 : j + 1])
+                    improved = True
+                    break
+            if improved:
+                break
+    new_order = [nodes[i] for i in order]
+    return Tour(new_order, tour.coordinates).counterclockwise()
+
+
+def or_opt(tour: Tour, *, segment_lengths: tuple[int, ...] = (1, 2, 3), max_rounds: int = 30,
+           tol: float = 1e-9) -> Tour:
+    """Or-opt: relocate short chains of 1-3 consecutive nodes to a better position."""
+    n = len(tour)
+    if n < 5:
+        return tour
+    nodes, dmat = _tour_matrix(tour)
+    order = list(range(n))
+
+    def try_round() -> bool:
+        nonlocal order
+        for seg_len in segment_lengths:
+            for i in range(n):
+                seg = [order[(i + k) % n] for k in range(seg_len)]
+                prev_node = order[(i - 1) % n]
+                next_node = order[(i + seg_len) % n]
+                if prev_node in seg or next_node in seg:
+                    continue
+                removal_gain = (
+                    dmat[prev_node, seg[0]] + dmat[seg[-1], next_node] - dmat[prev_node, next_node]
+                )
+                rest = [x for x in order if x not in seg]
+                m = len(rest)
+                for j in range(m):
+                    a = rest[j]
+                    b = rest[(j + 1) % m]
+                    insertion_cost = dmat[a, seg[0]] + dmat[seg[-1], b] - dmat[a, b]
+                    if insertion_cost < removal_gain - tol:
+                        order = rest[: j + 1] + seg + rest[j + 1 :]
+                        return True
+        return False
+
+    rounds = 0
+    while rounds < max_rounds and try_round():
+        rounds += 1
+    new_order = [nodes[i] for i in order]
+    return Tour(new_order, tour.coordinates).counterclockwise()
+
+
+def improve_tour(tour: Tour, *, use_or_opt: bool = True) -> Tour:
+    """2-opt followed (optionally) by Or-opt; never lengthens the tour."""
+    before = tour.length()
+    improved = two_opt(tour)
+    if use_or_opt:
+        improved = or_opt(improved)
+    return improved if improved.length() <= before + 1e-9 else tour

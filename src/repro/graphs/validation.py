@@ -1,0 +1,124 @@
+"""Structural validation of tours and weighted patrol structures.
+
+These functions encode the paper's definitions as executable checks:
+
+* a Hamiltonian circuit visits every target exactly once (Section 2.2-A);
+* a Weighted Patrolling Path (Definition 3) intersects each target ``g_i``
+  with exactly ``w_i`` cycles and is itself one closed walk;
+* a Weighted Recharge Path (Definition 5) additionally contains the recharge
+  station.
+
+They are used defensively by the TCTP implementations and directly by the
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Mapping, Sequence
+
+from repro.graphs.multitour import MultiTour
+from repro.graphs.tour import Tour
+
+__all__ = [
+    "ValidationError",
+    "validate_tour",
+    "validate_weighted_patrolling_path",
+    "validate_weighted_recharge_path",
+    "validate_walk_visits",
+]
+
+NodeId = Hashable
+
+
+class ValidationError(AssertionError):
+    """Raised when a patrol structure violates one of the paper's definitions."""
+
+
+def validate_tour(tour: Tour, expected_nodes: Sequence[NodeId] | None = None) -> None:
+    """Check that ``tour`` is a Hamiltonian circuit over ``expected_nodes``.
+
+    Raises :class:`ValidationError` on violation, returns ``None`` otherwise.
+    """
+    order = tour.order
+    if len(set(order)) != len(order):
+        raise ValidationError("tour visits some node more than once")
+    if len(order) == 0:
+        raise ValidationError("tour is empty")
+    if expected_nodes is not None:
+        expected = set(expected_nodes)
+        got = set(order)
+        if expected != got:
+            missing = expected - got
+            extra = got - expected
+            raise ValidationError(
+                f"tour node set mismatch: missing={sorted(map(str, missing))}, "
+                f"extra={sorted(map(str, extra))}"
+            )
+
+
+def validate_weighted_patrolling_path(
+    structure: MultiTour,
+    weights: Mapping[NodeId, int],
+    *,
+    require_all_nodes: bool = True,
+) -> None:
+    """Check Definition 3: ``w_i`` cycles at each target and a single closed walk."""
+    for node, w in weights.items():
+        if w < 1:
+            raise ValidationError(f"weight of {node!r} must be >= 1 (got {w})")
+        if node not in structure or structure.degree(node) == 0:
+            # A node that is absent (or present but unused) is only acceptable
+            # when the caller explicitly allows partial structures.
+            if require_all_nodes:
+                raise ValidationError(f"target {node!r} missing from patrol structure")
+            continue
+        deg = structure.degree(node)
+        if deg != 2 * w:
+            raise ValidationError(
+                f"target {node!r} has degree {deg}, expected {2 * w} for weight {w}"
+            )
+    if not structure.is_eulerian():
+        raise ValidationError("patrol structure is not a single closed walk (not Eulerian/connected)")
+
+
+def validate_weighted_recharge_path(
+    structure: MultiTour,
+    weights: Mapping[NodeId, int],
+    recharge_station: NodeId,
+    *,
+    recharge_weight: int = 1,
+) -> None:
+    """Check Definition 5: a WPP that additionally passes through the recharge station."""
+    if recharge_station not in structure:
+        raise ValidationError("recharge station missing from the weighted recharge path")
+    combined = dict(weights)
+    combined[recharge_station] = recharge_weight
+    validate_weighted_patrolling_path(structure, combined)
+
+
+def validate_walk_visits(
+    walk: Sequence[NodeId],
+    weights: Mapping[NodeId, int],
+    *,
+    extra_allowed: Sequence[NodeId] = (),
+) -> None:
+    """Check that a traversal walk visits each target exactly ``w_i`` times per lap.
+
+    ``walk`` is a closed node sequence (first node repeated at the end is
+    accepted).  Nodes listed in ``extra_allowed`` (e.g. the recharge station)
+    may appear even if absent from ``weights``.
+    """
+    seq = list(walk)
+    if len(seq) >= 2 and seq[0] == seq[-1]:
+        seq = seq[:-1]
+    counts: dict[NodeId, int] = {}
+    for node in seq:
+        counts[node] = counts.get(node, 0) + 1
+    allowed = set(weights) | set(extra_allowed)
+    for node, cnt in counts.items():
+        if node not in allowed:
+            raise ValidationError(f"walk visits unknown node {node!r}")
+    for node, w in weights.items():
+        got = counts.get(node, 0)
+        if got != w:
+            raise ValidationError(f"target {node!r} visited {got} times per lap, expected {w}")

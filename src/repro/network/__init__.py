@@ -1,0 +1,30 @@
+"""Wireless mobile data-mule network substrate.
+
+Models the entities the paper assumes: targets (normal and VIP), the sink,
+the recharge station, the rectangular deployment field with disconnected
+clusters, the data mules themselves, and the data-generation / collection
+model that turns "visits" into delivered sensor data.
+"""
+
+from repro.network.targets import Target, Sink, RechargeStation, TargetKind, make_targets
+from repro.network.mules import DataMule, MuleState
+from repro.network.field import Field, Cluster
+from repro.network.datamodel import DataBuffer, DataPacket, DataCollectionModel
+from repro.network.scenario import Scenario, SimulationParameters
+
+__all__ = [
+    "Target",
+    "Sink",
+    "RechargeStation",
+    "TargetKind",
+    "make_targets",
+    "DataMule",
+    "MuleState",
+    "Field",
+    "Cluster",
+    "DataBuffer",
+    "DataPacket",
+    "DataCollectionModel",
+    "Scenario",
+    "SimulationParameters",
+]

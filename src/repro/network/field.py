@@ -1,0 +1,137 @@
+"""The deployment field: an 800 m x 800 m region with disconnected target areas.
+
+The paper's premise is that targets sit in several disconnected areas of an
+outdoor region, so static sensors cannot provide connectivity.  ``Field``
+captures the rectangular monitoring region; ``Cluster`` describes one of the
+disconnected areas (used by the clustered workload generator and by the
+connectivity diagnostics that demonstrate the areas really are disconnected
+at the given communication range).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point, as_array, as_point, distance
+
+__all__ = ["Field", "Cluster", "connected_components_by_range"]
+
+
+@dataclass(frozen=True)
+class Field:
+    """Axis-aligned rectangular monitoring region (metres)."""
+
+    width: float = 800.0
+    height: float = 800.0
+    origin: Point = Point(0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("field dimensions must be positive")
+        object.__setattr__(self, "origin", as_point(self.origin))
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point(self.origin.x + self.width / 2.0, self.origin.y + self.height / 2.0)
+
+    def contains(self, point: Point | tuple[float, float], *, eps: float = 1e-9) -> bool:
+        p = as_point(point)
+        return (
+            self.origin.x - eps <= p.x <= self.origin.x + self.width + eps
+            and self.origin.y - eps <= p.y <= self.origin.y + self.height + eps
+        )
+
+    def clamp(self, point: Point | tuple[float, float]) -> Point:
+        """Project ``point`` onto the field rectangle."""
+        p = as_point(point)
+        x = min(max(p.x, self.origin.x), self.origin.x + self.width)
+        y = min(max(p.y, self.origin.y), self.origin.y + self.height)
+        return Point(x, y)
+
+    def sample_uniform(self, rng: np.random.Generator, n: int) -> list[Point]:
+        """``n`` points uniformly distributed over the field."""
+        xs = rng.uniform(self.origin.x, self.origin.x + self.width, size=n)
+        ys = rng.uniform(self.origin.y, self.origin.y + self.height, size=n)
+        return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """One disconnected target area: a disc of given radius inside the field."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "center", as_point(self.center))
+        if self.radius <= 0:
+            raise ValueError("cluster radius must be positive")
+
+    def contains(self, point: Point | tuple[float, float]) -> bool:
+        return distance(self.center, point) <= self.radius + 1e-9
+
+    def sample(self, rng: np.random.Generator, n: int, field: Field | None = None) -> list[Point]:
+        """``n`` points uniformly distributed in the disc (clamped to ``field`` if given)."""
+        pts: list[Point] = []
+        while len(pts) < n:
+            # rejection sampling inside the disc keeps the distribution uniform
+            batch = max(n - len(pts), 1) * 2
+            xs = rng.uniform(-self.radius, self.radius, size=batch)
+            ys = rng.uniform(-self.radius, self.radius, size=batch)
+            for dx, dy in zip(xs, ys):
+                if dx * dx + dy * dy <= self.radius * self.radius:
+                    p = Point(self.center.x + float(dx), self.center.y + float(dy))
+                    if field is not None:
+                        p = field.clamp(p)
+                    pts.append(p)
+                    if len(pts) == n:
+                        break
+        return pts
+
+    def separation(self, other: "Cluster") -> float:
+        """Gap between the two cluster boundaries (negative when overlapping)."""
+        return distance(self.center, other.center) - self.radius - other.radius
+
+
+def connected_components_by_range(
+    points: Sequence[Point | tuple[float, float]], communication_range: float
+) -> list[list[int]]:
+    """Group point indices into components connected at ``communication_range``.
+
+    Two points belong to the same component when a chain of hops, each no
+    longer than the communication range, links them.  The paper's motivating
+    scenario is precisely the case where this yields more than one component,
+    so mules (not multi-hop radio) must provide connectivity.
+    """
+    arr = as_array(points)
+    n = arr.shape[0]
+    if n == 0:
+        return []
+    diff = arr[:, None, :] - arr[None, :, :]
+    dist = np.sqrt((diff ** 2).sum(axis=-1))
+    adjacency = dist <= communication_range + 1e-9
+
+    seen = np.zeros(n, dtype=bool)
+    components: list[list[int]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            cur = stack.pop()
+            comp.append(cur)
+            neighbors = np.flatnonzero(adjacency[cur] & ~seen)
+            for nb in neighbors:
+                seen[nb] = True
+                stack.append(int(nb))
+        components.append(sorted(comp))
+    return components

@@ -1,0 +1,198 @@
+"""Scenario: everything a patrolling algorithm and the simulator need to run.
+
+A scenario bundles the field, the targets (with weights), the sink, the
+optional recharge station, the data mules with their initial positions and
+batteries, and the physical simulation parameters from Section 5.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Mapping, Sequence
+
+from repro.energy.model import EnergyModel
+from repro.geometry.point import Point, as_point
+from repro.network.field import Field
+from repro.network.mules import DataMule
+from repro.network.targets import RechargeStation, Sink, Target
+
+__all__ = ["SimulationParameters", "Scenario"]
+
+
+@dataclass(frozen=True)
+class SimulationParameters:
+    """Physical constants of the simulation model (Section 5.1 of the paper)."""
+
+    mule_velocity: float = 2.0            # m/s
+    sensing_range: float = 10.0           # m
+    communication_range: float = 20.0     # m
+    move_cost_per_meter: float = 8.267    # J/m
+    collect_cost: float = 0.075           # J per collection
+    collection_time: float = 0.0          # s spent stationary per collection (0 = instantaneous)
+
+    def __post_init__(self) -> None:
+        if self.mule_velocity <= 0:
+            raise ValueError("mule velocity must be positive")
+        if min(self.sensing_range, self.communication_range) < 0:
+            raise ValueError("ranges must be non-negative")
+        if self.collection_time < 0:
+            raise ValueError("collection_time must be non-negative")
+
+    @property
+    def energy_model(self) -> EnergyModel:
+        return EnergyModel(self.move_cost_per_meter, self.collect_cost)
+
+
+@dataclass
+class Scenario:
+    """A complete patrolling problem instance.
+
+    Attributes
+    ----------
+    targets:
+        The sensing targets ``g_1 .. g_h`` (the sink is **not** in this list).
+    sink:
+        The sink node; per Section 2.1 it is also patrolled like a target.
+    mules:
+        The data mules with their initial (deployment) positions.
+    recharge_station:
+        Optional; required only by RW-TCTP and the energy experiments.
+    field:
+        The monitoring region.
+    params:
+        Physical constants.
+    name:
+        Free-form label used in experiment reports.
+    """
+
+    targets: list[Target]
+    sink: Sink
+    mules: list[DataMule]
+    recharge_station: RechargeStation | None = None
+    field: Field = dc_field(default_factory=Field)
+    params: SimulationParameters = dc_field(default_factory=SimulationParameters)
+    name: str = "scenario"
+
+    def __post_init__(self) -> None:
+        ids = [t.id for t in self.targets] + [self.sink.id] + [m.id for m in self.mules]
+        if self.recharge_station is not None:
+            ids.append(self.recharge_station.id)
+        if len(set(ids)) != len(ids):
+            raise ValueError("scenario entity identifiers must be unique")
+        if not self.targets:
+            raise ValueError("a scenario needs at least one target")
+        if not self.mules:
+            raise ValueError("a scenario needs at least one data mule")
+
+    # ------------------------------------------------------------------ #
+    # Convenience accessors used by the algorithms
+    # ------------------------------------------------------------------ #
+    @property
+    def num_targets(self) -> int:
+        """``h`` — the number of targets excluding the sink."""
+        return len(self.targets)
+
+    @property
+    def num_mules(self) -> int:
+        """``n`` — the number of data mules."""
+        return len(self.mules)
+
+    def target_by_id(self, target_id: str) -> Target:
+        for t in self.targets:
+            if t.id == target_id:
+                return t
+        raise KeyError(target_id)
+
+    def patrol_points(self, *, include_recharge: bool = False) -> dict[str, Point]:
+        """Node -> coordinate mapping over which patrol paths are constructed.
+
+        Includes the sink (treated as a target per Section 2.1) and, when
+        requested, the recharge station (for the WRP of Section IV).
+        """
+        coords: dict[str, Point] = {t.id: t.position for t in self.targets}
+        coords[self.sink.id] = self.sink.position
+        if include_recharge:
+            if self.recharge_station is None:
+                raise ValueError("scenario has no recharge station")
+            coords[self.recharge_station.id] = self.recharge_station.position
+        return coords
+
+    def weights(self, *, include_sink: bool = True, sink_weight: int = 1) -> dict[str, int]:
+        """Node -> weight mapping (the sink defaults to weight 1, i.e. an NTP)."""
+        w = {t.id: t.weight for t in self.targets}
+        if include_sink:
+            w[self.sink.id] = sink_weight
+        return w
+
+    def data_rates(self) -> dict[str, float]:
+        """Per-target data generation rates (the sink generates no data)."""
+        return {t.id: t.data_rate for t in self.targets}
+
+    def vips(self) -> list[Target]:
+        """Targets with weight > 1, in descending weight order (W-TCTP priority order)."""
+        return sorted((t for t in self.targets if t.is_vip), key=lambda t: (-t.weight, t.id))
+
+    def position_of(self, node_id: str) -> Point:
+        """Coordinate of any named entity (target, sink, recharge station, mule)."""
+        for t in self.targets:
+            if t.id == node_id:
+                return t.position
+        if node_id == self.sink.id:
+            return self.sink.position
+        if self.recharge_station is not None and node_id == self.recharge_station.id:
+            return self.recharge_station.position
+        for m in self.mules:
+            if m.id == node_id:
+                return m.position
+        raise KeyError(node_id)
+
+    def with_mule_count(self, n: int) -> "Scenario":
+        """Copy of the scenario truncated / padded to ``n`` mules.
+
+        Padding duplicates the deployment position pattern of the existing
+        mules (used by parameter sweeps over the number of mules).
+        """
+        if n <= 0:
+            raise ValueError("need at least one mule")
+        mules = [self._clone_mule(m, m.id) for m in self.mules[:n]]
+        i = 0
+        while len(mules) < n:
+            template = self.mules[i % len(self.mules)]
+            new_id = f"m{len(mules) + 1}"
+            mules.append(self._clone_mule(template, new_id))
+            i += 1
+        # Re-number identifiers so they stay unique and ordered.
+        for k, m in enumerate(mules, start=1):
+            m.id = f"m{k}"
+        return Scenario(
+            targets=list(self.targets),
+            sink=self.sink,
+            mules=mules,
+            recharge_station=self.recharge_station,
+            field=self.field,
+            params=self.params,
+            name=self.name,
+        )
+
+    @staticmethod
+    def _clone_mule(mule: DataMule, new_id: str) -> DataMule:
+        return DataMule(
+            id=new_id,
+            position=mule.position,
+            velocity=mule.velocity,
+            sensing_range=mule.sensing_range,
+            communication_range=mule.communication_range,
+            battery=mule.battery.copy() if mule.battery is not None else None,
+        )
+
+    def fresh_copy(self) -> "Scenario":
+        """Deep-enough copy for running another simulation from the initial state."""
+        return Scenario(
+            targets=list(self.targets),
+            sink=self.sink,
+            mules=[self._clone_mule(m, m.id) for m in self.mules],
+            recharge_station=self.recharge_station,
+            field=self.field,
+            params=self.params,
+            name=self.name,
+        )

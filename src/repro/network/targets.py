@@ -1,0 +1,152 @@
+"""Targets, the sink, and the recharge station.
+
+The paper's terminology (Definition 1): a target with weight 1 is a Normal
+Target Point (NTP); a target with weight greater than 1 is a Very Important
+Point (VIP).  The sink node is itself treated as a target that must be visited
+(Section 2.1), and RW-TCTP treats the recharge station as an extra NTP
+(Section IV).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from repro.geometry.point import Point, as_point
+
+__all__ = ["TargetKind", "Target", "Sink", "RechargeStation", "make_targets"]
+
+
+class TargetKind(str, enum.Enum):
+    """Classification of patrol destinations."""
+
+    NTP = "ntp"
+    VIP = "vip"
+    SINK = "sink"
+    RECHARGE = "recharge"
+
+
+@dataclass(frozen=True)
+class Target:
+    """A sensing target that data mules must visit periodically.
+
+    Attributes
+    ----------
+    id:
+        Unique identifier (hashable; the library uses strings like ``"g3"``).
+    position:
+        Location in the field, metres.
+    weight:
+        Required number of visits per complete traversal of the patrol
+        structure.  ``1`` marks an NTP, ``> 1`` a VIP.
+    data_rate:
+        Sensor data generated per second (bits/s) — used by the data-delivery
+        extension metrics, not by the core path construction.
+    """
+
+    id: str
+    position: Point
+    weight: int = 1
+    data_rate: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+        if self.weight < 1:
+            raise ValueError(f"target {self.id!r}: weight must be >= 1, got {self.weight}")
+        if self.data_rate < 0:
+            raise ValueError(f"target {self.id!r}: data_rate must be non-negative")
+
+    @property
+    def kind(self) -> TargetKind:
+        return TargetKind.VIP if self.weight > 1 else TargetKind.NTP
+
+    @property
+    def is_vip(self) -> bool:
+        return self.weight > 1
+
+    def reweighted(self, weight: int) -> "Target":
+        """Copy of this target with a different weight."""
+        return Target(self.id, self.position, weight, self.data_rate)
+
+
+@dataclass(frozen=True)
+class Sink:
+    """The sink node to which collected data is ultimately delivered.
+
+    Section 2.1: "The sink node is also treated as a target point, which
+    should be visited by DMs" — so the sink participates in path construction
+    exactly like an NTP, but it is also the data-delivery endpoint.
+    """
+
+    id: str
+    position: Point
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+
+    @property
+    def kind(self) -> TargetKind:
+        return TargetKind.SINK
+
+    def as_target(self, *, weight: int = 1) -> Target:
+        """View of the sink as a patrol target (used during path construction)."""
+        return Target(self.id, self.position, weight=weight, data_rate=0.0)
+
+
+@dataclass(frozen=True)
+class RechargeStation:
+    """The energy recharge station visited by RW-TCTP.
+
+    Attributes
+    ----------
+    recharge_rate:
+        Joules restored per second while a mule is docked.  ``float("inf")``
+        models the paper's implicit instantaneous recharge.
+    """
+
+    id: str
+    position: Point
+    recharge_rate: float = float("inf")
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_point(self.position))
+        if self.recharge_rate <= 0:
+            raise ValueError("recharge_rate must be positive")
+
+    @property
+    def kind(self) -> TargetKind:
+        return TargetKind.RECHARGE
+
+    def as_target(self) -> Target:
+        """RW-TCTP treats the recharge station as an NTP of the recharge path."""
+        return Target(self.id, self.position, weight=1, data_rate=0.0)
+
+
+def make_targets(
+    positions: Sequence[Point | tuple[float, float]],
+    *,
+    weights: Mapping[int, int] | Sequence[int] | None = None,
+    prefix: str = "g",
+    data_rate: float = 1.0,
+) -> list[Target]:
+    """Create a list of targets ``g1..gh`` from raw positions.
+
+    ``weights`` may be a full per-index sequence or a sparse ``{index: weight}``
+    mapping (0-based indices); unspecified targets get weight 1.
+    """
+    targets: list[Target] = []
+    n = len(positions)
+    if weights is None:
+        weight_of = {i: 1 for i in range(n)}
+    elif isinstance(weights, Mapping):
+        weight_of = {i: int(weights.get(i, 1)) for i in range(n)}
+    else:
+        if len(weights) != n:
+            raise ValueError("weights sequence must match the number of positions")
+        weight_of = {i: int(w) for i, w in enumerate(weights)}
+    for i, pos in enumerate(positions):
+        targets.append(
+            Target(f"{prefix}{i + 1}", as_point(pos), weight=weight_of[i], data_rate=data_rate)
+        )
+    return targets

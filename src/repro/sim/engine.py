@@ -1,0 +1,313 @@
+"""The discrete-event patrolling simulator.
+
+Given a :class:`~repro.network.scenario.Scenario` and a
+:class:`~repro.core.plan.PatrolPlan`, the engine plays out the plan for a
+configurable time horizon:
+
+* mules first drive to their start position if the plan performed location
+  initialisation, then follow their waypoint iterator forever;
+* every arrival at a target collects the accumulated data (costing
+  ``c_s`` joules) and is recorded as a visit;
+* arrivals at the sink deliver the on-board buffer; arrivals at the recharge
+  station refill the battery;
+* movement costs ``c_m`` joules per metre; a mule whose battery empties
+  mid-leg dies on the spot (the failure RW-TCTP avoids).
+
+Mules do not interact, so the simulation is deterministic given the plan (the
+Random baseline's randomness lives inside its route object, which is seeded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.plan import MuleRoute, PatrolPlan
+from repro.geometry.point import Point, distance
+from repro.network.datamodel import DataCollectionModel
+from repro.network.mules import DataMule, MuleState
+from repro.network.scenario import Scenario
+from repro.sim.events import Event, EventKind, EventQueue
+from repro.sim.recorder import DeliveryRecord, MuleTrace, SimulationResult, VisitRecord
+
+__all__ = ["SimulationConfig", "PatrolSimulator"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Run-level knobs of the simulator.
+
+    Attributes
+    ----------
+    horizon:
+        Simulated seconds; events past the horizon are not executed.
+    max_visits:
+        Optional safety valve: stop after this many recorded target visits.
+    track_energy:
+        When ``False`` batteries are ignored even if mules carry one
+        (used by the B-TCTP / W-TCTP experiments, which do not model energy).
+    synchronized_start:
+        When the plan performed location initialisation, hold every mule at
+        its start point until the slowest mule has reached its own, then let
+        all of them start patrolling simultaneously.  This is the behaviour
+        the paper assumes ("all DMs initially move to the appreciate locations
+        and then patrol the targets"): only with a common start instant are
+        consecutive mules separated by exactly ``|P| / n`` of path, which is
+        what drives TCTP's zero visiting-interval variance.
+    """
+
+    horizon: float = 50_000.0
+    max_visits: int | None = None
+    track_energy: bool = True
+    synchronized_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise ValueError("simulation horizon must be positive")
+        if self.max_visits is not None and self.max_visits <= 0:
+            raise ValueError("max_visits must be positive when given")
+
+
+class _MuleRuntime:
+    """Mutable per-mule simulation state."""
+
+    __slots__ = ("mule", "route", "waypoints", "position", "current_node", "trace", "dead")
+
+    def __init__(self, mule: DataMule, route: MuleRoute) -> None:
+        self.mule = mule
+        self.route = route
+        self.waypoints: Iterator[str] = route.waypoints()
+        self.position: Point = mule.position
+        self.current_node: str | None = None
+        self.trace = MuleTrace(mule_id=mule.id)
+        self.dead = False
+
+
+class PatrolSimulator:
+    """Plays a patrol plan against a scenario and records what happened."""
+
+    def __init__(self, scenario: Scenario, plan: PatrolPlan, config: SimulationConfig | None = None) -> None:
+        self.scenario = scenario
+        self.plan = plan
+        self.config = config or SimulationConfig()
+        missing = [m.id for m in scenario.mules if m.id not in plan.routes]
+        if missing:
+            raise ValueError(f"plan has no route for mules: {missing}")
+        self._target_ids = {t.id for t in scenario.targets}
+        self._sink_id = scenario.sink.id
+        self._recharge_id = scenario.recharge_station.id if scenario.recharge_station else None
+        self._params = scenario.params
+        self._energy = scenario.params.energy_model
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> SimulationResult:
+        """Execute the simulation and return the recorded result."""
+        cfg = self.config
+        result = SimulationResult(strategy=self.plan.strategy, horizon=cfg.horizon,
+                                  metadata=dict(self.plan.metadata))
+        collection = DataCollectionModel(self.scenario.data_rates())
+        queue = EventQueue()
+        runtimes: dict[str, _MuleRuntime] = {}
+
+        sync_time = self._synchronized_start_time() if cfg.synchronized_start else 0.0
+        result.metadata.setdefault("patrol_start_time", sync_time)
+
+        for mule in self.scenario.mules:
+            runtime = _MuleRuntime(mule, self.plan.route_for(mule.id))
+            runtimes[mule.id] = runtime
+            result.traces[mule.id] = runtime.trace
+            self._schedule_initial_leg(runtime, queue, sync_time)
+
+        visits_recorded = 0
+        while queue:
+            event = queue.pop()
+            if event.time > cfg.horizon:
+                break
+            runtime = runtimes[event.mule_id]
+            if runtime.dead:
+                continue
+            if event.kind is EventKind.INITIALIZED:
+                self._finish_leg(runtime, event)
+                runtime.trace.initialization_time = event.time
+                # Wait for the slowest mule before the patrol proper begins.
+                self._schedule_next_leg(runtime, max(event.time, sync_time), queue)
+            elif event.kind is EventKind.ARRIVAL:
+                self._finish_leg(runtime, event)
+                recorded = self._handle_arrival(runtime, event, collection, result)
+                visits_recorded += int(recorded)
+                if cfg.max_visits is not None and visits_recorded >= cfg.max_visits:
+                    break
+                dwell = self._params.collection_time if event.node_id in self._target_ids else 0.0
+                if dwell > 0.0:
+                    queue.push(event.time + dwell, EventKind.COLLECTION_DONE,
+                               mule_id=runtime.mule.id, node_id=event.node_id)
+                else:
+                    self._schedule_next_leg(runtime, event.time, queue)
+            elif event.kind is EventKind.COLLECTION_DONE:
+                self._schedule_next_leg(runtime, event.time, queue)
+            elif event.kind is EventKind.ENERGY_DEPLETED:
+                self._kill_mule(runtime, event)
+            # STOP events are not generated currently; the horizon check handles termination.
+
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Leg scheduling
+    # ------------------------------------------------------------------ #
+    def _synchronized_start_time(self) -> float:
+        """Time at which the slowest mule reaches its start position (0 when no initialisation)."""
+        times = []
+        for mule in self.scenario.mules:
+            start = self.plan.route_for(mule.id).start_position()
+            if start is not None:
+                times.append(distance(mule.position, start) / mule.velocity)
+        return max(times) if times else 0.0
+
+    def _schedule_initial_leg(self, runtime: _MuleRuntime, queue: EventQueue, sync_time: float = 0.0) -> None:
+        start = runtime.route.start_position()
+        if start is not None and distance(runtime.position, start) > 1e-12:
+            self._schedule_move(runtime, 0.0, start, EventKind.INITIALIZED, None, queue)
+        elif start is not None:
+            # Already standing on the start position: just wait for the others.
+            runtime.trace.initialization_time = 0.0
+            self._schedule_next_leg(runtime, sync_time, queue)
+        else:
+            self._schedule_next_leg(runtime, 0.0, queue)
+
+    def _schedule_next_leg(self, runtime: _MuleRuntime, now: float, queue: EventQueue) -> None:
+        node = self._next_distinct_waypoint(runtime)
+        if node is None:
+            return
+        destination = runtime.route.point_of(node)
+        self._schedule_move(runtime, now, destination, EventKind.ARRIVAL, node, queue)
+
+    def _next_distinct_waypoint(self, runtime: _MuleRuntime) -> str | None:
+        """Next waypoint different from the node the mule is standing on."""
+        for _ in range(8):  # a patrol loop with >8 consecutive repeats of one node is malformed
+            node = next(runtime.waypoints)
+            if node != runtime.current_node or distance(
+                runtime.position, runtime.route.point_of(node)
+            ) > 1e-9:
+                return node
+        return None
+
+    def _schedule_move(
+        self,
+        runtime: _MuleRuntime,
+        now: float,
+        destination: Point,
+        kind: EventKind,
+        node_id: str | None,
+        queue: EventQueue,
+    ) -> None:
+        mule = runtime.mule
+        dist = distance(runtime.position, destination)
+        travel_time = dist / mule.velocity if dist > 0 else 0.0
+
+        if self.config.track_energy and mule.battery is not None and self._energy.move_cost_per_meter > 0:
+            reachable = mule.battery.remaining / self._energy.move_cost_per_meter
+            if reachable + 1e-9 < dist:
+                # The battery dies mid-leg.
+                death_time = now + (reachable / mule.velocity if mule.velocity > 0 else 0.0)
+                queue.push(death_time, EventKind.ENERGY_DEPLETED, mule_id=mule.id,
+                           node_id=node_id, payload={"destination": destination, "reachable": reachable})
+                return
+        queue.push(now + travel_time, kind, mule_id=mule.id, node_id=node_id,
+                   payload={"destination": destination, "distance": dist, "departed": now})
+
+    def _finish_leg(self, runtime: _MuleRuntime, event: Event) -> None:
+        """Apply the movement of the leg that just completed."""
+        payload = event.payload or {}
+        destination: Point = payload.get("destination", runtime.position)
+        dist: float = payload.get("distance", distance(runtime.position, destination))
+        mule = runtime.mule
+        runtime.position = destination
+        mule.position = destination
+        runtime.trace.distance_travelled += dist
+        if self.config.track_energy and mule.battery is not None:
+            cost = self._energy.movement_energy(dist)
+            drained = mule.battery.drain(cost)
+            runtime.trace.energy_consumed += drained
+        else:
+            runtime.trace.energy_consumed += self._energy.movement_energy(dist)
+        if event.node_id is not None:
+            runtime.current_node = event.node_id
+        mule.state = MuleState.MOVING
+
+    def _kill_mule(self, runtime: _MuleRuntime, event: Event) -> None:
+        payload = event.payload or {}
+        reachable = payload.get("reachable", 0.0)
+        destination = payload.get("destination", runtime.position)
+        final_position = runtime.position.towards(destination, reachable)
+        runtime.position = final_position
+        runtime.mule.position = final_position
+        runtime.trace.distance_travelled += reachable
+        if runtime.mule.battery is not None:
+            runtime.trace.energy_consumed += runtime.mule.battery.drain(
+                runtime.mule.battery.remaining
+            )
+        runtime.dead = True
+        runtime.trace.death_time = event.time
+        runtime.mule.state = MuleState.DEAD
+
+    # ------------------------------------------------------------------ #
+    # Arrival handling
+    # ------------------------------------------------------------------ #
+    def _handle_arrival(
+        self,
+        runtime: _MuleRuntime,
+        event: Event,
+        collection: DataCollectionModel,
+        result: SimulationResult,
+    ) -> bool:
+        """Process a waypoint arrival; returns True when a target visit was recorded."""
+        node = event.node_id
+        mule = runtime.mule
+        now = event.time
+        recorded = False
+
+        is_plain_target = node in self._target_ids
+        is_sink = node == self._sink_id
+        is_recharge = self._recharge_id is not None and node == self._recharge_id
+
+        if is_plain_target or is_sink:
+            # Section 2.1 treats the sink as a target point, so its visits count too.
+            result.visits.append(VisitRecord(time=now, node_id=node, mule_id=mule.id, is_target=True))
+            recorded = True
+        elif is_recharge:
+            result.visits.append(VisitRecord(time=now, node_id=node, mule_id=mule.id, is_target=False))
+
+        if is_plain_target:
+            packet = collection.collect(node, now)
+            mule.buffer.add(packet)
+            runtime.trace.collections += 1
+            if self.config.track_energy and mule.battery is not None:
+                drained = mule.battery.drain(self._energy.collect_cost)
+                runtime.trace.energy_consumed += drained
+                if mule.battery.depleted:
+                    runtime.dead = True
+                    runtime.trace.death_time = now
+                    mule.state = MuleState.DEAD
+            else:
+                runtime.trace.energy_consumed += self._energy.collect_cost
+
+        if is_sink:
+            for packet in mule.buffer.flush():
+                result.deliveries.append(
+                    DeliveryRecord(
+                        delivered_at=now,
+                        mule_id=mule.id,
+                        target_id=packet.target_id,
+                        generated_from=packet.generated_from,
+                        generated_to=packet.generated_to,
+                        collected_at=packet.collected_at,
+                        size=packet.size,
+                    )
+                )
+                runtime.trace.deliveries += 1
+
+        if is_recharge and mule.battery is not None:
+            mule.recharge_full()
+            runtime.trace.recharges += 1
+
+        return recorded

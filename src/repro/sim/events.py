@@ -1,0 +1,76 @@
+"""Event types and the priority queue used by the patrolling simulator.
+
+The simulator is a classic discrete-event loop: a heap of timestamped events,
+popped in chronological order.  Ties are broken by a monotonically increasing
+sequence number so the execution order is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(str, enum.Enum):
+    """What happened / what should happen at the event's timestamp."""
+
+    ARRIVAL = "arrival"            # mule reaches a waypoint (target / sink / recharge station)
+    INITIALIZED = "initialized"    # mule reaches its start position (location initialisation done)
+    COLLECTION_DONE = "collection_done"  # dwell time at a target finished
+    ENERGY_DEPLETED = "energy_depleted"  # mule battery ran out mid-leg
+    STOP = "stop"                  # simulation horizon reached
+
+
+@dataclass(order=True)
+class Event:
+    """A single simulation event (orderable by time, then sequence number)."""
+
+    time: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    mule_id: str | None = field(compare=False, default=None)
+    node_id: str | None = field(compare=False, default=None)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """A deterministic min-heap of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        *,
+        mule_id: str | None = None,
+        node_id: str | None = None,
+        payload: Any = None,
+    ) -> Event:
+        if time < 0:
+            raise ValueError("event time must be non-negative")
+        event = Event(time=time, sequence=next(self._counter), kind=kind,
+                      mule_id=mule_id, node_id=node_id, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        if not self._heap:
+            raise IndexError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,140 @@
+"""Evaluation metrics from Section V of the paper.
+
+* **Visiting interval**: time between two consecutive visits to the same
+  target; B-TCTP makes all of them equal to ``|P| / (n v)``.
+* **Data Collection Delay Time (DCDT)**: the paper's Figure 7/9 quantity —
+  how long a target waited for its k-th data collection.  We compute it per
+  target as the k-th visiting interval and report the mean over targets for
+  each visit index (Figure 7's x axis) or over everything (Figure 9's bars).
+* **SD**: the standard deviation of a single target's visiting intervals
+  (the paper's ``SD`` formula, with ``n - 1`` in the denominator), averaged
+  over targets when a scalar is needed (Figures 8 and 10).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.sim.recorder import SimulationResult
+
+__all__ = [
+    "visiting_intervals",
+    "per_target_intervals",
+    "dcdt_series",
+    "average_dcdt",
+    "per_target_sd",
+    "average_sd",
+    "max_visiting_interval",
+    "delivery_latencies",
+    "interval_statistics",
+]
+
+
+def visiting_intervals(visit_times: Sequence[float], *, initial_time: float = 0.0,
+                       include_first: bool = False) -> list[float]:
+    """Consecutive differences of a target's sorted visit times.
+
+    ``include_first`` additionally counts the wait from ``initial_time`` to the
+    first visit (the paper's DCDT curves start at visit index 0, which is that
+    initial wait).
+    """
+    times = sorted(visit_times)
+    if not times:
+        return []
+    intervals = [b - a for a, b in zip(times[:-1], times[1:])]
+    if include_first:
+        intervals = [times[0] - initial_time] + intervals
+    return intervals
+
+
+def per_target_intervals(result: SimulationResult, *, include_first: bool = False,
+                         targets: Iterable[str] | None = None) -> dict[str, list[float]]:
+    """Visiting-interval list for every target that was visited."""
+    if targets is None:
+        targets = result.visited_targets()
+    return {
+        t: visiting_intervals(result.visit_times(t), include_first=include_first)
+        for t in targets
+    }
+
+
+def dcdt_series(result: SimulationResult, *, num_points: int = 41,
+                include_first: bool = True,
+                targets: Iterable[str] | None = None) -> list[float]:
+    """Figure-7 style series: mean delay of the k-th data collection, k = 0..num_points-1.
+
+    For every target the k-th visiting interval is taken (NaN when the target
+    has fewer than k intervals); the series value is the mean over targets of
+    the available entries.  Trailing indices where no target has data are
+    reported as ``nan``.
+    """
+    intervals = per_target_intervals(result, include_first=include_first, targets=targets)
+    series: list[float] = []
+    for k in range(num_points):
+        values = [iv[k] for iv in intervals.values() if len(iv) > k]
+        series.append(float(np.mean(values)) if values else float("nan"))
+    return series
+
+
+def average_dcdt(result: SimulationResult, *, include_first: bool = False,
+                 targets: Iterable[str] | None = None) -> float:
+    """Mean visiting interval over all targets and all visits (Figure 9's bar height)."""
+    intervals = per_target_intervals(result, include_first=include_first, targets=targets)
+    values = [v for iv in intervals.values() for v in iv]
+    return float(np.mean(values)) if values else float("nan")
+
+
+def per_target_sd(result: SimulationResult, *, targets: Iterable[str] | None = None) -> dict[str, float]:
+    """The paper's SD of each target's visiting intervals (sample std, ``n - 1``).
+
+    Targets with fewer than two intervals get ``nan`` (SD undefined).
+    """
+    out: dict[str, float] = {}
+    for t, iv in per_target_intervals(result, include_first=False, targets=targets).items():
+        if len(iv) >= 2:
+            out[t] = float(np.std(iv, ddof=1))
+        else:
+            out[t] = float("nan")
+    return out
+
+
+def average_sd(result: SimulationResult, *, targets: Iterable[str] | None = None) -> float:
+    """Mean over targets of the per-target SD (Figures 8 and 10)."""
+    sds = [v for v in per_target_sd(result, targets=targets).values() if not math.isnan(v)]
+    return float(np.mean(sds)) if sds else float("nan")
+
+
+def max_visiting_interval(result: SimulationResult, *, targets: Iterable[str] | None = None) -> float:
+    """The maximal visiting interval over all targets — the paper's optimisation objective."""
+    intervals = per_target_intervals(result, include_first=False, targets=targets)
+    values = [v for iv in intervals.values() for v in iv]
+    return float(max(values)) if values else float("nan")
+
+
+def delivery_latencies(result: SimulationResult) -> list[float]:
+    """Latency (generation midpoint -> sink delivery) of every delivered packet."""
+    return [d.latency for d in result.deliveries]
+
+
+def interval_statistics(result: SimulationResult, *, targets: Iterable[str] | None = None) -> dict:
+    """One-stop summary of the interval metrics (used by reports and examples)."""
+    intervals = per_target_intervals(result, include_first=False, targets=targets)
+    flat = [v for iv in intervals.values() for v in iv]
+    if not flat:
+        return {
+            "mean_interval": float("nan"),
+            "max_interval": float("nan"),
+            "average_sd": float("nan"),
+            "targets_visited": len(intervals),
+            "total_intervals": 0,
+        }
+    return {
+        "mean_interval": float(np.mean(flat)),
+        "max_interval": float(np.max(flat)),
+        "average_sd": average_sd(result, targets=targets),
+        "targets_visited": len(intervals),
+        "total_intervals": len(flat),
+    }

@@ -1,0 +1,111 @@
+"""Simulation output records: visits, deliveries, per-mule traces and the result bundle."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["VisitRecord", "DeliveryRecord", "MuleTrace", "SimulationResult"]
+
+
+@dataclass(frozen=True)
+class VisitRecord:
+    """One visit of a data mule to a patrol node (target, sink or recharge station)."""
+
+    time: float
+    node_id: str
+    mule_id: str
+    is_target: bool = True
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """One data packet handed over at the sink."""
+
+    delivered_at: float
+    mule_id: str
+    target_id: str
+    generated_from: float
+    generated_to: float
+    collected_at: float
+    size: float
+
+    @property
+    def latency(self) -> float:
+        """Latency from the midpoint of the generation window to delivery."""
+        return self.delivered_at - 0.5 * (self.generated_from + self.generated_to)
+
+
+@dataclass
+class MuleTrace:
+    """Per-mule bookkeeping accumulated during a simulation run."""
+
+    mule_id: str
+    distance_travelled: float = 0.0
+    energy_consumed: float = 0.0
+    collections: int = 0
+    deliveries: int = 0
+    recharges: int = 0
+    initialization_time: float = 0.0
+    death_time: float | None = None
+
+    @property
+    def alive(self) -> bool:
+        return self.death_time is None
+
+
+@dataclass
+class SimulationResult:
+    """Everything recorded during one simulation run."""
+
+    strategy: str
+    horizon: float
+    visits: list[VisitRecord] = field(default_factory=list)
+    deliveries: list[DeliveryRecord] = field(default_factory=list)
+    traces: dict[str, MuleTrace] = field(default_factory=dict)
+    metadata: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    def target_visits(self, target_id: str | None = None) -> list[VisitRecord]:
+        """Visits to targets only (optionally filtered to one target), time-ordered."""
+        out = [v for v in self.visits if v.is_target and (target_id is None or v.node_id == target_id)]
+        return sorted(out, key=lambda v: (v.time, v.node_id, v.mule_id))
+
+    def visit_times(self, target_id: str) -> list[float]:
+        """Sorted visit times of one target."""
+        return [v.time for v in self.target_visits(target_id)]
+
+    def visited_targets(self) -> list[str]:
+        """Identifiers of all targets visited at least once."""
+        return sorted({v.node_id for v in self.visits if v.is_target})
+
+    def visit_count(self, target_id: str) -> int:
+        return len(self.target_visits(target_id))
+
+    def total_distance(self) -> float:
+        return sum(t.distance_travelled for t in self.traces.values())
+
+    def total_energy(self) -> float:
+        return sum(t.energy_consumed for t in self.traces.values())
+
+    def total_delivered_data(self) -> float:
+        return sum(d.size for d in self.deliveries)
+
+    def surviving_mules(self) -> list[str]:
+        return sorted(m for m, t in self.traces.items() if t.alive)
+
+    def dead_mules(self) -> list[str]:
+        return sorted(m for m, t in self.traces.items() if not t.alive)
+
+    def summary(self) -> dict:
+        """Compact dictionary summary used by experiment reports."""
+        return {
+            "strategy": self.strategy,
+            "horizon": self.horizon,
+            "num_visits": len([v for v in self.visits if v.is_target]),
+            "num_deliveries": len(self.deliveries),
+            "total_distance": round(self.total_distance(), 3),
+            "total_energy": round(self.total_energy(), 3),
+            "delivered_data": round(self.total_delivered_data(), 3),
+            "dead_mules": self.dead_mules(),
+        }

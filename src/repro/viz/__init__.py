@@ -1,0 +1,11 @@
+"""Terminal visualisation: ASCII field maps and series sparklines.
+
+The library deliberately has no plotting dependency; these helpers make the
+scenarios and experiment series inspectable directly in a terminal or a CI
+log — a field map of targets / mules / patrol route, and compact sparkline
+plots of the DCDT series from Figure 7.
+"""
+
+from repro.viz.ascii import ascii_field_map, ascii_route_map, sparkline, series_panel
+
+__all__ = ["ascii_field_map", "ascii_route_map", "sparkline", "series_panel"]

@@ -1,0 +1,125 @@
+"""ASCII rendering of scenarios, patrol routes and metric series."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Mapping, Sequence
+
+from repro.geometry.point import Point, as_point
+from repro.network.scenario import Scenario
+
+__all__ = ["ascii_field_map", "ascii_route_map", "sparkline", "series_panel"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def _grid(width: int, height: int) -> list[list[str]]:
+    return [[" " for _ in range(width)] for _ in range(height)]
+
+
+def _project(point: Point, field_w: float, field_h: float, cols: int, rows: int,
+             origin: Point) -> tuple[int, int]:
+    """Map field coordinates to character-grid coordinates (row 0 is the field's top)."""
+    x = (point.x - origin.x) / field_w if field_w > 0 else 0.0
+    y = (point.y - origin.y) / field_h if field_h > 0 else 0.0
+    col = min(max(int(round(x * (cols - 1))), 0), cols - 1)
+    row = min(max(int(round((1.0 - y) * (rows - 1))), 0), rows - 1)
+    return row, col
+
+
+def ascii_field_map(scenario: Scenario, *, cols: int = 60, rows: int = 24,
+                    legend: bool = True) -> str:
+    """Render the scenario's field: targets (``o``), VIPs (``V``), sink (``S``),
+    recharge station (``R``) and mule start positions (``m``)."""
+    if cols < 10 or rows < 5:
+        raise ValueError("map must be at least 10x5 characters")
+    grid = _grid(cols, rows)
+    field = scenario.field
+    place = lambda p: _project(as_point(p), field.width, field.height, cols, rows, field.origin)
+
+    for target in scenario.targets:
+        r, c = place(target.position)
+        grid[r][c] = "V" if target.is_vip else "o"
+    for mule in scenario.mules:
+        r, c = place(mule.position)
+        if grid[r][c] == " ":
+            grid[r][c] = "m"
+    if scenario.recharge_station is not None:
+        r, c = place(scenario.recharge_station.position)
+        grid[r][c] = "R"
+    r, c = place(scenario.sink.position)
+    grid[r][c] = "S"
+
+    border = "+" + "-" * cols + "+"
+    lines = [border] + ["|" + "".join(row) + "|" for row in grid] + [border]
+    if legend:
+        lines.append("o target   V VIP   S sink   R recharge   m mule")
+    return "\n".join(lines) + "\n"
+
+
+def ascii_route_map(scenario: Scenario, loop: Sequence[str], *, cols: int = 60,
+                    rows: int = 24) -> str:
+    """Render the field with the patrol route drawn as ``.`` samples between waypoints."""
+    grid_text = ascii_field_map(scenario, cols=cols, rows=rows, legend=False)
+    lines = [list(line) for line in grid_text.splitlines()]
+    field = scenario.field
+    coords = scenario.patrol_points(include_recharge=scenario.recharge_station is not None)
+
+    def place(p: Point) -> tuple[int, int]:
+        r, c = _project(p, field.width, field.height, cols, rows, field.origin)
+        return r + 1, c + 1  # +1 for the border row/column
+
+    loop = [n for n in loop if n in coords]
+    for a, b in zip(loop, loop[1:] + loop[:1]):
+        pa, pb = coords[a], coords[b]
+        steps = max(int(pa.distance_to(pb) / 10.0), 1)
+        for k in range(1, steps):
+            t = k / steps
+            p = Point(pa.x + (pb.x - pa.x) * t, pa.y + (pb.y - pa.y) * t)
+            r, c = place(p)
+            if lines[r][c] == " ":
+                lines[r][c] = "."
+    out = "\n".join("".join(line) for line in lines)
+    return out + "\no target   V VIP   S sink   R recharge   . route\n"
+
+
+def sparkline(values: Iterable[float]) -> str:
+    """One-line unicode sparkline of a numeric series (NaNs rendered as spaces)."""
+    vals = list(values)
+    finite = [v for v in vals if v is not None and not math.isnan(v)]
+    if not finite:
+        return ""
+    lo, hi = min(finite), max(finite)
+    span = hi - lo
+    chars = []
+    for v in vals:
+        if v is None or math.isnan(v):
+            chars.append(" ")
+            continue
+        level = 0 if span == 0 else int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[level])
+    return "".join(chars)
+
+
+def series_panel(series: Mapping[str, Sequence[float]], *, width: int = 24) -> str:
+    """Multi-line panel: one sparkline per named series with min/max annotations.
+
+    Used by the examples to show Figure 7's DCDT curves without matplotlib.
+    """
+    if not series:
+        return ""
+    name_width = max(len(name) for name in series)
+    lines = []
+    for name, values in series.items():
+        vals = list(values)
+        finite = [v for v in vals if v is not None and not math.isnan(v)]
+        if len(vals) > width:
+            stride = len(vals) / width
+            vals = [vals[int(i * stride)] for i in range(width)]
+        spark = sparkline(vals)
+        if finite:
+            lines.append(f"{name.ljust(name_width)} {spark}  "
+                         f"[{min(finite):.0f} .. {max(finite):.0f}]")
+        else:
+            lines.append(f"{name.ljust(name_width)} {spark}")
+    return "\n".join(lines) + "\n"

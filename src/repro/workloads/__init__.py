@@ -1,0 +1,21 @@
+"""Workload generation: seeded random scenarios matching the paper's simulation model."""
+
+from repro.workloads.generator import (
+    ScenarioConfig,
+    generate_scenario,
+    uniform_scenario,
+    clustered_scenario,
+    paper_default_scenario,
+)
+from repro.workloads.scenarios import figure1_scenario, single_vip_scenario, grid_scenario
+
+__all__ = [
+    "ScenarioConfig",
+    "generate_scenario",
+    "uniform_scenario",
+    "clustered_scenario",
+    "paper_default_scenario",
+    "figure1_scenario",
+    "single_vip_scenario",
+    "grid_scenario",
+]

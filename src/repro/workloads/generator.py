@@ -1,0 +1,243 @@
+"""Random scenario generation following Section 5.1 of the paper.
+
+"The network size is 800 m x 800 m and the locations of targets are randomly
+distributed over the monitoring region.  Each simulation result is obtained
+from the average results of 20 simulations."
+
+Two spatial distributions are provided:
+
+* ``uniform`` — targets scattered uniformly over the whole field;
+* ``clustered`` — targets grouped into several disconnected areas (the
+  scenario the paper's introduction motivates: static sensors cannot bridge
+  the gaps, so mules provide connectivity).
+
+All generation is driven by a ``numpy.random.Generator`` derived from an
+explicit seed, so replication ``k`` of an experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.energy.battery import Battery
+from repro.geometry.point import Point, distance
+from repro.network.field import Cluster, Field
+from repro.network.mules import DataMule
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.network.targets import RechargeStation, Sink, Target, make_targets
+
+__all__ = [
+    "ScenarioConfig",
+    "generate_scenario",
+    "uniform_scenario",
+    "clustered_scenario",
+    "paper_default_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """All knobs of the random scenario generator.
+
+    Attributes
+    ----------
+    num_targets / num_mules:
+        ``h`` and ``n`` of the paper.
+    distribution:
+        ``"uniform"`` or ``"clustered"``.
+    num_clusters / cluster_radius:
+        Geometry of the disconnected areas (clustered distribution only).
+    num_vips / vip_weight:
+        How many targets are promoted to VIPs and with what weight
+        (the Figure 9/10 sweeps vary exactly these two numbers).
+    mule_battery:
+        Battery capacity in joules; ``None`` disables energy modelling.
+    with_recharge_station:
+        Place a recharge station (at the field centre unless overridden).
+    field_size:
+        Side length of the square monitoring region in metres.
+    mule_placement:
+        ``"sink"`` (all mules start at the sink, the paper's Figure 1 setup),
+        ``"random"`` (uniform over the field) or ``"corner"``.
+    """
+
+    num_targets: int = 20
+    num_mules: int = 4
+    distribution: str = "uniform"
+    num_clusters: int = 4
+    cluster_radius: float = 80.0
+    num_vips: int = 0
+    vip_weight: int = 2
+    data_rate: float = 1.0
+    mule_battery: float | None = None
+    with_recharge_station: bool = False
+    field_size: float = 800.0
+    sink_position: tuple[float, float] | None = None
+    recharge_position: tuple[float, float] | None = None
+    mule_placement: str = "sink"
+    params: SimulationParameters = field(default_factory=SimulationParameters)
+    name: str = "generated"
+
+    def __post_init__(self) -> None:
+        if self.num_targets < 1:
+            raise ValueError("num_targets must be >= 1")
+        if self.num_mules < 1:
+            raise ValueError("num_mules must be >= 1")
+        if self.distribution not in ("uniform", "clustered"):
+            raise ValueError("distribution must be 'uniform' or 'clustered'")
+        if self.num_vips < 0 or self.num_vips > self.num_targets:
+            raise ValueError("num_vips must lie in [0, num_targets]")
+        if self.vip_weight < 1:
+            raise ValueError("vip_weight must be >= 1")
+        if self.mule_placement not in ("sink", "random", "corner"):
+            raise ValueError("mule_placement must be 'sink', 'random' or 'corner'")
+
+
+def _target_positions(cfg: ScenarioConfig, rng: np.random.Generator, fld: Field) -> list[Point]:
+    if cfg.distribution == "uniform":
+        return fld.sample_uniform(rng, cfg.num_targets)
+    # clustered: disc-shaped disconnected areas with centres kept apart
+    clusters: list[Cluster] = []
+    margin = cfg.cluster_radius + 10.0
+    attempts = 0
+    while len(clusters) < cfg.num_clusters and attempts < 1000:
+        attempts += 1
+        cx = rng.uniform(margin, cfg.field_size - margin)
+        cy = rng.uniform(margin, cfg.field_size - margin)
+        candidate = Cluster(Point(float(cx), float(cy)), cfg.cluster_radius)
+        if all(candidate.separation(c) > 2.0 * cfg.params.communication_range for c in clusters):
+            clusters.append(candidate)
+    while len(clusters) < cfg.num_clusters:  # fall back: accept overlap rather than fail
+        cx = rng.uniform(margin, cfg.field_size - margin)
+        cy = rng.uniform(margin, cfg.field_size - margin)
+        clusters.append(Cluster(Point(float(cx), float(cy)), cfg.cluster_radius))
+
+    positions: list[Point] = []
+    for i in range(cfg.num_targets):
+        cluster = clusters[i % len(clusters)]
+        positions.extend(cluster.sample(rng, 1, fld))
+    return positions
+
+
+def _select_vips(cfg: ScenarioConfig, rng: np.random.Generator) -> dict[int, int]:
+    if cfg.num_vips == 0:
+        return {}
+    indices = rng.choice(cfg.num_targets, size=cfg.num_vips, replace=False)
+    return {int(i): cfg.vip_weight for i in indices}
+
+
+def _mule_positions(cfg: ScenarioConfig, rng: np.random.Generator, fld: Field, sink: Point) -> list[Point]:
+    if cfg.mule_placement == "sink":
+        return [sink for _ in range(cfg.num_mules)]
+    if cfg.mule_placement == "corner":
+        return [Point(0.0, 0.0) for _ in range(cfg.num_mules)]
+    return fld.sample_uniform(rng, cfg.num_mules)
+
+
+def generate_scenario(cfg: ScenarioConfig, seed: int | np.random.Generator = 0) -> Scenario:
+    """Generate a full scenario from a config and a seed (or an existing generator)."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    fld = Field(cfg.field_size, cfg.field_size)
+
+    positions = _target_positions(cfg, rng, fld)
+    weights = _select_vips(cfg, rng)
+    targets = make_targets(positions, weights=weights, data_rate=cfg.data_rate)
+
+    sink_pos = (
+        Point(*cfg.sink_position)
+        if cfg.sink_position is not None
+        else Point(cfg.field_size / 2.0, 0.0)
+    )
+    sink = Sink("sink", sink_pos)
+
+    recharge = None
+    if cfg.with_recharge_station:
+        rpos = (
+            Point(*cfg.recharge_position)
+            if cfg.recharge_position is not None
+            else fld.center
+        )
+        recharge = RechargeStation("recharge", rpos)
+
+    mule_positions = _mule_positions(cfg, rng, fld, sink_pos)
+    mules = [
+        DataMule(
+            id=f"m{i + 1}",
+            position=pos,
+            velocity=cfg.params.mule_velocity,
+            sensing_range=cfg.params.sensing_range,
+            communication_range=cfg.params.communication_range,
+            battery=Battery(cfg.mule_battery) if cfg.mule_battery is not None else None,
+        )
+        for i, pos in enumerate(mule_positions)
+    ]
+
+    return Scenario(
+        targets=targets,
+        sink=sink,
+        mules=mules,
+        recharge_station=recharge,
+        field=fld,
+        params=cfg.params,
+        name=cfg.name,
+    )
+
+
+def uniform_scenario(
+    num_targets: int = 20,
+    num_mules: int = 4,
+    *,
+    seed: int = 0,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    mule_battery: float | None = None,
+    with_recharge_station: bool = False,
+) -> Scenario:
+    """Shortcut: uniformly distributed targets over the paper's 800 m field."""
+    cfg = ScenarioConfig(
+        num_targets=num_targets,
+        num_mules=num_mules,
+        distribution="uniform",
+        num_vips=num_vips,
+        vip_weight=vip_weight,
+        mule_battery=mule_battery,
+        with_recharge_station=with_recharge_station,
+        name=f"uniform-h{num_targets}-n{num_mules}",
+    )
+    return generate_scenario(cfg, seed)
+
+
+def clustered_scenario(
+    num_targets: int = 20,
+    num_mules: int = 4,
+    *,
+    num_clusters: int = 4,
+    seed: int = 0,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    mule_battery: float | None = None,
+    with_recharge_station: bool = False,
+) -> Scenario:
+    """Shortcut: targets grouped into disconnected areas (the paper's motivating setting)."""
+    cfg = ScenarioConfig(
+        num_targets=num_targets,
+        num_mules=num_mules,
+        distribution="clustered",
+        num_clusters=num_clusters,
+        num_vips=num_vips,
+        vip_weight=vip_weight,
+        mule_battery=mule_battery,
+        with_recharge_station=with_recharge_station,
+        name=f"clustered-h{num_targets}-n{num_mules}-c{num_clusters}",
+    )
+    return generate_scenario(cfg, seed)
+
+
+def paper_default_scenario(seed: int = 0) -> Scenario:
+    """The Figure 1 style setting: 10 targets, 4 data mules, sink on the field edge."""
+    cfg = ScenarioConfig(num_targets=10, num_mules=4, distribution="clustered",
+                         num_clusters=3, name="paper-default")
+    return generate_scenario(cfg, seed)

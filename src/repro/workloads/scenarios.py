@@ -1,0 +1,106 @@
+"""Hand-crafted deterministic scenarios used by examples and tests.
+
+Unlike :mod:`repro.workloads.generator` these are fixed layouts: the Figure-1
+style ring of ten targets, a single-VIP layout matching the Figure 2/5 worked
+example, and a regular grid useful for analytically checkable tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+from repro.network.field import Field
+from repro.network.mules import DataMule
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.network.targets import RechargeStation, Sink, Target
+
+__all__ = ["figure1_scenario", "single_vip_scenario", "grid_scenario"]
+
+
+def _default_mules(n: int, position: Point, params: SimulationParameters,
+                   battery: float | None = None) -> list[DataMule]:
+    return [
+        DataMule(
+            id=f"m{i + 1}",
+            position=position,
+            velocity=params.mule_velocity,
+            sensing_range=params.sensing_range,
+            communication_range=params.communication_range,
+            battery=Battery(battery) if battery is not None else None,
+        )
+        for i in range(n)
+    ]
+
+
+def figure1_scenario(num_mules: int = 4, *, battery: float | None = None,
+                     with_recharge_station: bool = False) -> Scenario:
+    """Ten targets arranged like the paper's Figure 1, four mules starting at the sink.
+
+    The exact coordinates of Figure 1 are not published; this layout places
+    ``g1 .. g10`` on a ring of distinct radii so the Hamiltonian circuit is
+    unambiguous and every geometric routine gets exercised.
+    """
+    params = SimulationParameters()
+    field = Field(800.0, 800.0)
+    center = Point(400.0, 400.0)
+    targets = []
+    for i in range(10):
+        angle = 2.0 * math.pi * i / 10.0
+        radius = 250.0 + 60.0 * ((i % 3) - 1)
+        pos = Point(center.x + radius * math.cos(angle), center.y + radius * math.sin(angle))
+        targets.append(Target(f"g{i + 1}", pos, weight=1, data_rate=1.0))
+    sink = Sink("sink", Point(400.0, 40.0))
+    recharge = RechargeStation("recharge", Point(400.0, 400.0)) if with_recharge_station else None
+    mules = _default_mules(num_mules, sink.position, params, battery)
+    return Scenario(targets=targets, sink=sink, mules=mules, recharge_station=recharge,
+                    field=field, params=params, name="figure1")
+
+
+def single_vip_scenario(vip_weight: int = 2, *, num_mules: int = 2,
+                        battery: float | None = None,
+                        with_recharge_station: bool = False) -> Scenario:
+    """Ten targets with ``g4`` promoted to a VIP — the worked example of Figures 2 and 5."""
+    params = SimulationParameters()
+    field = Field(800.0, 800.0)
+    center = Point(400.0, 420.0)
+    targets = []
+    for i in range(10):
+        angle = 2.0 * math.pi * i / 10.0
+        radius = 260.0
+        pos = Point(center.x + radius * math.cos(angle), center.y + radius * math.sin(angle))
+        weight = vip_weight if i == 3 else 1  # g4 is the VIP, as in Figure 2
+        targets.append(Target(f"g{i + 1}", pos, weight=weight, data_rate=1.0))
+    sink = Sink("sink", Point(400.0, 60.0))
+    recharge = RechargeStation("recharge", Point(150.0, 150.0)) if with_recharge_station else None
+    mules = _default_mules(num_mules, sink.position, params, battery)
+    return Scenario(targets=targets, sink=sink, mules=mules, recharge_station=recharge,
+                    field=field, params=params, name="single-vip")
+
+
+def grid_scenario(rows: int = 3, cols: int = 4, *, spacing: float = 150.0,
+                  num_mules: int = 2, battery: float | None = None,
+                  with_recharge_station: bool = False) -> Scenario:
+    """Targets on a regular ``rows x cols`` grid — convenient for analytic checks."""
+    if rows < 1 or cols < 1:
+        raise ValueError("grid dimensions must be positive")
+    params = SimulationParameters()
+    side = max(rows, cols) * spacing + 200.0
+    field = Field(side, side)
+    targets = []
+    idx = 1
+    for r in range(rows):
+        for c in range(cols):
+            pos = Point(100.0 + c * spacing, 100.0 + r * spacing)
+            targets.append(Target(f"g{idx}", pos, weight=1, data_rate=1.0))
+            idx += 1
+    sink = Sink("sink", Point(100.0 + (cols - 1) * spacing / 2.0, 20.0))
+    recharge = (
+        RechargeStation("recharge", Point(60.0, 60.0)) if with_recharge_station else None
+    )
+    mules = _default_mules(num_mules, sink.position, params, battery)
+    return Scenario(targets=targets, sink=sink, mules=mules, recharge_station=recharge,
+                    field=field, params=params, name=f"grid-{rows}x{cols}")

@@ -1,0 +1,92 @@
+"""Shared fixtures: small deterministic scenarios and structures used across the suite."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+from repro.graphs.hamiltonian import convex_hull_insertion_tour
+from repro.graphs.tour import Tour
+from repro.network.field import Field
+from repro.network.mules import DataMule
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.network.targets import RechargeStation, Sink, Target
+from repro.workloads.scenarios import figure1_scenario, grid_scenario, single_vip_scenario
+
+
+@pytest.fixture
+def square_points() -> dict[str, Point]:
+    """Four nodes on a unit-ish square plus labels, handy for tour tests."""
+    return {
+        "a": Point(0.0, 0.0),
+        "b": Point(100.0, 0.0),
+        "c": Point(100.0, 100.0),
+        "d": Point(0.0, 100.0),
+    }
+
+
+@pytest.fixture
+def square_tour(square_points) -> Tour:
+    """The CCW square tour a -> b -> c -> d."""
+    return Tour(["a", "b", "c", "d"], square_points)
+
+
+@pytest.fixture
+def ring_coordinates() -> dict[str, Point]:
+    """Ten nodes (sink + g1..g9) evenly spaced on a circle of radius 200."""
+    coords = {}
+    names = ["sink"] + [f"g{i}" for i in range(1, 10)]
+    for i, name in enumerate(names):
+        angle = 2.0 * math.pi * i / len(names)
+        coords[name] = Point(400.0 + 200.0 * math.cos(angle), 400.0 + 200.0 * math.sin(angle))
+    return coords
+
+
+@pytest.fixture
+def ring_tour(ring_coordinates) -> Tour:
+    return convex_hull_insertion_tour(ring_coordinates).rotated_to("sink")
+
+
+@pytest.fixture
+def simple_scenario() -> Scenario:
+    """Tiny fully-deterministic scenario: 4 targets on a square, 2 mules at the sink."""
+    params = SimulationParameters()
+    targets = [
+        Target("g1", Point(100.0, 100.0)),
+        Target("g2", Point(700.0, 100.0)),
+        Target("g3", Point(700.0, 700.0)),
+        Target("g4", Point(100.0, 700.0)),
+    ]
+    sink = Sink("sink", Point(400.0, 50.0))
+    mules = [
+        DataMule("m1", sink.position, velocity=params.mule_velocity),
+        DataMule("m2", sink.position, velocity=params.mule_velocity),
+    ]
+    return Scenario(targets=targets, sink=sink, mules=mules, field=Field(), params=params,
+                    name="simple-square")
+
+
+@pytest.fixture
+def vip_scenario() -> Scenario:
+    """Single-VIP scenario (g4 has weight 2) — matches the paper's worked example."""
+    return single_vip_scenario(vip_weight=2, num_mules=2)
+
+
+@pytest.fixture
+def recharge_scenario() -> Scenario:
+    """Grid scenario with batteries and a recharge station (for RW-TCTP tests)."""
+    return grid_scenario(rows=3, cols=3, num_mules=2, battery=150_000.0,
+                         with_recharge_station=True)
+
+
+@pytest.fixture
+def fig1_scenario() -> Scenario:
+    return figure1_scenario(num_mules=4)
+
+
+@pytest.fixture
+def battery() -> Battery:
+    return Battery(1000.0)

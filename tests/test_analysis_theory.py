@@ -1,0 +1,125 @@
+"""Unit tests for repro.analysis.theory (closed-form steady-state predictions)."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    analyze_loop,
+    interval_lower_bound,
+    predicted_interval_btctp,
+    predicted_sd_for_offsets,
+    vip_visit_offsets,
+)
+from repro.core.btctp import plan_btctp
+from repro.core.wtctp import plan_wtctp
+from repro.geometry.point import Point
+from repro.sim.engine import PatrolSimulator, SimulationConfig
+from repro.sim.metrics import average_sd, per_target_intervals
+from repro.workloads.generator import uniform_scenario
+
+SQUARE = {
+    "a": Point(0, 0),
+    "b": Point(100, 0),
+    "c": Point(100, 100),
+    "d": Point(0, 100),
+}
+
+
+class TestClosedForms:
+    def test_predicted_interval_btctp(self):
+        assert predicted_interval_btctp(4000.0, 4, 2.0) == pytest.approx(500.0)
+
+    def test_predicted_interval_invalid(self):
+        with pytest.raises(ValueError):
+            predicted_interval_btctp(100.0, 0, 2.0)
+
+    def test_lower_bound_smaller_than_any_tour_interval(self):
+        # hull perimeter <= tour length, so the bound is below the achieved interval
+        assert interval_lower_bound(300.0, 2, 2.0) <= predicted_interval_btctp(400.0, 2, 2.0)
+
+    def test_vip_visit_offsets_combines_occurrences_and_mules(self):
+        offsets = vip_visit_offsets([0.0, 200.0], [0.0, 50.0], length=400.0)
+        assert offsets == [0.0, 150.0, 200.0, 350.0]
+
+    def test_predicted_sd_zero_for_equal_spacing(self):
+        # two occurrences half a lap apart, one mule: two equal gaps -> SD 0
+        assert predicted_sd_for_offsets([0.0, 200.0], [0.0], 400.0, 2.0) == pytest.approx(0.0)
+
+    def test_predicted_sd_worst_case_collision(self):
+        # two occurrences half a lap apart AND two mules half a lap apart:
+        # both mules hit the VIP simultaneously -> gaps {0, 200} -> large SD
+        sd = predicted_sd_for_offsets([0.0, 200.0], [0.0, 200.0], 400.0, 2.0)
+        assert sd > 50.0
+
+    def test_single_visit_sd_zero(self):
+        assert predicted_sd_for_offsets([10.0], [0.0], 400.0, 2.0) == 0.0
+
+
+class TestAnalyzeLoop:
+    def test_square_loop_basics(self):
+        analysis = analyze_loop(["a", "b", "c", "d"], SQUARE, num_mules=2, velocity=2.0)
+        assert analysis.length == pytest.approx(400.0)
+        assert analysis.lap_time == pytest.approx(200.0)
+        assert analysis.mean_interval("a") == pytest.approx(100.0)
+        assert analysis.sd("a") == pytest.approx(0.0)
+        assert analysis.average_sd() == pytest.approx(0.0)
+
+    def test_repeated_node_counts_both_occurrences(self):
+        loop = ["a", "b", "a", "c", "d"]
+        analysis = analyze_loop(loop, SQUARE, num_mules=1, velocity=2.0)
+        assert len(analysis.occurrences["a"]) == 2
+        assert len(analysis.intervals_for("a")) == 2
+
+    def test_explicit_offsets(self):
+        analysis = analyze_loop(["a", "b", "c", "d"], SQUARE, mule_offsets=[0.0, 100.0],
+                                velocity=2.0)
+        assert analysis.mean_interval("b") == pytest.approx(100.0)
+
+    def test_requires_exactly_one_offset_spec(self):
+        with pytest.raises(ValueError):
+            analyze_loop(["a", "b"], SQUARE, num_mules=2, mule_offsets=[0.0])
+        with pytest.raises(ValueError):
+            analyze_loop(["a", "b"], SQUARE)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            analyze_loop([], SQUARE, num_mules=1)
+        with pytest.raises(ValueError):
+            analyze_loop(["a", "b"], SQUARE, num_mules=0)
+        with pytest.raises(ValueError):
+            analyze_loop(["a", "b"], SQUARE, num_mules=1, velocity=0.0)
+
+    def test_summary_keys(self):
+        analysis = analyze_loop(["a", "b", "c", "d"], SQUARE, num_mules=2)
+        summary = analysis.summary()
+        assert set(summary) == {"length", "lap_time", "num_mules", "max_interval", "average_sd"}
+
+
+class TestTheoryMatchesSimulation:
+    def test_btctp_prediction_matches_simulator(self):
+        sc = uniform_scenario(num_targets=12, num_mules=3, seed=51)
+        plan = plan_btctp(sc)
+        analysis = analyze_loop(plan.metadata["tour"], sc.patrol_points(),
+                                num_mules=sc.num_mules, velocity=sc.params.mule_velocity)
+        result = PatrolSimulator(sc, plan, SimulationConfig(horizon=40_000)).run()
+        measured = per_target_intervals(result)
+        for target, intervals in measured.items():
+            assert intervals  # visited at least twice
+            assert intervals[0] == pytest.approx(analysis.mean_interval(target), rel=1e-6)
+        assert average_sd(result) == pytest.approx(analysis.average_sd(), abs=1e-6)
+
+    def test_wtctp_sd_prediction_matches_simulator(self):
+        sc = uniform_scenario(num_targets=12, num_mules=2, seed=52, num_vips=1, vip_weight=3)
+        plan = plan_wtctp(sc, policy="balanced")
+        analysis = analyze_loop(plan.metadata["walk"], sc.patrol_points(),
+                                num_mules=sc.num_mules, velocity=sc.params.mule_velocity)
+        result = PatrolSimulator(sc, plan, SimulationConfig(horizon=120_000)).run()
+        vip = next(t.id for t in sc.targets if t.is_vip)
+        measured = per_target_intervals(result)[vip]
+        predicted = sorted(analysis.intervals_for(vip))
+        # the steady-state multiset of intervals repeats each lap; compare one lap's worth
+        lap = len(predicted)
+        observed = sorted(measured[lap: 2 * lap])
+        for obs, pred in zip(observed, predicted):
+            assert obs == pytest.approx(pred, rel=1e-3)

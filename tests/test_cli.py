@@ -1,0 +1,96 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.strategy == "b-tctp"
+        assert args.targets == 20
+
+    def test_fig_commands_exist(self):
+        parser = build_parser()
+        for cmd in ("fig7", "fig8", "fig9", "fig10", "energy", "ablation-init", "ablation-tsp"):
+            args = parser.parse_args([cmd, "--quick"])
+            assert args.command == cmd
+            assert args.quick is True
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--strategy", "nope"])
+
+
+class TestStrategiesCommand:
+    def test_lists_strategies(self, capsys):
+        assert main(["strategies"]) == 0
+        out = capsys.readouterr().out
+        assert "b-tctp" in out and "chb" in out
+
+    def test_json_output(self, capsys):
+        assert main(["strategies", "--json"]) == 0
+        names = json.loads(capsys.readouterr().out)
+        assert "rw-tctp" in names
+
+
+class TestSimulateCommand:
+    def test_btctp_table_output(self, capsys):
+        code = main(["simulate", "--strategy", "b-tctp", "--targets", "8", "--mules", "2",
+                     "--seed", "1", "--horizon", "15000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "average_dcdt" in out
+        assert "B-TCTP" in out
+
+    def test_json_output_is_parseable(self, capsys):
+        code = main(["simulate", "--strategy", "chb", "--targets", "8", "--mules", "2",
+                     "--seed", "1", "--horizon", "15000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_targets"] == 8
+        assert payload["average_dcdt"] > 0
+
+    def test_wtctp_policy_flag(self, capsys):
+        code = main(["simulate", "--strategy", "w-tctp", "--policy", "shortest", "--targets", "8",
+                     "--mules", "2", "--vips", "1", "--seed", "1", "--horizon", "15000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "shortest" in payload["strategy"]
+
+    def test_rwtctp_gets_recharge_station_automatically(self, capsys):
+        code = main(["simulate", "--strategy", "rw-tctp", "--targets", "6", "--mules", "2",
+                     "--seed", "2", "--horizon", "20000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["dead_mules"] == []
+
+    def test_random_strategy_seeded(self, capsys):
+        code = main(["simulate", "--strategy", "random", "--targets", "6", "--mules", "2",
+                     "--seed", "3", "--horizon", "10000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["average_sd"] > 0
+
+
+class TestFigureCommands:
+    def test_fig8_quick_runs_and_prints_table(self, capsys):
+        code = main(["fig8", "--quick", "--replications", "1", "--horizon", "12000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 8" in out
+        assert "SD" in out
+
+    def test_fig9_quick_json(self, capsys):
+        code = main(["fig9", "--quick", "--replications", "1", "--horizon", "12000", "--json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["experiment"] == "fig9"

@@ -1,0 +1,148 @@
+"""Unit tests for repro.core.patrol_rules (the CCW minimal-angle traversal rule)."""
+
+import math
+
+import pytest
+
+from repro.core.patrol_rules import angle_walk, build_patrol_walk, next_edge_by_angle
+from repro.core.policies import BalancingLengthPolicy, ShortestLengthPolicy
+from repro.geometry.point import Point
+from repro.graphs.hamiltonian import convex_hull_insertion_tour
+from repro.graphs.multitour import MultiTour
+from repro.graphs.tour import Tour
+from repro.graphs.validation import validate_walk_visits
+
+
+def ring_structure(n=10, radius=200.0):
+    coords = {
+        f"g{i}": Point(400 + radius * math.cos(2 * math.pi * i / n),
+                       400 + radius * math.sin(2 * math.pi * i / n))
+        for i in range(n)
+    }
+    return MultiTour.from_tour(convex_hull_insertion_tour(coords)), coords
+
+
+class TestNextEdgeByAngle:
+    def test_single_candidate(self):
+        structure, _ = ring_structure(6)
+        available = [("g1", 0)]
+        assert next_edge_by_angle(structure, "g0", "g5", available) == ("g1", 0)
+
+    def test_no_candidates_raises(self):
+        structure, _ = ring_structure(6)
+        with pytest.raises(ValueError):
+            next_edge_by_angle(structure, "g0", "g5", [])
+
+    def test_prefers_smallest_ccw_angle(self):
+        coords = {
+            "center": Point(0, 0),
+            "west": Point(-100, 0),
+            "north": Point(0, 100),
+            "east": Point(100, 0),
+            "south": Point(0, -100),
+        }
+        structure = MultiTour(coords)
+        for n in ("north", "east", "south"):
+            structure.add_edge("center", n)
+        # Arriving from the west: the reference direction is center->west (pi).
+        # CCW angles: south = pi/2 + ... let's measure: to south (3pi/2 heading) from pi -> pi/2;
+        # to east (0) -> pi; to north (pi/2) -> 3pi/2.  Smallest CCW angle = south.
+        available = [(n, k) for n, k in structure.neighbors("center")]
+        chosen, _ = next_edge_by_angle(structure, "center", "west", available)
+        assert chosen == "south"
+
+    def test_straight_back_ranked_last(self):
+        coords = {"center": Point(0, 0), "west": Point(-100, 0), "far_west": Point(-200, 0),
+                  "north": Point(0, 100)}
+        structure = MultiTour(coords)
+        structure.add_edge("center", "north")
+        # an edge pointing exactly back towards the incoming direction exists too
+        structure.add_edge("center", "far_west")
+        available = [(n, k) for n, k in structure.neighbors("center")]
+        chosen, _ = next_edge_by_angle(structure, "center", "west", available)
+        assert chosen == "north"
+
+    def test_deterministic_without_previous(self):
+        structure, _ = ring_structure(8)
+        available = [(n, k) for n, k in structure.neighbors("g0")]
+        first = next_edge_by_angle(structure, "g0", None, available)
+        second = next_edge_by_angle(structure, "g0", None, available)
+        assert first == second
+
+
+class TestAngleWalk:
+    def test_plain_cycle_traversed_fully(self):
+        structure, coords = ring_structure(10)
+        walk = angle_walk(structure, "g0")
+        assert walk[0] == walk[-1] == "g0"
+        assert len(walk) - 1 == structure.num_edges()
+        assert set(walk) == set(coords)
+
+    def test_unknown_start_raises(self):
+        structure, _ = ring_structure(6)
+        with pytest.raises(KeyError):
+            angle_walk(structure, "nope")
+
+    def test_strict_mode_on_complete_walk(self):
+        structure, _ = ring_structure(8)
+        walk = angle_walk(structure, "g0", strict=True)
+        assert len(walk) - 1 == structure.num_edges()
+
+
+class TestBuildPatrolWalk:
+    @pytest.mark.parametrize("policy_cls", [ShortestLengthPolicy, BalancingLengthPolicy])
+    @pytest.mark.parametrize("weight", [2, 3])
+    def test_walk_covers_every_edge_once(self, policy_cls, weight):
+        structure, coords = ring_structure(12)
+        policy_cls().apply(structure, "g4", weight)
+        walk = build_patrol_walk(structure, "g0")
+        assert walk[0] == walk[-1] == "g0"
+        assert len(walk) - 1 == structure.num_edges()
+        weights = {n: (weight if n == "g4" else 1) for n in coords}
+        validate_walk_visits(walk, weights)
+
+    def test_walk_length_equals_structure_length(self):
+        structure, _ = ring_structure(12)
+        ShortestLengthPolicy().apply(structure, "g2", 3)
+        walk = build_patrol_walk(structure, "g0")
+        assert structure.walk_length(walk) == pytest.approx(structure.length())
+
+    def test_vip_visited_weight_times(self):
+        structure, _ = ring_structure(12)
+        BalancingLengthPolicy().apply(structure, "g6", 4)
+        walk = build_patrol_walk(structure, "g0")
+        assert walk[:-1].count("g6") == 4
+
+    def test_multiple_vips(self):
+        structure, coords = ring_structure(16)
+        ShortestLengthPolicy().apply(structure, "g3", 2)
+        ShortestLengthPolicy().apply(structure, "g11", 3)
+        walk = build_patrol_walk(structure, "g0")
+        weights = {n: 1 for n in coords}
+        weights.update({"g3": 2, "g11": 3})
+        validate_walk_visits(walk, weights)
+
+    def test_non_eulerian_rejected(self):
+        structure, _ = ring_structure(6)
+        structure.add_edge("g0", "g3")
+        with pytest.raises(ValueError):
+            build_patrol_walk(structure, "g0")
+
+    def test_deterministic(self):
+        s1, _ = ring_structure(12)
+        s2, _ = ring_structure(12)
+        BalancingLengthPolicy().apply(s1, "g5", 3)
+        BalancingLengthPolicy().apply(s2, "g5", 3)
+        assert build_patrol_walk(s1, "g0") == build_patrol_walk(s2, "g0")
+
+    def test_parallel_chords_handled(self):
+        # Force a structure where the VIP gets two chords to the same break point
+        coords = {"a": Point(0, 0), "b": Point(100, 0), "c": Point(100, 100),
+                  "d": Point(0, 100), "v": Point(50, 50)}
+        structure = MultiTour(coords)
+        for u, w in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")]:
+            structure.add_edge(u, w)
+        structure.add_edge("a", "v")
+        structure.add_edge("a", "v")  # parallel chord pair keeps degrees even
+        walk = build_patrol_walk(structure, "b")
+        assert len(walk) - 1 == structure.num_edges()

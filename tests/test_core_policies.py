@@ -1,0 +1,188 @@
+"""Unit tests for repro.core.policies (Shortest-Length / Balancing-Length break-edge selection)."""
+
+import math
+
+import pytest
+
+from repro.core.policies import (
+    BalancingLengthPolicy,
+    BreakEdgePolicy,
+    ShortestLengthPolicy,
+    get_policy,
+)
+from repro.geometry.point import Point
+from repro.graphs.hamiltonian import convex_hull_insertion_tour
+from repro.graphs.multitour import MultiTour
+from repro.graphs.tour import Tour
+from repro.graphs.validation import validate_weighted_patrolling_path
+
+
+def ring_structure(n=12, radius=200.0):
+    coords = {
+        f"g{i}": Point(400 + radius * math.cos(2 * math.pi * i / n),
+                       400 + radius * math.sin(2 * math.pi * i / n))
+        for i in range(n)
+    }
+    tour = convex_hull_insertion_tour(coords)
+    return MultiTour.from_tour(tour), coords
+
+
+class TestGetPolicy:
+    def test_by_name(self):
+        assert isinstance(get_policy("shortest"), ShortestLengthPolicy)
+        assert isinstance(get_policy("balanced"), BalancingLengthPolicy)
+
+    def test_aliases(self):
+        assert isinstance(get_policy("Shortest-Length"), ShortestLengthPolicy)
+        assert isinstance(get_policy("balancing-length"), BalancingLengthPolicy)
+        assert isinstance(get_policy("balance"), BalancingLengthPolicy)
+
+    def test_instance_passthrough(self):
+        p = ShortestLengthPolicy()
+        assert get_policy(p) is p
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            get_policy("magic")
+
+
+class TestCandidateEdges:
+    def test_excludes_edges_incident_to_vip(self):
+        structure, _ = ring_structure(6)
+        candidates = BreakEdgePolicy.candidate_edges(structure, "g0")
+        assert all("g0" not in (u, v) for u, v, _k in candidates)
+        assert len(candidates) == 4  # 6 edges minus the 2 incident to g0
+
+    def test_added_length_is_triangle_inequality_slack(self):
+        structure, coords = ring_structure(6)
+        added = BreakEdgePolicy.added_length(structure, "g0", "g2", "g3")
+        direct = coords["g2"].distance_to(coords["g3"])
+        via = coords["g2"].distance_to(coords["g0"]) + coords["g3"].distance_to(coords["g0"])
+        assert added == pytest.approx(via - direct)
+        assert added >= 0
+
+
+class TestShortestLengthPolicy:
+    @pytest.mark.parametrize("weight", [2, 3, 4])
+    def test_vip_degree_after_apply(self, weight):
+        structure, _ = ring_structure(12)
+        ShortestLengthPolicy().apply(structure, "g0", weight)
+        assert structure.degree("g0") == 2 * weight
+        assert structure.is_eulerian()
+
+    def test_weight_one_is_noop(self):
+        structure, _ = ring_structure(8)
+        before = structure.length()
+        ShortestLengthPolicy().apply(structure, "g0", 1)
+        assert structure.length() == pytest.approx(before)
+
+    def test_minimises_added_length_greedily(self):
+        structure, _ = ring_structure(12)
+        pristine = structure.copy()
+        policy = ShortestLengthPolicy()
+        best = min(
+            policy.added_length(pristine, "g0", u, v)
+            for u, v, _k in policy.candidate_edges(pristine, "g0")
+        )
+        before = structure.length()
+        policy.apply(structure, "g0", 2)
+        assert structure.length() - before == pytest.approx(best)
+
+    def test_invalid_weight_rejected(self):
+        structure, _ = ring_structure(8)
+        with pytest.raises(ValueError):
+            ShortestLengthPolicy().apply(structure, "g0", 0)
+
+    def test_too_large_weight_raises(self):
+        # a triangle has only 1 edge not incident to the hub: weight 3 is impossible
+        coords = {"a": Point(0, 0), "b": Point(100, 0), "c": Point(50, 80)}
+        structure = MultiTour.from_tour(Tour(["a", "b", "c"], coords))
+        with pytest.raises(ValueError):
+            ShortestLengthPolicy().apply(structure, "a", 3)
+
+    def test_other_nodes_keep_degree_two(self):
+        structure, _ = ring_structure(10)
+        ShortestLengthPolicy().apply(structure, "g0", 3)
+        for node in structure.nodes:
+            if node != "g0":
+                assert structure.degree(node) == 2
+
+
+class TestBalancingLengthPolicy:
+    @pytest.mark.parametrize("weight", [2, 3, 4])
+    def test_vip_degree_after_apply(self, weight):
+        structure, _ = ring_structure(16)
+        BalancingLengthPolicy().apply(structure, "g0", weight)
+        assert structure.degree("g0") == 2 * weight
+        assert structure.is_eulerian()
+
+    def test_cycles_are_balanced_on_a_ring(self):
+        structure, _ = ring_structure(16)
+        BalancingLengthPolicy().apply(structure, "g0", 2)
+        cycles = structure.cycles_at("g0")
+        assert len(cycles) == 2
+        lengths = sorted(c.length for c in cycles)
+        # on a symmetric ring the two cycles should be within ~25% of each other
+        assert lengths[1] / lengths[0] < 1.35
+
+    def test_balanced_spread_not_worse_than_shortest(self):
+        s_short, _ = ring_structure(20)
+        s_bal, _ = ring_structure(20)
+        ShortestLengthPolicy().apply(s_short, "g0", 3)
+        BalancingLengthPolicy().apply(s_bal, "g0", 3)
+
+        def spread(structure):
+            lengths = [c.length for c in structure.cycles_at("g0")]
+            return max(lengths) - min(lengths)
+
+        assert spread(s_bal) <= spread(s_short) + 1e-6
+
+    def test_shortest_total_length_not_longer_than_balanced(self):
+        s_short, _ = ring_structure(20)
+        s_bal, _ = ring_structure(20)
+        ShortestLengthPolicy().apply(s_short, "g0", 3)
+        BalancingLengthPolicy().apply(s_bal, "g0", 3)
+        assert s_short.length() <= s_bal.length() + 1e-6
+
+    def test_weight_one_is_noop(self):
+        structure, _ = ring_structure(8)
+        before = structure.length()
+        BalancingLengthPolicy().apply(structure, "g0", 1)
+        assert structure.length() == pytest.approx(before)
+
+    def test_refinement_can_be_disabled(self):
+        structure, _ = ring_structure(16)
+        BalancingLengthPolicy(refine=False).apply(structure, "g0", 3)
+        assert structure.degree("g0") == 6
+
+    def test_not_enough_edges_raises(self):
+        coords = {"a": Point(0, 0), "b": Point(100, 0), "c": Point(50, 80)}
+        structure = MultiTour.from_tour(Tour(["a", "b", "c"], coords))
+        with pytest.raises(ValueError):
+            BalancingLengthPolicy().apply(structure, "a", 3)
+
+    def test_structure_remains_valid_wpp(self):
+        structure, coords = ring_structure(14)
+        BalancingLengthPolicy().apply(structure, "g3", 3)
+        weights = {n: (3 if n == "g3" else 1) for n in coords}
+        validate_weighted_patrolling_path(structure, weights)
+
+
+class TestMultiVipInteraction:
+    def test_two_vips_processed_sequentially(self):
+        structure, coords = ring_structure(16)
+        ShortestLengthPolicy().apply(structure, "g0", 2)
+        ShortestLengthPolicy().apply(structure, "g8", 3)
+        assert structure.degree("g0") == 4
+        assert structure.degree("g8") == 6
+        weights = {n: 1 for n in coords}
+        weights.update({"g0": 2, "g8": 3})
+        validate_weighted_patrolling_path(structure, weights)
+
+    def test_balanced_two_vips(self):
+        structure, coords = ring_structure(16)
+        BalancingLengthPolicy().apply(structure, "g0", 2)
+        BalancingLengthPolicy().apply(structure, "g8", 2)
+        weights = {n: 1 for n in coords}
+        weights.update({"g0": 2, "g8": 2})
+        validate_weighted_patrolling_path(structure, weights)

@@ -1,0 +1,140 @@
+"""Unit tests for repro.core.rwtctp (Section IV algorithm)."""
+
+import pytest
+
+from repro.core.plan import AlternatingLoopRoute
+from repro.core.rwtctp import RWTCTPPlanner, build_weighted_recharge_path, plan_rwtctp
+from repro.core.wtctp import build_weighted_patrolling_path
+from repro.energy.model import EnergyModel, patrolling_rounds
+from repro.geometry.point import Point
+from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.graphs.validation import validate_walk_visits, validate_weighted_recharge_path
+from repro.sim.engine import PatrolSimulator, SimulationConfig
+from repro.workloads.scenarios import grid_scenario
+
+
+@pytest.fixture
+def wpp_and_weights(recharge_scenario):
+    tour = build_hamiltonian_circuit(recharge_scenario.patrol_points(), start="sink")
+    weights = recharge_scenario.weights()
+    wpp, _walk = build_weighted_patrolling_path(tour, weights, "shortest")
+    return wpp, weights
+
+
+class TestBuildWRP:
+    def test_station_inserted(self, wpp_and_weights, recharge_scenario):
+        wpp, weights = wpp_and_weights
+        station = recharge_scenario.recharge_station
+        wrp, walk = build_weighted_recharge_path(wpp, weights, station.id, station.position,
+                                                 walk_start="sink")
+        validate_weighted_recharge_path(wrp, weights, station.id)
+        assert station.id in walk
+
+    def test_wrp_longer_than_wpp(self, wpp_and_weights, recharge_scenario):
+        wpp, weights = wpp_and_weights
+        station = recharge_scenario.recharge_station
+        wrp, _ = build_weighted_recharge_path(wpp, weights, station.id, station.position,
+                                              walk_start="sink")
+        assert wrp.length() >= wpp.length()
+
+    def test_wpp_not_mutated(self, wpp_and_weights, recharge_scenario):
+        wpp, weights = wpp_and_weights
+        before = wpp.length()
+        station = recharge_scenario.recharge_station
+        build_weighted_recharge_path(wpp, weights, station.id, station.position, walk_start="sink")
+        assert wpp.length() == pytest.approx(before)
+        assert station.id not in wpp
+
+    def test_break_edge_minimises_exp3(self, wpp_and_weights, recharge_scenario):
+        """The added length equals the minimum of Exp. (3) over all candidate edges."""
+        wpp, weights = wpp_and_weights
+        station = recharge_scenario.recharge_station
+        r = station.position
+        best = min(
+            wpp.point(u).distance_to(r) + wpp.point(v).distance_to(r)
+            - wpp.point(u).distance_to(wpp.point(v))
+            for u, v, _k in wpp.edges()
+        )
+        wrp, _ = build_weighted_recharge_path(wpp, weights, station.id, r, walk_start="sink")
+        assert wrp.length() - wpp.length() == pytest.approx(best)
+
+    def test_station_visited_once_per_lap(self, wpp_and_weights, recharge_scenario):
+        wpp, weights = wpp_and_weights
+        station = recharge_scenario.recharge_station
+        _wrp, walk = build_weighted_recharge_path(wpp, weights, station.id, station.position,
+                                                  walk_start="sink")
+        combined = dict(weights)
+        combined[station.id] = 1
+        validate_walk_visits(walk, combined)
+
+
+class TestPlanner:
+    def test_requires_recharge_station(self, simple_scenario):
+        with pytest.raises(ValueError):
+            plan_rwtctp(simple_scenario)
+
+    def test_requires_batteries(self):
+        sc = grid_scenario(rows=2, cols=3, num_mules=2, with_recharge_station=True)
+        with pytest.raises(ValueError):
+            plan_rwtctp(sc)
+
+    def test_routes_are_alternating(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario)
+        assert all(isinstance(r, AlternatingLoopRoute) for r in plan.routes.values())
+
+    def test_rounds_match_equation_4(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario)
+        capacity = min(m.battery.capacity for m in recharge_scenario.mules)
+        expected = max(
+            patrolling_rounds(capacity, plan.metadata["wpp_length"],
+                              recharge_scenario.num_targets,
+                              recharge_scenario.params.energy_model),
+            1,
+        )
+        assert plan.metadata["patrol_rounds"] == expected
+
+    def test_metadata_lengths(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario)
+        assert plan.metadata["wrp_length"] >= plan.metadata["wpp_length"]
+        assert plan.metadata["recharge_station"] == "recharge"
+
+    def test_treat_targets_as_vips_flag(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario, treat_targets_as_vips=True, vip_weight=2)
+        # promoting every target to weight 2 doubles (roughly) the walk node count
+        base = plan_rwtctp(recharge_scenario)
+        assert len(plan.routes["m1"].patrol_loop) > len(base.routes["m1"].patrol_loop)
+
+    def test_policy_forwarded(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario, policy="shortest")
+        assert "shortest" in plan.strategy
+
+
+class TestSimulatedBehaviour:
+    def test_mules_survive_with_recharge(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario)
+        horizon = 60_000.0
+        result = PatrolSimulator(recharge_scenario, plan, SimulationConfig(horizon=horizon)).run()
+        assert result.dead_mules() == []
+        assert sum(t.recharges for t in result.traces.values()) >= 1
+
+    def test_wtctp_dies_without_recharge_on_same_scenario(self, recharge_scenario):
+        """Baseline check: the same battery without RW-TCTP's recharge detour runs dry."""
+        from repro.core.wtctp import plan_wtctp
+
+        plan = plan_wtctp(recharge_scenario)
+        result = PatrolSimulator(recharge_scenario.fresh_copy(), plan,
+                                 SimulationConfig(horizon=60_000)).run()
+        assert len(result.dead_mules()) > 0
+
+    def test_recharge_station_visits_recorded_as_non_target(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario)
+        result = PatrolSimulator(recharge_scenario, plan, SimulationConfig(horizon=60_000)).run()
+        station_visits = [v for v in result.visits if v.node_id == "recharge"]
+        assert station_visits
+        assert all(not v.is_target for v in station_visits)
+
+    def test_energy_never_observably_negative(self, recharge_scenario):
+        plan = plan_rwtctp(recharge_scenario)
+        PatrolSimulator(recharge_scenario, plan, SimulationConfig(horizon=60_000)).run()
+        for mule in recharge_scenario.mules:
+            assert mule.battery.remaining >= 0.0

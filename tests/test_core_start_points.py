@@ -1,0 +1,133 @@
+"""Unit tests for repro.core.start_points (segmentation + location initialisation)."""
+
+import pytest
+
+from repro.core.start_points import (
+    StartPointAssignment,
+    assign_mules_to_start_points,
+    compute_start_points,
+)
+from repro.geometry.point import Point, distance
+
+SQUARE_COORDS = {
+    "a": Point(0, 0),
+    "b": Point(100, 0),
+    "c": Point(100, 100),
+    "d": Point(0, 100),
+}
+SQUARE_WALK = ["a", "b", "c", "d"]
+
+
+class TestComputeStartPoints:
+    def test_count(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 4)
+        assert len(sps) == 4
+
+    def test_first_start_point_is_northmost_node(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 2)
+        # northmost tie between c(100,100) and d(0,100) broken by smaller x -> d? No:
+        # the reference is the most-north *walk vertex*; ties break on smallest x => d.
+        assert sps[0].position == Point(0, 100)
+
+    def test_equal_arc_spacing(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 4)
+        arcs = [sp.arc_length for sp in sps]
+        diffs = [(arcs[(i + 1) % 4] - arcs[i]) % 400.0 for i in range(4)]
+        assert all(d == pytest.approx(100.0) for d in diffs)
+
+    def test_positions_lie_on_the_path(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 8)
+        for sp in sps:
+            on_edge = (
+                sp.position.x in (0.0, 100.0) and 0 <= sp.position.y <= 100
+            ) or (sp.position.y in (0.0, 100.0) and 0 <= sp.position.x <= 100)
+            assert on_edge
+
+    def test_entry_index_points_to_next_walk_node(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 4)
+        for sp in sps:
+            # start points coincide with vertices here, so the entry node is the vertex itself
+            assert SQUARE_COORDS[SQUARE_WALK[sp.entry_index]].distance_to(sp.position) \
+                <= 100.0
+
+    def test_single_mule_gets_whole_path(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 1)
+        assert len(sps) == 1
+        assert sps[0].position == Point(0, 100)
+
+    def test_more_mules_than_nodes(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 10)
+        assert len(sps) == 10
+        arcs = sorted(sp.arc_length for sp in sps)
+        gaps = [(b - a) for a, b in zip(arcs, arcs[1:])]
+        assert all(g == pytest.approx(40.0) for g in gaps)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            compute_start_points(SQUARE_WALK, SQUARE_COORDS, 0)
+        with pytest.raises(ValueError):
+            compute_start_points([], SQUARE_COORDS, 2)
+
+    def test_walk_with_repeated_nodes(self):
+        # a W-TCTP walk can repeat a VIP; start-point computation must cope
+        walk = ["a", "b", "a", "c", "d"]
+        sps = compute_start_points(walk, SQUARE_COORDS, 3)
+        assert len(sps) == 3
+
+
+class TestAssignMules:
+    def test_one_mule_per_start_point(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 3)
+        mules = {"m1": Point(0, 90), "m2": Point(90, 10), "m3": Point(50, 50)}
+        assignment = assign_mules_to_start_points(sps, mules)
+        assert sorted(assignment.assignment.values()) == [0, 1, 2]
+
+    def test_closest_claim_without_conflict(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 4)
+        mules = {f"m{i}": sps[i].position for i in range(4)}
+        assignment = assign_mules_to_start_points(sps, mules)
+        for i in range(4):
+            assert assignment.assignment[f"m{i}"] == i
+
+    def test_conflict_resolved_by_energy(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 2)
+        # both mules sit exactly on start point 0; the higher-energy one must move on
+        mules = {"m1": sps[0].position, "m2": sps[0].position}
+        energy = {"m1": 10.0, "m2": 100.0}
+        assignment = assign_mules_to_start_points(sps, mules, energy)
+        assert assignment.assignment["m1"] == 0
+        assert assignment.assignment["m2"] == 1
+
+    def test_all_mules_at_same_spot_still_converges(self):
+        n = 6
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, n)
+        mules = {f"m{i}": Point(50, 50) for i in range(n)}
+        assignment = assign_mules_to_start_points(sps, mules)
+        assert sorted(assignment.assignment.values()) == list(range(n))
+
+    def test_mismatched_counts_rejected(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 3)
+        with pytest.raises(ValueError):
+            assign_mules_to_start_points(sps, {"m1": Point(0, 0)})
+
+    def test_start_point_for_accessor(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 2)
+        mules = {"m1": sps[0].position, "m2": sps[1].position}
+        assignment = assign_mules_to_start_points(sps, mules)
+        assert isinstance(assignment, StartPointAssignment)
+        assert assignment.start_point_for("m2") == sps[assignment.assignment["m2"]]
+
+    def test_without_energy_info_defaults_are_used(self):
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 2)
+        mules = {"m1": Point(0, 99), "m2": Point(0, 98)}
+        assignment = assign_mules_to_start_points(sps, mules, remaining_energy=None)
+        assert sorted(assignment.assignment.values()) == [0, 1]
+
+    def test_assignment_spacing_property(self):
+        """After assignment, consecutive mules along the path are |P|/n apart in arc length."""
+        sps = compute_start_points(SQUARE_WALK, SQUARE_COORDS, 4)
+        mules = {f"m{i}": Point(10.0 * i, 5.0) for i in range(4)}
+        assignment = assign_mules_to_start_points(sps, mules)
+        arcs = sorted(sps[idx].arc_length for idx in assignment.assignment.values())
+        gaps = [(b - a) for a, b in zip(arcs, arcs[1:])] + [400.0 - (arcs[-1] - arcs[0])]
+        assert all(g == pytest.approx(100.0) for g in gaps)

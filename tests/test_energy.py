@@ -1,0 +1,138 @@
+"""Unit tests for repro.energy (Battery, EnergyModel, Equation 4)."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.energy.model import EnergyModel, patrolling_rounds
+
+
+class TestBattery:
+    def test_starts_full_by_default(self):
+        b = Battery(100.0)
+        assert b.remaining == 100.0
+        assert b.fraction == 1.0
+        assert not b.depleted
+
+    def test_partial_initial_charge(self):
+        assert Battery(100.0, remaining=40.0).fraction == pytest.approx(0.4)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Battery(0.0)
+
+    def test_invalid_remaining(self):
+        with pytest.raises(ValueError):
+            Battery(100.0, remaining=150.0)
+
+    def test_drain(self):
+        b = Battery(100.0)
+        drained = b.drain(30.0)
+        assert drained == 30.0
+        assert b.remaining == 70.0
+        assert b.total_drained == 30.0
+
+    def test_drain_clamps_at_zero(self):
+        b = Battery(100.0)
+        drained = b.drain(250.0)
+        assert drained == 100.0
+        assert b.remaining == 0.0
+        assert b.depleted
+
+    def test_drain_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(10.0).drain(-1.0)
+
+    def test_refill(self):
+        b = Battery(100.0)
+        b.drain(60.0)
+        added = b.refill()
+        assert added == pytest.approx(60.0)
+        assert b.remaining == 100.0
+        assert b.recharge_count == 1
+        assert b.total_recharged == pytest.approx(60.0)
+
+    def test_charge_partial(self):
+        b = Battery(100.0)
+        b.drain(50.0)
+        assert b.charge(20.0) == 20.0
+        assert b.remaining == 70.0
+
+    def test_charge_clamps_at_capacity(self):
+        b = Battery(100.0)
+        b.drain(10.0)
+        assert b.charge(500.0) == pytest.approx(10.0)
+        assert b.remaining == 100.0
+
+    def test_charge_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Battery(10.0).charge(-5.0)
+
+    def test_copy_preserves_counters(self):
+        b = Battery(100.0)
+        b.drain(30.0)
+        b.refill()
+        c = b.copy()
+        assert c.remaining == b.remaining
+        assert c.recharge_count == 1
+        c.drain(10.0)
+        assert b.remaining == 100.0  # independent
+
+
+class TestEnergyModel:
+    def test_defaults_match_paper(self):
+        m = EnergyModel()
+        assert m.move_cost_per_meter == pytest.approx(8.267)
+        assert m.collect_cost == pytest.approx(0.075)
+
+    def test_movement_energy(self):
+        assert EnergyModel(2.0, 0.1).movement_energy(50.0) == pytest.approx(100.0)
+
+    def test_movement_energy_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().movement_energy(-1.0)
+
+    def test_collection_energy(self):
+        assert EnergyModel(2.0, 0.1).collection_energy(5) == pytest.approx(0.5)
+
+    def test_collection_energy_negative_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel().collection_energy(-1)
+
+    def test_round_energy(self):
+        m = EnergyModel(2.0, 0.5)
+        assert m.round_energy(100.0, 10) == pytest.approx(205.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            EnergyModel(-1.0, 0.1)
+
+
+class TestPatrollingRounds:
+    def test_equation_4_basic(self):
+        # |P| = 1000 m, h = 10 targets, paper constants
+        m = EnergyModel()
+        per_round = 1000 * 8.267 + 10 * 0.075
+        assert patrolling_rounds(5 * per_round, 1000.0, 10, m) == 5
+
+    def test_floor_behaviour(self):
+        m = EnergyModel(1.0, 0.0)
+        assert patrolling_rounds(99.9, 10.0, 0, m) == 9
+
+    def test_zero_when_energy_below_one_round(self):
+        m = EnergyModel(1.0, 0.0)
+        assert patrolling_rounds(5.0, 10.0, 0, m) == 0
+
+    def test_default_model_used_when_none(self):
+        assert patrolling_rounds(8.267 * 100 + 0.075, 100.0, 1) == 1
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            patrolling_rounds(-1.0, 10.0, 1)
+
+    def test_zero_cost_rejected(self):
+        with pytest.raises(ValueError):
+            patrolling_rounds(100.0, 0.0, 0, EnergyModel(0.0, 0.0))
+
+    def test_rounds_supported_method_delegates(self):
+        m = EnergyModel(1.0, 1.0)
+        assert m.rounds_supported(42.0, 10.0, 4) == 3

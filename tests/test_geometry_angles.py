@@ -1,0 +1,111 @@
+"""Unit tests for repro.geometry.angles (headings and CCW included angles)."""
+
+import math
+
+import pytest
+
+from repro.geometry.angles import (
+    ccw_angle,
+    heading,
+    included_angle,
+    normalize_angle,
+    orientation,
+    turn_direction,
+)
+from repro.geometry.point import Point
+
+
+class TestNormalizeAngle:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            (0.0, 0.0),
+            (math.pi, math.pi),
+            (2 * math.pi, 0.0),
+            (-math.pi / 2, 3 * math.pi / 2),
+            (5 * math.pi, math.pi),
+            (-4 * math.pi, 0.0),
+        ],
+    )
+    def test_values(self, raw, expected):
+        assert normalize_angle(raw) == pytest.approx(expected)
+
+    def test_result_always_in_range(self):
+        for k in range(-20, 20):
+            theta = normalize_angle(0.37 * k)
+            assert 0.0 <= theta < 2 * math.pi
+
+
+class TestHeading:
+    def test_east(self):
+        assert heading(Point(0, 0), Point(5, 0)) == pytest.approx(0.0)
+
+    def test_north(self):
+        assert heading(Point(0, 0), Point(0, 5)) == pytest.approx(math.pi / 2)
+
+    def test_west(self):
+        assert heading(Point(0, 0), Point(-5, 0)) == pytest.approx(math.pi)
+
+    def test_south(self):
+        assert heading(Point(0, 0), Point(0, -5)) == pytest.approx(3 * math.pi / 2)
+
+    def test_coincident_raises(self):
+        with pytest.raises(ValueError):
+            heading(Point(1, 1), Point(1, 1))
+
+
+class TestCcwAngle:
+    def test_quarter_turn(self):
+        assert ccw_angle(0.0, math.pi / 2) == pytest.approx(math.pi / 2)
+
+    def test_wraps_negative_difference(self):
+        assert ccw_angle(math.pi / 2, 0.0) == pytest.approx(3 * math.pi / 2)
+
+    def test_zero(self):
+        assert ccw_angle(1.0, 1.0) == pytest.approx(0.0)
+
+
+class TestIncludedAngle:
+    def test_right_angle(self):
+        # incoming edge points east (towards from_point), outgoing points north
+        angle = included_angle(Point(0, 0), Point(1, 0), Point(0, 1))
+        assert angle == pytest.approx(math.pi / 2)
+
+    def test_reflex_measured_ccw(self):
+        # outgoing south of the reference: CCW rotation is 3*pi/2
+        angle = included_angle(Point(0, 0), Point(1, 0), Point(0, -1))
+        assert angle == pytest.approx(3 * math.pi / 2)
+
+    def test_straight_back(self):
+        angle = included_angle(Point(0, 0), Point(1, 0), Point(-1, 0))
+        assert angle == pytest.approx(math.pi)
+
+    def test_same_direction_is_zero(self):
+        angle = included_angle(Point(0, 0), Point(1, 0), Point(2, 0))
+        assert angle == pytest.approx(0.0)
+
+
+class TestOrientation:
+    def test_ccw(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, 1)) == 1
+
+    def test_cw(self):
+        assert orientation(Point(0, 0), Point(1, 0), Point(1, -1)) == -1
+
+    def test_collinear(self):
+        assert orientation(Point(0, 0), Point(1, 1), Point(2, 2)) == 0
+
+    def test_scale_invariant_near_collinear(self):
+        # huge coordinates, still clearly CCW
+        assert orientation(Point(0, 0), Point(1e9, 0), Point(1e9, 1e3)) == 1
+
+
+class TestTurnDirection:
+    def test_left(self):
+        assert turn_direction(Point(0, 0), Point(1, 0), Point(1, 1)) == "left"
+
+    def test_right(self):
+        assert turn_direction(Point(0, 0), Point(1, 0), Point(1, -1)) == "right"
+
+    def test_straight(self):
+        assert turn_direction(Point(0, 0), Point(1, 0), Point(2, 0)) == "straight"

@@ -1,0 +1,101 @@
+"""Unit tests for repro.geometry.hull (Andrew monotone chain convex hull)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.hull import convex_hull, convex_hull_indices, point_in_hull
+from repro.geometry.point import Point
+
+
+def _signed_area(points):
+    pts = [(p.x, p.y) for p in points]
+    area = 0.0
+    for i in range(len(pts)):
+        x1, y1 = pts[i]
+        x2, y2 = pts[(i + 1) % len(pts)]
+        area += x1 * y2 - x2 * y1
+    return 0.5 * area
+
+
+class TestConvexHullIndices:
+    def test_square_with_interior_point(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10), Point(5, 5)]
+        hull = convex_hull_indices(pts)
+        assert sorted(hull) == [0, 1, 2, 3]
+
+    def test_hull_is_counterclockwise(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10), Point(5, 5)]
+        hull_pts = convex_hull(pts)
+        assert _signed_area(hull_pts) > 0
+
+    def test_empty(self):
+        assert convex_hull_indices([]) == []
+
+    def test_single_point(self):
+        assert convex_hull_indices([Point(1, 1)]) == [0]
+
+    def test_two_points(self):
+        assert sorted(convex_hull_indices([Point(0, 0), Point(1, 1)])) == [0, 1]
+
+    def test_two_coincident_points(self):
+        assert convex_hull_indices([Point(2, 2), Point(2, 2)]) == [0]
+
+    def test_collinear_returns_extremes(self):
+        pts = [Point(0, 0), Point(1, 1), Point(2, 2), Point(3, 3)]
+        hull = convex_hull_indices(pts)
+        assert sorted(hull) == [0, 3]
+
+    def test_duplicates_do_not_break_hull(self):
+        pts = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10), Point(10, 0), Point(0, 0)]
+        hull = convex_hull_indices(pts)
+        coords = {(pts[i].x, pts[i].y) for i in hull}
+        assert coords == {(0, 0), (10, 0), (10, 10), (0, 10)}
+
+    def test_collinear_boundary_points_dropped(self):
+        pts = [Point(0, 0), Point(5, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        hull = convex_hull_indices(pts)
+        assert 1 not in hull  # midpoint of the bottom edge is not an extreme point
+        assert sorted(hull) == [0, 2, 3, 4]
+
+    def test_random_points_all_inside_hull(self):
+        rng = np.random.default_rng(42)
+        pts = [Point(float(x), float(y)) for x, y in rng.uniform(0, 100, size=(60, 2))]
+        hull_pts = convex_hull(pts)
+        assert len(hull_pts) >= 3
+        for p in pts:
+            assert point_in_hull(p, hull_pts)
+
+    def test_triangle(self):
+        pts = [Point(0, 0), Point(4, 0), Point(2, 3)]
+        assert sorted(convex_hull_indices(pts)) == [0, 1, 2]
+
+
+class TestPointInHull:
+    def test_inside(self):
+        hull = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        assert point_in_hull(Point(5, 5), hull)
+
+    def test_outside(self):
+        hull = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        assert not point_in_hull(Point(15, 5), hull)
+
+    def test_on_boundary(self):
+        hull = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        assert point_in_hull(Point(10, 5), hull)
+
+    def test_on_vertex(self):
+        hull = [Point(0, 0), Point(10, 0), Point(10, 10), Point(0, 10)]
+        assert point_in_hull(Point(0, 0), hull)
+
+    def test_degenerate_single_point_hull(self):
+        assert point_in_hull(Point(1, 1), [Point(1, 1)])
+        assert not point_in_hull(Point(1, 2), [Point(1, 1)])
+
+    def test_degenerate_segment_hull(self):
+        seg = [Point(0, 0), Point(10, 0)]
+        assert point_in_hull(Point(5, 0), seg)
+        assert not point_in_hull(Point(5, 1), seg)
+        assert not point_in_hull(Point(20, 0), seg)
+
+    def test_empty_hull(self):
+        assert not point_in_hull(Point(0, 0), [])

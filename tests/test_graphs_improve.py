@@ -1,0 +1,91 @@
+"""Unit tests for repro.graphs.improve (2-opt / Or-opt local search)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.graphs.improve import improve_tour, or_opt, two_opt
+from repro.graphs.tour import Tour
+from repro.graphs.validation import validate_tour
+
+
+def _random_tour(n, seed):
+    rng = np.random.default_rng(seed)
+    coords = {f"g{i}": Point(float(x), float(y)) for i, (x, y) in enumerate(rng.uniform(0, 500, (n, 2)))}
+    order = list(coords)
+    rng.shuffle(order)
+    return Tour(order, coords)
+
+
+class TestTwoOpt:
+    def test_never_lengthens(self):
+        for seed in range(5):
+            tour = _random_tour(25, seed)
+            improved = two_opt(tour)
+            assert improved.length() <= tour.length() + 1e-9
+
+    def test_preserves_node_set(self):
+        tour = _random_tour(20, 3)
+        improved = two_opt(tour)
+        validate_tour(improved, expected_nodes=list(tour.order))
+
+    def test_fixes_crossing(self):
+        # a deliberately crossed square: a-c-b-d crosses, optimum is the plain square
+        coords = {"a": Point(0, 0), "b": Point(100, 0), "c": Point(100, 100), "d": Point(0, 100)}
+        crossed = Tour(["a", "c", "b", "d"], coords)
+        improved = two_opt(crossed)
+        assert improved.length() == pytest.approx(400.0)
+
+    def test_small_tours_returned_unchanged(self):
+        tour = _random_tour(3, 0)
+        assert two_opt(tour) is tour
+
+    def test_already_optimal_square_untouched_length(self):
+        coords = {"a": Point(0, 0), "b": Point(100, 0), "c": Point(100, 100), "d": Point(0, 100)}
+        tour = Tour(["a", "b", "c", "d"], coords)
+        assert two_opt(tour).length() == pytest.approx(400.0)
+
+
+class TestOrOpt:
+    def test_never_lengthens(self):
+        for seed in range(5):
+            tour = _random_tour(20, seed + 10)
+            improved = or_opt(tour)
+            assert improved.length() <= tour.length() + 1e-9
+
+    def test_preserves_node_set(self):
+        tour = _random_tour(15, 11)
+        improved = or_opt(tour)
+        validate_tour(improved, expected_nodes=list(tour.order))
+
+    def test_relocates_outlier_segment(self):
+        # g9 physically sits near g0/g1 but is visited in the middle of the far
+        # end of the line; or-opt should relocate it next to its neighbours.
+        coords = {f"g{i}": Point(i * 50.0, 0.0) for i in range(8)}
+        coords["g9"] = Point(25.0, 10.0)
+        bad_order = ["g0", "g1", "g2", "g3", "g9", "g4", "g5", "g6", "g7"]
+        tour = Tour(bad_order, coords)
+        improved = or_opt(tour)
+        assert improved.length() < tour.length() - 100.0
+
+    def test_tiny_tour_unchanged(self):
+        tour = _random_tour(4, 1)
+        assert or_opt(tour) is tour
+
+
+class TestImproveTour:
+    def test_never_lengthens(self):
+        tour = _random_tour(30, 42)
+        improved = improve_tour(tour)
+        assert improved.length() <= tour.length() + 1e-9
+
+    def test_without_or_opt(self):
+        tour = _random_tour(30, 43)
+        improved = improve_tour(tour, use_or_opt=False)
+        assert improved.length() <= tour.length() + 1e-9
+
+    def test_beats_random_order_substantially(self):
+        tour = _random_tour(40, 44)
+        improved = improve_tour(tour)
+        # local search should shave a meaningful fraction off a random permutation
+        assert improved.length() < 0.9 * tour.length()

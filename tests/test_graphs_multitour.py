@@ -1,0 +1,179 @@
+"""Unit tests for repro.graphs.multitour.MultiTour (the WPP/WRP multigraph)."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.graphs.multitour import MultiTour
+from repro.graphs.tour import Tour
+
+
+@pytest.fixture
+def square_multitour(square_tour) -> MultiTour:
+    return MultiTour.from_tour(square_tour)
+
+
+class TestConstruction:
+    def test_from_tour_degrees(self, square_multitour):
+        for node in square_multitour.nodes:
+            assert square_multitour.degree(node) == 2
+
+    def test_from_tour_length_matches(self, square_tour, square_multitour):
+        assert square_multitour.length() == pytest.approx(square_tour.length())
+
+    def test_copy_is_independent(self, square_multitour):
+        clone = square_multitour.copy()
+        clone.remove_edge("a", "b")
+        assert square_multitour.has_edge("a", "b")
+        assert not clone.has_edge("a", "b")
+
+    def test_add_node(self, square_multitour):
+        square_multitour.add_node("r", Point(50, 50))
+        assert "r" in square_multitour
+        assert square_multitour.degree("r") == 0
+
+    def test_add_duplicate_node_rejected(self, square_multitour):
+        with pytest.raises(ValueError):
+            square_multitour.add_node("a", Point(0, 0))
+
+
+class TestEdgeSurgery:
+    def test_add_edge_increments_degrees(self, square_multitour):
+        square_multitour.add_edge("a", "c")
+        assert square_multitour.degree("a") == 3
+        assert square_multitour.degree("c") == 3
+
+    def test_parallel_edges_allowed(self, square_multitour):
+        k1 = square_multitour.add_edge("a", "c")
+        k2 = square_multitour.add_edge("a", "c")
+        assert k1 != k2
+        assert square_multitour.degree("a") == 4
+
+    def test_self_loop_rejected(self, square_multitour):
+        with pytest.raises(ValueError):
+            square_multitour.add_edge("a", "a")
+
+    def test_edge_to_unknown_node_rejected(self, square_multitour):
+        with pytest.raises(KeyError):
+            square_multitour.add_edge("a", "zzz")
+
+    def test_remove_edge(self, square_multitour):
+        square_multitour.remove_edge("a", "b")
+        assert not square_multitour.has_edge("a", "b")
+        assert square_multitour.degree("a") == 1
+
+    def test_remove_missing_edge_raises(self, square_multitour):
+        with pytest.raises(KeyError):
+            square_multitour.remove_edge("a", "c")
+
+    def test_remove_specific_parallel_edge(self, square_multitour):
+        k1 = square_multitour.add_edge("a", "c")
+        square_multitour.add_edge("a", "c")
+        square_multitour.remove_edge("a", "c", key=k1)
+        assert square_multitour.has_edge("a", "c")
+        assert square_multitour.degree("a") == 3
+
+    def test_break_edge_preserves_endpoint_degrees(self, square_multitour):
+        before_a = square_multitour.degree("a")
+        before_b = square_multitour.degree("b")
+        square_multitour.break_edge("a", "b", "c")
+        assert square_multitour.degree("a") == before_a
+        assert square_multitour.degree("b") == before_b
+        assert square_multitour.degree("c") == 4  # the hub gains one cycle
+
+    def test_break_edge_incident_to_hub_rejected(self, square_multitour):
+        with pytest.raises(ValueError):
+            square_multitour.break_edge("a", "b", "a")
+
+    def test_num_edges(self, square_multitour):
+        assert square_multitour.num_edges() == 4
+        square_multitour.add_edge("a", "c")
+        assert square_multitour.num_edges() == 5
+
+
+class TestStructureQueries:
+    def test_cycles_through(self, square_multitour):
+        assert square_multitour.cycles_through("a") == 1
+        square_multitour.break_edge("b", "c", "a")
+        assert square_multitour.cycles_through("a") == 2
+
+    def test_is_connected_true(self, square_multitour):
+        assert square_multitour.is_connected()
+
+    def test_is_connected_false_after_split(self, square_points):
+        mt = MultiTour(square_points)
+        mt.add_edge("a", "b")
+        mt.add_edge("c", "d")
+        assert not mt.is_connected()
+
+    def test_is_eulerian(self, square_multitour):
+        assert square_multitour.is_eulerian()
+        square_multitour.add_edge("a", "c")  # odd degrees now
+        assert not square_multitour.is_eulerian()
+
+    def test_weight_profile(self, square_multitour):
+        square_multitour.break_edge("b", "c", "d")
+        profile = square_multitour.weight_profile()
+        assert profile["d"] == 2
+        assert profile["a"] == 1
+
+    def test_edges_listed_once(self, square_multitour):
+        edges = square_multitour.edges()
+        assert len(edges) == 4
+        keys = [k for _u, _v, k in edges]
+        assert len(set(keys)) == 4
+
+
+class TestEulerCircuit:
+    def test_simple_cycle_circuit(self, square_multitour):
+        walk = square_multitour.euler_circuit(start="a")
+        assert walk[0] == walk[-1] == "a"
+        assert len(walk) == 5  # 4 edges + closing repeat
+        assert set(walk) == {"a", "b", "c", "d"}
+
+    def test_circuit_uses_every_edge_once(self, square_multitour):
+        square_multitour.break_edge("b", "c", "d")  # d now weight 2
+        walk = square_multitour.euler_circuit(start="a")
+        assert len(walk) - 1 == square_multitour.num_edges()
+        assert walk.count("d") == 2
+
+    def test_non_eulerian_raises(self, square_multitour):
+        square_multitour.add_edge("a", "c")
+        with pytest.raises(ValueError):
+            square_multitour.euler_circuit()
+
+    def test_walk_length_matches_structure_length(self, square_multitour):
+        walk = square_multitour.euler_circuit(start="a")
+        assert square_multitour.walk_length(walk) == pytest.approx(square_multitour.length())
+
+
+class TestCyclesAt:
+    def test_single_cycle(self, square_multitour):
+        cycles = square_multitour.cycles_at("a")
+        assert len(cycles) == 1
+        assert cycles[0].length == pytest.approx(square_multitour.length())
+
+    def test_two_cycles_after_break(self, square_multitour):
+        square_multitour.break_edge("b", "c", "d")
+        cycles = square_multitour.cycles_at("d")
+        assert len(cycles) == 2
+        total = sum(c.length for c in cycles)
+        assert total == pytest.approx(square_multitour.length())
+
+    def test_cycles_at_node_not_in_walk(self, square_points):
+        mt = MultiTour(square_points)
+        mt.add_edge("a", "b")
+        mt.add_edge("b", "c")
+        mt.add_edge("c", "a")
+        assert mt.cycles_at("d", walk=["a", "b", "c", "a"]) == []
+
+    def test_visit_counts(self, square_multitour):
+        square_multitour.break_edge("b", "c", "d")
+        walk = square_multitour.euler_circuit(start="a")
+        counts = square_multitour.visit_counts(walk)
+        assert counts["d"] == 2
+        assert counts["a"] == 1
+
+    def test_as_networkx_multigraph(self, square_multitour):
+        square_multitour.add_edge("a", "c")
+        g = square_multitour.as_networkx()
+        assert g.number_of_edges() == 5

@@ -1,0 +1,133 @@
+"""Unit tests for repro.graphs.validation (executable versions of the paper's definitions)."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.graphs.multitour import MultiTour
+from repro.graphs.tour import Tour
+from repro.graphs.validation import (
+    ValidationError,
+    validate_tour,
+    validate_walk_visits,
+    validate_weighted_patrolling_path,
+    validate_weighted_recharge_path,
+)
+
+COORDS = {
+    "a": Point(0, 0),
+    "b": Point(100, 0),
+    "c": Point(100, 100),
+    "d": Point(0, 100),
+    "r": Point(50, 50),
+}
+
+
+def _cycle(nodes):
+    mt = MultiTour({n: COORDS[n] for n in COORDS})
+    for i, n in enumerate(nodes):
+        mt.add_edge(n, nodes[(i + 1) % len(nodes)])
+    return mt
+
+
+class TestValidateTour:
+    def test_valid(self, square_tour):
+        validate_tour(square_tour)
+
+    def test_expected_nodes_match(self, square_tour):
+        validate_tour(square_tour, expected_nodes=["a", "b", "c", "d"])
+
+    def test_missing_node_detected(self, square_tour):
+        with pytest.raises(ValidationError):
+            validate_tour(square_tour, expected_nodes=["a", "b", "c", "d", "e"])
+
+    def test_extra_node_detected(self, square_tour):
+        with pytest.raises(ValidationError):
+            validate_tour(square_tour, expected_nodes=["a", "b", "c"])
+
+    def test_empty_tour_rejected(self):
+        with pytest.raises(ValueError):
+            Tour([], {})
+
+
+class TestValidateWPP:
+    def test_plain_cycle_all_weight_one(self):
+        mt = _cycle(["a", "b", "c", "d"])
+        validate_weighted_patrolling_path(mt, {"a": 1, "b": 1, "c": 1, "d": 1, "r": 1},
+                                          require_all_nodes=False)
+
+    def test_vip_degree_checked(self):
+        mt = _cycle(["a", "b", "c", "d"])
+        mt.break_edge("b", "c", "a")  # a now has 2 cycles
+        weights = {"a": 2, "b": 1, "c": 1, "d": 1}
+        validate_weighted_patrolling_path(mt, weights)
+
+    def test_wrong_degree_rejected(self):
+        mt = _cycle(["a", "b", "c", "d"])
+        with pytest.raises(ValidationError):
+            validate_weighted_patrolling_path(mt, {"a": 2, "b": 1, "c": 1, "d": 1})
+
+    def test_disconnected_rejected(self):
+        mt = MultiTour(COORDS)
+        mt.add_edge("a", "b")
+        mt.add_edge("b", "a")
+        mt.add_edge("c", "d")
+        mt.add_edge("d", "c")
+        with pytest.raises(ValidationError):
+            validate_weighted_patrolling_path(mt, {"a": 1, "b": 1, "c": 1, "d": 1})
+
+    def test_missing_target_rejected(self):
+        mt = _cycle(["a", "b", "c"])
+        with pytest.raises(ValidationError):
+            validate_weighted_patrolling_path(mt, {"a": 1, "b": 1, "c": 1, "d": 1})
+
+    def test_missing_target_tolerated_when_not_required(self):
+        mt = _cycle(["a", "b", "c"])
+        weights = {"a": 1, "b": 1, "c": 1, "d": 1}
+        validate_weighted_patrolling_path(mt, weights, require_all_nodes=False)
+
+    def test_nonpositive_weight_rejected(self):
+        mt = _cycle(["a", "b", "c", "d"])
+        with pytest.raises(ValidationError):
+            validate_weighted_patrolling_path(mt, {"a": 0, "b": 1, "c": 1, "d": 1})
+
+
+class TestValidateWRP:
+    def test_valid_recharge_path(self):
+        mt = _cycle(["a", "b", "c", "d"])
+        mt.break_edge("c", "d", "r")
+        validate_weighted_recharge_path(mt, {"a": 1, "b": 1, "c": 1, "d": 1}, "r")
+
+    def test_missing_station_rejected(self):
+        mt = _cycle(["a", "b", "c", "d"])
+        with pytest.raises(ValidationError):
+            validate_weighted_recharge_path(mt, {"a": 1, "b": 1, "c": 1, "d": 1}, "missing")
+
+    def test_station_with_no_edges_rejected(self):
+        mt = _cycle(["a", "b", "c", "d"])
+        # r exists as a node but is not wired into the cycle
+        with pytest.raises(ValidationError):
+            validate_weighted_recharge_path(mt, {"a": 1, "b": 1, "c": 1, "d": 1}, "r")
+
+
+class TestValidateWalkVisits:
+    def test_valid_walk(self):
+        validate_walk_visits(["a", "b", "c", "d", "a"], {"a": 1, "b": 1, "c": 1, "d": 1})
+
+    def test_vip_visited_twice(self):
+        walk = ["a", "b", "a", "c", "d", "a"]
+        validate_walk_visits(walk, {"a": 2, "b": 1, "c": 1, "d": 1})
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_walk_visits(["a", "b", "c", "a"], {"a": 1, "b": 1, "c": 1, "d": 1})
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValidationError):
+            validate_walk_visits(["a", "b", "x", "a"], {"a": 1, "b": 1})
+
+    def test_extra_allowed_nodes(self):
+        validate_walk_visits(["a", "b", "r", "a"], {"a": 1, "b": 1}, extra_allowed=["r"])
+
+    def test_open_walk_counts_endpoints_once(self):
+        # no closing repetition: every node counted exactly once
+        validate_walk_visits(["a", "b", "c"], {"a": 1, "b": 1, "c": 1})

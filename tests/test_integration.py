@@ -1,0 +1,153 @@
+"""Integration tests: full plan -> simulate -> metrics pipelines across modules.
+
+These exercise the public API exactly the way the examples and the experiment
+harness do, and assert the cross-cutting invariants the paper relies on.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    PatrolSimulator,
+    SimulationConfig,
+    available_strategies,
+    clustered_scenario,
+    get_strategy,
+    plan_btctp,
+    plan_rwtctp,
+    plan_wtctp,
+    uniform_scenario,
+)
+from repro.core.btctp import expected_visiting_interval
+from repro.sim.metrics import (
+    average_dcdt,
+    average_sd,
+    delivery_latencies,
+    max_visiting_interval,
+    per_target_intervals,
+)
+
+
+def simulate(scenario, plan, horizon=30_000, **kw):
+    return PatrolSimulator(scenario.fresh_copy(), plan, SimulationConfig(horizon=horizon, **kw)).run()
+
+
+NON_ENERGY_STRATEGIES = ["random", "sweep", "chb", "b-tctp", "w-tctp"]
+
+
+class TestAllStrategiesEndToEnd:
+    @pytest.mark.parametrize("name", NON_ENERGY_STRATEGIES)
+    def test_every_target_eventually_visited(self, name):
+        sc = uniform_scenario(num_targets=12, num_mules=3, seed=21)
+        kwargs = {"seed": 21} if name == "random" else {}
+        plan = get_strategy(name, **kwargs).plan(sc)
+        result = simulate(sc, plan, horizon=60_000)
+        visited = set(result.visited_targets())
+        assert visited >= {t.id for t in sc.targets}
+
+    @pytest.mark.parametrize("name", NON_ENERGY_STRATEGIES)
+    def test_visit_times_strictly_ordered_and_within_horizon(self, name):
+        sc = uniform_scenario(num_targets=10, num_mules=2, seed=22)
+        kwargs = {"seed": 22} if name == "random" else {}
+        plan = get_strategy(name, **kwargs).plan(sc)
+        result = simulate(sc, plan, horizon=25_000)
+        assert all(0 <= v.time <= 25_000 for v in result.visits)
+        for target in result.visited_targets():
+            times = result.visit_times(target)
+            assert times == sorted(times)
+
+    @pytest.mark.parametrize("name", NON_ENERGY_STRATEGIES)
+    def test_data_is_delivered_to_sink(self, name):
+        sc = uniform_scenario(num_targets=10, num_mules=2, seed=23)
+        kwargs = {"seed": 23} if name == "random" else {}
+        plan = get_strategy(name, **kwargs).plan(sc)
+        result = simulate(sc, plan, horizon=60_000)
+        assert result.total_delivered_data() > 0
+        assert all(lat > 0 for lat in delivery_latencies(result))
+
+    def test_registry_exposes_all_documented_strategies(self):
+        assert {"random", "sweep", "chb", "b-tctp", "w-tctp", "rw-tctp"} <= set(available_strategies())
+
+
+class TestPaperHeadlineClaims:
+    """The four qualitative claims of Section V, checked end to end on one scenario."""
+
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return uniform_scenario(num_targets=15, num_mules=4, seed=30)
+
+    @pytest.fixture(scope="class")
+    def results(self, scenario):
+        out = {}
+        for name in ("random", "sweep", "chb", "b-tctp"):
+            kwargs = {"seed": 30} if name == "random" else {}
+            plan = get_strategy(name, **kwargs).plan(scenario)
+            out[name] = simulate(scenario, plan, horizon=50_000)
+        return out
+
+    def test_tctp_sd_is_zero_others_positive(self, results):
+        assert average_sd(results["b-tctp"]) == pytest.approx(0.0, abs=1e-6)
+        for name in ("random", "chb"):
+            assert average_sd(results[name]) > 0
+
+    def test_tctp_interval_matches_theory(self, scenario, results):
+        plan_meta_interval = plan_btctp(scenario).metadata["expected_visiting_interval"]
+        assert average_dcdt(results["b-tctp"]) == pytest.approx(plan_meta_interval, rel=1e-3)
+
+    def test_random_worst_max_interval(self, results):
+        tctp = max_visiting_interval(results["b-tctp"])
+        rnd = max_visiting_interval(results["random"])
+        assert rnd > tctp
+
+    def test_tctp_minimises_max_interval_among_all(self, results):
+        maxima = {n: max_visiting_interval(r) for n, r in results.items()}
+        assert maxima["b-tctp"] == min(maxima.values())
+
+
+class TestWeightedIntegration:
+    def test_vips_visited_proportionally_to_weight(self):
+        sc = uniform_scenario(num_targets=12, num_mules=2, seed=31, num_vips=2, vip_weight=3)
+        plan = plan_wtctp(sc, policy="balanced")
+        result = simulate(sc, plan, horizon=80_000)
+        vip_ids = [t.id for t in sc.targets if t.is_vip]
+        ntp_ids = [t.id for t in sc.targets if not t.is_vip]
+        vip_rate = sum(result.visit_count(t) for t in vip_ids) / len(vip_ids)
+        ntp_rate = sum(result.visit_count(t) for t in ntp_ids) / len(ntp_ids)
+        assert vip_rate / ntp_rate == pytest.approx(3.0, rel=0.25)
+
+    def test_wpp_strategy_on_clustered_field(self):
+        sc = clustered_scenario(num_targets=16, num_mules=3, num_clusters=4, seed=32,
+                                num_vips=2, vip_weight=2)
+        plan = plan_wtctp(sc)
+        result = simulate(sc, plan, horizon=60_000)
+        assert set(result.visited_targets()) >= {t.id for t in sc.targets}
+
+
+class TestRechargeIntegration:
+    def test_rwtctp_outlives_wtctp(self):
+        sc = uniform_scenario(num_targets=10, num_mules=2, seed=33,
+                              mule_battery=80_000.0, with_recharge_station=True)
+        r_with = simulate(sc, plan_rwtctp(sc), horizon=60_000)
+        r_without = simulate(sc, plan_wtctp(sc), horizon=60_000)
+        assert len(r_with.dead_mules()) <= len(r_without.dead_mules())
+        assert r_with.total_delivered_data() >= r_without.total_delivered_data()
+
+    def test_recharge_keeps_intervals_bounded(self):
+        sc = uniform_scenario(num_targets=10, num_mules=2, seed=34,
+                              mule_battery=120_000.0, with_recharge_station=True)
+        result = simulate(sc, plan_rwtctp(sc), horizon=80_000)
+        intervals = per_target_intervals(result)
+        # every target keeps being visited (no unbounded starvation after recharges)
+        assert all(len(iv) >= 3 for iv in intervals.values())
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self):
+        def run():
+            sc = uniform_scenario(num_targets=12, num_mules=3, seed=40, num_vips=1, vip_weight=2)
+            plan = plan_wtctp(sc, policy="balanced")
+            res = simulate(sc, plan, horizon=30_000)
+            return [(round(v.time, 9), v.node_id, v.mule_id) for v in res.visits]
+
+        assert run() == run()

@@ -1,0 +1,88 @@
+"""Unit tests for repro.network.datamodel (data generation, buffering, delivery)."""
+
+import pytest
+
+from repro.network.datamodel import DataBuffer, DataCollectionModel, DataPacket
+
+
+class TestDataPacket:
+    def test_mean_generation_time(self):
+        p = DataPacket("g1", generated_from=0.0, generated_to=100.0, collected_at=100.0, size=100.0)
+        assert p.mean_generation_time == pytest.approx(50.0)
+
+    def test_delivery_latency(self):
+        p = DataPacket("g1", 0.0, 100.0, 100.0, 100.0)
+        assert p.delivery_latency(delivered_at=250.0) == pytest.approx(200.0)
+
+
+class TestDataBuffer:
+    def test_add_and_len(self):
+        buf = DataBuffer()
+        buf.add(DataPacket("g1", 0, 10, 10, 10))
+        assert len(buf) == 1
+
+    def test_extend(self):
+        buf = DataBuffer()
+        buf.extend([DataPacket("g1", 0, 10, 10, 10), DataPacket("g2", 0, 5, 5, 5)])
+        assert len(buf) == 2
+
+    def test_total_size(self):
+        buf = DataBuffer()
+        buf.add(DataPacket("g1", 0, 10, 10, 10))
+        buf.add(DataPacket("g2", 0, 5, 5, 7))
+        assert buf.total_size == pytest.approx(17.0)
+
+    def test_flush_empties_and_returns(self):
+        buf = DataBuffer()
+        buf.add(DataPacket("g1", 0, 10, 10, 10))
+        out = buf.flush()
+        assert len(out) == 1
+        assert len(buf) == 0
+        assert buf.total_size == 0.0
+
+
+class TestDataCollectionModel:
+    def test_backlog_grows_linearly(self):
+        model = DataCollectionModel({"g1": 2.0})
+        assert model.backlog("g1", 10.0) == pytest.approx(20.0)
+
+    def test_collect_resets_backlog(self):
+        model = DataCollectionModel({"g1": 2.0})
+        packet = model.collect("g1", 10.0)
+        assert packet.size == pytest.approx(20.0)
+        assert model.backlog("g1", 10.0) == 0.0
+        assert model.backlog("g1", 15.0) == pytest.approx(10.0)
+
+    def test_collect_window_bounds(self):
+        model = DataCollectionModel({"g1": 1.0})
+        model.collect("g1", 5.0)
+        p = model.collect("g1", 12.0)
+        assert p.generated_from == 5.0
+        assert p.generated_to == 12.0
+        assert p.collected_at == 12.0
+
+    def test_unknown_target_rejected(self):
+        model = DataCollectionModel({"g1": 1.0})
+        with pytest.raises(KeyError):
+            model.collect("g9", 1.0)
+
+    def test_time_moving_backwards_rejected(self):
+        model = DataCollectionModel({"g1": 1.0})
+        model.collect("g1", 10.0)
+        with pytest.raises(ValueError):
+            model.collect("g1", 5.0)
+
+    def test_zero_rate_target_generates_no_data(self):
+        model = DataCollectionModel({"g1": 0.0})
+        assert model.collect("g1", 100.0).size == 0.0
+
+    def test_independent_targets(self):
+        model = DataCollectionModel({"g1": 1.0, "g2": 3.0})
+        model.collect("g1", 10.0)
+        assert model.backlog("g2", 10.0) == pytest.approx(30.0)
+        assert model.last_collection_time("g1") == 10.0
+        assert model.last_collection_time("g2") == 0.0
+
+    def test_target_ids(self):
+        model = DataCollectionModel({"g1": 1.0, "g2": 1.0})
+        assert set(model.target_ids) == {"g1", "g2"}

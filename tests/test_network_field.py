@@ -1,0 +1,120 @@
+"""Unit tests for repro.network.field (deployment region, clusters, connectivity)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point, distance
+from repro.network.field import Cluster, Field, connected_components_by_range
+
+
+class TestField:
+    def test_default_is_papers_800m_square(self):
+        f = Field()
+        assert f.width == 800.0 and f.height == 800.0
+        assert f.area == pytest.approx(640_000.0)
+
+    def test_center(self):
+        assert Field(100, 200).center == Point(50, 100)
+
+    def test_center_with_origin(self):
+        assert Field(100, 100, origin=Point(50, 50)).center == Point(100, 100)
+
+    def test_contains(self):
+        f = Field(100, 100)
+        assert f.contains(Point(50, 50))
+        assert f.contains(Point(0, 0))
+        assert f.contains(Point(100, 100))
+        assert not f.contains(Point(101, 50))
+        assert not f.contains(Point(50, -1))
+
+    def test_clamp(self):
+        f = Field(100, 100)
+        assert f.clamp(Point(150, -20)) == Point(100, 0)
+        assert f.clamp(Point(50, 50)) == Point(50, 50)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            Field(0, 100)
+
+    def test_sample_uniform_inside(self):
+        f = Field(300, 300)
+        rng = np.random.default_rng(0)
+        pts = f.sample_uniform(rng, 100)
+        assert len(pts) == 100
+        assert all(f.contains(p) for p in pts)
+
+    def test_sample_uniform_deterministic_with_seed(self):
+        f = Field()
+        a = f.sample_uniform(np.random.default_rng(7), 10)
+        b = f.sample_uniform(np.random.default_rng(7), 10)
+        assert a == b
+
+
+class TestCluster:
+    def test_contains(self):
+        c = Cluster(Point(100, 100), 50)
+        assert c.contains(Point(120, 100))
+        assert not c.contains(Point(200, 100))
+
+    def test_invalid_radius(self):
+        with pytest.raises(ValueError):
+            Cluster(Point(0, 0), 0)
+
+    def test_sample_inside_disc(self):
+        c = Cluster(Point(100, 100), 40)
+        pts = c.sample(np.random.default_rng(1), 50)
+        assert len(pts) == 50
+        assert all(distance(p, c.center) <= 40 + 1e-6 for p in pts)
+
+    def test_sample_clamped_to_field(self):
+        f = Field(100, 100)
+        c = Cluster(Point(95, 95), 30)
+        pts = c.sample(np.random.default_rng(2), 30, field=f)
+        assert all(f.contains(p) for p in pts)
+
+    def test_separation(self):
+        a = Cluster(Point(0, 0), 10)
+        b = Cluster(Point(100, 0), 20)
+        assert a.separation(b) == pytest.approx(70.0)
+        assert b.separation(a) == pytest.approx(70.0)
+
+    def test_separation_negative_when_overlapping(self):
+        a = Cluster(Point(0, 0), 30)
+        b = Cluster(Point(40, 0), 30)
+        assert a.separation(b) < 0
+
+
+class TestConnectivity:
+    def test_single_component_when_close(self):
+        pts = [Point(0, 0), Point(10, 0), Point(20, 0)]
+        comps = connected_components_by_range(pts, communication_range=15)
+        assert comps == [[0, 1, 2]]
+
+    def test_disconnected_clusters_detected(self):
+        pts = [Point(0, 0), Point(10, 0), Point(500, 500), Point(510, 500)]
+        comps = connected_components_by_range(pts, communication_range=20)
+        assert len(comps) == 2
+        assert [0, 1] in comps and [2, 3] in comps
+
+    def test_empty(self):
+        assert connected_components_by_range([], 20) == []
+
+    def test_every_point_isolated_at_zero_range(self):
+        pts = [Point(i * 100, 0) for i in range(5)]
+        comps = connected_components_by_range(pts, communication_range=0)
+        assert len(comps) == 5
+
+    def test_chain_connectivity_is_transitive(self):
+        # consecutive points within range, endpoints far apart: still one component
+        pts = [Point(i * 15, 0) for i in range(10)]
+        comps = connected_components_by_range(pts, communication_range=20)
+        assert len(comps) == 1
+
+    def test_paper_motivating_scenario_is_disconnected(self):
+        """Clustered workloads at the paper's 20 m communication range really are disconnected."""
+        from repro.workloads.generator import clustered_scenario
+
+        sc = clustered_scenario(num_targets=20, num_mules=2, num_clusters=4, seed=5)
+        pts = [t.position for t in sc.targets]
+        comps = connected_components_by_range(pts, sc.params.communication_range)
+        assert len(comps) > 1

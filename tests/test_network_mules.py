@@ -1,0 +1,111 @@
+"""Unit tests for repro.network.mules.DataMule."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+from repro.network.mules import DataMule, MuleState
+
+
+class TestConstruction:
+    def test_defaults_match_paper(self):
+        m = DataMule("m1", Point(0, 0))
+        assert m.velocity == 2.0
+        assert m.sensing_range == 10.0
+        assert m.communication_range == 20.0
+        assert m.state is MuleState.IDLE
+
+    def test_position_coerced(self):
+        assert DataMule("m1", (3, 4)).position == Point(3.0, 4.0)
+
+    def test_invalid_velocity(self):
+        with pytest.raises(ValueError):
+            DataMule("m1", Point(0, 0), velocity=0.0)
+
+    def test_negative_range_rejected(self):
+        with pytest.raises(ValueError):
+            DataMule("m1", Point(0, 0), sensing_range=-1.0)
+
+    def test_remaining_energy_infinite_without_battery(self):
+        assert DataMule("m1", Point(0, 0)).remaining_energy == float("inf")
+
+    def test_remaining_energy_with_battery(self):
+        m = DataMule("m1", Point(0, 0), battery=Battery(500.0))
+        assert m.remaining_energy == 500.0
+
+
+class TestKinematics:
+    def test_travel_time(self):
+        m = DataMule("m1", Point(0, 0), velocity=2.0)
+        assert m.travel_time(Point(0, 100)) == pytest.approx(50.0)
+
+    def test_move_to_updates_position_and_returns_time(self):
+        m = DataMule("m1", Point(0, 0), velocity=2.0)
+        t = m.move_to(Point(0, 100))
+        assert t == pytest.approx(50.0)
+        assert m.position == Point(0, 100)
+
+    def test_move_to_drains_energy(self):
+        m = DataMule("m1", Point(0, 0), battery=Battery(1000.0))
+        m.move_to(Point(0, 100), move_cost_per_meter=8.0)
+        assert m.battery.remaining == pytest.approx(200.0)
+
+    def test_move_to_dies_when_energy_insufficient(self):
+        m = DataMule("m1", Point(0, 0), battery=Battery(100.0))
+        m.move_to(Point(0, 100), move_cost_per_meter=8.0)
+        assert m.state is MuleState.DEAD
+        assert not m.alive
+
+    def test_can_reach(self):
+        m = DataMule("m1", Point(0, 0), battery=Battery(100.0))
+        assert m.can_reach(Point(0, 10), move_cost_per_meter=8.0)
+        assert not m.can_reach(Point(0, 100), move_cost_per_meter=8.0)
+
+    def test_can_reach_without_battery_always_true(self):
+        assert DataMule("m1", Point(0, 0)).can_reach(Point(0, 1e9), 100.0)
+
+    def test_position_after_interpolates(self):
+        m = DataMule("m1", Point(0, 0), velocity=2.0)
+        p = m.position_after(Point(0, 100), elapsed=10.0)
+        assert p == Point(0, 20)
+
+    def test_position_after_clamps_at_destination(self):
+        m = DataMule("m1", Point(0, 0), velocity=2.0)
+        assert m.position_after(Point(0, 10), elapsed=1000.0) == Point(0, 10)
+
+
+class TestEnergyOperations:
+    def test_collect_drains(self):
+        m = DataMule("m1", Point(0, 0), battery=Battery(10.0))
+        m.collect(energy_cost=0.075)
+        assert m.battery.remaining == pytest.approx(9.925)
+
+    def test_collect_without_battery_noop(self):
+        m = DataMule("m1", Point(0, 0))
+        m.collect(energy_cost=0.075)
+        assert m.alive
+
+    def test_collect_can_kill(self):
+        m = DataMule("m1", Point(0, 0), battery=Battery(0.05))
+        m.collect(energy_cost=0.075)
+        assert m.state is MuleState.DEAD
+
+    def test_recharge_full_restores_and_revives(self):
+        m = DataMule("m1", Point(0, 0), battery=Battery(100.0))
+        m.move_to(Point(0, 100), move_cost_per_meter=8.0)  # dies
+        m.recharge_full()
+        assert m.battery.remaining == 100.0
+        assert m.state is not MuleState.DEAD
+
+    def test_recharge_without_battery_noop(self):
+        m = DataMule("m1", Point(0, 0))
+        m.recharge_full()
+        assert m.alive
+
+    def test_buffer_starts_empty(self):
+        assert len(DataMule("m1", Point(0, 0)).buffer) == 0
+
+    def test_buffers_not_shared_between_mules(self):
+        a = DataMule("m1", Point(0, 0))
+        b = DataMule("m2", Point(0, 0))
+        assert a.buffer is not b.buffer

@@ -1,0 +1,135 @@
+"""Unit tests for repro.network.scenario (Scenario and SimulationParameters)."""
+
+import pytest
+
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+from repro.network.field import Field
+from repro.network.mules import DataMule
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.network.targets import RechargeStation, Sink, Target
+
+
+class TestSimulationParameters:
+    def test_defaults_match_paper_section_5_1(self):
+        p = SimulationParameters()
+        assert p.mule_velocity == 2.0
+        assert p.sensing_range == 10.0
+        assert p.communication_range == 20.0
+        assert p.move_cost_per_meter == pytest.approx(8.267)
+        assert p.collect_cost == pytest.approx(0.075)
+
+    def test_energy_model_derived(self):
+        p = SimulationParameters(move_cost_per_meter=5.0, collect_cost=0.5)
+        m = p.energy_model
+        assert m.move_cost_per_meter == 5.0
+        assert m.collect_cost == 0.5
+
+    def test_invalid_velocity(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(mule_velocity=0.0)
+
+    def test_invalid_collection_time(self):
+        with pytest.raises(ValueError):
+            SimulationParameters(collection_time=-1.0)
+
+
+class TestScenario:
+    def test_counts(self, simple_scenario):
+        assert simple_scenario.num_targets == 4
+        assert simple_scenario.num_mules == 2
+
+    def test_target_by_id(self, simple_scenario):
+        assert simple_scenario.target_by_id("g2").id == "g2"
+        with pytest.raises(KeyError):
+            simple_scenario.target_by_id("nope")
+
+    def test_patrol_points_include_sink(self, simple_scenario):
+        pts = simple_scenario.patrol_points()
+        assert set(pts) == {"g1", "g2", "g3", "g4", "sink"}
+
+    def test_patrol_points_with_recharge_requires_station(self, simple_scenario):
+        with pytest.raises(ValueError):
+            simple_scenario.patrol_points(include_recharge=True)
+
+    def test_patrol_points_with_recharge(self, recharge_scenario):
+        pts = recharge_scenario.patrol_points(include_recharge=True)
+        assert "recharge" in pts
+
+    def test_weights_default(self, simple_scenario):
+        w = simple_scenario.weights()
+        assert w["sink"] == 1
+        assert all(v == 1 for v in w.values())
+
+    def test_weights_without_sink(self, vip_scenario):
+        w = vip_scenario.weights(include_sink=False)
+        assert "sink" not in w
+        assert w["g4"] == 2
+
+    def test_vips_sorted_by_weight(self):
+        targets = [
+            Target("g1", Point(0, 0), weight=2),
+            Target("g2", Point(10, 0), weight=4),
+            Target("g3", Point(20, 0), weight=1),
+        ]
+        sc = Scenario(targets=targets, sink=Sink("sink", Point(5, 5)),
+                      mules=[DataMule("m1", Point(0, 0))])
+        assert [t.id for t in sc.vips()] == ["g2", "g1"]
+
+    def test_data_rates(self, simple_scenario):
+        rates = simple_scenario.data_rates()
+        assert set(rates) == {"g1", "g2", "g3", "g4"}
+
+    def test_position_of_all_entities(self, recharge_scenario):
+        assert recharge_scenario.position_of("g1") == recharge_scenario.target_by_id("g1").position
+        assert recharge_scenario.position_of("sink") == recharge_scenario.sink.position
+        assert recharge_scenario.position_of("recharge") == recharge_scenario.recharge_station.position
+        assert recharge_scenario.position_of("m1") == recharge_scenario.mules[0].position
+        with pytest.raises(KeyError):
+            recharge_scenario.position_of("ghost")
+
+    def test_duplicate_ids_rejected(self):
+        targets = [Target("x", Point(0, 0))]
+        with pytest.raises(ValueError):
+            Scenario(targets=targets, sink=Sink("x", Point(1, 1)),
+                     mules=[DataMule("m1", Point(0, 0))])
+
+    def test_requires_targets_and_mules(self):
+        with pytest.raises(ValueError):
+            Scenario(targets=[], sink=Sink("sink", Point(0, 0)),
+                     mules=[DataMule("m1", Point(0, 0))])
+        with pytest.raises(ValueError):
+            Scenario(targets=[Target("g1", Point(0, 0))], sink=Sink("sink", Point(1, 1)), mules=[])
+
+
+class TestScenarioCopies:
+    def test_with_mule_count_truncates(self, fig1_scenario):
+        sc = fig1_scenario.with_mule_count(2)
+        assert sc.num_mules == 2
+        assert [m.id for m in sc.mules] == ["m1", "m2"]
+
+    def test_with_mule_count_pads(self, simple_scenario):
+        sc = simple_scenario.with_mule_count(5)
+        assert sc.num_mules == 5
+        assert len({m.id for m in sc.mules}) == 5
+
+    def test_with_mule_count_invalid(self, simple_scenario):
+        with pytest.raises(ValueError):
+            simple_scenario.with_mule_count(0)
+
+    def test_with_mule_count_preserves_targets(self, simple_scenario):
+        sc = simple_scenario.with_mule_count(3)
+        assert [t.id for t in sc.targets] == [t.id for t in simple_scenario.targets]
+
+    def test_fresh_copy_independent_batteries(self):
+        targets = [Target("g1", Point(0, 0))]
+        mule = DataMule("m1", Point(0, 0), battery=Battery(100.0))
+        sc = Scenario(targets=targets, sink=Sink("sink", Point(1, 1)), mules=[mule])
+        copy = sc.fresh_copy()
+        copy.mules[0].battery.drain(60.0)
+        assert sc.mules[0].battery.remaining == 100.0
+
+    def test_fresh_copy_independent_positions(self, simple_scenario):
+        copy = simple_scenario.fresh_copy()
+        copy.mules[0].position = Point(1.0, 1.0)
+        assert simple_scenario.mules[0].position != Point(1.0, 1.0)

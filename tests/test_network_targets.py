@@ -1,0 +1,102 @@
+"""Unit tests for repro.network.targets."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.network.targets import RechargeStation, Sink, Target, TargetKind, make_targets
+
+
+class TestTarget:
+    def test_defaults_are_ntp(self):
+        t = Target("g1", Point(1, 2))
+        assert t.weight == 1
+        assert t.kind is TargetKind.NTP
+        assert not t.is_vip
+
+    def test_vip_kind(self):
+        t = Target("g1", Point(1, 2), weight=3)
+        assert t.kind is TargetKind.VIP
+        assert t.is_vip
+
+    def test_position_coerced_from_tuple(self):
+        t = Target("g1", (3, 4))
+        assert t.position == Point(3.0, 4.0)
+
+    def test_invalid_weight_rejected(self):
+        with pytest.raises(ValueError):
+            Target("g1", Point(0, 0), weight=0)
+
+    def test_negative_data_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Target("g1", Point(0, 0), data_rate=-1.0)
+
+    def test_reweighted(self):
+        t = Target("g1", Point(0, 0), weight=1, data_rate=2.0)
+        t2 = t.reweighted(4)
+        assert t2.weight == 4
+        assert t2.id == t.id and t2.position == t.position and t2.data_rate == t.data_rate
+        assert t.weight == 1  # original unchanged
+
+    def test_frozen(self):
+        t = Target("g1", Point(0, 0))
+        with pytest.raises(Exception):
+            t.weight = 5  # type: ignore[misc]
+
+
+class TestSink:
+    def test_kind(self):
+        s = Sink("sink", Point(0, 0))
+        assert s.kind is TargetKind.SINK
+
+    def test_as_target_is_weight_one(self):
+        s = Sink("sink", (5, 5))
+        t = s.as_target()
+        assert isinstance(t, Target)
+        assert t.weight == 1
+        assert t.data_rate == 0.0
+        assert t.position == Point(5.0, 5.0)
+
+    def test_as_target_custom_weight(self):
+        assert Sink("sink", Point(0, 0)).as_target(weight=3).weight == 3
+
+
+class TestRechargeStation:
+    def test_kind(self):
+        r = RechargeStation("r", Point(1, 1))
+        assert r.kind is TargetKind.RECHARGE
+
+    def test_default_rate_is_instantaneous(self):
+        assert RechargeStation("r", Point(0, 0)).recharge_rate == float("inf")
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RechargeStation("r", Point(0, 0), recharge_rate=0.0)
+
+    def test_as_target(self):
+        t = RechargeStation("r", Point(2, 3)).as_target()
+        assert t.weight == 1
+        assert t.position == Point(2.0, 3.0)
+
+
+class TestMakeTargets:
+    def test_default_ids_and_weights(self):
+        ts = make_targets([(0, 0), (1, 1), (2, 2)])
+        assert [t.id for t in ts] == ["g1", "g2", "g3"]
+        assert all(t.weight == 1 for t in ts)
+
+    def test_sparse_weight_mapping(self):
+        ts = make_targets([(0, 0), (1, 1), (2, 2)], weights={1: 3})
+        assert [t.weight for t in ts] == [1, 3, 1]
+
+    def test_full_weight_sequence(self):
+        ts = make_targets([(0, 0), (1, 1)], weights=[2, 4])
+        assert [t.weight for t in ts] == [2, 4]
+
+    def test_weight_sequence_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_targets([(0, 0), (1, 1)], weights=[2])
+
+    def test_custom_prefix_and_rate(self):
+        ts = make_targets([(0, 0)], prefix="t", data_rate=5.0)
+        assert ts[0].id == "t1"
+        assert ts[0].data_rate == 5.0

@@ -1,0 +1,286 @@
+"""Property-based tests (hypothesis) for the core data structures and invariants.
+
+These state the paper's structural definitions as properties over randomly
+generated geometries: convex hulls contain their points, Hamiltonian circuits
+visit everything exactly once, weighted patrolling paths give a VIP of weight
+``w`` exactly ``w`` cycles and ``w`` visits per lap, the equal-length
+segmentation really is equal, and Equation (4) is consistent with the energy
+model.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.patrol_rules import build_patrol_walk
+from repro.core.policies import BalancingLengthPolicy, ShortestLengthPolicy
+from repro.core.start_points import assign_mules_to_start_points, compute_start_points
+from repro.energy.battery import Battery
+from repro.energy.model import EnergyModel, patrolling_rounds
+from repro.geometry.hull import convex_hull, convex_hull_indices, point_in_hull
+from repro.geometry.point import Point, distance, total_length
+from repro.geometry.polyline import Polyline
+from repro.graphs.hamiltonian import convex_hull_insertion_tour, nearest_neighbor_tour
+from repro.graphs.improve import two_opt
+from repro.graphs.multitour import MultiTour
+from repro.graphs.validation import validate_tour, validate_walk_visits
+from repro.sim.metrics import visiting_intervals
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+coordinate = st.floats(min_value=0.0, max_value=800.0, allow_nan=False, allow_infinity=False)
+point_st = st.builds(Point, coordinate, coordinate)
+
+
+def distinct_points(min_size: int, max_size: int):
+    """Lists of points with pairwise-distinct (rounded) coordinates."""
+    return st.lists(
+        point_st, min_size=min_size, max_size=max_size,
+        unique_by=lambda p: (round(p.x, 3), round(p.y, 3)),
+    )
+
+
+def coords_dict(min_size: int, max_size: int):
+    return distinct_points(min_size, max_size).map(
+        lambda pts: {f"g{i}": p for i, p in enumerate(pts)}
+    )
+
+
+COMMON = dict(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Geometry
+# ---------------------------------------------------------------------------
+
+
+class TestHullProperties:
+    @settings(max_examples=60, **COMMON)
+    @given(distinct_points(1, 40))
+    def test_hull_contains_every_input_point(self, pts):
+        hull = convex_hull(pts)
+        assert hull  # non-empty for non-empty input
+        for p in pts:
+            assert point_in_hull(p, hull)
+
+    @settings(max_examples=60, **COMMON)
+    @given(distinct_points(3, 40))
+    def test_hull_vertices_are_input_points(self, pts):
+        idx = convex_hull_indices(pts)
+        assert all(0 <= i < len(pts) for i in idx)
+        assert len(set(idx)) == len(idx)
+
+    @settings(max_examples=40, **COMMON)
+    @given(distinct_points(3, 25))
+    def test_hull_is_invariant_under_point_order(self, pts):
+        hull_a = {(p.x, p.y) for p in convex_hull(pts)}
+        hull_b = {(p.x, p.y) for p in convex_hull(list(reversed(pts)))}
+        assert hull_a == hull_b
+
+
+class TestPolylineProperties:
+    @settings(max_examples=60, **COMMON)
+    @given(distinct_points(2, 20), st.integers(min_value=1, max_value=12))
+    def test_equally_spaced_points_lie_on_path(self, pts, n):
+        poly = Polyline(pts, closed=True)
+        samples = poly.equally_spaced(n)
+        assert len(samples) == n
+        for p in samples:
+            assert _distance_to_polyline(poly, p) < 1e-6
+
+    @settings(max_examples=60, **COMMON)
+    @given(distinct_points(2, 15), st.floats(min_value=-2000, max_value=2000,
+                                             allow_nan=False, allow_infinity=False))
+    def test_point_at_wraps_modulo_length(self, pts, s):
+        poly = Polyline(pts, closed=True)
+        if poly.length == 0:
+            return
+        a = poly.point_at(s)
+        b = poly.point_at(s + poly.length)
+        assert distance(a, b) < 1e-6
+
+
+def _distance_to_polyline(poly: Polyline, p: Point) -> float:
+    """Euclidean distance from ``p`` to the nearest segment of the closed polyline."""
+    verts = poly.vertices
+    n = len(verts)
+    best = float("inf")
+    for i in range(n):
+        ax, ay = verts[i]
+        bx, by = verts[(i + 1) % n]
+        vx, vy = bx - ax, by - ay
+        seg_len_sq = vx * vx + vy * vy
+        if seg_len_sq == 0:
+            d = math.hypot(p.x - ax, p.y - ay)
+        else:
+            t = max(0.0, min(1.0, ((p.x - ax) * vx + (p.y - ay) * vy) / seg_len_sq))
+            d = math.hypot(p.x - (ax + t * vx), p.y - (ay + t * vy))
+        best = min(best, d)
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Tours
+# ---------------------------------------------------------------------------
+
+
+class TestTourProperties:
+    @settings(max_examples=40, **COMMON)
+    @given(coords_dict(1, 25))
+    def test_hull_insertion_is_hamiltonian(self, coords):
+        tour = convex_hull_insertion_tour(coords)
+        validate_tour(tour, expected_nodes=list(coords))
+
+    @settings(max_examples=40, **COMMON)
+    @given(coords_dict(1, 25))
+    def test_nearest_neighbor_is_hamiltonian(self, coords):
+        tour = nearest_neighbor_tour(coords)
+        validate_tour(tour, expected_nodes=list(coords))
+
+    @settings(max_examples=30, **COMMON)
+    @given(coords_dict(4, 18))
+    def test_two_opt_never_lengthens_and_preserves_nodes(self, coords):
+        tour = nearest_neighbor_tour(coords)
+        improved = two_opt(tour)
+        assert improved.length() <= tour.length() + 1e-6
+        validate_tour(improved, expected_nodes=list(coords))
+
+    @settings(max_examples=30, **COMMON)
+    @given(coords_dict(3, 20))
+    def test_tour_length_at_least_hull_perimeter(self, coords):
+        """Any closed tour through all points is at least as long as the convex hull perimeter."""
+        tour = convex_hull_insertion_tour(coords)
+        hull = convex_hull(list(coords.values()))
+        hull_perimeter = total_length(hull, closed=True)
+        assert tour.length() >= hull_perimeter - 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Weighted patrol structures
+# ---------------------------------------------------------------------------
+
+
+class TestWppProperties:
+    @settings(max_examples=30, **COMMON)
+    @given(coords_dict(5, 16), st.integers(min_value=2, max_value=4),
+           st.sampled_from(["shortest", "balanced"]))
+    def test_single_vip_structure_and_walk_invariants(self, coords, weight, policy_name):
+        tour = convex_hull_insertion_tour(coords)
+        structure = MultiTour.from_tour(tour)
+        vip = tour.order[len(tour) // 2]
+        policy = ShortestLengthPolicy() if policy_name == "shortest" else BalancingLengthPolicy()
+        policy.apply(structure, vip, weight)
+
+        # Definition 3 invariants
+        assert structure.degree(vip) == 2 * weight
+        assert structure.is_eulerian()
+        assert structure.length() >= tour.length() - 1e-9
+
+        # Patrolling-rule walk traverses each edge once, visits VIP w times per lap
+        walk = build_patrol_walk(structure, tour.order[0])
+        weights = {n: (weight if n == vip else 1) for n in coords}
+        validate_walk_visits(walk, weights)
+        assert abs(structure.walk_length(walk) - structure.length()) < 1e-6
+
+    @settings(max_examples=25, **COMMON)
+    @given(coords_dict(8, 16), st.integers(min_value=2, max_value=3),
+           st.integers(min_value=2, max_value=3))
+    def test_two_vips_walk_visit_counts(self, coords, w1, w2):
+        tour = convex_hull_insertion_tour(coords)
+        structure = MultiTour.from_tour(tour)
+        nodes = list(tour.order)
+        vip1, vip2 = nodes[1], nodes[len(nodes) // 2]
+        ShortestLengthPolicy().apply(structure, vip1, w1)
+        ShortestLengthPolicy().apply(structure, vip2, w2)
+        walk = build_patrol_walk(structure, nodes[0])
+        weights = {n: 1 for n in coords}
+        weights[vip1], weights[vip2] = w1, w2
+        validate_walk_visits(walk, weights)
+
+
+# ---------------------------------------------------------------------------
+# Start points / location initialisation
+# ---------------------------------------------------------------------------
+
+
+class TestStartPointProperties:
+    @settings(max_examples=40, **COMMON)
+    @given(coords_dict(3, 20), st.integers(min_value=1, max_value=8))
+    def test_equal_partition(self, coords, n):
+        tour = convex_hull_insertion_tour(coords)
+        walk = list(tour.order)
+        sps = compute_start_points(walk, coords, n)
+        assert len(sps) == n
+        total = tour.length()
+        if total == 0:
+            return
+        arcs = sorted(sp.arc_length for sp in sps)
+        gaps = [b - a for a, b in zip(arcs, arcs[1:])] + [total - (arcs[-1] - arcs[0])]
+        for g in gaps:
+            assert math.isclose(g, total / n, rel_tol=1e-6, abs_tol=1e-6)
+
+    @settings(max_examples=40, **COMMON)
+    @given(coords_dict(3, 15), st.integers(min_value=1, max_value=6), st.data())
+    def test_assignment_is_a_bijection(self, coords, n, data):
+        tour = convex_hull_insertion_tour(coords)
+        sps = compute_start_points(list(tour.order), coords, n)
+        mule_positions = {
+            f"m{i}": data.draw(point_st, label=f"mule{i}") for i in range(n)
+        }
+        energy = {f"m{i}": float(i) for i in range(n)}
+        assignment = assign_mules_to_start_points(sps, mule_positions, energy)
+        assert sorted(assignment.assignment.values()) == list(range(n))
+
+
+# ---------------------------------------------------------------------------
+# Energy / metrics
+# ---------------------------------------------------------------------------
+
+
+class TestEnergyProperties:
+    @settings(max_examples=80, **COMMON)
+    @given(st.floats(min_value=1.0, max_value=1e7, allow_nan=False),
+           st.floats(min_value=1.0, max_value=1e5, allow_nan=False),
+           st.integers(min_value=0, max_value=500))
+    def test_rounds_consistent_with_energy(self, energy, path_len, h):
+        model = EnergyModel()
+        r = patrolling_rounds(energy, path_len, h, model)
+        per_round = model.round_energy(path_len, h)
+        assert r * per_round <= energy + 1e-9
+        assert (r + 1) * per_round > energy - 1e-9
+
+    @settings(max_examples=80, **COMMON)
+    @given(st.floats(min_value=1.0, max_value=1e6, allow_nan=False),
+           st.lists(st.floats(min_value=0.0, max_value=1e5, allow_nan=False), max_size=20))
+    def test_battery_never_negative_and_conserves_energy(self, capacity, drains):
+        b = Battery(capacity)
+        for amount in drains:
+            b.drain(amount)
+            assert 0.0 <= b.remaining <= capacity
+        assert math.isclose(b.remaining + b.total_drained, capacity, rel_tol=1e-9)
+
+
+class TestMetricProperties:
+    @settings(max_examples=80, **COMMON)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                    min_size=2, max_size=50))
+    def test_intervals_sum_to_span(self, times):
+        intervals = visiting_intervals(times)
+        assert len(intervals) == len(times) - 1
+        assert all(iv >= 0 for iv in intervals)
+        assert math.isclose(sum(intervals), max(times) - min(times), rel_tol=1e-9, abs_tol=1e-6)
+
+    @settings(max_examples=80, **COMMON)
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+                    min_size=1, max_size=50),
+           st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    def test_include_first_adds_exactly_one_interval(self, times, initial):
+        base = visiting_intervals(times)
+        with_first = visiting_intervals(times, initial_time=0.0, include_first=True)
+        assert len(with_first) == len(base) + 1

@@ -1,0 +1,60 @@
+"""Tests of the top-level public API (`import repro`) and the module entry point."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name}"
+
+    def test_core_entry_points_exported(self):
+        for name in ("plan_btctp", "plan_wtctp", "plan_rwtctp", "PatrolSimulator",
+                     "SimulationConfig", "uniform_scenario", "get_strategy"):
+            assert name in repro.__all__
+
+    def test_docstring_example_runs(self):
+        """The quickstart in the package docstring must keep working."""
+        scenario = repro.uniform_scenario(num_targets=15, num_mules=3, seed=1)
+        plan = repro.plan_btctp(scenario)
+        result = repro.PatrolSimulator(
+            scenario, plan, repro.SimulationConfig(horizon=20_000)
+        ).run()
+        from repro.sim.metrics import average_sd
+
+        assert round(average_sd(result), 3) == 0.0
+
+    def test_strategy_registry_round_trip(self):
+        for name in repro.available_strategies():
+            if name.startswith("rw"):
+                continue  # needs batteries + recharge station
+            planner = repro.get_strategy(name)
+            assert hasattr(planner, "plan")
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "strategies"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "b-tctp" in proc.stdout
+
+    def test_python_dash_m_repro_simulate(self):
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "simulate", "--strategy", "chb",
+             "--targets", "6", "--mules", "2", "--horizon", "8000", "--json"],
+            capture_output=True, text=True, timeout=180,
+        )
+        assert proc.returncode == 0
+        assert '"strategy"' in proc.stdout

@@ -1,0 +1,76 @@
+"""Unit tests for repro.experiments.reporting (ASCII tables / CSV)."""
+
+import math
+
+from repro.experiments.reporting import format_series, format_table, print_report, to_csv
+
+
+class TestFormatTable:
+    def test_headers_and_rows_present(self):
+        text = format_table(["a", "b"], [[1, 2.5], [3, 4.25]])
+        assert "a" in text and "b" in text
+        assert "2.50" in text
+        assert "4.25" in text
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [[1], [1000]])
+        lines = text.splitlines()
+        assert len(lines[-1]) == len(lines[-2])  # fixed width rows
+
+    def test_nan_and_none_rendering(self):
+        text = format_table(["v"], [[float("nan")], [None]])
+        assert "nan" in text
+        assert "-" in text
+
+    def test_precision(self):
+        text = format_table(["v"], [[math.pi]], precision=4)
+        assert "3.1416" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+
+class TestFormatSeries:
+    def test_series_side_by_side(self):
+        text = format_series({"s1": [1.0, 2.0], "s2": [3.0, 4.0]}, x_label="t")
+        assert "s1" in text and "s2" in text and "t" in text
+        assert "4.00" in text
+
+    def test_custom_x_values(self):
+        text = format_series({"s": [1.0]}, x_values=["first"])
+        assert "first" in text
+
+    def test_unequal_lengths_padded(self):
+        text = format_series({"long": [1.0, 2.0, 3.0], "short": [1.0]})
+        assert "-" in text
+
+    def test_empty_series(self):
+        text = format_series({})
+        assert "index" in text
+
+
+class TestCsv:
+    def test_round_trip_shape(self):
+        csv = to_csv(["a", "b"], [[1, 2], [3, 4]])
+        lines = csv.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert len(lines) == 3
+
+    def test_floats_fixed_precision(self):
+        csv = to_csv(["v"], [[1.23456789]])
+        assert "1.234568" in csv
+
+
+class TestPrintReport:
+    def test_prints_text(self, capsys):
+        print_report("hello table\n")
+        assert capsys.readouterr().out == "hello table\n"
+
+    def test_adds_trailing_newline(self, capsys):
+        print_report("no newline")
+        assert capsys.readouterr().out.endswith("\n")

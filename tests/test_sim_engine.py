@@ -1,0 +1,197 @@
+"""Unit tests for repro.sim.engine (the discrete-event patrolling simulator)."""
+
+import pytest
+
+from repro.core.plan import LoopRoute, PatrolPlan, StochasticRoute
+from repro.core.btctp import plan_btctp
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+from repro.network.field import Field
+from repro.network.mules import DataMule
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.network.targets import RechargeStation, Sink, Target
+from repro.sim.engine import PatrolSimulator, SimulationConfig
+
+
+def _line_scenario(*, battery=None, with_recharge=False, collection_time=0.0):
+    """Two targets on a line 100 m apart from the sink; velocity 2 m/s."""
+    params = SimulationParameters(collection_time=collection_time)
+    targets = [Target("g1", Point(100.0, 0.0)), Target("g2", Point(200.0, 0.0))]
+    sink = Sink("sink", Point(0.0, 0.0))
+    recharge = RechargeStation("recharge", Point(150.0, 0.0)) if with_recharge else None
+    mule = DataMule("m1", sink.position, velocity=2.0,
+                    battery=Battery(battery) if battery else None)
+    return Scenario(targets=targets, sink=sink, mules=[mule], recharge_station=recharge,
+                    field=Field(), params=params, name="line")
+
+
+def _loop_plan(scenario, loop=("sink", "g1", "g2"), start=None, entry=0):
+    coords = scenario.patrol_points(include_recharge=scenario.recharge_station is not None)
+    return PatrolPlan(
+        strategy="manual",
+        routes={"m1": LoopRoute("m1", list(loop), coords, entry_index=entry, start=start)},
+    )
+
+
+class TestConfig:
+    def test_invalid_horizon(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(horizon=0)
+
+    def test_invalid_max_visits(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(max_visits=0)
+
+    def test_missing_route_rejected(self):
+        sc = _line_scenario()
+        plan = PatrolPlan(strategy="x", routes={"zzz": LoopRoute("zzz", ["sink"], sc.patrol_points())})
+        with pytest.raises(ValueError):
+            PatrolSimulator(sc, plan)
+
+
+class TestArrivalTiming:
+    def test_visit_times_follow_kinematics(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=500)).run()
+        # loop sink -> g1 -> g2 -> sink...: g1 at 50 s (100 m at 2 m/s), g2 at 100 s,
+        # back at sink at 200 s (200 m back), then g1 again at 250 s
+        g1 = result.visit_times("g1")
+        assert g1[0] == pytest.approx(50.0)
+        assert g1[1] == pytest.approx(250.0)
+        assert result.visit_times("g2")[0] == pytest.approx(100.0)
+        assert result.visit_times("sink")[1] == pytest.approx(200.0)
+
+    def test_horizon_respected(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=120)).run()
+        assert all(v.time <= 120 for v in result.visits)
+
+    def test_max_visits_stops_early(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=10_000, max_visits=5)).run()
+        assert len([v for v in result.visits if v.is_target]) == 5
+
+    def test_sink_visits_counted_as_target_visits(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=500)).run()
+        assert "sink" in result.visited_targets()
+
+    def test_collection_time_delays_subsequent_arrivals(self):
+        fast = PatrolSimulator(_line_scenario(), _loop_plan(_line_scenario()),
+                               SimulationConfig(horizon=500)).run()
+        slow_sc = _line_scenario(collection_time=10.0)
+        slow = PatrolSimulator(slow_sc, _loop_plan(slow_sc), SimulationConfig(horizon=500)).run()
+        assert slow.visit_times("g2")[0] == pytest.approx(fast.visit_times("g2")[0] + 10.0)
+
+    def test_distance_travelled_recorded(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=400)).run()
+        # two full laps of the 400 m loop complete within 400 s at 2 m/s
+        assert result.traces["m1"].distance_travelled == pytest.approx(800.0)
+
+    def test_start_position_initialisation_leg(self):
+        sc = _line_scenario()
+        plan = _loop_plan(sc, start=Point(100.0, 0.0), entry=2)  # start at g1, first waypoint g2
+        result = PatrolSimulator(sc, plan, SimulationConfig(horizon=500)).run()
+        assert result.traces["m1"].initialization_time == pytest.approx(50.0)
+        assert result.visit_times("g2")[0] == pytest.approx(100.0)
+
+
+class TestDataFlow:
+    def test_packets_delivered_at_sink(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=1000)).run()
+        assert result.deliveries
+        delivered_targets = {d.target_id for d in result.deliveries}
+        assert delivered_targets == {"g1", "g2"}
+
+    def test_delivered_size_matches_backlog(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=250)).run()
+        # g1 collected at t=50 with data_rate 1.0 -> 50 units, delivered at the sink at t=200
+        first = min(result.deliveries, key=lambda d: (d.target_id != "g1", d.collected_at))
+        assert first.target_id == "g1"
+        assert first.size == pytest.approx(50.0)
+        assert first.delivered_at == pytest.approx(200.0)
+
+    def test_collections_counted(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=500)).run()
+        assert result.traces["m1"].collections == len(
+            [v for v in result.visits if v.node_id in ("g1", "g2")]
+        )
+
+
+class TestEnergy:
+    def test_energy_accounting_without_battery(self):
+        sc = _line_scenario()
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=400)).run()
+        distance = result.traces["m1"].distance_travelled
+        expected = distance * sc.params.move_cost_per_meter + result.traces["m1"].collections * 0.075
+        assert result.traces["m1"].energy_consumed == pytest.approx(expected)
+
+    def test_mule_dies_mid_leg_when_battery_empty(self):
+        # battery covers exactly 150 m of movement: dies halfway between g1 and g2
+        sc = _line_scenario(battery=150.0 * 8.267 + 0.075)
+        result = PatrolSimulator(sc, _loop_plan(sc), SimulationConfig(horizon=10_000)).run()
+        trace = result.traces["m1"]
+        assert trace.death_time is not None
+        assert trace.distance_travelled == pytest.approx(150.0, rel=1e-3)
+        assert result.dead_mules() == ["m1"]
+        # no visits recorded after death
+        assert all(v.time <= trace.death_time for v in result.visits)
+
+    def test_track_energy_false_keeps_mule_alive(self):
+        sc = _line_scenario(battery=100.0)
+        result = PatrolSimulator(sc, _loop_plan(sc),
+                                 SimulationConfig(horizon=2_000, track_energy=False)).run()
+        assert result.dead_mules() == []
+
+    def test_recharge_station_refills_battery(self):
+        sc = _line_scenario(battery=400.0 * 8.267 + 10.0, with_recharge=True)
+        plan = _loop_plan(sc, loop=("sink", "g1", "recharge", "g2"))
+        result = PatrolSimulator(sc, plan, SimulationConfig(horizon=5_000)).run()
+        assert result.traces["m1"].recharges >= 1
+        assert result.dead_mules() == []
+
+
+class TestSynchronizedStart:
+    def test_barrier_applied_when_enabled(self, fig1_scenario):
+        plan = plan_btctp(fig1_scenario)
+        result = PatrolSimulator(fig1_scenario, plan, SimulationConfig(horizon=20_000)).run()
+        start = result.metadata["patrol_start_time"]
+        assert start > 0
+        # no target visit can happen before the barrier (mules only travel to start points)
+        assert min(v.time for v in result.visits) >= start
+
+    def test_barrier_disabled(self, fig1_scenario):
+        plan = plan_btctp(fig1_scenario)
+        cfg = SimulationConfig(horizon=20_000, synchronized_start=False)
+        result = PatrolSimulator(fig1_scenario, plan, cfg).run()
+        assert result.metadata["patrol_start_time"] == 0.0
+
+
+class TestStochasticRoutes:
+    def test_random_route_visits_recorded(self):
+        sc = _line_scenario()
+        coords = sc.patrol_points()
+        plan = PatrolPlan(
+            strategy="random",
+            routes={"m1": StochasticRoute("m1", ["g1", "g2", "sink"], coords, seed=3)},
+        )
+        result = PatrolSimulator(sc, plan, SimulationConfig(horizon=5_000)).run()
+        assert set(result.visited_targets()) == {"g1", "g2", "sink"}
+
+    def test_same_seed_same_result(self):
+        sc = _line_scenario()
+        coords = sc.patrol_points()
+
+        def run():
+            plan = PatrolPlan(
+                strategy="random",
+                routes={"m1": StochasticRoute("m1", ["g1", "g2", "sink"], coords, seed=3)},
+            )
+            return PatrolSimulator(sc.fresh_copy(), plan, SimulationConfig(horizon=2_000)).run()
+
+        a, b = run(), run()
+        assert [(v.time, v.node_id) for v in a.visits] == [(v.time, v.node_id) for v in b.visits]

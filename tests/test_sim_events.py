@@ -1,0 +1,65 @@
+"""Unit tests for repro.sim.events (event queue determinism and ordering)."""
+
+import pytest
+
+from repro.sim.events import Event, EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.ARRIVAL, mule_id="m1")
+        q.push(1.0, EventKind.ARRIVAL, mule_id="m2")
+        q.push(3.0, EventKind.ARRIVAL, mule_id="m3")
+        assert [q.pop().mule_id for _ in range(3)] == ["m2", "m3", "m1"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, mule_id="first")
+        q.push(1.0, EventKind.ARRIVAL, mule_id="second")
+        q.push(1.0, EventKind.ARRIVAL, mule_id="third")
+        assert [q.pop().mule_id for _ in range(3)] == ["first", "second", "third"]
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q
+        assert len(q) == 0
+        q.push(1.0, EventKind.STOP)
+        assert q
+        assert len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, EventKind.STOP)
+        q.push(2.0, EventKind.STOP)
+        assert q.peek_time() == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.STOP)
+
+    def test_payload_and_node_preserved(self):
+        q = EventQueue()
+        q.push(1.0, EventKind.ARRIVAL, mule_id="m1", node_id="g3", payload={"x": 1})
+        e = q.pop()
+        assert e.node_id == "g3"
+        assert e.payload == {"x": 1}
+        assert e.kind is EventKind.ARRIVAL
+
+    def test_event_ordering_dataclass(self):
+        a = Event(time=1.0, sequence=0, kind=EventKind.STOP)
+        b = Event(time=1.0, sequence=1, kind=EventKind.STOP)
+        c = Event(time=0.5, sequence=2, kind=EventKind.STOP)
+        assert c < a < b
+
+
+class TestEventKind:
+    def test_members(self):
+        assert EventKind.ARRIVAL.value == "arrival"
+        assert EventKind.INITIALIZED.value == "initialized"
+        assert EventKind.ENERGY_DEPLETED.value == "energy_depleted"

@@ -1,0 +1,143 @@
+"""Unit tests for repro.sim.metrics (visiting intervals, DCDT, SD)."""
+
+import math
+
+import pytest
+
+from repro.sim.metrics import (
+    average_dcdt,
+    average_sd,
+    dcdt_series,
+    delivery_latencies,
+    interval_statistics,
+    max_visiting_interval,
+    per_target_intervals,
+    per_target_sd,
+    visiting_intervals,
+)
+from repro.sim.recorder import DeliveryRecord, SimulationResult, VisitRecord
+
+
+def _result(visit_times: dict[str, list[float]]) -> SimulationResult:
+    r = SimulationResult(strategy="test", horizon=10_000.0)
+    for target, times in visit_times.items():
+        for t in times:
+            r.visits.append(VisitRecord(t, target, "m1"))
+    return r
+
+
+class TestVisitingIntervals:
+    def test_basic_diffs(self):
+        assert visiting_intervals([10, 30, 60]) == [20, 30]
+
+    def test_unsorted_input_is_sorted(self):
+        assert visiting_intervals([60, 10, 30]) == [20, 30]
+
+    def test_include_first(self):
+        assert visiting_intervals([10, 30], include_first=True) == [10, 20]
+
+    def test_include_first_with_initial_time(self):
+        assert visiting_intervals([10, 30], initial_time=5.0, include_first=True) == [5, 20]
+
+    def test_empty(self):
+        assert visiting_intervals([]) == []
+
+    def test_single_visit(self):
+        assert visiting_intervals([42.0]) == []
+        assert visiting_intervals([42.0], include_first=True) == [42.0]
+
+
+class TestPerTargetIntervals:
+    def test_all_targets_reported(self):
+        r = _result({"g1": [0, 10, 20], "g2": [5, 25]})
+        intervals = per_target_intervals(r)
+        assert intervals["g1"] == [10, 10]
+        assert intervals["g2"] == [20]
+
+    def test_target_filter(self):
+        r = _result({"g1": [0, 10], "g2": [5, 25]})
+        assert set(per_target_intervals(r, targets=["g1"])) == {"g1"}
+
+
+class TestDcdtSeries:
+    def test_constant_intervals_give_flat_series(self):
+        r = _result({"g1": [100, 200, 300, 400], "g2": [150, 250, 350, 450]})
+        series = dcdt_series(r, num_points=4, include_first=False)
+        assert series[:3] == pytest.approx([100.0, 100.0, 100.0])
+
+    def test_include_first_uses_initial_wait(self):
+        r = _result({"g1": [100, 200]})
+        series = dcdt_series(r, num_points=2, include_first=True)
+        assert series[0] == pytest.approx(100.0)
+        assert series[1] == pytest.approx(100.0)
+
+    def test_missing_indices_are_nan(self):
+        r = _result({"g1": [100, 200]})
+        series = dcdt_series(r, num_points=5, include_first=False)
+        assert math.isnan(series[3])
+
+    def test_mean_over_targets(self):
+        r = _result({"g1": [0, 100], "g2": [0, 300]})
+        series = dcdt_series(r, num_points=1, include_first=False)
+        assert series[0] == pytest.approx(200.0)
+
+
+class TestAverages:
+    def test_average_dcdt(self):
+        r = _result({"g1": [0, 100, 200], "g2": [0, 300, 600]})
+        assert average_dcdt(r) == pytest.approx((100 + 100 + 300 + 300) / 4)
+
+    def test_average_dcdt_empty(self):
+        assert math.isnan(average_dcdt(_result({})))
+
+    def test_per_target_sd_zero_for_constant(self):
+        r = _result({"g1": [0, 100, 200, 300]})
+        assert per_target_sd(r)["g1"] == pytest.approx(0.0)
+
+    def test_per_target_sd_matches_paper_formula(self):
+        # intervals 10 and 30: sample std with n-1 = sqrt(((10-20)^2+(30-20)^2)/1) = sqrt(200)
+        r = _result({"g1": [0, 10, 40]})
+        assert per_target_sd(r)["g1"] == pytest.approx(math.sqrt(200.0))
+
+    def test_per_target_sd_nan_with_single_interval(self):
+        r = _result({"g1": [0, 10]})
+        assert math.isnan(per_target_sd(r)["g1"])
+
+    def test_average_sd_ignores_nan_targets(self):
+        r = _result({"g1": [0, 10, 20], "g2": [0, 5]})
+        assert average_sd(r) == pytest.approx(0.0)
+
+    def test_average_sd_all_nan(self):
+        r = _result({"g1": [0, 10]})
+        assert math.isnan(average_sd(r))
+
+    def test_max_visiting_interval(self):
+        r = _result({"g1": [0, 100], "g2": [0, 700]})
+        assert max_visiting_interval(r) == pytest.approx(700.0)
+
+    def test_max_visiting_interval_empty(self):
+        assert math.isnan(max_visiting_interval(_result({})))
+
+
+class TestDeliveryLatencies:
+    def test_latency_extraction(self):
+        r = _result({})
+        r.deliveries.append(DeliveryRecord(200.0, "m1", "g1", 0.0, 100.0, 100.0, 10.0))
+        r.deliveries.append(DeliveryRecord(300.0, "m1", "g2", 100.0, 200.0, 200.0, 10.0))
+        assert delivery_latencies(r) == pytest.approx([150.0, 150.0])
+
+
+class TestIntervalStatistics:
+    def test_summary_fields(self):
+        r = _result({"g1": [0, 100, 200], "g2": [0, 100, 200]})
+        stats = interval_statistics(r)
+        assert stats["mean_interval"] == pytest.approx(100.0)
+        assert stats["max_interval"] == pytest.approx(100.0)
+        assert stats["average_sd"] == pytest.approx(0.0)
+        assert stats["targets_visited"] == 2
+        assert stats["total_intervals"] == 4
+
+    def test_empty_result(self):
+        stats = interval_statistics(_result({}))
+        assert math.isnan(stats["mean_interval"])
+        assert stats["total_intervals"] == 0

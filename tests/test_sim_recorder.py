@@ -1,0 +1,77 @@
+"""Unit tests for repro.sim.recorder (result records and accessors)."""
+
+import pytest
+
+from repro.sim.recorder import DeliveryRecord, MuleTrace, SimulationResult, VisitRecord
+
+
+def _result_with_visits():
+    r = SimulationResult(strategy="test", horizon=1000.0)
+    r.visits.extend(
+        [
+            VisitRecord(10.0, "g1", "m1"),
+            VisitRecord(30.0, "g2", "m1"),
+            VisitRecord(20.0, "g1", "m2"),
+            VisitRecord(40.0, "recharge", "m1", is_target=False),
+        ]
+    )
+    r.traces["m1"] = MuleTrace("m1", distance_travelled=100.0, energy_consumed=50.0)
+    r.traces["m2"] = MuleTrace("m2", distance_travelled=200.0, energy_consumed=75.0,
+                               death_time=500.0)
+    r.deliveries.append(DeliveryRecord(100.0, "m1", "g1", 0.0, 50.0, 50.0, 50.0))
+    return r
+
+
+class TestVisitAccessors:
+    def test_target_visits_sorted_and_filtered(self):
+        r = _result_with_visits()
+        visits = r.target_visits()
+        assert [v.time for v in visits] == [10.0, 20.0, 30.0]
+        assert all(v.is_target for v in visits)
+
+    def test_target_visits_single_target(self):
+        r = _result_with_visits()
+        assert [v.time for v in r.target_visits("g1")] == [10.0, 20.0]
+
+    def test_visit_times(self):
+        assert _result_with_visits().visit_times("g1") == [10.0, 20.0]
+
+    def test_visited_targets(self):
+        assert _result_with_visits().visited_targets() == ["g1", "g2"]
+
+    def test_visit_count(self):
+        r = _result_with_visits()
+        assert r.visit_count("g1") == 2
+        assert r.visit_count("g9") == 0
+
+
+class TestAggregates:
+    def test_totals(self):
+        r = _result_with_visits()
+        assert r.total_distance() == pytest.approx(300.0)
+        assert r.total_energy() == pytest.approx(125.0)
+        assert r.total_delivered_data() == pytest.approx(50.0)
+
+    def test_surviving_and_dead(self):
+        r = _result_with_visits()
+        assert r.surviving_mules() == ["m1"]
+        assert r.dead_mules() == ["m2"]
+
+    def test_summary_keys(self):
+        summary = _result_with_visits().summary()
+        assert summary["strategy"] == "test"
+        assert summary["num_visits"] == 3
+        assert summary["dead_mules"] == ["m2"]
+
+
+class TestDeliveryRecord:
+    def test_latency_uses_generation_midpoint(self):
+        d = DeliveryRecord(delivered_at=200.0, mule_id="m1", target_id="g1",
+                           generated_from=0.0, generated_to=100.0, collected_at=100.0, size=1.0)
+        assert d.latency == pytest.approx(150.0)
+
+
+class TestMuleTrace:
+    def test_alive_flag(self):
+        assert MuleTrace("m1").alive
+        assert not MuleTrace("m1", death_time=5.0).alive

@@ -1,0 +1,92 @@
+"""Unit tests for repro.viz.ascii (field maps and sparklines)."""
+
+import math
+
+import pytest
+
+from repro.core.btctp import plan_btctp
+from repro.viz.ascii import ascii_field_map, ascii_route_map, series_panel, sparkline
+from repro.workloads.generator import uniform_scenario
+from repro.workloads.scenarios import single_vip_scenario
+
+
+class TestFieldMap:
+    def test_contains_all_markers(self):
+        sc = uniform_scenario(num_targets=10, num_mules=2, seed=1,
+                              with_recharge_station=True, mule_battery=1000.0)
+        text = ascii_field_map(sc)
+        assert "S" in text
+        assert "o" in text
+        assert "R" in text
+        assert "legend" not in text  # legend is a separate line of symbols
+        assert "sink" in text  # legend text
+
+    def test_vip_marker(self):
+        sc = single_vip_scenario(vip_weight=2)
+        assert "V" in ascii_field_map(sc)
+
+    def test_dimensions(self):
+        sc = uniform_scenario(num_targets=5, num_mules=1, seed=2)
+        text = ascii_field_map(sc, cols=40, rows=10, legend=False)
+        lines = text.splitlines()
+        assert len(lines) == 12  # 10 rows + 2 borders
+        assert all(len(line) == 42 for line in lines)  # 40 cols + 2 borders
+
+    def test_too_small_rejected(self):
+        sc = uniform_scenario(num_targets=5, num_mules=1, seed=2)
+        with pytest.raises(ValueError):
+            ascii_field_map(sc, cols=5, rows=2)
+
+    def test_legend_toggle(self):
+        sc = uniform_scenario(num_targets=5, num_mules=1, seed=2)
+        assert "target" in ascii_field_map(sc, legend=True)
+        assert "target" not in ascii_field_map(sc, legend=False)
+
+
+class TestRouteMap:
+    def test_route_dots_drawn(self):
+        sc = uniform_scenario(num_targets=8, num_mules=2, seed=3)
+        plan = plan_btctp(sc)
+        text = ascii_route_map(sc, plan.metadata["tour"])
+        assert "." in text
+        assert "S" in text
+
+    def test_unknown_nodes_ignored(self):
+        sc = uniform_scenario(num_targets=5, num_mules=1, seed=3)
+        text = ascii_route_map(sc, ["g1", "nonexistent", "g2"])
+        assert "S" in text
+
+
+class TestSparkline:
+    def test_monotone_series(self):
+        line = sparkline([1, 2, 3, 4, 5])
+        assert len(line) == 5
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_constant_series(self):
+        assert sparkline([3, 3, 3]) == "▁▁▁"
+
+    def test_nan_rendered_as_space(self):
+        assert sparkline([1.0, math.nan, 2.0])[1] == " "
+
+    def test_empty_or_all_nan(self):
+        assert sparkline([]) == ""
+        assert sparkline([math.nan]) == ""
+
+
+class TestSeriesPanel:
+    def test_one_line_per_series_with_range(self):
+        text = series_panel({"tctp": [100.0] * 10, "random": [50, 500, 100, 900]})
+        lines = text.strip().splitlines()
+        assert len(lines) == 2
+        assert "[100 .. 100]" in lines[0]
+        assert "[50 .. 900]" in lines[1]
+
+    def test_long_series_downsampled(self):
+        text = series_panel({"s": list(range(200))}, width=20)
+        spark_part = text.split()[1]
+        assert len(spark_part) <= 21
+
+    def test_empty(self):
+        assert series_panel({}) == ""

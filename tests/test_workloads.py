@@ -1,0 +1,146 @@
+"""Unit tests for repro.workloads (scenario generators)."""
+
+import pytest
+
+from repro.network.field import connected_components_by_range
+from repro.workloads.generator import (
+    ScenarioConfig,
+    clustered_scenario,
+    generate_scenario,
+    paper_default_scenario,
+    uniform_scenario,
+)
+from repro.workloads.scenarios import figure1_scenario, grid_scenario, single_vip_scenario
+
+
+class TestScenarioConfig:
+    def test_defaults(self):
+        cfg = ScenarioConfig()
+        assert cfg.num_targets == 20
+        assert cfg.num_mules == 4
+        assert cfg.field_size == 800.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_targets": 0},
+            {"num_mules": 0},
+            {"distribution": "hexagonal"},
+            {"num_vips": -1},
+            {"num_vips": 99, "num_targets": 5},
+            {"vip_weight": 0},
+            {"mule_placement": "moon"},
+        ],
+    )
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioConfig(**kwargs)
+
+
+class TestGenerateScenario:
+    def test_counts_respected(self):
+        cfg = ScenarioConfig(num_targets=17, num_mules=5)
+        sc = generate_scenario(cfg, seed=1)
+        assert sc.num_targets == 17
+        assert sc.num_mules == 5
+
+    def test_targets_inside_field(self):
+        sc = generate_scenario(ScenarioConfig(num_targets=50), seed=2)
+        assert all(sc.field.contains(t.position) for t in sc.targets)
+
+    def test_deterministic_for_seed(self):
+        cfg = ScenarioConfig(num_targets=10, num_vips=2)
+        a = generate_scenario(cfg, seed=42)
+        b = generate_scenario(cfg, seed=42)
+        assert [t.position for t in a.targets] == [t.position for t in b.targets]
+        assert [t.weight for t in a.targets] == [t.weight for t in b.targets]
+
+    def test_different_seeds_differ(self):
+        cfg = ScenarioConfig(num_targets=10)
+        a = generate_scenario(cfg, seed=1)
+        b = generate_scenario(cfg, seed=2)
+        assert [t.position for t in a.targets] != [t.position for t in b.targets]
+
+    def test_vip_count_and_weight(self):
+        cfg = ScenarioConfig(num_targets=20, num_vips=4, vip_weight=3)
+        sc = generate_scenario(cfg, seed=3)
+        vips = [t for t in sc.targets if t.is_vip]
+        assert len(vips) == 4
+        assert all(t.weight == 3 for t in vips)
+
+    def test_recharge_station_created_on_request(self):
+        cfg = ScenarioConfig(with_recharge_station=True)
+        sc = generate_scenario(cfg, seed=1)
+        assert sc.recharge_station is not None
+
+    def test_batteries_attached_on_request(self):
+        cfg = ScenarioConfig(mule_battery=123_456.0)
+        sc = generate_scenario(cfg, seed=1)
+        assert all(m.battery is not None and m.battery.capacity == 123_456.0 for m in sc.mules)
+
+    def test_mule_placement_sink(self):
+        sc = generate_scenario(ScenarioConfig(mule_placement="sink"), seed=1)
+        assert all(m.position == sc.sink.position for m in sc.mules)
+
+    def test_mule_placement_random_inside_field(self):
+        sc = generate_scenario(ScenarioConfig(mule_placement="random"), seed=1)
+        assert all(sc.field.contains(m.position) for m in sc.mules)
+
+    def test_clustered_distribution_builds_disconnected_components(self):
+        cfg = ScenarioConfig(num_targets=24, distribution="clustered", num_clusters=4)
+        sc = generate_scenario(cfg, seed=4)
+        comps = connected_components_by_range(
+            [t.position for t in sc.targets], sc.params.communication_range
+        )
+        assert len(comps) >= 2
+
+    def test_simulation_parameters_match_paper(self):
+        sc = generate_scenario(ScenarioConfig(), seed=0)
+        assert sc.params.mule_velocity == 2.0
+        assert sc.params.move_cost_per_meter == pytest.approx(8.267)
+
+
+class TestShortcuts:
+    def test_uniform_scenario(self):
+        sc = uniform_scenario(num_targets=8, num_mules=2, seed=1)
+        assert sc.num_targets == 8 and sc.num_mules == 2
+
+    def test_clustered_scenario(self):
+        sc = clustered_scenario(num_targets=12, num_mules=3, num_clusters=3, seed=1)
+        assert sc.num_targets == 12
+
+    def test_paper_default_scenario(self):
+        sc = paper_default_scenario(seed=0)
+        assert sc.num_targets == 10 and sc.num_mules == 4
+
+    def test_uniform_with_vips(self):
+        sc = uniform_scenario(num_targets=10, num_mules=2, seed=1, num_vips=2, vip_weight=4)
+        assert sum(1 for t in sc.targets if t.weight == 4) == 2
+
+
+class TestHandCraftedScenarios:
+    def test_figure1(self):
+        sc = figure1_scenario(num_mules=4)
+        assert sc.num_targets == 10
+        assert sc.num_mules == 4
+        assert all(sc.field.contains(t.position) for t in sc.targets)
+
+    def test_figure1_with_recharge_and_battery(self):
+        sc = figure1_scenario(num_mules=2, battery=1000.0, with_recharge_station=True)
+        assert sc.recharge_station is not None
+        assert sc.mules[0].battery.capacity == 1000.0
+
+    def test_single_vip(self):
+        sc = single_vip_scenario(vip_weight=3)
+        vips = [t for t in sc.targets if t.is_vip]
+        assert len(vips) == 1
+        assert vips[0].id == "g4"
+        assert vips[0].weight == 3
+
+    def test_grid(self):
+        sc = grid_scenario(rows=3, cols=4)
+        assert sc.num_targets == 12
+
+    def test_grid_invalid(self):
+        with pytest.raises(ValueError):
+            grid_scenario(rows=0, cols=4)
