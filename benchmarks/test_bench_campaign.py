@@ -1,0 +1,36 @@
+"""Campaign-executor benchmarks: spec expansion and end-to-end execution.
+
+Times the :mod:`repro.runner` layer itself — expanding a campaign grid into
+run cells, and executing a small strategy-sweep campaign serially — and
+re-asserts the executor's core guarantee: parallel execution returns records
+identical to the serial run.
+"""
+
+import json
+
+import pytest
+
+from repro.runner import Campaign
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_bench_campaign_expansion(benchmark, bench_campaign_spec):
+    cells = benchmark(bench_campaign_spec.cells)
+    assert len(cells) == 2 * bench_campaign_spec.replications
+    # replications innermost, deterministic seed schedule
+    assert [c.seed for c in cells[:3]] == bench_campaign_spec.seeds()
+
+
+@pytest.mark.benchmark(group="campaign")
+def test_bench_campaign_serial_run(benchmark, bench_campaign_spec):
+    result = benchmark(Campaign(bench_campaign_spec).run)
+    assert len(result) == 2 * bench_campaign_spec.replications
+    sd = result.group_mean("average_sd", by="strategy")
+    assert sd["b-tctp"] == pytest.approx(0.0, abs=1e-6)
+    assert sd["chb"] > 0.0
+
+
+def test_campaign_parallel_matches_serial(bench_campaign_spec):
+    serial = Campaign(bench_campaign_spec).run()
+    parallel = Campaign(bench_campaign_spec, max_workers=4).run()
+    assert json.dumps(serial.records) == json.dumps(parallel.records)

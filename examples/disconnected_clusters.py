@@ -7,7 +7,9 @@ must.  This example
 
 1. generates a clustered scenario and *verifies* that the target set is
    disconnected at the paper's 20 m communication range,
-2. runs all four Section V strategies (Random, Sweep, CHB, B-TCTP) on it, and
+2. runs all four Section V strategies (Random, Sweep, CHB, B-TCTP) on it as
+   one declarative :class:`~repro.runner.Campaign` over the same scenario
+   config + seed, and
 3. prints the head-to-head comparison of DCDT, SD and maximal visiting
    interval — the Figure 7/8 story on a single instance.
 
@@ -18,16 +20,26 @@ Run with::
 
 from __future__ import annotations
 
-from repro import PatrolSimulator, SimulationConfig, clustered_scenario, get_strategy
+from repro import Campaign, CampaignSpec, RunSpec, ScenarioConfig, SimulationConfig, generate_scenario
 from repro.experiments.reporting import format_table
 from repro.network.field import connected_components_by_range
-from repro.sim.metrics import average_dcdt, average_sd, max_visiting_interval
+
+STRATEGIES = ["random", "sweep", "chb", "b-tctp"]
+SEED = 13
 
 
 def main() -> None:
-    scenario = clustered_scenario(num_targets=24, num_mules=4, num_clusters=4, seed=13)
+    cfg = ScenarioConfig(
+        num_targets=24,
+        num_mules=4,
+        distribution="clustered",
+        num_clusters=4,
+        name="clustered-h24-n4-c4",
+    )
 
-    # 1. How disconnected is the field, really?
+    # 1. How disconnected is the field, really?  (The campaign cells below
+    #    regenerate this exact scenario from the same config + seed.)
+    scenario = generate_scenario(cfg, SEED)
     components = connected_components_by_range(
         [t.position for t in scenario.targets], scenario.params.communication_range
     )
@@ -36,23 +48,25 @@ def main() -> None:
           f"groups (sizes {sizes}) at a {scenario.params.communication_range:.0f} m range —")
     print("no static multi-hop network can cover them; the data mules provide connectivity.\n")
 
-    # 2. Run the four strategies of Section V.
-    rows = []
-    for name in ("random", "sweep", "chb", "b-tctp"):
-        kwargs = {"seed": 13} if name == "random" else {}
-        planner = get_strategy(name, **kwargs)
-        plan = planner.plan(scenario.fresh_copy())
-        result = PatrolSimulator(scenario.fresh_copy(), plan,
-                                 SimulationConfig(horizon=80_000.0)).run()
-        rows.append([
-            plan.strategy,
-            average_dcdt(result),
-            average_sd(result),
-            max_visiting_interval(result),
-            result.total_distance() / scenario.num_mules,
-        ])
+    # 2. The four strategies of Section V as one campaign on that instance.
+    spec = CampaignSpec(
+        base=RunSpec(strategy=STRATEGIES[0], scenario=cfg,
+                     sim=SimulationConfig(horizon=80_000.0), seed=SEED),
+        grid={"strategy": STRATEGIES},
+    )
+    result = Campaign(spec).run()
 
     # 3. Report.
+    rows = [
+        [
+            record["planner"],
+            record["average_dcdt"],
+            record["average_sd"],
+            record["max_visiting_interval"],
+            record["total_distance"] / record["num_mules"],
+        ]
+        for record in result
+    ]
     print(format_table(
         ["strategy", "mean DCDT (s)", "SD (s)", "max interval (s)", "distance/mule (m)"],
         rows,

@@ -7,15 +7,21 @@ harness and ``python -m repro figN`` produce.  With ``--full`` the paper's
 20-replication protocol is used; the default is a quick pass that finishes in
 well under a minute.
 
+Every experiment runs through the :mod:`repro.runner` campaign executor, so
+``--workers N`` fans the replication cells of each figure out over ``N``
+worker processes (the results are identical to a serial run).
+
 Run with::
 
-    python examples/reproduce_paper.py            # quick pass
-    python examples/reproduce_paper.py --full     # paper protocol (20 replications)
+    python examples/reproduce_paper.py                # quick pass
+    python examples/reproduce_paper.py --full         # paper protocol (20 replications)
+    python examples/reproduce_paper.py --workers 4    # same numbers, 4 processes
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import time
 
 from repro.experiments import (
@@ -36,12 +42,17 @@ def main() -> None:
                         help="use the paper's protocol (20 replications, long horizon)")
     parser.add_argument("--skip-ablations", action="store_true",
                         help="only run the four paper figures")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="fan replication cells out over this many processes")
     args = parser.parse_args()
 
     settings = ExperimentSettings() if args.full else ExperimentSettings.quick(replications=5)
+    if args.workers is not None:
+        settings = dataclasses.replace(settings, max_workers=args.workers)
     print(f"running with {settings.replications} replications, "
           f"horizon {settings.horizon:.0f} s, {settings.num_targets} targets, "
-          f"{settings.num_mules} mules\n")
+          f"{settings.num_mules} mules, "
+          f"{settings.max_workers or 1} worker process(es)\n")
 
     stages = [
         ("Figure 7 (DCDT per visit)", fig7_dcdt.main),

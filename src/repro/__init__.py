@@ -4,18 +4,36 @@ Wireless Mobile Data Mules Networks" (Chang, Lin, Hsieh, Ho — ICPP 2011).
 The package implements the paper's three patrolling algorithms (B-TCTP,
 W-TCTP, RW-TCTP), the baselines they are compared against (Random, Sweep,
 CHB), the wireless data-mule network substrate, a discrete-event patrolling
-simulator, and an experiment harness regenerating every figure of the paper's
-evaluation section.
+simulator, an experiment harness regenerating every figure of the paper's
+evaluation section, and a unified execution API (:mod:`repro.runner`) that
+turns declarative run specs into (optionally parallel) campaigns of
+simulations.
 
 Quickstart
 ----------
->>> from repro import uniform_scenario, plan_btctp, PatrolSimulator, SimulationConfig
->>> from repro.sim.metrics import average_sd, average_dcdt
->>> scenario = uniform_scenario(num_targets=15, num_mules=3, seed=1)
->>> plan = plan_btctp(scenario)
->>> result = PatrolSimulator(scenario, plan, SimulationConfig(horizon=20_000)).run()
->>> round(average_sd(result), 3)   # B-TCTP visits every target at a fixed cadence
+Describe a run as data, execute it, read the paper's metrics:
+
+>>> from repro import RunSpec, ScenarioConfig, execute_run
+>>> spec = RunSpec(strategy="b-tctp",
+...                scenario=ScenarioConfig(num_targets=15, num_mules=3),
+...                seed=1)
+>>> record = execute_run(spec)
+>>> round(record["average_sd"], 3)   # B-TCTP visits every target at a fixed cadence
 0.0
+
+Scale the same description to a strategy sweep with seeded replications,
+fanned out over worker processes (records are identical serial or parallel):
+
+>>> from repro import Campaign, CampaignSpec
+>>> campaign = CampaignSpec(base=spec, grid={"strategy": ["chb", "b-tctp"]},
+...                         replications=4)
+>>> result = Campaign(campaign, max_workers=4).run()   # doctest: +SKIP
+>>> result.group_mean("average_sd", by="strategy")     # doctest: +SKIP
+
+The same specs round-trip through JSON and run from the command line::
+
+    python -m repro run spec.json --workers 4
+    python -m repro sweep --strategies b-tctp,sweep --replications 8 --workers 4
 """
 
 from repro.core import (
@@ -27,8 +45,25 @@ from repro.core import (
     plan_rwtctp,
     plan_wtctp,
 )
-from repro.baselines import CHBPlanner, RandomPlanner, SweepPlanner, get_strategy, available_strategies
+from repro.baselines import (
+    CHBPlanner,
+    RandomPlanner,
+    SweepPlanner,
+    StrategyInfo,
+    get_strategy,
+    available_strategies,
+    canonical_strategy_name,
+    strategy_params,
+)
 from repro.network import Scenario, SimulationParameters, Target, Sink, RechargeStation, DataMule
+from repro.runner import (
+    Campaign,
+    CampaignResult,
+    CampaignSpec,
+    RunSpec,
+    execute_run,
+    load_spec,
+)
 from repro.sim import PatrolSimulator, SimulationConfig, SimulationResult
 from repro.workloads import (
     ScenarioConfig,
@@ -40,7 +75,7 @@ from repro.workloads import (
     grid_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -56,8 +91,11 @@ __all__ = [
     "RandomPlanner",
     "SweepPlanner",
     "CHBPlanner",
+    "StrategyInfo",
     "get_strategy",
     "available_strategies",
+    "canonical_strategy_name",
+    "strategy_params",
     # network substrate
     "Scenario",
     "SimulationParameters",
@@ -65,6 +103,13 @@ __all__ = [
     "Sink",
     "RechargeStation",
     "DataMule",
+    # unified execution API
+    "RunSpec",
+    "CampaignSpec",
+    "Campaign",
+    "CampaignResult",
+    "execute_run",
+    "load_spec",
     # simulator
     "PatrolSimulator",
     "SimulationConfig",

@@ -10,15 +10,29 @@
   weights, no recharge handling.
 """
 
-from repro.baselines.base import PatrolStrategy, get_strategy, available_strategies
+from repro.baselines.base import (
+    PatrolStrategy,
+    StrategyInfo,
+    get_strategy,
+    available_strategies,
+    canonical_strategy_name,
+    strategy_info,
+    strategy_params,
+    filter_strategy_kwargs,
+)
 from repro.baselines.random_patrol import RandomPlanner
 from repro.baselines.sweep import SweepPlanner
 from repro.baselines.chb import CHBPlanner
 
 __all__ = [
     "PatrolStrategy",
+    "StrategyInfo",
     "get_strategy",
     "available_strategies",
+    "canonical_strategy_name",
+    "strategy_info",
+    "strategy_params",
+    "filter_strategy_kwargs",
     "RandomPlanner",
     "SweepPlanner",
     "CHBPlanner",

@@ -3,20 +3,37 @@
 Every planner in the library — the three TCTP variants and the three
 baselines — satisfies the small :class:`PatrolStrategy` protocol: a ``name``
 and a ``plan(scenario)`` method returning a
-:class:`~repro.core.plan.PatrolPlan`.  The registry lets experiments and the
-CLI refer to strategies by name.
+:class:`~repro.core.plan.PatrolPlan`.  The registry lets experiments, the
+CLI and the :mod:`repro.runner` campaign executor refer to strategies by
+name.
+
+Each registration carries a :class:`StrategyInfo` record declaring the
+keyword parameters the factory accepts and the aliases it answers to, so
+callers can validate or filter parameter dictionaries *before* instantiating
+a planner — declarative run specs rely on this to share one parameter set
+across strategies that accept different subsets of it.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Protocol, runtime_checkable
-
-import numpy as np
+import inspect
+from dataclasses import dataclass, fields as dataclass_fields, is_dataclass
+from typing import Any, Callable, Mapping, Protocol, runtime_checkable
 
 from repro.core.plan import PatrolPlan
 from repro.network.scenario import Scenario
 
-__all__ = ["PatrolStrategy", "register_strategy", "get_strategy", "available_strategies"]
+__all__ = [
+    "PatrolStrategy",
+    "StrategyInfo",
+    "register_strategy",
+    "get_strategy",
+    "available_strategies",
+    "canonical_strategy_name",
+    "strategy_info",
+    "strategy_params",
+    "filter_strategy_kwargs",
+]
 
 
 @runtime_checkable
@@ -29,44 +46,162 @@ class PatrolStrategy(Protocol):
         ...
 
 
-_REGISTRY: dict[str, Callable[..., PatrolStrategy]] = {}
+@dataclass(frozen=True)
+class StrategyInfo:
+    """Registry record: how to build a strategy and which kwargs it accepts.
+
+    ``strict`` is ``False`` only for factories whose signature takes
+    ``**kwargs`` and that declared no explicit parameter set — for those,
+    :func:`get_strategy` forwards keyword arguments unvalidated (the
+    pre-declaration behaviour) and :func:`filter_strategy_kwargs` keeps
+    everything.
+    """
+
+    name: str
+    factory: Callable[..., PatrolStrategy]
+    params: frozenset[str]
+    aliases: tuple[str, ...] = ()
+    description: str = ""
+    strict: bool = True
 
 
-def register_strategy(name: str, factory: Callable[..., PatrolStrategy]) -> None:
-    """Register a strategy factory under ``name`` (case-insensitive)."""
+_REGISTRY: dict[str, StrategyInfo] = {}      # canonical name -> info
+_ALIASES: dict[str, str] = {}                # every accepted key -> canonical name
+_defaults_loaded = False                     # guards the lazy built-in registration
+
+
+def _declared_params(factory: Callable[..., PatrolStrategy]) -> tuple[frozenset[str], bool]:
+    """Derive ``(params, strict)`` from the factory when none were declared.
+
+    Dataclasses declare their fields (minus ``name``); other callables are
+    inspected for named keyword parameters.  A ``**kwargs`` in the signature
+    (or an uninspectable factory) makes the declaration non-strict so
+    arbitrary keyword arguments keep flowing through, as they did before
+    parameter declarations existed.
+    """
+    if is_dataclass(factory):
+        return frozenset(f.name for f in dataclass_fields(factory) if f.name != "name"), True
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return frozenset(), False
+    names = set()
+    strict = True
+    for param in signature.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            strict = False
+        elif param.kind in (inspect.Parameter.POSITIONAL_OR_KEYWORD,
+                            inspect.Parameter.KEYWORD_ONLY) and param.name != "name":
+            names.add(param.name)
+    return frozenset(names), strict
+
+
+def register_strategy(
+    name: str,
+    factory: Callable[..., PatrolStrategy],
+    *,
+    params: "frozenset[str] | tuple[str, ...] | None" = None,
+    aliases: tuple[str, ...] = (),
+    description: str = "",
+) -> None:
+    """Register a strategy factory under ``name`` (case-insensitive).
+
+    ``params`` declares the keyword arguments the factory accepts; when it is
+    omitted and the factory is a dataclass, the declaration is derived from
+    its fields.  ``aliases`` are alternative names resolving to the same
+    factory.
+    """
+    _ensure_defaults()  # custom registrations must never shadow the built-ins
     key = name.lower()
-    if key in _REGISTRY:
+    if key in _ALIASES:
         raise ValueError(f"strategy {name!r} is already registered")
-    _REGISTRY[key] = factory
+    for alias in aliases:
+        if alias.lower() in _ALIASES:
+            raise ValueError(f"strategy alias {alias!r} is already registered")
+    if params is not None:
+        declared, strict = frozenset(params), True
+    else:
+        declared, strict = _declared_params(factory)
+    info = StrategyInfo(
+        name=key,
+        factory=factory,
+        params=declared,
+        aliases=tuple(a.lower() for a in aliases),
+        description=description,
+        strict=strict,
+    )
+    _REGISTRY[key] = info
+    _ALIASES[key] = key
+    for alias in info.aliases:
+        _ALIASES[alias] = key
 
 
-def available_strategies() -> list[str]:
-    """Names of all registered strategies."""
+def available_strategies(*, include_aliases: bool = True) -> list[str]:
+    """Names of all registered strategies (aliases included by default)."""
     _ensure_defaults()
-    return sorted(_REGISTRY)
+    return sorted(_ALIASES) if include_aliases else sorted(_REGISTRY)
+
+
+def canonical_strategy_name(name: str) -> str:
+    """Resolve an alias (``"btctp"``) to its canonical registry name (``"b-tctp"``)."""
+    _ensure_defaults()
+    try:
+        return _ALIASES[name.lower()]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown strategy {name!r}; available: "
+            f"{', '.join(available_strategies(include_aliases=False))}"
+        ) from exc
+
+
+def strategy_info(name: str) -> StrategyInfo:
+    """The :class:`StrategyInfo` record for ``name`` (alias-tolerant)."""
+    return _REGISTRY[canonical_strategy_name(name)]
+
+
+def strategy_params(name: str) -> frozenset[str]:
+    """The keyword parameters declared by strategy ``name``."""
+    return strategy_info(name).params
+
+
+def filter_strategy_kwargs(name: str, kwargs: Mapping[str, Any]) -> dict[str, Any]:
+    """Subset of ``kwargs`` that strategy ``name`` declares it accepts.
+
+    This is the campaign-layer convenience: one shared parameter set (say
+    ``{"policy": "shortest", "seed": 7}``) can be fanned out across strategies
+    that each take only part of it.
+    """
+    info = strategy_info(name)
+    if not info.strict:
+        return dict(kwargs)
+    return {k: v for k, v in kwargs.items() if k in info.params}
 
 
 def get_strategy(name: str, **kwargs) -> PatrolStrategy:
     """Instantiate a registered strategy by name.
 
-    Keyword arguments are forwarded to the factory, e.g.
+    Keyword arguments are validated against the strategy's declared
+    parameters and forwarded to the factory, e.g.
     ``get_strategy("w-tctp", policy="shortest")`` or
     ``get_strategy("random", seed=7)``.
     """
-    _ensure_defaults()
-    try:
-        factory = _REGISTRY[name.lower()]
-    except KeyError as exc:
+    info = strategy_info(name)
+    unknown = sorted(set(kwargs) - info.params) if info.strict else []
+    if unknown:
+        accepted = ", ".join(sorted(info.params)) or "(none)"
         raise ValueError(
-            f"unknown strategy {name!r}; available: {', '.join(available_strategies())}"
-        ) from exc
-    return factory(**kwargs)
+            f"strategy {info.name!r} does not accept parameter(s) "
+            f"{', '.join(repr(p) for p in unknown)}; accepted: {accepted}"
+        )
+    return info.factory(**kwargs)
 
 
 def _ensure_defaults() -> None:
     """Populate the registry lazily (avoids import cycles at module load)."""
-    if _REGISTRY:
+    global _defaults_loaded
+    if _defaults_loaded:
         return
+    _defaults_loaded = True
     from repro.baselines.chb import CHBPlanner
     from repro.baselines.random_patrol import RandomPlanner
     from repro.baselines.sweep import SweepPlanner
@@ -74,17 +209,22 @@ def _ensure_defaults() -> None:
     from repro.core.rwtctp import RWTCTPPlanner
     from repro.core.wtctp import WTCTPPlanner
 
-    _REGISTRY.update(
-        {
-            "random": lambda **kw: RandomPlanner(**kw),
-            "sweep": lambda **kw: SweepPlanner(**kw),
-            "chb": lambda **kw: CHBPlanner(**kw),
-            "b-tctp": lambda **kw: BTCTPPlanner(**kw),
-            "btctp": lambda **kw: BTCTPPlanner(**kw),
-            "tctp": lambda **kw: BTCTPPlanner(**kw),
-            "w-tctp": lambda **kw: WTCTPPlanner(**kw),
-            "wtctp": lambda **kw: WTCTPPlanner(**kw),
-            "rw-tctp": lambda **kw: RWTCTPPlanner(**kw),
-            "rwtctp": lambda **kw: RWTCTPPlanner(**kw),
-        }
+    # One alias table instead of per-alias factory lambdas: the dataclass
+    # constructors *are* the factories, and parameter declarations are derived
+    # from their fields.
+    defaults: tuple[tuple[str, Callable[..., PatrolStrategy], tuple[str, ...], str], ...] = (
+        ("random", RandomPlanner, (),
+         "uncoordinated baseline: every mule wanders to a random target"),
+        ("sweep", SweepPlanner, (),
+         "one angular target group per mule, each patrolled independently"),
+        ("chb", CHBPlanner, (),
+         "shared convex-hull circuit, no location initialisation"),
+        ("b-tctp", BTCTPPlanner, ("btctp", "tctp"),
+         "basic TCTP: shared circuit + equally spaced start points"),
+        ("w-tctp", WTCTPPlanner, ("wtctp",),
+         "weighted TCTP: VIP-aware weighted patrolling path"),
+        ("rw-tctp", RWTCTPPlanner, ("rwtctp",),
+         "recharge-aware weighted TCTP (needs a recharge station)"),
     )
+    for name, factory, aliases, description in defaults:
+        register_strategy(name, factory, aliases=aliases, description=description)

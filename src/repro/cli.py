@@ -1,4 +1,4 @@
-"""Command-line interface: run a single scenario or regenerate a paper figure.
+"""Command-line interface: simulate, run declarative specs, sweep, or regenerate figures.
 
 Examples
 --------
@@ -6,10 +6,18 @@ Run one strategy on a random scenario and print the interval metrics::
 
     python -m repro simulate --strategy b-tctp --targets 20 --mules 4 --seed 3
 
+Execute a declarative run/campaign spec authored as a JSON file::
+
+    python -m repro run spec.json --workers 4 --json
+
+Sweep several strategies over seeded replications, in parallel::
+
+    python -m repro sweep --strategies b-tctp,sweep --replications 8 --workers 4 --json
+
 Regenerate the paper's figures (full protocol, 20 replications)::
 
     python -m repro fig7
-    python -m repro fig8 --quick        # small/quick variant
+    python -m repro fig8 --quick --workers 4   # small/quick variant, 4 processes
     python -m repro fig9
     python -m repro fig10
 
@@ -23,11 +31,17 @@ Extension experiments from DESIGN.md::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import Callable, Sequence
 
-from repro.baselines.base import available_strategies, get_strategy
+from repro.baselines.base import (
+    available_strategies,
+    filter_strategy_kwargs,
+    get_strategy,
+    strategy_params,
+)
 from repro.experiments import ExperimentSettings
 from repro.experiments import (
     ablation_init,
@@ -40,6 +54,7 @@ from repro.experiments import (
     fig9_policy_dcdt,
 )
 from repro.experiments.reporting import format_table, print_report
+from repro.runner import Campaign, CampaignResult, CampaignSpec, RunSpec, load_spec
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.metrics import average_dcdt, average_sd, interval_statistics, max_visiting_interval
 from repro.workloads.generator import ScenarioConfig, generate_scenario
@@ -59,6 +74,19 @@ _FIGURE_RUNNERS: dict[str, Callable] = {
 }
 
 
+def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--targets", type=int, default=20)
+    parser.add_argument("--mules", type=int, default=4)
+    parser.add_argument("--vips", type=int, default=0)
+    parser.add_argument("--vip-weight", type=int, default=2)
+    parser.add_argument("--policy", default="balanced", choices=["shortest", "balanced"])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--horizon", type=float, default=60_000.0)
+    parser.add_argument("--battery", type=float, default=None)
+    parser.add_argument("--recharge", action="store_true", help="place a recharge station")
+    parser.add_argument("--clustered", action="store_true", help="use disconnected target clusters")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -70,17 +98,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="run one strategy on one generated scenario")
     sim.add_argument("--strategy", default="b-tctp", choices=available_strategies())
-    sim.add_argument("--targets", type=int, default=20)
-    sim.add_argument("--mules", type=int, default=4)
-    sim.add_argument("--vips", type=int, default=0)
-    sim.add_argument("--vip-weight", type=int, default=2)
-    sim.add_argument("--policy", default="balanced", choices=["shortest", "balanced"])
-    sim.add_argument("--seed", type=int, default=0)
-    sim.add_argument("--horizon", type=float, default=60_000.0)
-    sim.add_argument("--battery", type=float, default=None)
-    sim.add_argument("--recharge", action="store_true", help="place a recharge station")
-    sim.add_argument("--clustered", action="store_true", help="use disconnected target clusters")
+    _add_scenario_arguments(sim)
     sim.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    run = sub.add_parser("run", help="execute a declarative RunSpec / CampaignSpec JSON file")
+    run.add_argument("spec", help="path to the spec file (see repro.runner.load_spec)")
+    run.add_argument("--workers", type=int, default=None,
+                     help="fan campaign cells out over this many processes")
+    run.add_argument("--json", action="store_true", help="emit the tidy records as JSON")
+    run.add_argument("--out", default=None, help="also save records (+ spec) to this JSON file")
+    run.add_argument("--csv", default=None, help="also export the scalar columns to this CSV file")
+
+    sweep = sub.add_parser(
+        "sweep", help="cross strategies with seeded replications and run them as a campaign"
+    )
+    sweep.add_argument("--strategies", default="b-tctp",
+                       help="comma-separated registry names, e.g. 'b-tctp,sweep,chb'")
+    sweep.add_argument("--replications", type=int, default=4)
+    sweep.add_argument("--workers", type=int, default=None)
+    _add_scenario_arguments(sweep)
+    sweep.add_argument("--json", action="store_true", help="emit the tidy records as JSON")
+    sweep.add_argument("--out", default=None, help="also save records (+ spec) to this JSON file")
+    sweep.add_argument("--csv", default=None, help="also export the records to this CSV file")
+    sweep.add_argument("--spec-out", default=None,
+                       help="write the generated CampaignSpec to this JSON file and exit")
 
     for name, runner in _FIGURE_RUNNERS.items():
         p = sub.add_parser(name, help=f"reproduce {name} of the evaluation")
@@ -88,6 +129,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="small replication count / short horizon (for smoke runs)")
         p.add_argument("--replications", type=int, default=None)
         p.add_argument("--horizon", type=float, default=None)
+        p.add_argument("--workers", type=int, default=None,
+                       help="fan replication cells out over this many processes")
         p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     lst = sub.add_parser("strategies", help="list the available strategies")
@@ -102,14 +145,18 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
         overrides["replications"] = args.replications
     if args.horizon is not None:
         overrides["horizon"] = args.horizon
+    if args.workers is not None:
+        overrides["max_workers"] = args.workers
     if overrides:
-        settings = ExperimentSettings(**{**settings.__dict__, **overrides})
+        settings = dataclasses.replace(settings, **overrides)
     return settings
 
 
-def _run_simulate(args: argparse.Namespace) -> int:
-    needs_recharge = args.recharge or args.strategy.replace("_", "-").startswith("rw")
-    cfg = ScenarioConfig(
+def _scenario_config_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    needs_recharge = args.recharge or any(
+        s.replace("_", "-").startswith("rw") for s in _strategies_from_args(args)
+    )
+    return ScenarioConfig(
         num_targets=args.targets,
         num_mules=args.mules,
         num_vips=args.vips,
@@ -119,13 +166,24 @@ def _run_simulate(args: argparse.Namespace) -> int:
         with_recharge_station=needs_recharge,
         mule_placement="random",
     )
+
+
+def _strategies_from_args(args: argparse.Namespace) -> list[str]:
+    raw = getattr(args, "strategies", None)
+    if raw is None:  # not the sweep command; an empty --strategies must NOT fall through
+        raw = getattr(args, "strategy", "b-tctp")
+    return [s.strip() for s in raw.split(",") if s.strip()]
+
+
+def _strategy_kwargs(strategy: str, args: argparse.Namespace) -> dict:
+    """CLI flags a strategy declares it accepts — no per-strategy special-casing."""
+    return filter_strategy_kwargs(strategy, {"policy": args.policy, "seed": args.seed})
+
+
+def _run_simulate(args: argparse.Namespace) -> int:
+    cfg = _scenario_config_from_args(args)
     scenario = generate_scenario(cfg, args.seed)
-    kwargs = {}
-    if args.strategy in ("w-tctp", "wtctp", "rw-tctp", "rwtctp"):
-        kwargs["policy"] = args.policy
-    if args.strategy == "random":
-        kwargs["seed"] = args.seed
-    planner = get_strategy(args.strategy, **kwargs)
+    planner = get_strategy(args.strategy, **_strategy_kwargs(args.strategy, args))
     plan = planner.plan(scenario)
     result = PatrolSimulator(scenario, plan, SimulationConfig(horizon=args.horizon)).run()
 
@@ -152,6 +210,82 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _emit_campaign_result(result: CampaignResult, args: argparse.Namespace, title: str) -> None:
+    if args.out:
+        result.save_json(args.out)
+    if args.csv:
+        result.save_csv(args.csv)
+    if args.json:
+        print(result.to_json())
+        return
+    headers, rows = result.to_rows(scalar_only=True)
+    print_report(format_table(headers, rows, title=title))
+    summary = result.group_mean("average_dcdt", by="strategy")
+    sd = result.group_mean("average_sd", by="strategy")
+    print_report(format_table(
+        ["strategy", "mean DCDT (s)", "mean SD (s)"],
+        [[name, summary[name], sd[name]] for name in sorted(summary)],
+        title="Summary over replications",
+    ))
+
+
+def _run_spec_file(args: argparse.Namespace) -> int:
+    try:
+        spec = load_spec(args.spec)
+        if isinstance(spec, RunSpec):
+            spec.validate()  # a typo'd param in a hand-written spec must surface
+        campaign = Campaign(spec, max_workers=args.workers)
+        campaign.cells()  # spec-shaped failures (bad axes/params) get the clean error
+    except (FileNotFoundError, json.JSONDecodeError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    # Execution errors are bugs, not bad specs — let them traceback.
+    result = campaign.run()
+    kind = "campaign" if isinstance(spec, CampaignSpec) else "run"
+    _emit_campaign_result(result, args, title=f"Records of {kind} spec {args.spec}")
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    strategies = _strategies_from_args(args)
+    if not strategies:
+        print("error: --strategies must name at least one strategy", file=sys.stderr)
+        return 2
+    try:
+        for strategy in strategies:
+            strategy_params(strategy)  # fail fast on unknown names, before any simulation
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    shared = {"policy": args.policy} if any(
+        "policy" in strategy_params(s) for s in strategies
+    ) else {}
+    base = RunSpec(
+        strategy=strategies[0],
+        scenario=_scenario_config_from_args(args),
+        params=shared,
+        sim=SimulationConfig(horizon=args.horizon),
+        seed=args.seed,
+    )
+    spec = CampaignSpec(
+        base=base,
+        grid={"strategy": strategies},
+        replications=args.replications,
+    )
+    if args.spec_out:
+        from pathlib import Path
+
+        Path(args.spec_out).write_text(spec.to_json() + "\n")
+        print(f"wrote campaign spec to {args.spec_out}")
+        return 0
+    result = Campaign(spec, max_workers=args.workers).run()
+    _emit_campaign_result(
+        result, args,
+        title=f"Sweep of {', '.join(strategies)} x {args.replications} replications",
+    )
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -159,6 +293,10 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "simulate":
         return _run_simulate(args)
+    if args.command == "run":
+        return _run_spec_file(args)
+    if args.command == "sweep":
+        return _run_sweep(args)
     if args.command == "strategies":
         names = available_strategies()
         if args.json:

@@ -6,7 +6,13 @@ series/rows plus a ``main()`` that prints the same data as an ASCII table.
 Experiments average over several seeded replications (the paper uses 20).
 """
 
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    replicate_seeds,
+    run_experiment_cells,
+    run_strategy_on_scenario,
+)
 from repro.experiments.fig7_dcdt import run_fig7
 from repro.experiments.fig8_sd import run_fig8
 from repro.experiments.fig9_policy_dcdt import run_fig9
@@ -20,7 +26,9 @@ from repro.experiments.results_io import save_result, load_result, export_grid_c
 
 __all__ = [
     "ExperimentSettings",
+    "experiment_campaign",
     "replicate_seeds",
+    "run_experiment_cells",
     "run_strategy_on_scenario",
     "run_fig7",
     "run_fig8",

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.btctp import BTCTPPlanner
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_table, print_report
-from repro.sim.metrics import average_dcdt, average_sd
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_ablation_init", "main"]
 
@@ -31,29 +31,30 @@ def run_ablation_init(
 ) -> dict:
     """Sweep the number of mules with location initialisation on/off."""
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
+    campaign = experiment_campaign(
+        settings,
+        "b-tctp",
+        grid={
+            "num_mules": list(mule_counts),
+            "location_initialization": [True, False],
+        },
+        track_energy=False,
+    )
+    records = run_experiment_cells(campaign, settings)
+    by = ("num_mules", "location_initialization")
+    mean_sd = group_mean(records, "average_sd", by=by)
+    mean_dcdt = group_mean(records, "average_dcdt", by=by)
 
-    rows: list[list] = []
-    for n in mule_counts:
-        acc = {"with-init": {"sd": [], "dcdt": []}, "without-init": {"sd": [], "dcdt": []}}
-        for seed in seeds:
-            scenario = generate_scenario(settings.scenario_config(num_mules=n), seed)
-            for label, planner in (
-                ("with-init", BTCTPPlanner(location_initialization=True)),
-                ("without-init", BTCTPPlanner(location_initialization=False)),
-            ):
-                result = run_strategy_on_scenario(
-                    planner, scenario, horizon=settings.horizon, track_energy=False
-                )
-                acc[label]["sd"].append(average_sd(result))
-                acc[label]["dcdt"].append(average_dcdt(result))
-        rows.append([
+    rows: list[list] = [
+        [
             n,
-            float(np.nanmean(acc["with-init"]["sd"])),
-            float(np.nanmean(acc["without-init"]["sd"])),
-            float(np.nanmean(acc["with-init"]["dcdt"])),
-            float(np.nanmean(acc["without-init"]["dcdt"])),
-        ])
+            mean_sd[(n, True)],
+            mean_sd[(n, False)],
+            mean_dcdt[(n, True)],
+            mean_dcdt[(n, False)],
+        ]
+        for n in mule_counts
+    ]
 
     return {
         "experiment": "ablation-init",

@@ -14,29 +14,18 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.analysis.theory import analyze_loop
-from repro.core.wtctp import WTCTPPlanner
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_table, print_report
-from repro.sim.metrics import average_sd
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_ablation_mules", "main"]
 
 DEFAULT_MULE_COUNTS: tuple[int, ...] = (1, 2, 3, 4)
 POLICIES: tuple[str, ...] = ("shortest", "balanced")
-
-
-def _predicted_sd(plan, scenario, vip_ids) -> float:
-    """Analytic average SD over the VIPs for a fixed-walk plan with equally spaced mules."""
-    loop = plan.metadata["walk"]
-    coords = scenario.patrol_points()
-    analysis = analyze_loop(loop, coords, num_mules=scenario.num_mules,
-                            velocity=scenario.params.mule_velocity)
-    sds = [analysis.sd(v) for v in vip_ids if v in analysis.occurrences]
-    return float(np.mean(sds)) if sds else float("nan")
 
 
 def run_ablation_mules(
@@ -49,31 +38,31 @@ def run_ablation_mules(
 ) -> dict:
     """Sweep the fleet size for both policies; report measured and predicted VIP SD."""
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
+    campaign = experiment_campaign(
+        settings,
+        "w-tctp",
+        grid={
+            "num_mules": list(mule_counts),
+            "policy": list(policies),
+        },
+        metrics=("vip_sd", "predicted_vip_sd"),
+        track_energy=False,
+        num_vips=num_vips,
+        vip_weight=vip_weight,
+    )
+    records = run_experiment_cells(campaign, settings)
+    by = ("num_mules", "policy")
+    measured = group_mean(records, "vip_sd", by=by)
+    predicted = group_mean(records, "predicted_vip_sd", by=by)
 
     rows: list[list] = []
     detail: dict[int, dict[str, dict[str, float]]] = {}
     for n in mule_counts:
-        acc = {p: {"measured": [], "predicted": []} for p in policies}
-        for seed in seeds:
-            scenario = generate_scenario(
-                settings.scenario_config(num_mules=n, num_vips=num_vips, vip_weight=vip_weight),
-                seed,
-            )
-            vip_ids = [t.id for t in scenario.targets if t.is_vip]
-            for policy in policies:
-                planner = WTCTPPlanner(policy=policy)
-                plan = planner.plan(scenario.fresh_copy())
-                result = run_strategy_on_scenario(
-                    planner, scenario, horizon=settings.horizon, track_energy=False
-                )
-                acc[policy]["measured"].append(average_sd(result, targets=vip_ids))
-                acc[policy]["predicted"].append(_predicted_sd(plan, scenario, vip_ids))
         detail[n] = {
-            p: {k: float(np.nanmean(v)) for k, v in metrics.items()}
-            for p, metrics in acc.items()
+            p: {"measured": measured[(n, p)], "predicted": predicted[(n, p)]}
+            for p in policies
         }
-        row = [n]
+        row: list = [n]
         for policy in policies:
             row.extend([detail[n][policy]["measured"], detail[n][policy]["predicted"]])
         rows.append(row)

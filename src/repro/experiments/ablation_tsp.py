@@ -13,11 +13,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.btctp import BTCTPPlanner
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    replicate_seeds,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_table, print_report
 from repro.graphs.hamiltonian import build_hamiltonian_circuit
-from repro.sim.metrics import average_dcdt
 from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_ablation_tsp", "main"]
@@ -33,6 +37,24 @@ VARIANTS: tuple[tuple[str, str, bool], ...] = (
 )
 
 
+def _tour_lengths_only(
+    settings: ExperimentSettings,
+    target_counts: Sequence[int],
+    variants: Sequence[tuple[str, str, bool]],
+) -> dict[tuple[int, str], float]:
+    """Mean circuit length per (target count, variant) without any simulation."""
+    lengths: dict[tuple[int, str], list[float]] = {}
+    for h in target_counts:
+        for seed in replicate_seeds(settings):
+            scenario = generate_scenario(settings.scenario_config(num_targets=h), seed)
+            coords = scenario.patrol_points()
+            for label, method, improve in variants:
+                tour = build_hamiltonian_circuit(coords, method=method, improve=improve,
+                                                 start=scenario.sink.id)
+                lengths.setdefault((h, label), []).append(tour.length())
+    return {key: float(np.nanmean(vals)) for key, vals in lengths.items()}
+
+
 def run_ablation_tsp(
     settings: ExperimentSettings | None = None,
     *,
@@ -42,32 +64,39 @@ def run_ablation_tsp(
 ) -> dict:
     """Sweep the circuit heuristic; reports tour length and (optionally) simulated DCDT."""
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
+
+    if simulate:
+        # The variants pair (tsp_method, improve_tour), so each variant is its
+        # own campaign over the target-count axis; the cells of all variants
+        # are batched through one (possibly parallel) execution.
+        cells = []
+        for label, method, improve in variants:
+            campaign = experiment_campaign(
+                settings,
+                "b-tctp",
+                grid={"num_targets": list(target_counts)},
+                params={"tsp_method": method, "improve_tour": improve},
+                metrics=("path_length",),
+                track_energy=False,
+                labels={"variant": label},
+            )
+            cells.extend(campaign.cells())
+        records = run_experiment_cells(cells, settings)
+        by = ("num_targets", "variant")
+        mean_length = group_mean(records, "path_length", by=by)
+        mean_dcdt = group_mean(records, "average_dcdt", by=by)
+    else:
+        mean_length = _tour_lengths_only(settings, target_counts, variants)
+        mean_dcdt = {}
 
     rows: list[list] = []
     for h in target_counts:
-        acc: dict[str, dict[str, list[float]]] = {
-            label: {"length": [], "dcdt": []} for label, _m, _i in variants
-        }
-        for seed in seeds:
-            scenario = generate_scenario(settings.scenario_config(num_targets=h), seed)
-            coords = scenario.patrol_points()
-            for label, method, improve in variants:
-                tour = build_hamiltonian_circuit(coords, method=method, improve=improve,
-                                                 start=scenario.sink.id)
-                acc[label]["length"].append(tour.length())
-                if simulate:
-                    planner = BTCTPPlanner(tsp_method=method, improve_tour=improve)
-                    result = run_strategy_on_scenario(
-                        planner, scenario, horizon=settings.horizon, track_energy=False
-                    )
-                    acc[label]["dcdt"].append(average_dcdt(result))
         for label, _m, _i in variants:
             rows.append([
                 h,
                 label,
-                float(np.nanmean(acc[label]["length"])),
-                float(np.nanmean(acc[label]["dcdt"])) if simulate else float("nan"),
+                mean_length[(h, label)],
+                mean_dcdt.get((h, label), float("nan")),
             ])
 
     return {

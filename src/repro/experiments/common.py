@@ -1,22 +1,26 @@
 """Shared plumbing for the figure-reproduction experiments.
 
-Every experiment follows the same pattern: build a scenario from a seed, plan
-with one or more strategies, simulate for a horizon long enough to observe
-tens of visits per target, extract the paper's metrics and average over the
-replications.  This module centralises that plumbing so the per-figure modules
-only describe the parameter grids.
+Every experiment follows the same pattern: describe a grid of run cells
+(scenario config × strategy × replication seed), execute them through the
+:mod:`repro.runner` campaign executor — serially or across worker processes,
+per :attr:`ExperimentSettings.max_workers` — and reduce the tidy records to
+the figure's series.  This module centralises the settings object and the
+spec-building helpers so the per-figure modules only describe their parameter
+grids and reductions.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
 from repro.baselines.base import PatrolStrategy, get_strategy
 from repro.core.plan import PatrolPlan
 from repro.network.scenario import Scenario
+from repro.runner.campaign import execute_many, group_mean, group_records
+from repro.runner.spec import CampaignSpec, RunSpec
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.recorder import SimulationResult
 from repro.workloads.generator import ScenarioConfig, generate_scenario
@@ -27,6 +31,10 @@ __all__ = [
     "run_strategy_on_scenario",
     "simulate_plan",
     "averaged_metric",
+    "experiment_campaign",
+    "run_experiment_cells",
+    "group_mean",
+    "group_records",
 ]
 
 
@@ -36,7 +44,9 @@ class ExperimentSettings:
 
     The defaults reproduce the paper's protocol (20 replications); the
     benchmark suite and the test suite use smaller values through the
-    ``quick()`` constructor so they stay fast.
+    ``quick()`` constructor so they stay fast.  ``max_workers`` fans the
+    independent replication cells out over that many worker processes
+    (``None`` runs serially; results are identical either way).
     """
 
     replications: int = 20
@@ -46,6 +56,7 @@ class ExperimentSettings:
     num_mules: int = 4
     mule_placement: str = "random"
     distribution: str = "uniform"
+    max_workers: int | None = None
 
     @classmethod
     def quick(cls, **overrides) -> "ExperimentSettings":
@@ -65,10 +76,54 @@ class ExperimentSettings:
         base.update(overrides)
         return ScenarioConfig(**base)
 
+    def sim_config(self, *, track_energy: bool = True, **overrides) -> SimulationConfig:
+        """Simulator config following these settings."""
+        return SimulationConfig(horizon=self.horizon, track_energy=track_energy, **overrides)
+
 
 def replicate_seeds(settings: ExperimentSettings) -> list[int]:
     """Deterministic list of per-replication seeds."""
     return [settings.base_seed + 1000 * k for k in range(settings.replications)]
+
+
+def experiment_campaign(
+    settings: ExperimentSettings,
+    strategy: str,
+    *,
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    params: Mapping[str, Any] | None = None,
+    metrics: Sequence = (),
+    track_energy: bool = True,
+    labels: Mapping[str, Any] | None = None,
+    **scenario_overrides,
+) -> CampaignSpec:
+    """A campaign over ``settings``' replications with a per-experiment grid.
+
+    The base cell follows the settings' scenario/simulator knobs (plus
+    ``scenario_overrides``); ``grid`` adds the experiment's swept axes and
+    ``labels`` tags every record (useful when composing the cells of several
+    campaigns into one batch).
+    """
+    base = RunSpec(
+        strategy=strategy,
+        scenario=settings.scenario_config(**scenario_overrides),
+        params=dict(params or {}),
+        sim=settings.sim_config(track_energy=track_energy),
+        seed=settings.base_seed,
+        metrics=tuple(metrics),
+        labels=dict(labels or {}),
+    )
+    return CampaignSpec(base=base, grid=dict(grid or {}), replications=settings.replications)
+
+
+def run_experiment_cells(
+    cells: "Iterable[RunSpec] | CampaignSpec",
+    settings: ExperimentSettings,
+) -> list[dict]:
+    """Execute expanded run cells with the settings' worker budget."""
+    if isinstance(cells, CampaignSpec):
+        cells = cells.cells()
+    return execute_many(cells, max_workers=settings.max_workers)
 
 
 def simulate_plan(scenario: Scenario, plan: PatrolPlan, *, horizon: float,
@@ -87,7 +142,12 @@ def run_strategy_on_scenario(
     track_energy: bool = True,
     **strategy_kwargs,
 ) -> SimulationResult:
-    """Plan + simulate in one call; ``strategy`` may be a registry name or an instance."""
+    """Plan + simulate in one call; ``strategy`` may be a registry name or an instance.
+
+    This is the in-memory sibling of :func:`repro.runner.execute_run` for
+    callers that already hold a :class:`Scenario` object (or a planner
+    instance) rather than a declarative config.
+    """
     planner = get_strategy(strategy, **strategy_kwargs) if isinstance(strategy, str) else strategy
     working = scenario.fresh_copy()
     plan = planner.plan(working)

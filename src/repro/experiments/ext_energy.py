@@ -12,18 +12,25 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.rwtctp import RWTCTPPlanner
-from repro.core.wtctp import WTCTPPlanner
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_table, print_report
-from repro.sim.metrics import average_dcdt
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_energy_experiment", "main"]
 
 DEFAULT_BATTERIES: tuple[float, ...] = (50_000.0, 100_000.0, 200_000.0)
+
+_ALGORITHMS: tuple[tuple[str, str], ...] = (("W-TCTP", "w-tctp"), ("RW-TCTP", "rw-tctp"))
+_METRIC_COLUMNS: tuple[tuple[str, str], ...] = (
+    ("survival", "survival_fraction"),
+    ("delivered", "delivered_data"),
+    ("recharges", "total_recharges"),
+    ("dcdt", "average_dcdt"),
+)
 
 
 def run_energy_experiment(
@@ -39,43 +46,34 @@ def run_energy_experiment(
     DCDT while alive.
     """
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
+    campaign = experiment_campaign(
+        settings,
+        "w-tctp",
+        grid={
+            "mule_battery": list(battery_capacities),
+            "strategy": [name for _label, name in _ALGORITHMS],
+        },
+        params={"policy": policy},
+        metrics=("survival_fraction", "total_recharges"),
+        track_energy=True,
+        with_recharge_station=True,
+    )
+    records = run_experiment_cells(campaign, settings)
+    means = {
+        metric: group_mean(records, column, by=("mule_battery", "strategy"))
+        for metric, column in _METRIC_COLUMNS
+    }
 
     rows: list[list] = []
     detail: dict[float, dict[str, dict[str, float]]] = {}
-
     for capacity in battery_capacities:
-        acc = {
-            "W-TCTP": {"survival": [], "delivered": [], "recharges": [], "dcdt": []},
-            "RW-TCTP": {"survival": [], "delivered": [], "recharges": [], "dcdt": []},
-        }
-        for seed in seeds:
-            scenario = generate_scenario(
-                settings.scenario_config(
-                    mule_battery=capacity, with_recharge_station=True
-                ),
-                seed,
-            )
-            for name, planner in (
-                ("W-TCTP", WTCTPPlanner(policy=policy)),
-                ("RW-TCTP", RWTCTPPlanner(policy=policy)),
-            ):
-                result = run_strategy_on_scenario(
-                    planner, scenario, horizon=settings.horizon, track_energy=True
-                )
-                num_mules = len(result.traces)
-                acc[name]["survival"].append(len(result.surviving_mules()) / num_mules)
-                acc[name]["delivered"].append(result.total_delivered_data())
-                acc[name]["recharges"].append(sum(t.recharges for t in result.traces.values()))
-                acc[name]["dcdt"].append(average_dcdt(result))
-
         detail[capacity] = {
-            name: {metric: float(np.nanmean(vals)) for metric, vals in metrics.items()}
-            for name, metrics in acc.items()
+            label: {metric: means[metric][(capacity, name)] for metric, _c in _METRIC_COLUMNS}
+            for label, name in _ALGORITHMS
         }
-        row = [capacity]
-        for name in ("W-TCTP", "RW-TCTP"):
-            d = detail[capacity][name]
+        row: list = [capacity]
+        for label, _name in _ALGORITHMS:
+            d = detail[capacity][label]
             row.extend([d["survival"], d["delivered"], d["recharges"], d["dcdt"]])
         rows.append(row)
 

@@ -10,13 +10,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.wtctp import WTCTPPlanner
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_table, print_report
-from repro.sim.metrics import average_sd
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_fig10", "main"]
 
@@ -42,31 +42,29 @@ def run_fig10(
     defaults to 1 for the same reason as in Figure 9 (per-walk policy effect).
     """
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
+    campaign = experiment_campaign(
+        settings,
+        "w-tctp",
+        grid={
+            "num_vips": list(vip_counts),
+            "vip_weight": list(vip_weights),
+            "policy": list(policies),
+        },
+        metrics=("vip_sd_or_all",),
+        track_energy=False,
+        num_mules=num_mules,
+    )
+    records = run_experiment_cells(campaign, settings)
+    sd_column = "vip_sd_or_all" if vip_only else "average_sd"
+    mean_sd = group_mean(records, sd_column, by=("num_vips", "vip_weight", "policy"))
 
     rows: list[list] = []
     grid: dict[str, dict[tuple[int, int], float]] = {p: {} for p in policies}
-
     for num_vips in vip_counts:
         for weight in vip_weights:
-            per_policy: dict[str, list[float]] = {p: [] for p in policies}
-            for seed in seeds:
-                scenario = generate_scenario(
-                    settings.scenario_config(num_vips=num_vips, vip_weight=weight,
-                                             num_mules=num_mules),
-                    seed,
-                )
-                vip_ids = [t.id for t in scenario.targets if t.is_vip] or None
-                for policy in policies:
-                    planner = WTCTPPlanner(policy=policy)
-                    result = run_strategy_on_scenario(
-                        planner, scenario, horizon=settings.horizon, track_energy=False
-                    )
-                    targets = vip_ids if vip_only else None
-                    per_policy[policy].append(average_sd(result, targets=targets))
-            row = [num_vips, weight]
+            row: list = [num_vips, weight]
             for policy in policies:
-                sd = float(np.nanmean(per_policy[policy]))
+                sd = mean_sd[(num_vips, weight, policy)]
                 grid[policy][(num_vips, weight)] = sd
                 row.append(sd)
             rows.append(row)

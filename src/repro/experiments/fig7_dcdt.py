@@ -13,10 +13,14 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    group_records,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_series, print_report
-from repro.sim.metrics import average_dcdt, dcdt_series
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_fig7", "main"]
 
@@ -41,24 +45,21 @@ def run_fig7(
       series (the "vibration" the paper describes qualitatively).
     """
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
-
-    per_strategy_series: dict[str, list[list[float]]] = {s: [] for s in strategies}
-    per_strategy_avg: dict[str, list[float]] = {s: [] for s in strategies}
-
-    for seed in seeds:
-        scenario = generate_scenario(settings.scenario_config(), seed)
-        for strat in strategies:
-            kwargs = {"seed": seed} if strat == "random" else {}
-            result = run_strategy_on_scenario(strat, scenario, horizon=settings.horizon,
-                                              track_energy=False, **kwargs)
-            per_strategy_series[strat].append(dcdt_series(result, num_points=num_points))
-            per_strategy_avg[strat].append(average_dcdt(result))
+    campaign = experiment_campaign(
+        settings,
+        strategies[0],
+        grid={"strategy": list(strategies)},
+        metrics=(("dcdt_series", {"num_points": num_points}),),
+        track_energy=False,
+    )
+    records = run_experiment_cells(campaign, settings)
+    by_strategy = group_records(records, "strategy")
+    avg_dcdt = group_mean(records, "average_dcdt", by="strategy")
 
     series: dict[str, list[float]] = {}
     spread: dict[str, float] = {}
     for strat in strategies:
-        arr = np.asarray(per_strategy_series[strat], dtype=float)
+        arr = np.asarray([r["dcdt_series"] for r in by_strategy[strat]], dtype=float)
         with warnings.catch_warnings():
             # A visit index reached by no replication yields an all-NaN column;
             # keep it as NaN silently instead of warning about the empty mean.
@@ -75,7 +76,7 @@ def run_fig7(
         "experiment": "fig7",
         "visit_index": list(range(num_points)),
         "series": series,
-        "average_dcdt": {s: float(np.nanmean(per_strategy_avg[s])) for s in strategies},
+        "average_dcdt": {s: avg_dcdt[s] for s in strategies},
         "dcdt_spread": spread,
         "settings": {
             "replications": settings.replications,

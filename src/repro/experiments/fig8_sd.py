@@ -10,12 +10,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_table, print_report
-from repro.sim.metrics import average_sd
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_fig8", "main"]
 
@@ -37,29 +38,27 @@ def run_fig8(
     reporting.
     """
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
+    campaign = experiment_campaign(
+        settings,
+        strategies[0],
+        grid={
+            "num_targets": list(target_counts),
+            "num_mules": list(mule_counts),
+            "strategy": list(strategies),
+        },
+        track_energy=False,
+    )
+    records = run_experiment_cells(campaign, settings)
+    mean_sd = group_mean(records, "average_sd", by=("num_targets", "num_mules", "strategy"))
 
     grid: dict[str, dict[tuple[int, int], float]] = {s: {} for s in strategies}
     rows: list[list] = []
-
     for h in target_counts:
         for n in mule_counts:
-            per_strategy: dict[str, list[float]] = {s: [] for s in strategies}
-            for seed in seeds:
-                scenario = generate_scenario(
-                    settings.scenario_config(num_targets=h, num_mules=n), seed
-                )
-                for strat in strategies:
-                    kwargs = {"seed": seed} if strat == "random" else {}
-                    result = run_strategy_on_scenario(
-                        strat, scenario, horizon=settings.horizon, track_energy=False, **kwargs
-                    )
-                    per_strategy[strat].append(average_sd(result))
-            row = [h, n]
+            row: list = [h, n]
             for strat in strategies:
-                mean_sd = float(np.nanmean(per_strategy[strat]))
-                grid[strat][(h, n)] = mean_sd
-                row.append(mean_sd)
+                grid[strat][(h, n)] = mean_sd[(h, n, strat)]
+                row.append(mean_sd[(h, n, strat)])
             rows.append(row)
 
     return {

@@ -11,13 +11,13 @@ from __future__ import annotations
 
 from typing import Sequence
 
-import numpy as np
-
-from repro.core.wtctp import WTCTPPlanner
-from repro.experiments.common import ExperimentSettings, replicate_seeds, run_strategy_on_scenario
+from repro.experiments.common import (
+    ExperimentSettings,
+    experiment_campaign,
+    group_mean,
+    run_experiment_cells,
+)
 from repro.experiments.reporting import format_table, print_report
-from repro.sim.metrics import average_dcdt
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_fig9", "main"]
 
@@ -42,35 +42,32 @@ def run_fig9(
     multi-mule interference ablation).
     """
     settings = settings or ExperimentSettings()
-    seeds = replicate_seeds(settings)
+    campaign = experiment_campaign(
+        settings,
+        "w-tctp",
+        grid={
+            "num_vips": list(vip_counts),
+            "vip_weight": list(vip_weights),
+            "policy": list(policies),
+        },
+        metrics=("wpp_length",),
+        track_energy=False,
+        num_mules=num_mules,
+    )
+    records = run_experiment_cells(campaign, settings)
+    by = ("num_vips", "vip_weight", "policy")
+    mean_dcdt = group_mean(records, "average_dcdt", by=by)
+    mean_len = group_mean(records, "wpp_length", by=by)
 
     rows: list[list] = []
     grid: dict[str, dict[tuple[int, int], float]] = {p: {} for p in policies}
     lengths: dict[str, dict[tuple[int, int], float]] = {p: {} for p in policies}
-
     for num_vips in vip_counts:
         for weight in vip_weights:
-            per_policy: dict[str, list[float]] = {p: [] for p in policies}
-            per_policy_len: dict[str, list[float]] = {p: [] for p in policies}
-            for seed in seeds:
-                scenario = generate_scenario(
-                    settings.scenario_config(num_vips=num_vips, vip_weight=weight,
-                                             num_mules=num_mules),
-                    seed,
-                )
-                for policy in policies:
-                    planner = WTCTPPlanner(policy=policy)
-                    working = scenario.fresh_copy()
-                    plan = planner.plan(working)
-                    result = run_strategy_on_scenario(
-                        planner, scenario, horizon=settings.horizon, track_energy=False
-                    )
-                    per_policy[policy].append(average_dcdt(result))
-                    per_policy_len[policy].append(plan.metadata["wpp_length"])
-            row = [num_vips, weight]
+            row: list = [num_vips, weight]
             for policy in policies:
-                dcdt = float(np.nanmean(per_policy[policy]))
-                wpp_len = float(np.nanmean(per_policy_len[policy]))
+                dcdt = mean_dcdt[(num_vips, weight, policy)]
+                wpp_len = mean_len[(num_vips, weight, policy)]
                 grid[policy][(num_vips, weight)] = dcdt
                 lengths[policy][(num_vips, weight)] = wpp_len
                 row.extend([dcdt, wpp_len])

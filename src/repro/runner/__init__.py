@@ -1,0 +1,49 @@
+"""Unified execution API: declarative run specs and parallel campaigns.
+
+This package is the one way to run anything in the library:
+
+* :class:`RunSpec` — one simulation run (scenario config + strategy +
+  simulator config + seed) as plain, JSON-round-trippable data;
+* :class:`CampaignSpec` — a parameter grid × replications over a base spec;
+* :class:`Campaign` — executes a spec's cells serially or over a process
+  pool (``max_workers``), returning a :class:`CampaignResult` of tidy
+  per-run records with identical content either way;
+* :func:`execute_run` — run one spec in-process and get its record;
+* :func:`load_spec` — read a ``RunSpec`` / ``CampaignSpec`` JSON file, the
+  format behind ``python -m repro run spec.json``.
+
+The CLI (``python -m repro run`` / ``sweep``), every figure experiment in
+:mod:`repro.experiments`, and the benchmark harness are all built on top of
+this module.
+"""
+
+from repro.runner.spec import RunSpec, CampaignSpec, load_spec, spec_from_dict
+from repro.runner.campaign import (
+    Campaign,
+    CampaignResult,
+    execute_run,
+    execute_many,
+    group_records,
+    group_mean,
+)
+from repro.runner.record_metrics import (
+    available_metrics,
+    compute_metric,
+    register_metric,
+)
+
+__all__ = [
+    "RunSpec",
+    "CampaignSpec",
+    "load_spec",
+    "spec_from_dict",
+    "Campaign",
+    "CampaignResult",
+    "execute_run",
+    "execute_many",
+    "group_records",
+    "group_mean",
+    "available_metrics",
+    "compute_metric",
+    "register_metric",
+]

@@ -1,0 +1,301 @@
+"""Campaign execution: fan independent run cells out over worker processes.
+
+Every cell of a campaign — one ``(RunSpec, seed)`` pair — is an independent
+work unit: it regenerates its scenario from config + seed, plans, simulates
+and reduces to one tidy record (a flat dict of cell coordinates and metric
+values).  Cells therefore parallelise embarrassingly; the executor uses a
+:class:`concurrent.futures.ProcessPoolExecutor` when ``max_workers`` asks for
+one, falls back to a serial loop otherwise, and preserves the deterministic
+cell order either way — a campaign's records are **identical** serial or
+parallel, byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.baselines.base import get_strategy, strategy_params
+from repro.runner.record_metrics import compute_metric, metric_name
+from repro.runner.spec import CampaignSpec, RunSpec
+from repro.sim.engine import PatrolSimulator
+from repro.sim.metrics import average_dcdt, average_sd, max_visiting_interval
+from repro.workloads.generator import generate_scenario
+
+__all__ = [
+    "execute_run",
+    "execute_many",
+    "Campaign",
+    "CampaignResult",
+    "group_records",
+    "group_mean",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Single-cell execution (module-level so it pickles into worker processes)
+# --------------------------------------------------------------------------- #
+
+def execute_run(spec: RunSpec) -> dict:
+    """Execute one run spec end to end and reduce it to a tidy record.
+
+    The record carries the cell's identification (strategy, seed, scenario
+    size, labels), the standard metrics of the paper's evaluation, and any
+    extra metrics the spec requested.  Everything in it is JSON-safe.
+
+    Strategies that declare a ``seed`` parameter receive ``spec.seed`` unless
+    the spec sets one explicitly, exactly as campaign expansion does — the
+    same spec produces the same record through either path.  Unlike campaign
+    expansion, explicitly given params are *not* filtered: an undeclared
+    parameter raises, so a typo in a hand-written spec surfaces.
+    """
+    scenario = generate_scenario(spec.scenario, spec.seed)
+    params = dict(spec.params)
+    if "seed" in strategy_params(spec.strategy) and "seed" not in params:
+        params["seed"] = spec.seed
+    planner = get_strategy(spec.strategy, **params)
+    plan = planner.plan(scenario)
+    result = PatrolSimulator(scenario, plan, spec.sim).run()
+
+    record: dict[str, Any] = {
+        "strategy": spec.strategy,
+        "seed": spec.seed,
+        "num_targets": spec.scenario.num_targets,
+        "num_mules": spec.scenario.num_mules,
+        "horizon": spec.sim.horizon,
+    }
+    record.update(spec.labels)
+    record["planner"] = plan.strategy
+    record["average_dcdt"] = average_dcdt(result)
+    record["average_sd"] = average_sd(result)
+    record["max_visiting_interval"] = max_visiting_interval(result)
+    record["delivered_data"] = result.total_delivered_data()
+    record["total_distance"] = result.total_distance()
+    record["num_dead_mules"] = len(result.dead_mules())
+    for entry in spec.metrics:
+        record[metric_name(entry)] = compute_metric(entry, scenario, plan, result)
+    return record
+
+
+def execute_many(
+    specs: Iterable[RunSpec],
+    *,
+    max_workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> list[dict]:
+    """Execute run specs, optionally across processes; results keep spec order.
+
+    ``max_workers`` of ``None``/``0``/``1`` runs serially in-process.  Worker
+    processes are only worth their startup cost for non-trivial cell counts,
+    and the output is identical either way.  ``progress(done, total)`` is
+    called after each completed cell (serial mode only calls it in order).
+
+    Workers use the ``fork`` start method where the platform offers it, so
+    strategies/metrics registered at runtime stay visible in the pool.  On
+    spawn-only platforms (Windows), custom registrations must happen at
+    import time of a module the workers also import.
+    """
+    specs = list(specs)
+    if max_workers is not None and max_workers > 1 and len(specs) > 1:
+        try:
+            mp_context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - spawn-only platforms
+            mp_context = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_context)
+        except OSError as exc:  # platforms without process support
+            # Only pool *construction* falls back to serial — an error raised
+            # by a cell is a real failure and must propagate, not trigger a
+            # silent from-scratch serial rerun.
+            warnings.warn(f"parallel execution unavailable ({exc!r}); running serially",
+                          RuntimeWarning, stacklevel=2)
+        else:
+            with pool:
+                chunksize = max(1, len(specs) // (max_workers * 4))
+                records = []
+                for record in pool.map(execute_run, specs, chunksize=chunksize):
+                    records.append(record)
+                    if progress is not None:
+                        progress(len(records), len(specs))
+                return records
+    records = []
+    for spec in specs:
+        records.append(execute_run(spec))
+        if progress is not None:
+            progress(len(records), len(specs))
+    return records
+
+
+def _json_sanitize(obj: Any) -> Any:
+    """Replace non-finite floats with ``None`` so the output is strict JSON.
+
+    Python's ``json`` would happily emit the non-standard ``NaN`` token
+    (which jq / ``JSON.parse`` reject), and several metrics return NaN by
+    design — e.g. ``vip_sd`` on a scenario without VIPs.
+    """
+    if isinstance(obj, float) and not np.isfinite(obj):
+        return None
+    if isinstance(obj, dict):
+        return {k: _json_sanitize(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_sanitize(v) for v in obj]
+    return obj
+
+
+# --------------------------------------------------------------------------- #
+# Record aggregation helpers
+# --------------------------------------------------------------------------- #
+
+def group_records(
+    records: Iterable[Mapping[str, Any]],
+    by: "str | Sequence[str]",
+) -> "dict[Any, list[dict]]":
+    """Group records by one column (scalar keys) or several (tuple keys)."""
+    single = isinstance(by, str)
+    columns = (by,) if single else tuple(by)
+    groups: dict[Any, list[dict]] = {}
+    for record in records:
+        key = record[columns[0]] if single else tuple(record[c] for c in columns)
+        groups.setdefault(key, []).append(dict(record))
+    return groups
+
+
+def group_mean(
+    records: Iterable[Mapping[str, Any]],
+    value: str,
+    *,
+    by: "str | Sequence[str]",
+) -> "dict[Any, float]":
+    """Group-by NaN-aware mean of one record column (the experiments' reducer)."""
+    out: dict[Any, float] = {}
+    for key, group in group_records(records, by).items():
+        values = np.asarray([g[value] for g in group], dtype=float)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            out[key] = float(np.nanmean(values))
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Campaign + CampaignResult
+# --------------------------------------------------------------------------- #
+
+@dataclass
+class CampaignResult:
+    """Tidy per-run records of a finished campaign, with export helpers."""
+
+    records: list[dict]
+    spec: CampaignSpec | None = None
+    metadata: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def columns(self) -> list[str]:
+        """Union of record keys, ordered by first appearance."""
+        seen: dict[str, None] = {}
+        for record in self.records:
+            for key in record:
+                seen.setdefault(key)
+        return list(seen)
+
+    def values(self, column: str) -> list:
+        """One column across all records (missing entries become NaN)."""
+        return [record.get(column, float("nan")) for record in self.records]
+
+    def group_mean(self, value: str, *, by: "str | Sequence[str]") -> "dict[Any, float]":
+        """Group-by NaN-aware mean of one metric column."""
+        return group_mean(self.records, value, by=by)
+
+    def to_rows(self, *, scalar_only: bool = False) -> tuple[list[str], list[list]]:
+        """Header + row table of the records (``scalar_only`` drops list/dict columns)."""
+        columns = self.columns()
+        if scalar_only:
+            columns = [
+                c for c in columns
+                if not any(isinstance(r.get(c), (list, tuple, dict)) for r in self.records)
+            ]
+        rows = [[record.get(c, "") for c in columns] for record in self.records]
+        return columns, rows
+
+    def _payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"records": _json_sanitize(self.records)}
+        if self.spec is not None:
+            payload["spec"] = self.spec.to_dict()
+        if self.metadata:
+            payload["metadata"] = self.metadata
+        return payload
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Strict-JSON payload of the records (+ spec); NaN metrics become null."""
+        return json.dumps(self._payload(), indent=indent, sort_keys=True, allow_nan=False)
+
+    def save_json(self, path: "str | Path") -> Path:
+        """Write the payload with the same ``_meta`` stamp as ``results_io.save_result``,
+        so archived record files are traceable to the library version that made them."""
+        from repro import __version__
+
+        payload = self._payload()
+        payload["_meta"] = {"library_version": __version__, "saved_at_unix": time.time()}
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n")
+        return path
+
+    def save_csv(self, path: "str | Path") -> Path:
+        from repro.experiments.reporting import to_csv
+
+        headers, rows = self.to_rows(scalar_only=True)
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(to_csv(headers, rows))
+        return path
+
+
+class Campaign:
+    """Executor for a campaign (or single run) spec.
+
+    >>> from repro.runner import Campaign, CampaignSpec, RunSpec
+    >>> spec = CampaignSpec(base=RunSpec(strategy="b-tctp"),
+    ...                     grid={"strategy": ["chb", "b-tctp"]}, replications=4)
+    >>> result = Campaign(spec, max_workers=4).run()    # doctest: +SKIP
+    >>> result.group_mean("average_sd", by="strategy")  # doctest: +SKIP
+
+    ``max_workers=None`` (or 1) runs serially; any larger value fans the
+    cells out over that many worker processes.  Records come back in
+    deterministic cell order either way, with identical contents.
+    """
+
+    def __init__(
+        self,
+        spec: "CampaignSpec | RunSpec",
+        *,
+        max_workers: int | None = None,
+    ) -> None:
+        self.spec = spec if isinstance(spec, CampaignSpec) else CampaignSpec(base=spec)
+        self.max_workers = max_workers
+
+    def cells(self) -> list[RunSpec]:
+        """The expanded, ordered run cells of this campaign."""
+        return self.spec.cells()
+
+    def run(self, *, progress: Callable[[int, int], None] | None = None) -> CampaignResult:
+        """Execute every cell and return the tidy records."""
+        cells = self.cells()
+        records = execute_many(cells, max_workers=self.max_workers, progress=progress)
+        return CampaignResult(
+            records=records,
+            spec=self.spec,
+            metadata={"num_cells": len(cells), "max_workers": self.max_workers},
+        )

@@ -1,0 +1,439 @@
+"""Declarative run specifications: one simulation cell, or a whole campaign.
+
+A :class:`RunSpec` is everything needed to reproduce one simulation run —
+scenario generator config, strategy name + parameters, simulator config and
+the replication seed — as plain data.  A :class:`CampaignSpec` is a parameter
+grid over a base :class:`RunSpec` crossed with a replication count.  Both
+round-trip losslessly through JSON, so arbitrary workloads can be authored as
+data files and executed with ``python -m repro run spec.json`` or through
+:class:`repro.runner.Campaign` — no code changes required.
+
+Grid axes are addressed by name:
+
+* ``"strategy"`` — the strategy registry name;
+* ``"scenario.<field>"`` / ``"sim.<field>"`` / ``"params.<name>"`` — an
+  explicit scope;
+* a bare name (``"num_targets"``, ``"horizon"``, ``"policy"``) — resolved to
+  the scenario config if it is a :class:`ScenarioConfig` field, else to the
+  simulator config if it is a :class:`SimulationConfig` field, else to the
+  strategy parameters.
+
+When a campaign fans one parameter set out over several strategies, each
+cell keeps only the parameters its strategy declares (see
+:func:`repro.baselines.base.filter_strategy_kwargs`), and strategies that
+declare a ``seed`` parameter (the Random baseline) receive the cell's
+replication seed automatically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.baselines.base import (
+    canonical_strategy_name,
+    filter_strategy_kwargs,
+    strategy_info,
+    strategy_params,
+)
+from repro.network.scenario import SimulationParameters
+from repro.runner.record_metrics import available_metrics, metric_name
+from repro.sim.engine import SimulationConfig
+from repro.workloads.generator import ScenarioConfig
+
+__all__ = ["RunSpec", "CampaignSpec", "load_spec", "spec_from_dict"]
+
+_SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(ScenarioConfig))
+_SIM_FIELDS = frozenset(f.name for f in dataclasses.fields(SimulationConfig))
+_PARAMS_FIELDS = frozenset(f.name for f in dataclasses.fields(SimulationParameters))
+
+
+# --------------------------------------------------------------------------- #
+# (de)serialisation helpers
+# --------------------------------------------------------------------------- #
+
+def _check_keys(data: Mapping[str, Any], allowed: frozenset[str], what: str) -> None:
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown {what} field(s): {', '.join(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _scenario_to_dict(cfg: ScenarioConfig) -> dict:
+    data = dataclasses.asdict(cfg)
+    # Keep the JSON lean and stable: drop fields still at their defaults.
+    default = ScenarioConfig()
+    for f in dataclasses.fields(ScenarioConfig):
+        if data.get(f.name) == getattr(default, f.name) or (
+            f.name == "params" and cfg.params == default.params
+        ):
+            data.pop(f.name, None)
+    return data
+
+
+def _scenario_from_dict(data: Mapping[str, Any]) -> ScenarioConfig:
+    payload = dict(data)
+    _check_keys(payload, _SCENARIO_FIELDS, "scenario")
+    params = payload.pop("params", None)
+    if params is not None and not isinstance(params, SimulationParameters):
+        _check_keys(params, _PARAMS_FIELDS, "scenario.params")
+        payload["params"] = SimulationParameters(**params)
+    elif params is not None:
+        payload["params"] = params
+    for key in ("sink_position", "recharge_position"):
+        if payload.get(key) is not None:
+            payload[key] = tuple(payload[key])
+    return ScenarioConfig(**payload)
+
+
+def _sim_to_dict(cfg: SimulationConfig) -> dict:
+    data = dataclasses.asdict(cfg)
+    default = SimulationConfig()
+    for f in dataclasses.fields(SimulationConfig):
+        if data.get(f.name) == getattr(default, f.name):
+            data.pop(f.name)
+    return data
+
+
+def _sim_from_dict(data: Mapping[str, Any]) -> SimulationConfig:
+    _check_keys(data, _SIM_FIELDS, "sim")
+    return SimulationConfig(**data)
+
+
+def _normalize_metric(entry: Any) -> "str | tuple[str, dict]":
+    """Metric entries are ``"name"`` or ``("name", {params})`` (lists from JSON)."""
+    if isinstance(entry, str):
+        return entry
+    name, params = entry
+    return (str(name), dict(params))
+
+
+# --------------------------------------------------------------------------- #
+# RunSpec
+# --------------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully specified simulation run, as data.
+
+    Attributes
+    ----------
+    strategy:
+        Registry name (aliases accepted, e.g. ``"btctp"``).
+    scenario:
+        The random-scenario generator config.
+    params:
+        Keyword parameters for the strategy factory.
+    sim:
+        Simulator config (horizon, energy tracking, ...).
+    seed:
+        Seed for scenario generation (and, for strategies that declare a
+        ``seed`` parameter, the strategy itself).
+    metrics:
+        Extra metric extractors to evaluate on the finished run, by name
+        (see :mod:`repro.runner.record_metrics`); entries may also be
+        ``(name, {param: value})`` pairs.
+    labels:
+        Free-form key/value cell coordinates copied into the result record
+        (campaigns use this for the grid axes and the replication index).
+    """
+
+    strategy: str
+    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    params: Mapping[str, Any] = field(default_factory=dict)
+    sim: SimulationConfig = field(default_factory=SimulationConfig)
+    seed: int = 0
+    metrics: tuple = ()
+    labels: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "labels", dict(self.labels))
+        object.__setattr__(
+            self, "metrics", tuple(_normalize_metric(m) for m in self.metrics)
+        )
+
+    # -- serialisation --------------------------------------------------- #
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {"kind": "run", "strategy": self.strategy, "seed": self.seed}
+        scenario = _scenario_to_dict(self.scenario)
+        if scenario:
+            data["scenario"] = scenario
+        if self.params:
+            data["params"] = dict(self.params)
+        sim = _sim_to_dict(self.sim)
+        if sim:
+            data["sim"] = sim
+        if self.metrics:
+            data["metrics"] = [list(m) if isinstance(m, tuple) else m for m in self.metrics]
+        if self.labels:
+            data["labels"] = dict(self.labels)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        payload = dict(data)
+        payload.pop("kind", None)
+        _check_keys(payload, frozenset(f.name for f in dataclasses.fields(cls)), "run spec")
+        if "scenario" in payload and not isinstance(payload["scenario"], ScenarioConfig):
+            payload["scenario"] = _scenario_from_dict(payload["scenario"])
+        if "sim" in payload and not isinstance(payload["sim"], SimulationConfig):
+            payload["sim"] = _sim_from_dict(payload["sim"])
+        if "metrics" in payload:
+            payload["metrics"] = tuple(_normalize_metric(m) for m in payload["metrics"])
+        return cls(**payload)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- derived --------------------------------------------------------- #
+    def canonical_strategy(self) -> str:
+        return canonical_strategy_name(self.strategy)
+
+    def validate(self) -> "RunSpec":
+        """Raise :class:`ValueError` on an unknown strategy or undeclared params.
+
+        Use this on hand-written single-run specs, where a typo'd parameter
+        should surface instead of being filtered away by campaign expansion.
+        """
+        accepted = strategy_params(self.strategy)  # raises on unknown strategy
+        if strategy_info(self.strategy).strict:
+            unknown = sorted(set(self.params) - accepted)
+            if unknown:
+                raise ValueError(
+                    f"run spec params not accepted by strategy {self.strategy!r}: "
+                    f"{', '.join(unknown)}; accepted: {', '.join(sorted(accepted)) or '(none)'}"
+                )
+        self.validate_metrics()
+        return self
+
+    def validate_metrics(self) -> "RunSpec":
+        """Reject unknown metric names *before* any simulation work is spent."""
+        known = set(available_metrics())
+        unknown = sorted(set(metric_name(m) for m in self.metrics) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown metric(s) {', '.join(repr(m) for m in unknown)}; "
+                f"available: {', '.join(sorted(known))}"
+            )
+        return self
+
+    def with_strategy_defaults(self) -> "RunSpec":
+        """Filter params to the strategy's declared set and inject the seed.
+
+        Campaigns call this on every expanded cell so a shared parameter set
+        works across strategies with different signatures; the Random
+        baseline (the only default strategy declaring ``seed``) receives the
+        cell's replication seed unless one was given explicitly.
+        """
+        params = filter_strategy_kwargs(self.strategy, self.params)
+        if "seed" in strategy_params(self.strategy) and "seed" not in params:
+            params["seed"] = self.seed
+        return replace(self, params=params)
+
+
+# --------------------------------------------------------------------------- #
+# CampaignSpec
+# --------------------------------------------------------------------------- #
+
+def _apply_axis(spec: RunSpec, axis: str, value: Any) -> RunSpec:
+    """Set one grid-axis value on a run spec (see the module docstring)."""
+    if axis == "strategy":
+        return replace(spec, strategy=str(value))
+    if axis == "seed":
+        return replace(spec, seed=int(value))
+    scope, _, name = axis.partition(".")
+    if not name:
+        scope, name = "", axis
+    if scope == "scenario" or (not scope and name in _SCENARIO_FIELDS):
+        return replace(spec, scenario=replace(spec.scenario, **{name: value}))
+    if scope == "sim" or (not scope and name in _SIM_FIELDS):
+        return replace(spec, sim=replace(spec.sim, **{name: value}))
+    if scope in ("", "params"):
+        return replace(spec, params={**spec.params, name: value})
+    raise ValueError(
+        f"unknown grid axis {axis!r}: use 'strategy', 'seed', a scenario/sim field "
+        "name, or an explicit 'scenario.'/'sim.'/'params.' prefix"
+    )
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A parameter grid over a base run spec, crossed with replications.
+
+    ``grid`` maps axis names to value lists; cells are the cartesian product
+    of the axes (in declaration order), each repeated ``replications`` times
+    with seeds ``base.seed + k * seed_stride`` — the same seed schedule as
+    :func:`repro.experiments.common.replicate_seeds`.
+    """
+
+    base: RunSpec
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    replications: int = 1
+    seed_stride: int = 1000
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "grid", {k: list(v) for k, v in dict(self.grid).items()})
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+
+    # -- serialisation --------------------------------------------------- #
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {"kind": "campaign", "base": self.base.to_dict()}
+        data["base"].pop("kind", None)
+        if self.grid:
+            data["grid"] = {k: list(v) for k, v in self.grid.items()}
+        if self.replications != 1:
+            data["replications"] = self.replications
+        if self.seed_stride != 1000:
+            data["seed_stride"] = self.seed_stride
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        payload = dict(data)
+        payload.pop("kind", None)
+        _check_keys(payload, frozenset(f.name for f in dataclasses.fields(cls)), "campaign spec")
+        base = payload.get("base", {})
+        if not isinstance(base, RunSpec):
+            payload["base"] = RunSpec.from_dict(base)
+        return cls(**payload)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignSpec":
+        return cls.from_dict(json.loads(text))
+
+    # -- expansion ------------------------------------------------------- #
+    def seeds(self, *, base_seed: int | None = None) -> list[int]:
+        """The per-replication seed schedule (starting at the base spec's seed)."""
+        first = self.base.seed if base_seed is None else base_seed
+        return [first + k * self.seed_stride for k in range(self.replications)]
+
+    def _campaign_strategies(self) -> list[str]:
+        """Every strategy any cell of this campaign can run."""
+        return [str(s) for s in self.grid.get("strategy", [self.base.strategy])]
+
+    def _validate_axes(self) -> None:
+        """Reject axis names that would silently sweep nothing.
+
+        A bare or ``params.``-scoped name that is not a parameter declared by
+        at least one of the campaign's strategies would be filtered out of
+        every cell — N identical runs labelled as a sweep.  Catch the typo
+        here.  (``scenario.`` / ``sim.`` axes fail naturally at expansion if
+        the field does not exist; non-strict strategies accept anything.)
+        """
+        strategies = self._campaign_strategies()
+        strict = all(strategy_info(s).strict for s in strategies)
+        for axis in self.grid:
+            scope, _, name = axis.partition(".")
+            if not name:
+                scope, name = "", axis
+            if scope and scope not in ("scenario", "sim", "params"):
+                raise ValueError(
+                    f"unknown grid axis {axis!r}: use 'strategy', 'seed', a scenario/sim "
+                    "field name, or an explicit 'scenario.'/'sim.'/'params.' prefix"
+                )
+            if scope in ("scenario", "sim") or (not scope and name in ("strategy", "seed")):
+                continue
+            if not scope and (name in _SCENARIO_FIELDS or name in _SIM_FIELDS):
+                continue
+            if not strict or any(name in strategy_params(s) for s in strategies):
+                continue
+            if scope == "params":
+                raise ValueError(
+                    f"grid axis {axis!r} names a parameter declared by none of "
+                    f"{', '.join(repr(s) for s in strategies)} — the sweep would "
+                    "run identical cells"
+                )
+            raise ValueError(
+                f"grid axis {axis!r} matches no scenario/sim field and no parameter "
+                f"declared by {', '.join(repr(s) for s in strategies)}; use an explicit "
+                "'scenario.' or 'sim.' prefix for a shadowed field name"
+            )
+
+    def _validate_base_params(self) -> None:
+        """A base param no campaign strategy accepts is a typo, not a no-op.
+
+        Shared params are *filtered* per cell so multi-strategy sweeps work,
+        but a key that every strategy in the campaign would drop can only be
+        a mistake (``"polcy"``) — reject it like :meth:`RunSpec.validate`
+        does for single runs.  Skipped when a non-strict (``**kwargs``)
+        strategy is in play, since such a strategy accepts anything.
+        """
+        strategies = self._campaign_strategies()
+        if not all(strategy_info(s).strict for s in strategies):
+            return
+        grid_params = {axis.partition(".")[2] or axis for axis in self.grid}
+        for key in self.base.params:
+            if key in grid_params or key == "seed":
+                continue
+            if not any(key in strategy_params(s) for s in strategies):
+                raise ValueError(
+                    f"base param {key!r} is not accepted by any campaign strategy "
+                    f"({', '.join(repr(s) for s in strategies)})"
+                )
+
+    def cells(self) -> list[RunSpec]:
+        """Expand the grid into the ordered list of fully specified run cells.
+
+        Ordering is deterministic — axes vary slowest-first in declaration
+        order, replications innermost — so results line up regardless of how
+        the cells are executed.  A ``"seed"`` axis shifts the whole
+        replication seed schedule of its cells (it is not recorded as a
+        label: the record's ``seed`` column already carries the true value).
+        """
+        self._validate_axes()
+        self._validate_base_params()
+        self.base.validate_metrics()
+        axes = list(self.grid.items())
+        cells: list[RunSpec] = []
+        for combo in itertools.product(*(values for _, values in axes)):
+            spec = self.base
+            labels = dict(self.base.labels)
+            for (axis, _), value in zip(axes, combo):
+                spec = _apply_axis(spec, axis, value)
+                if axis != "seed":
+                    labels[axis] = value
+            for k, seed in enumerate(self.seeds(base_seed=spec.seed)):
+                cell = replace(spec, seed=seed, labels={**labels, "replication": k})
+                cells.append(cell.with_strategy_defaults())
+        return cells
+
+
+# --------------------------------------------------------------------------- #
+# Loading
+# --------------------------------------------------------------------------- #
+
+def spec_from_dict(data: Mapping[str, Any]) -> "RunSpec | CampaignSpec":
+    """Build a :class:`RunSpec` or :class:`CampaignSpec` from a plain dict.
+
+    The ``"kind"`` field ("run" / "campaign") decides; without it, the
+    presence of campaign-only fields (``base``, ``grid``, ``replications``)
+    does.
+    """
+    kind = data.get("kind")
+    if kind == "campaign" or (
+        kind is None and ({"base", "grid", "replications"} & set(data))
+    ):
+        return CampaignSpec.from_dict(data)
+    if kind in (None, "run"):
+        return RunSpec.from_dict(data)
+    raise ValueError(f"unknown spec kind {kind!r}; expected 'run' or 'campaign'")
+
+
+def load_spec(path: "str | Path") -> "RunSpec | CampaignSpec":
+    """Load a run or campaign spec from a JSON file."""
+    return spec_from_dict(json.loads(Path(path).read_text()))

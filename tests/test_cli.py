@@ -80,6 +80,109 @@ class TestSimulateCommand:
         assert payload["average_sd"] > 0
 
 
+class TestSweepCommand:
+    def test_sweep_json_records(self, capsys):
+        code = main(["sweep", "--strategies", "b-tctp,sweep", "--replications", "2",
+                     "--targets", "8", "--mules", "2", "--horizon", "8000",
+                     "--workers", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 4
+        strategies = {r["strategy"] for r in payload["records"]}
+        assert strategies == {"b-tctp", "sweep"}
+        assert payload["spec"]["kind"] == "campaign"
+
+    def test_sweep_table_output(self, capsys):
+        code = main(["sweep", "--strategies", "chb", "--replications", "2",
+                     "--targets", "6", "--mules", "2", "--horizon", "6000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Summary over replications" in out
+        assert "chb" in out
+
+    def test_sweep_unknown_strategy_clean_error(self, capsys):
+        code = main(["sweep", "--strategies", "b-tctp,frobnicate", "--replications", "1"])
+        assert code == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_sweep_empty_strategies_clean_error(self, capsys):
+        for raw in (",", ""):
+            code = main(["sweep", "--strategies", raw, "--replications", "1"])
+            assert code == 2
+            assert "at least one strategy" in capsys.readouterr().err
+
+    def test_sweep_spec_out_round_trips(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        code = main(["sweep", "--strategies", "b-tctp,chb", "--replications", "3",
+                     "--targets", "6", "--mules", "2", "--horizon", "6000",
+                     "--spec-out", str(spec_path)])
+        assert code == 0
+        from repro.runner import CampaignSpec, load_spec
+
+        spec = load_spec(spec_path)
+        assert isinstance(spec, CampaignSpec)
+        assert spec.replications == 3
+        assert spec.grid["strategy"] == ["b-tctp", "chb"]
+
+
+class TestRunCommand:
+    def test_run_spec_file(self, tmp_path, capsys):
+        from repro.runner import CampaignSpec, RunSpec
+        from repro.sim.engine import SimulationConfig
+        from repro.workloads.generator import ScenarioConfig
+
+        spec = CampaignSpec(
+            base=RunSpec(strategy="b-tctp",
+                         scenario=ScenarioConfig(num_targets=6, num_mules=2,
+                                                 mule_placement="random"),
+                         sim=SimulationConfig(horizon=6000.0, track_energy=False)),
+            grid={"strategy": ["chb", "b-tctp"]},
+            replications=2,
+        )
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        out_path = tmp_path / "records.json"
+        csv_path = tmp_path / "records.csv"
+
+        code = main(["run", str(spec_path), "--json",
+                     "--out", str(out_path), "--csv", str(csv_path)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 4
+        assert json.loads(out_path.read_text())["records"] == payload["records"]
+        assert csv_path.read_text().startswith("strategy,")
+
+    def test_run_missing_or_invalid_spec_clean_error(self, tmp_path, capsys):
+        assert main(["run", str(tmp_path / "nope.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"strategy": "chb", "frobnicate": 1}')
+        assert main(["run", str(bad)]) == 2
+        assert "unknown run spec field" in capsys.readouterr().err
+
+    def test_run_single_spec_typoed_param_clean_error(self, tmp_path, capsys):
+        spec = tmp_path / "typo.json"
+        spec.write_text('{"kind": "run", "strategy": "w-tctp", "params": {"polcy": "shortest"}}')
+        assert main(["run", str(spec)]) == 2
+        assert "polcy" in capsys.readouterr().err
+
+    def test_run_single_run_spec(self, tmp_path, capsys):
+        spec_path = tmp_path / "run.json"
+        spec_path.write_text(json.dumps({
+            "kind": "run",
+            "strategy": "chb",
+            "scenario": {"num_targets": 6, "num_mules": 2, "mule_placement": "random"},
+            "sim": {"horizon": 6000.0, "track_energy": False},
+            "seed": 5,
+        }))
+        code = main(["run", str(spec_path), "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 1
+        assert payload["records"][0]["seed"] == 5
+
+
 class TestFigureCommands:
     def test_fig8_quick_runs_and_prints_table(self, capsys):
         code = main(["fig8", "--quick", "--replications", "1", "--horizon", "12000"])
@@ -94,3 +197,15 @@ class TestFigureCommands:
         out = capsys.readouterr().out
         payload = json.loads(out[out.index("{"):])
         assert payload["experiment"] == "fig9"
+
+    def test_fig8_workers_flag_matches_serial(self, capsys):
+        serial_code = main(["fig8", "--quick", "--replications", "2", "--horizon", "10000",
+                            "--json"])
+        serial_out = capsys.readouterr().out
+        parallel_code = main(["fig8", "--quick", "--replications", "2", "--horizon", "10000",
+                              "--workers", "2", "--json"])
+        parallel_out = capsys.readouterr().out
+        assert serial_code == parallel_code == 0
+        serial = json.loads(serial_out[serial_out.index("{"):])
+        parallel = json.loads(parallel_out[parallel_out.index("{"):])
+        assert serial["grid"] == parallel["grid"]
