@@ -4,7 +4,7 @@
 The :mod:`repro.runner` API separates *describing* a workload from *running*
 it.  This example
 
-1. builds a :class:`~repro.runner.RunSpec` (scenario config + strategy +
+1. builds a :class:`~repro.runner.RunSpec` (scenario spec + strategy +
    simulator config + seed) and a :class:`~repro.runner.CampaignSpec`
    crossing four strategies with a mule-count sweep and seeded replications;
 2. executes the campaign twice — serially and over four worker processes —
@@ -23,7 +23,7 @@ from __future__ import annotations
 import json
 import time
 
-from repro import Campaign, CampaignSpec, RunSpec, ScenarioConfig, SimulationConfig
+from repro import Campaign, CampaignSpec, RunSpec, ScenarioSpec, SimulationConfig
 from repro.experiments.reporting import format_table
 from repro.runner.spec import spec_from_dict
 
@@ -36,7 +36,8 @@ def main() -> None:
     spec = CampaignSpec(
         base=RunSpec(
             strategy="b-tctp",
-            scenario=ScenarioConfig(num_targets=16, num_mules=2, mule_placement="random"),
+            scenario=ScenarioSpec("uniform", {"num_targets": 16, "num_mules": 2,
+                                              "mule_placement": "random"}),
             sim=SimulationConfig(horizon=20_000.0, track_energy=False),
             seed=7,
         ),

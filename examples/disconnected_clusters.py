@@ -20,7 +20,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import Campaign, CampaignSpec, RunSpec, ScenarioConfig, SimulationConfig, generate_scenario
+from repro import Campaign, CampaignSpec, RunSpec, ScenarioSpec, SimulationConfig
 from repro.experiments.reporting import format_table
 from repro.network.field import connected_components_by_range
 
@@ -29,17 +29,16 @@ SEED = 13
 
 
 def main() -> None:
-    cfg = ScenarioConfig(
-        num_targets=24,
-        num_mules=4,
-        distribution="clustered",
-        num_clusters=4,
-        name="clustered-h24-n4-c4",
-    )
+    scenario_spec = ScenarioSpec("clustered", {
+        "num_targets": 24,
+        "num_mules": 4,
+        "num_clusters": 4,
+        "name": "clustered-h24-n4-c4",
+    })
 
     # 1. How disconnected is the field, really?  (The campaign cells below
-    #    regenerate this exact scenario from the same config + seed.)
-    scenario = generate_scenario(cfg, SEED)
+    #    regenerate this exact scenario from the same spec + seed.)
+    scenario = scenario_spec.build(SEED)
     components = connected_components_by_range(
         [t.position for t in scenario.targets], scenario.params.communication_range
     )
@@ -50,7 +49,7 @@ def main() -> None:
 
     # 2. The four strategies of Section V as one campaign on that instance.
     spec = CampaignSpec(
-        base=RunSpec(strategy=STRATEGIES[0], scenario=cfg,
+        base=RunSpec(strategy=STRATEGIES[0], scenario=scenario_spec,
                      sim=SimulationConfig(horizon=80_000.0), seed=SEED),
         grid={"strategy": STRATEGIES},
     )

@@ -1,0 +1,116 @@
+#!/usr/bin/env python
+"""Tour of the scenario family catalog: one campaign, every registered family.
+
+The :mod:`repro.scenarios` registry makes scenario construction declarative:
+every family is a named entry with declared parameters, and
+``"scenario.family"`` is an ordinary campaign grid axis.  This example
+
+1. lists the registered families with their declared parameters,
+2. runs B-TCTP across *all* of them in a single campaign (shared scenario
+   parameters are filtered per family, exactly like strategy parameters),
+3. prints an ASCII sketch of three characteristic layouts, and
+4. registers a brand-new family at runtime and immediately sweeps it —
+   new workloads are data, not code changes.
+
+Run with::
+
+    python examples/scenario_catalog.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import (
+    Campaign,
+    CampaignSpec,
+    RunSpec,
+    ScenarioSpec,
+    SimulationConfig,
+    available_scenario_families,
+    build_scenario,
+    register_scenario,
+    scenario_family_info,
+)
+from repro.experiments.reporting import format_table
+from repro.geometry.point import Point
+from repro.network.field import Field
+from repro.workloads.generator import assemble_scenario
+
+SEED = 7
+
+
+def ascii_sketch(scenario, rows: int = 12, cols: int = 44) -> str:
+    """Crude density sketch of a scenario's target layout."""
+    grid = [[" "] * cols for _ in range(rows)]
+    for t in scenario.targets:
+        c = min(cols - 1, int(t.position.x / scenario.field.width * cols))
+        r = min(rows - 1, int(t.position.y / scenario.field.height * rows))
+        grid[rows - 1 - r][c] = "o" if grid[rows - 1 - r][c] == " " else "O"
+    return "\n".join("".join(row) for row in grid)
+
+
+def main() -> None:
+    # 1. The catalog, straight from the registry.
+    families = available_scenario_families()
+    rows = []
+    for name in families:
+        info = scenario_family_info(name)
+        rows.append([name, len(info.params), info.description[:60]])
+    print(format_table(["family", "#params", "description"], rows,
+                       title=f"{len(families)} registered scenario families"))
+
+    # 2. One campaign across the whole catalog.  Shared scenario parameters
+    #    (num_targets, num_mules) are kept only by families that declare them.
+    spec = CampaignSpec(
+        base=RunSpec(
+            strategy="b-tctp",
+            scenario=ScenarioSpec("uniform", {"num_targets": 12, "num_mules": 3}),
+            sim=SimulationConfig(horizon=15_000.0, track_energy=False),
+            seed=SEED,
+        ),
+        grid={"scenario.family": families},
+        replications=2,
+    )
+    result = Campaign(spec, max_workers=2).run()
+    dcdt = result.group_mean("average_dcdt", by="scenario.family")
+    sd = result.group_mean("average_sd", by="scenario.family")
+    print(format_table(
+        ["family", "mean DCDT (s)", "mean SD (s)"],
+        [[f, dcdt[f], sd[f]] for f in families],
+        title="B-TCTP across the whole scenario catalog (2 replications each)",
+        precision=1,
+    ))
+
+    # 3. What do the new spatial families look like?
+    for family in ("corridor", "ring", "mixed-density"):
+        sc = build_scenario(family, {"num_targets": 40}, seed=SEED)
+        print(f"\n--- {family} ---")
+        print(ascii_sketch(sc))
+
+    # 4. New workloads are one decorator away — and instantly sweepable.
+    @register_scenario("diagonal", description="targets strung along the field diagonal")
+    def diagonal_family(*, seed: int = 0, num_targets: int = 20, spread: float = 40.0,
+                        num_mules: int = 4) -> object:
+        rng = np.random.default_rng(seed)
+        fld = Field(800.0, 800.0)
+        ts = rng.uniform(0.05, 0.95, size=num_targets)
+        offsets = rng.normal(0.0, spread, size=num_targets)
+        pts = [fld.clamp(Point(800.0 * t + o, 800.0 * t - o))
+               for t, o in zip(ts, offsets)]
+        return assemble_scenario(rng, fld, pts, num_mules=num_mules, name="diagonal")
+
+    record = Campaign(RunSpec(
+        strategy="b-tctp",
+        scenario=ScenarioSpec("diagonal", {"num_targets": 10, "spread": 25.0}),
+        sim=SimulationConfig(horizon=15_000.0, track_energy=False),
+        seed=SEED,
+    )).run().records[0]
+    print(f"\ncustom 'diagonal' family registered and run: "
+          f"DCDT {record['average_dcdt']:.1f} s over {record['num_targets']} targets")
+    print("the same family is now available to JSON specs and "
+          "`--scenario diagonal:spread=25`.")
+
+
+if __name__ == "__main__":
+    main()

@@ -5,17 +5,19 @@ The package implements the paper's three patrolling algorithms (B-TCTP,
 W-TCTP, RW-TCTP), the baselines they are compared against (Random, Sweep,
 CHB), the wireless data-mule network substrate, a discrete-event patrolling
 simulator, an experiment harness regenerating every figure of the paper's
-evaluation section, and a unified execution API (:mod:`repro.runner`) that
-turns declarative run specs into (optionally parallel) campaigns of
-simulations.
+evaluation section, a unified execution API (:mod:`repro.runner`) that turns
+declarative run specs into (optionally parallel) campaigns of simulations,
+and a pluggable scenario registry (:mod:`repro.scenarios`) whose family
+catalog spans the paper's workloads plus corridor / hotspot / ring /
+grid-jitter / mixed-density layouts.
 
 Quickstart
 ----------
 Describe a run as data, execute it, read the paper's metrics:
 
->>> from repro import RunSpec, ScenarioConfig, execute_run
+>>> from repro import RunSpec, ScenarioSpec, execute_run
 >>> spec = RunSpec(strategy="b-tctp",
-...                scenario=ScenarioConfig(num_targets=15, num_mules=3),
+...                scenario=ScenarioSpec("uniform", {"num_targets": 15, "num_mules": 3}),
 ...                seed=1)
 >>> record = execute_run(spec)
 >>> round(record["average_sd"], 3)   # B-TCTP visits every target at a fixed cadence
@@ -64,6 +66,14 @@ from repro.runner import (
     execute_run,
     load_spec,
 )
+from repro.scenarios import (
+    ScenarioSpec,
+    available_scenario_families,
+    build_scenario,
+    register_scenario,
+    scenario_family_info,
+    scenario_family_params,
+)
 from repro.sim import PatrolSimulator, SimulationConfig, SimulationResult
 from repro.workloads import (
     ScenarioConfig,
@@ -75,7 +85,7 @@ from repro.workloads import (
     grid_scenario,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
@@ -114,6 +124,13 @@ __all__ = [
     "PatrolSimulator",
     "SimulationConfig",
     "SimulationResult",
+    # scenario registry
+    "ScenarioSpec",
+    "available_scenario_families",
+    "build_scenario",
+    "register_scenario",
+    "scenario_family_info",
+    "scenario_family_params",
     # workloads
     "ScenarioConfig",
     "generate_scenario",

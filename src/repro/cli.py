@@ -6,6 +6,11 @@ Run one strategy on a random scenario and print the interval metrics::
 
     python -m repro simulate --strategy b-tctp --targets 20 --mules 4 --seed 3
 
+Pick any registered scenario family (see ``python -m repro scenarios``)::
+
+    python -m repro simulate --scenario corridor:num_targets=24,gap_fraction=0.4
+    python -m repro sweep --scenario ring:num_vips=2 --strategies b-tctp,w-tctp
+
 Execute a declarative run/campaign spec authored as a JSON file::
 
     python -m repro run spec.json --workers 4 --json
@@ -55,9 +60,16 @@ from repro.experiments import (
 )
 from repro.experiments.reporting import format_table, print_report
 from repro.runner import Campaign, CampaignResult, CampaignSpec, RunSpec, load_spec
+from repro.scenarios import (
+    ScenarioSpec,
+    available_scenario_families,
+    scenario_family_info,
+    spec_from_scenario_config,
+)
+from repro.scenarios.registry import REQUIRED
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.metrics import average_dcdt, average_sd, interval_statistics, max_visiting_interval
-from repro.workloads.generator import ScenarioConfig, generate_scenario
+from repro.workloads.generator import ScenarioConfig
 
 __all__ = ["main", "build_parser"]
 
@@ -75,6 +87,10 @@ _FIGURE_RUNNERS: dict[str, Callable] = {
 
 
 def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scenario", default=None, metavar="FAMILY[:k=v,...]",
+                        help="scenario family spec, e.g. 'ring:num_targets=24,num_vips=2' "
+                             "(see the 'scenarios' command); overrides the legacy "
+                             "--targets/--mules/--clustered flags")
     parser.add_argument("--targets", type=int, default=20)
     parser.add_argument("--mules", type=int, default=4)
     parser.add_argument("--vips", type=int, default=0)
@@ -135,6 +151,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     lst = sub.add_parser("strategies", help="list the available strategies")
     lst.add_argument("--json", action="store_true")
+
+    fams = sub.add_parser(
+        "scenarios", help="list the registered scenario families and their parameters"
+    )
+    fams.add_argument("--json", action="store_true")
     return parser
 
 
@@ -168,6 +189,59 @@ def _scenario_config_from_args(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
+def _split_scenario_params(text: str) -> list[str]:
+    """Split ``k=v,k=v`` on commas that are not nested inside brackets."""
+    items, depth, current = [], 0, []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    items.append("".join(current))
+    return [item for item in (i.strip() for i in items) if item]
+
+
+def _parse_param_value(text: str):
+    """Best-effort typed parse: JSON literals, ``none``, else the bare string."""
+    if text.lower() in ("none", "null"):
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+def _parse_scenario_option(raw: str) -> ScenarioSpec:
+    """Parse ``--scenario FAMILY[:key=val,...]`` into a validated spec."""
+    family, _, rest = raw.partition(":")
+    family = family.strip()
+    if not family:
+        raise ValueError(
+            "--scenario needs a family name, e.g. 'ring' or 'ring:num_targets=24'"
+        )
+    params = {}
+    for item in _split_scenario_params(rest):
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(
+                f"--scenario parameter {item!r} must look like key=value"
+            )
+        params[key.strip()] = _parse_param_value(value.strip())
+    return ScenarioSpec(family=family, params=params).validate()
+
+
+def _scenario_spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
+    """The scenario of a simulate/sweep invocation (``--scenario`` wins)."""
+    if getattr(args, "scenario", None):
+        return _parse_scenario_option(args.scenario)
+    return spec_from_scenario_config(_scenario_config_from_args(args))
+
+
 def _strategies_from_args(args: argparse.Namespace) -> list[str]:
     raw = getattr(args, "strategies", None)
     if raw is None:  # not the sweep command; an empty --strategies must NOT fall through
@@ -181,8 +255,12 @@ def _strategy_kwargs(strategy: str, args: argparse.Namespace) -> dict:
 
 
 def _run_simulate(args: argparse.Namespace) -> int:
-    cfg = _scenario_config_from_args(args)
-    scenario = generate_scenario(cfg, args.seed)
+    try:
+        spec = _scenario_spec_from_args(args)
+        scenario = spec.build(args.seed)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     planner = get_strategy(args.strategy, **_strategy_kwargs(args.strategy, args))
     plan = planner.plan(scenario)
     result = PatrolSimulator(scenario, plan, SimulationConfig(horizon=args.horizon)).run()
@@ -260,25 +338,31 @@ def _run_sweep(args: argparse.Namespace) -> int:
     shared = {"policy": args.policy} if any(
         "policy" in strategy_params(s) for s in strategies
     ) else {}
-    base = RunSpec(
-        strategy=strategies[0],
-        scenario=_scenario_config_from_args(args),
-        params=shared,
-        sim=SimulationConfig(horizon=args.horizon),
-        seed=args.seed,
-    )
-    spec = CampaignSpec(
-        base=base,
-        grid={"strategy": strategies},
-        replications=args.replications,
-    )
+    try:
+        base = RunSpec(
+            strategy=strategies[0],
+            scenario=_scenario_spec_from_args(args),
+            params=shared,
+            sim=SimulationConfig(horizon=args.horizon),
+            seed=args.seed,
+        )
+        spec = CampaignSpec(
+            base=base,
+            grid={"strategy": strategies},
+            replications=args.replications,
+        )
+        campaign = Campaign(spec, max_workers=args.workers)
+        campaign.cells()  # typo'd scenario family/params fail before simulating
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.spec_out:
         from pathlib import Path
 
         Path(args.spec_out).write_text(spec.to_json() + "\n")
         print(f"wrote campaign spec to {args.spec_out}")
         return 0
-    result = Campaign(spec, max_workers=args.workers).run()
+    result = campaign.run()
     _emit_campaign_result(
         result, args,
         title=f"Sweep of {', '.join(strategies)} x {args.replications} replications",
@@ -304,6 +388,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         else:
             print("\n".join(names))
         return 0
+    if args.command == "scenarios":
+        return _run_scenarios_listing(args)
     if args.command in _FIGURE_RUNNERS:
         settings = _settings_from_args(args)
         data = _FIGURE_RUNNERS[args.command](settings)
@@ -312,6 +398,43 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def _run_scenarios_listing(args: argparse.Namespace) -> int:
+    """List the registered scenario families (mirror of the strategy listing)."""
+    families = []
+    for name in available_scenario_families():
+        info = scenario_family_info(name)
+        families.append({
+            "name": info.name,
+            "aliases": list(info.aliases),
+            "description": info.description,
+            "params": [
+                {
+                    "name": p.name,
+                    "kind": p.kind,
+                    **({} if p.default is REQUIRED else {"default": p.default}),
+                    "required": p.required,
+                }
+                for p in info.params.values()
+            ],
+        })
+    if args.json:
+        print(json.dumps({"families": families}, indent=2, default=str))
+        return 0
+    rows = []
+    for fam in families:
+        signature = ", ".join(
+            p["name"] if p["required"] else f"{p['name']}={p['default']}"
+            for p in fam["params"]
+        )
+        name = fam["name"] + (f" ({', '.join(fam['aliases'])})" if fam["aliases"] else "")
+        rows.append([name, fam["description"], signature or "(none)"])
+    print_report(format_table(
+        ["family (aliases)", "description", "parameters"], rows,
+        title="Registered scenario families",
+    ))
+    return 0
 
 
 def _jsonable(obj):

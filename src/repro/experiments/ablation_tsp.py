@@ -22,7 +22,6 @@ from repro.experiments.common import (
 )
 from repro.experiments.reporting import format_table, print_report
 from repro.graphs.hamiltonian import build_hamiltonian_circuit
-from repro.workloads.generator import generate_scenario
 
 __all__ = ["run_ablation_tsp", "main"]
 
@@ -46,7 +45,7 @@ def _tour_lengths_only(
     lengths: dict[tuple[int, str], list[float]] = {}
     for h in target_counts:
         for seed in replicate_seeds(settings):
-            scenario = generate_scenario(settings.scenario_config(num_targets=h), seed)
+            scenario = settings.scenario_spec(num_targets=h).build(seed)
             coords = scenario.patrol_points()
             for label, method, improve in variants:
                 tour = build_hamiltonian_circuit(coords, method=method, improve=improve,

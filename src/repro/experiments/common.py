@@ -21,6 +21,7 @@ from repro.core.plan import PatrolPlan
 from repro.network.scenario import Scenario
 from repro.runner.campaign import execute_many, group_mean, group_records
 from repro.runner.spec import CampaignSpec, RunSpec
+from repro.scenarios import ScenarioSpec
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.recorder import SimulationResult
 from repro.workloads.generator import ScenarioConfig, generate_scenario
@@ -66,7 +67,7 @@ class ExperimentSettings:
         return cls(**defaults)
 
     def scenario_config(self, **overrides) -> ScenarioConfig:
-        """Scenario config following these settings, with per-experiment overrides."""
+        """Legacy scenario config following these settings (see :meth:`scenario_spec`)."""
         base = dict(
             num_targets=self.num_targets,
             num_mules=self.num_mules,
@@ -75,6 +76,22 @@ class ExperimentSettings:
         )
         base.update(overrides)
         return ScenarioConfig(**base)
+
+    def scenario_spec(self, **overrides) -> ScenarioSpec:
+        """Scenario spec following these settings, with per-experiment overrides.
+
+        ``distribution`` (here or in ``overrides``) names the scenario family
+        — any registered family works, not only the paper's ``uniform`` /
+        ``clustered``; the remaining overrides are family parameters.
+        """
+        params = dict(
+            num_targets=self.num_targets,
+            num_mules=self.num_mules,
+            mule_placement=self.mule_placement,
+        )
+        params.update(overrides)
+        family = params.pop("distribution", self.distribution)
+        return ScenarioSpec(family=family, params=params)
 
     def sim_config(self, *, track_energy: bool = True, **overrides) -> SimulationConfig:
         """Simulator config following these settings."""
@@ -106,7 +123,7 @@ def experiment_campaign(
     """
     base = RunSpec(
         strategy=strategy,
-        scenario=settings.scenario_config(**scenario_overrides),
+        scenario=settings.scenario_spec(**scenario_overrides),
         params=dict(params or {}),
         sim=settings.sim_config(track_energy=track_energy),
         seed=settings.base_seed,

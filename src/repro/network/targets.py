@@ -128,12 +128,13 @@ def make_targets(
     *,
     weights: Mapping[int, int] | Sequence[int] | None = None,
     prefix: str = "g",
-    data_rate: float = 1.0,
+    data_rate: float | Sequence[float] = 1.0,
 ) -> list[Target]:
     """Create a list of targets ``g1..gh`` from raw positions.
 
     ``weights`` may be a full per-index sequence or a sparse ``{index: weight}``
-    mapping (0-based indices); unspecified targets get weight 1.
+    mapping (0-based indices); unspecified targets get weight 1.  ``data_rate``
+    is one shared rate or a full per-target sequence (heterogeneous sensors).
     """
     targets: list[Target] = []
     n = len(positions)
@@ -145,8 +146,14 @@ def make_targets(
         if len(weights) != n:
             raise ValueError("weights sequence must match the number of positions")
         weight_of = {i: int(w) for i, w in enumerate(weights)}
+    if isinstance(data_rate, (int, float)):
+        rate_of = [float(data_rate)] * n
+    else:
+        if len(data_rate) != n:
+            raise ValueError("data_rate sequence must match the number of positions")
+        rate_of = [float(r) for r in data_rate]
     for i, pos in enumerate(positions):
         targets.append(
-            Target(f"{prefix}{i + 1}", as_point(pos), weight=weight_of[i], data_rate=data_rate)
+            Target(f"{prefix}{i + 1}", as_point(pos), weight=weight_of[i], data_rate=rate_of[i])
         )
     return targets

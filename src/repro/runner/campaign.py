@@ -28,7 +28,6 @@ from repro.runner.record_metrics import compute_metric, metric_name
 from repro.runner.spec import CampaignSpec, RunSpec
 from repro.sim.engine import PatrolSimulator
 from repro.sim.metrics import average_dcdt, average_sd, max_visiting_interval
-from repro.workloads.generator import generate_scenario
 
 __all__ = [
     "execute_run",
@@ -55,9 +54,10 @@ def execute_run(spec: RunSpec) -> dict:
     the spec sets one explicitly, exactly as campaign expansion does — the
     same spec produces the same record through either path.  Unlike campaign
     expansion, explicitly given params are *not* filtered: an undeclared
-    parameter raises, so a typo in a hand-written spec surfaces.
+    strategy or scenario parameter raises, so a typo in a hand-written spec
+    surfaces.
     """
-    scenario = generate_scenario(spec.scenario, spec.seed)
+    scenario = spec.scenario.build(spec.seed)
     params = dict(spec.params)
     if "seed" in strategy_params(spec.strategy) and "seed" not in params:
         params["seed"] = spec.seed
@@ -68,8 +68,8 @@ def execute_run(spec: RunSpec) -> dict:
     record: dict[str, Any] = {
         "strategy": spec.strategy,
         "seed": spec.seed,
-        "num_targets": spec.scenario.num_targets,
-        "num_mules": spec.scenario.num_mules,
+        "num_targets": scenario.num_targets,
+        "num_mules": scenario.num_mules,
         "horizon": spec.sim.horizon,
     }
     record.update(spec.labels)
@@ -285,10 +285,17 @@ class Campaign:
     ) -> None:
         self.spec = spec if isinstance(spec, CampaignSpec) else CampaignSpec(base=spec)
         self.max_workers = max_workers
+        self._cells: "list[RunSpec] | None" = None
 
     def cells(self) -> list[RunSpec]:
-        """The expanded, ordered run cells of this campaign."""
-        return self.spec.cells()
+        """The expanded, ordered run cells of this campaign (expanded once).
+
+        The spec is immutable, so callers that validate via ``cells()`` and
+        then ``run()`` do not pay for (or re-validate) a second expansion.
+        """
+        if self._cells is None:
+            self._cells = self.spec.cells()
+        return self._cells
 
     def run(self, *, progress: Callable[[int, int], None] | None = None) -> CampaignResult:
         """Execute every cell and return the tidy records."""

@@ -1,26 +1,35 @@
 """Declarative run specifications: one simulation cell, or a whole campaign.
 
 A :class:`RunSpec` is everything needed to reproduce one simulation run —
-scenario generator config, strategy name + parameters, simulator config and
-the replication seed — as plain data.  A :class:`CampaignSpec` is a parameter
+scenario spec, strategy name + parameters, simulator config and the
+replication seed — as plain data.  A :class:`CampaignSpec` is a parameter
 grid over a base :class:`RunSpec` crossed with a replication count.  Both
 round-trip losslessly through JSON, so arbitrary workloads can be authored as
 data files and executed with ``python -m repro run spec.json`` or through
 :class:`repro.runner.Campaign` — no code changes required.
 
+Scenarios are described by :class:`repro.scenarios.ScenarioSpec` — a
+registered family name plus its declared parameters.  Legacy
+:class:`~repro.workloads.generator.ScenarioConfig` objects and legacy JSON
+scenario dicts (bare config fields, no ``"family"`` key) are converted
+transparently and generate byte-identical scenarios.
+
 Grid axes are addressed by name:
 
 * ``"strategy"`` — the strategy registry name;
-* ``"scenario.<field>"`` / ``"sim.<field>"`` / ``"params.<name>"`` — an
+* ``"scenario.family"`` — the scenario family registry name
+  (``"distribution"`` is accepted as a legacy spelling);
+* ``"scenario.<param>"`` / ``"sim.<field>"`` / ``"params.<name>"`` — an
   explicit scope;
 * a bare name (``"num_targets"``, ``"horizon"``, ``"policy"``) — resolved to
-  the scenario config if it is a :class:`ScenarioConfig` field, else to the
-  simulator config if it is a :class:`SimulationConfig` field, else to the
-  strategy parameters.
+  the scenario spec if it is a parameter declared by one of the campaign's
+  scenario families, else to the simulator config if it is a
+  :class:`SimulationConfig` field, else to the strategy parameters.
 
-When a campaign fans one parameter set out over several strategies, each
-cell keeps only the parameters its strategy declares (see
-:func:`repro.baselines.base.filter_strategy_kwargs`), and strategies that
+When a campaign fans one parameter set out over several strategies (or
+scenario families), each cell keeps only the parameters its strategy
+(family) declares — see :func:`repro.baselines.base.filter_strategy_kwargs`
+and :func:`repro.scenarios.filter_scenario_kwargs` — and strategies that
 declare a ``seed`` parameter (the Random baseline) receive the cell's
 replication seed automatically.
 """
@@ -42,6 +51,8 @@ from repro.baselines.base import (
 )
 from repro.network.scenario import SimulationParameters
 from repro.runner.record_metrics import available_metrics, metric_name
+from repro.scenarios.registry import scenario_family_params
+from repro.scenarios.spec import ScenarioSpec, spec_from_scenario_config
 from repro.sim.engine import SimulationConfig
 from repro.workloads.generator import ScenarioConfig
 
@@ -50,6 +61,10 @@ __all__ = ["RunSpec", "CampaignSpec", "load_spec", "spec_from_dict"]
 _SCENARIO_FIELDS = frozenset(f.name for f in dataclasses.fields(ScenarioConfig))
 _SIM_FIELDS = frozenset(f.name for f in dataclasses.fields(SimulationConfig))
 _PARAMS_FIELDS = frozenset(f.name for f in dataclasses.fields(SimulationParameters))
+
+# Axis names that set the scenario family; "distribution" is the legacy
+# ScenarioConfig spelling kept for backwards compatibility.
+_FAMILY_AXES = ("family", "distribution")
 
 
 # --------------------------------------------------------------------------- #
@@ -65,19 +80,17 @@ def _check_keys(data: Mapping[str, Any], allowed: frozenset[str], what: str) -> 
         )
 
 
-def _scenario_to_dict(cfg: ScenarioConfig) -> dict:
-    data = dataclasses.asdict(cfg)
-    # Keep the JSON lean and stable: drop fields still at their defaults.
-    default = ScenarioConfig()
-    for f in dataclasses.fields(ScenarioConfig):
-        if data.get(f.name) == getattr(default, f.name) or (
-            f.name == "params" and cfg.params == default.params
-        ):
-            data.pop(f.name, None)
+def _scenario_to_dict(spec: ScenarioSpec) -> dict:
+    data = spec.to_dict()
+    if data == {"family": "uniform"}:  # default scenario: keep the JSON lean
+        return {}
     return data
 
 
-def _scenario_from_dict(data: Mapping[str, Any]) -> ScenarioConfig:
+def _scenario_from_dict(data: Mapping[str, Any]) -> ScenarioSpec:
+    """Parse a scenario spec dict; legacy config dicts (no ``family``) still load."""
+    if "family" in data:
+        return ScenarioSpec.from_dict(data)
     payload = dict(data)
     _check_keys(payload, _SCENARIO_FIELDS, "scenario")
     params = payload.pop("params", None)
@@ -89,7 +102,7 @@ def _scenario_from_dict(data: Mapping[str, Any]) -> ScenarioConfig:
     for key in ("sink_position", "recharge_position"):
         if payload.get(key) is not None:
             payload[key] = tuple(payload[key])
-    return ScenarioConfig(**payload)
+    return spec_from_scenario_config(ScenarioConfig(**payload))
 
 
 def _sim_to_dict(cfg: SimulationConfig) -> dict:
@@ -127,14 +140,16 @@ class RunSpec:
     strategy:
         Registry name (aliases accepted, e.g. ``"btctp"``).
     scenario:
-        The random-scenario generator config.
+        The scenario spec (family + declared params); a legacy
+        :class:`ScenarioConfig` is converted on construction.
     params:
         Keyword parameters for the strategy factory.
     sim:
         Simulator config (horizon, energy tracking, ...).
     seed:
-        Seed for scenario generation (and, for strategies that declare a
-        ``seed`` parameter, the strategy itself).
+        Seed for scenario generation (unless the scenario spec pins its own)
+        and, for strategies that declare a ``seed`` parameter, the strategy
+        itself.
     metrics:
         Extra metric extractors to evaluate on the finished run, by name
         (see :mod:`repro.runner.record_metrics`); entries may also be
@@ -145,7 +160,7 @@ class RunSpec:
     """
 
     strategy: str
-    scenario: ScenarioConfig = field(default_factory=ScenarioConfig)
+    scenario: ScenarioSpec = field(default_factory=ScenarioSpec)
     params: Mapping[str, Any] = field(default_factory=dict)
     sim: SimulationConfig = field(default_factory=SimulationConfig)
     seed: int = 0
@@ -153,6 +168,8 @@ class RunSpec:
     labels: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        if isinstance(self.scenario, ScenarioConfig):  # legacy configs keep working
+            object.__setattr__(self, "scenario", spec_from_scenario_config(self.scenario))
         object.__setattr__(self, "params", dict(self.params))
         object.__setattr__(self, "labels", dict(self.labels))
         object.__setattr__(
@@ -181,7 +198,9 @@ class RunSpec:
         payload = dict(data)
         payload.pop("kind", None)
         _check_keys(payload, frozenset(f.name for f in dataclasses.fields(cls)), "run spec")
-        if "scenario" in payload and not isinstance(payload["scenario"], ScenarioConfig):
+        if "scenario" in payload and not isinstance(
+            payload["scenario"], (ScenarioSpec, ScenarioConfig)
+        ):
             payload["scenario"] = _scenario_from_dict(payload["scenario"])
         if "sim" in payload and not isinstance(payload["sim"], SimulationConfig):
             payload["sim"] = _sim_from_dict(payload["sim"])
@@ -201,7 +220,7 @@ class RunSpec:
         return canonical_strategy_name(self.strategy)
 
     def validate(self) -> "RunSpec":
-        """Raise :class:`ValueError` on an unknown strategy or undeclared params.
+        """Raise :class:`ValueError` on an unknown strategy/family or undeclared params.
 
         Use this on hand-written single-run specs, where a typo'd parameter
         should surface instead of being filtered away by campaign expansion.
@@ -214,6 +233,7 @@ class RunSpec:
                     f"run spec params not accepted by strategy {self.strategy!r}: "
                     f"{', '.join(unknown)}; accepted: {', '.join(sorted(accepted)) or '(none)'}"
                 )
+        self.scenario.validate()  # unknown family / undeclared or out-of-range params
         self.validate_metrics()
         return self
 
@@ -246,8 +266,15 @@ class RunSpec:
 # CampaignSpec
 # --------------------------------------------------------------------------- #
 
-def _apply_axis(spec: RunSpec, axis: str, value: Any) -> RunSpec:
-    """Set one grid-axis value on a run spec (see the module docstring)."""
+def _apply_axis(
+    spec: RunSpec, axis: str, value: Any, scenario_params: frozenset[str]
+) -> RunSpec:
+    """Set one grid-axis value on a run spec (see the module docstring).
+
+    ``scenario_params`` is the set of parameter names that resolve to the
+    scenario scope for *bare* axis names — the union over every family the
+    campaign sweeps.
+    """
     if axis == "strategy":
         return replace(spec, strategy=str(value))
     if axis == "seed":
@@ -255,15 +282,19 @@ def _apply_axis(spec: RunSpec, axis: str, value: Any) -> RunSpec:
     scope, _, name = axis.partition(".")
     if not name:
         scope, name = "", axis
-    if scope == "scenario" or (not scope and name in _SCENARIO_FIELDS):
-        return replace(spec, scenario=replace(spec.scenario, **{name: value}))
+    if name in _FAMILY_AXES and scope in ("", "scenario"):
+        return replace(spec, scenario=replace(spec.scenario, family=str(value)))
+    if scope == "scenario" and name == "seed":
+        return replace(spec, scenario=replace(spec.scenario, seed=value))
+    if scope == "scenario" or (not scope and name in scenario_params):
+        return replace(spec, scenario=spec.scenario.with_params(**{name: value}))
     if scope == "sim" or (not scope and name in _SIM_FIELDS):
         return replace(spec, sim=replace(spec.sim, **{name: value}))
     if scope in ("", "params"):
         return replace(spec, params={**spec.params, name: value})
     raise ValueError(
-        f"unknown grid axis {axis!r}: use 'strategy', 'seed', a scenario/sim field "
-        "name, or an explicit 'scenario.'/'sim.'/'params.' prefix"
+        f"unknown grid axis {axis!r}: use 'strategy', 'seed', 'scenario.family', a "
+        "scenario/sim field name, or an explicit 'scenario.'/'sim.'/'params.' prefix"
     )
 
 
@@ -326,14 +357,35 @@ class CampaignSpec:
         """Every strategy any cell of this campaign can run."""
         return [str(s) for s in self.grid.get("strategy", [self.base.strategy])]
 
-    def _validate_axes(self) -> None:
+    def _campaign_scenario_families(self) -> list[str]:
+        """Every scenario family any cell of this campaign can use."""
+        for axis in ("scenario.family", "scenario.distribution", "family", "distribution"):
+            if axis in self.grid:
+                return [str(f) for f in self.grid[axis]]
+        return [self.base.scenario.family]
+
+    def _campaign_scenario_params(self) -> frozenset[str]:
+        """Union of the parameters declared by the campaign's scenario families.
+
+        Raises the registry's clean :class:`ValueError` when a family (from
+        the base spec or a family axis) does not exist — a typo'd family is
+        rejected before any simulation runs.
+        """
+        names: set[str] = set()
+        for family in self._campaign_scenario_families():
+            names |= scenario_family_params(family)
+        return frozenset(names)
+
+    def _validate_axes(self, scenario_params: frozenset[str]) -> None:
         """Reject axis names that would silently sweep nothing.
 
         A bare or ``params.``-scoped name that is not a parameter declared by
         at least one of the campaign's strategies would be filtered out of
         every cell — N identical runs labelled as a sweep.  Catch the typo
-        here.  (``scenario.`` / ``sim.`` axes fail naturally at expansion if
-        the field does not exist; non-strict strategies accept anything.)
+        here.  The same applies to ``scenario.``-scoped names and the
+        campaign's scenario families.  (``sim.`` axes fail naturally at
+        expansion if the field does not exist; non-strict strategies accept
+        anything.)
         """
         strategies = self._campaign_strategies()
         strict = all(strategy_info(s).strict for s in strategies)
@@ -343,12 +395,22 @@ class CampaignSpec:
                 scope, name = "", axis
             if scope and scope not in ("scenario", "sim", "params"):
                 raise ValueError(
-                    f"unknown grid axis {axis!r}: use 'strategy', 'seed', a scenario/sim "
-                    "field name, or an explicit 'scenario.'/'sim.'/'params.' prefix"
+                    f"unknown grid axis {axis!r}: use 'strategy', 'seed', "
+                    "'scenario.family', a scenario/sim field name, or an explicit "
+                    "'scenario.'/'sim.'/'params.' prefix"
                 )
-            if scope in ("scenario", "sim") or (not scope and name in ("strategy", "seed")):
+            if scope == "scenario":
+                if name in _FAMILY_AXES or name == "seed" or name in scenario_params:
+                    continue
+                families = self._campaign_scenario_families()
+                raise ValueError(
+                    f"grid axis {axis!r} names a parameter declared by none of the "
+                    f"campaign's scenario families ({', '.join(repr(f) for f in families)})"
+                )
+            if scope == "sim" or (not scope and name in ("strategy", "seed")):
                 continue
-            if not scope and (name in _SCENARIO_FIELDS or name in _SIM_FIELDS):
+            if not scope and (name in _FAMILY_AXES or name in scenario_params
+                              or name in _SIM_FIELDS):
                 continue
             if not strict or any(name in strategy_params(s) for s in strategies):
                 continue
@@ -386,6 +448,22 @@ class CampaignSpec:
                     f"({', '.join(repr(s) for s in strategies)})"
                 )
 
+    def _validate_base_scenario_params(self, scenario_params: frozenset[str]) -> None:
+        """A base scenario param no campaign family accepts is a typo.
+
+        Scenario params are *filtered* per cell so ``scenario.family`` sweeps
+        work, but a key that every family in the campaign would drop can only
+        be a mistake (``"num_tragets"``) — reject it before simulating.
+        """
+        for key in self.base.scenario.params:
+            if key in scenario_params:
+                continue
+            families = self._campaign_scenario_families()
+            raise ValueError(
+                f"base scenario param {key!r} is not accepted by any campaign "
+                f"scenario family ({', '.join(repr(f) for f in families)})"
+            )
+
     def cells(self) -> list[RunSpec]:
         """Expand the grid into the ordered list of fully specified run cells.
 
@@ -394,9 +472,15 @@ class CampaignSpec:
         the cells are executed.  A ``"seed"`` axis shifts the whole
         replication seed schedule of its cells (it is not recorded as a
         label: the record's ``seed`` column already carries the true value).
+
+        Every cell's scenario spec is restricted to its family's declared
+        parameters and validated here — an unknown family, a typo'd parameter
+        or an out-of-range value surfaces before any simulation starts.
         """
-        self._validate_axes()
+        scenario_params = self._campaign_scenario_params()  # raises on unknown family
+        self._validate_axes(scenario_params)
         self._validate_base_params()
+        self._validate_base_scenario_params(scenario_params)
         self.base.validate_metrics()
         axes = list(self.grid.items())
         cells: list[RunSpec] = []
@@ -404,9 +488,10 @@ class CampaignSpec:
             spec = self.base
             labels = dict(self.base.labels)
             for (axis, _), value in zip(axes, combo):
-                spec = _apply_axis(spec, axis, value)
+                spec = _apply_axis(spec, axis, value, scenario_params)
                 if axis != "seed":
                     labels[axis] = value
+            spec = replace(spec, scenario=spec.scenario.restricted_to_family().validate())
             for k, seed in enumerate(self.seeds(base_seed=spec.seed)):
                 cell = replace(spec, seed=seed, labels={**labels, "replication": k})
                 cells.append(cell.with_strategy_defaults())

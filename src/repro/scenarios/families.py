@@ -1,0 +1,538 @@
+"""The built-in scenario family catalog.
+
+Every family is registered in :mod:`repro.scenarios.registry` and buildable
+from a :class:`~repro.scenarios.spec.ScenarioSpec` (JSON), the CLI
+(``--scenario family:key=val,...``) or Python (:func:`build_scenario`).
+
+The catalog covers:
+
+* the paper's Section 5.1 generators — ``uniform``, ``clustered`` and the
+  Figure-1-style ``paper-default``;
+* the hand-crafted deterministic layouts of
+  :mod:`repro.workloads.scenarios` — ``figure1``, ``single-vip``, ``grid``;
+* an extended spatial catalog — ``corridor`` (targets along a road with
+  gaps), ``hotspot`` (power-law density around attraction points), ``ring``
+  (an annulus), ``grid-jitter`` (a perturbed lattice) and ``mixed-density``
+  (dense core, sparse fringe).
+
+All randomised families share the assembly knobs of
+:func:`repro.workloads.generator.assemble_scenario`: VIP promotion
+(``num_vips`` / ``vip_weight``), heterogeneous per-target data rates
+(``data_rate`` / ``data_rate_jitter``), battery and recharge-station
+placement, and mule deployment — so a campaign can sweep
+``scenario.family`` while holding every other knob fixed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.network.field import Cluster, Field
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.scenarios.registry import register_scenario
+from repro.workloads.generator import (
+    ScenarioConfig,
+    assemble_scenario,
+    check_assembly_knobs,
+    generate_scenario,
+    paper_default_scenario,
+)
+from repro.workloads.scenarios import figure1_scenario, grid_scenario, single_vip_scenario
+
+__all__: list[str] = []  # everything here is reached through the registry
+
+
+# --------------------------------------------------------------------------- #
+# shared helpers
+# --------------------------------------------------------------------------- #
+
+def _sim_params(value: "SimulationParameters | Mapping[str, Any] | None") -> SimulationParameters:
+    """Accept a ``SimulationParameters``, a plain mapping (JSON), or ``None``."""
+    if value is None:
+        return SimulationParameters()
+    if isinstance(value, SimulationParameters):
+        return value
+    return SimulationParameters(**dict(value))
+
+
+_GENERATOR_KEYS = (
+    "num_targets", "num_mules", "num_vips", "vip_weight", "data_rate",
+    "data_rate_jitter", "mule_battery", "with_recharge_station", "field_size",
+    "sink_position", "recharge_position", "mule_placement", "name",
+)
+
+
+def _generator_cfg(distribution: str, p: Mapping[str, Any],
+                   extra: tuple[str, ...] = ()) -> ScenarioConfig:
+    """Build (and thereby range-check) a :class:`ScenarioConfig` from family params."""
+    kwargs = {k: p[k] for k in _GENERATOR_KEYS + extra if k in p}
+    return ScenarioConfig(distribution=distribution,
+                          params=_sim_params(p.get("params")), **kwargs)
+
+
+def _finish(seed: int, field_size: float, positions, p: Mapping[str, Any],
+            default_name: str) -> Scenario:
+    """Common tail of the randomised families: sample positions, then assemble."""
+    rng = np.random.default_rng(seed)
+    fld = Field(field_size, field_size)
+    pts = positions(rng, fld)
+    return assemble_scenario(
+        rng, fld, pts,
+        num_mules=p["num_mules"],
+        num_vips=p["num_vips"],
+        vip_weight=p["vip_weight"],
+        data_rate=p["data_rate"],
+        data_rate_jitter=p["data_rate_jitter"],
+        mule_battery=p["mule_battery"],
+        with_recharge_station=p["with_recharge_station"],
+        sink_position=p["sink_position"],
+        recharge_position=p["recharge_position"],
+        mule_placement=p["mule_placement"],
+        params=_sim_params(p["params"]),
+        name=p["name"] or default_name,
+    )
+
+
+def _check_common(p: Mapping[str, Any]) -> None:
+    """Range checks shared by the extended randomised families (no generation)."""
+    check_assembly_knobs(
+        num_targets=p["num_targets"],
+        num_mules=p["num_mules"],
+        num_vips=p["num_vips"],
+        vip_weight=p["vip_weight"],
+        data_rate=p["data_rate"],
+        data_rate_jitter=p["data_rate_jitter"],
+        mule_placement=p["mule_placement"],
+    )
+    if p["field_size"] <= 0:
+        raise ValueError("field_size must be positive")
+    _sim_params(p.get("params"))
+
+
+# --------------------------------------------------------------------------- #
+# the paper's generators
+# --------------------------------------------------------------------------- #
+
+def _validate_uniform(p: dict) -> None:
+    _generator_cfg("uniform", p)
+
+
+@register_scenario(
+    "uniform",
+    description="targets uniformly distributed over the square field "
+                "(the paper's Section 5.1 baseline workload)",
+    validator=_validate_uniform,
+)
+def _uniform_family(
+    *,
+    seed: int = 0,
+    num_targets: int = 20,
+    num_mules: int = 4,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    field_size: float = 800.0,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: str = "generated",
+) -> Scenario:
+    return generate_scenario(_generator_cfg("uniform", dict(locals())), seed)
+
+
+def _validate_clustered(p: dict) -> None:
+    _generator_cfg("clustered", p, extra=("num_clusters", "cluster_radius"))
+
+
+@register_scenario(
+    "clustered",
+    aliases=("clusters",),
+    description="targets grouped into disconnected disc-shaped areas "
+                "(the paper's motivating disconnected-targets workload)",
+    validator=_validate_clustered,
+)
+def _clustered_family(
+    *,
+    seed: int = 0,
+    num_targets: int = 20,
+    num_mules: int = 4,
+    num_clusters: int = 4,
+    cluster_radius: float = 80.0,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    field_size: float = 800.0,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: str = "generated",
+) -> Scenario:
+    cfg = _generator_cfg("clustered", dict(locals()),
+                         extra=("num_clusters", "cluster_radius"))
+    return generate_scenario(cfg, seed)
+
+
+@register_scenario(
+    "paper-default",
+    aliases=("paper_default",),
+    description="the Figure-1 style setting: 10 targets in 3 disconnected "
+                "clusters, 4 mules, sink on the field edge",
+)
+def _paper_default_family(*, seed: int = 0) -> Scenario:
+    return paper_default_scenario(seed)
+
+
+# --------------------------------------------------------------------------- #
+# hand-crafted deterministic layouts
+# --------------------------------------------------------------------------- #
+
+@register_scenario(
+    "figure1",
+    description="deterministic ring of ten targets matching the paper's "
+                "Figure 1 (seed has no effect)",
+)
+def _figure1_family(
+    *,
+    seed: int = 0,
+    num_mules: int = 4,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+) -> Scenario:
+    return figure1_scenario(num_mules, battery=mule_battery,
+                            with_recharge_station=with_recharge_station)
+
+
+@register_scenario(
+    "single-vip",
+    aliases=("single_vip",),
+    description="deterministic ten-target circle with g4 promoted to a VIP "
+                "(the Figure 2/5 worked example; seed has no effect)",
+)
+def _single_vip_family(
+    *,
+    seed: int = 0,
+    vip_weight: int = 2,
+    num_mules: int = 2,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+) -> Scenario:
+    return single_vip_scenario(vip_weight, num_mules=num_mules, battery=mule_battery,
+                               with_recharge_station=with_recharge_station)
+
+
+def _validate_grid(p: dict) -> None:
+    if p["rows"] < 1 or p["cols"] < 1:
+        raise ValueError("grid dimensions must be positive")
+    if p["spacing"] <= 0:
+        raise ValueError("spacing must be positive")
+
+
+@register_scenario(
+    "grid",
+    description="deterministic regular rows x cols target lattice, convenient "
+                "for analytically checkable tests (seed has no effect)",
+    validator=_validate_grid,
+)
+def _grid_family(
+    *,
+    seed: int = 0,
+    rows: int = 3,
+    cols: int = 4,
+    spacing: float = 150.0,
+    num_mules: int = 2,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+) -> Scenario:
+    return grid_scenario(rows, cols, spacing=spacing, num_mules=num_mules,
+                         battery=mule_battery,
+                         with_recharge_station=with_recharge_station)
+
+
+# --------------------------------------------------------------------------- #
+# extended spatial catalog
+# --------------------------------------------------------------------------- #
+
+def _validate_corridor(p: dict) -> None:
+    _check_common(p)
+    if p["num_segments"] < 1:
+        raise ValueError("num_segments must be >= 1")
+    if not 0.0 <= p["gap_fraction"] < 1.0:
+        raise ValueError("gap_fraction must lie in [0, 1)")
+    if not 0.0 < p["corridor_width"] <= p["field_size"]:
+        raise ValueError("corridor_width must lie in (0, field_size]")
+
+
+@register_scenario(
+    "corridor",
+    aliases=("road",),
+    description="targets along a road crossing the field, broken into "
+                "segments separated by gaps (a patrol route workload)",
+    validator=_validate_corridor,
+)
+def _corridor_family(
+    *,
+    seed: int = 0,
+    num_targets: int = 20,
+    corridor_width: float = 80.0,
+    num_segments: int = 3,
+    gap_fraction: float = 0.3,
+    num_mules: int = 4,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    field_size: float = 800.0,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: "str | None" = None,
+) -> Scenario:
+    p = dict(locals())
+    _validate_corridor(p)
+
+    def positions(rng: np.random.Generator, fld: Field) -> list[Point]:
+        margin = min(40.0, field_size / 10.0)
+        usable = field_size - 2.0 * margin
+        gaps = num_segments - 1
+        gap_len = (gap_fraction * usable / gaps) if gaps else 0.0
+        seg_len = (usable - gap_len * gaps) / num_segments
+        mid_y = field_size / 2.0
+        pts: list[Point] = []
+        for i in range(num_targets):
+            seg = i % num_segments
+            start = margin + seg * (seg_len + gap_len)
+            x = rng.uniform(start, start + seg_len)
+            y = mid_y + rng.uniform(-corridor_width / 2.0, corridor_width / 2.0)
+            pts.append(fld.clamp(Point(float(x), float(y))))
+        return pts
+
+    return _finish(seed, field_size, positions, p, "corridor")
+
+
+def _validate_hotspot(p: dict) -> None:
+    _check_common(p)
+    if p["num_hotspots"] < 1:
+        raise ValueError("num_hotspots must be >= 1")
+    if p["exponent"] <= 1.0:
+        raise ValueError("exponent must be > 1 (heavier tails need a finite mean)")
+    if p["core_scale"] <= 0:
+        raise ValueError("core_scale must be positive")
+
+
+@register_scenario(
+    "hotspot",
+    aliases=("powerlaw",),
+    description="power-law target density around a few hotspot centres "
+                "(dense cores with heavy-tailed outskirts)",
+    validator=_validate_hotspot,
+)
+def _hotspot_family(
+    *,
+    seed: int = 0,
+    num_targets: int = 20,
+    num_hotspots: int = 3,
+    exponent: float = 2.5,
+    core_scale: float = 25.0,
+    num_mules: int = 4,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    field_size: float = 800.0,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: "str | None" = None,
+) -> Scenario:
+    p = dict(locals())
+    _validate_hotspot(p)
+
+    def positions(rng: np.random.Generator, fld: Field) -> list[Point]:
+        margin = min(100.0, field_size / 4.0)
+        centres = [
+            Point(float(rng.uniform(margin, field_size - margin)),
+                  float(rng.uniform(margin, field_size - margin)))
+            for _ in range(num_hotspots)
+        ]
+        pts: list[Point] = []
+        for i in range(num_targets):
+            centre = centres[i % num_hotspots]
+            # Lomax (shifted-Pareto) radius: density ~ r^-exponent in the tail
+            u = rng.uniform()
+            r = core_scale * ((1.0 - u) ** (-1.0 / (exponent - 1.0)) - 1.0)
+            theta = rng.uniform(0.0, 2.0 * math.pi)
+            pts.append(fld.clamp(Point(centre.x + r * math.cos(theta),
+                                       centre.y + r * math.sin(theta))))
+        return pts
+
+    return _finish(seed, field_size, positions, p, "hotspot")
+
+
+def _validate_ring(p: dict) -> None:
+    _check_common(p)
+    if p["ring_radius"] <= 0:
+        raise ValueError("ring_radius must be positive")
+    if not 0.0 <= p["ring_width"] <= 2.0 * p["ring_radius"]:
+        raise ValueError("ring_width must lie in [0, 2 * ring_radius]")
+
+
+@register_scenario(
+    "ring",
+    aliases=("annulus",),
+    description="targets on an annulus around the field centre (a perimeter "
+                "surveillance workload)",
+    validator=_validate_ring,
+)
+def _ring_family(
+    *,
+    seed: int = 0,
+    num_targets: int = 20,
+    ring_radius: float = 300.0,
+    ring_width: float = 60.0,
+    num_mules: int = 4,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    field_size: float = 800.0,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: "str | None" = None,
+) -> Scenario:
+    p = dict(locals())
+    _validate_ring(p)
+
+    def positions(rng: np.random.Generator, fld: Field) -> list[Point]:
+        centre = fld.center
+        pts: list[Point] = []
+        for _ in range(num_targets):
+            r = ring_radius + rng.uniform(-ring_width / 2.0, ring_width / 2.0)
+            theta = rng.uniform(0.0, 2.0 * math.pi)
+            pts.append(fld.clamp(Point(centre.x + r * math.cos(theta),
+                                       centre.y + r * math.sin(theta))))
+        return pts
+
+    return _finish(seed, field_size, positions, p, "ring")
+
+
+def _validate_grid_jitter(p: dict) -> None:
+    _check_common(p)
+    if p["jitter"] < 0:
+        raise ValueError("jitter must be non-negative")
+
+
+@register_scenario(
+    "grid-jitter",
+    aliases=("grid_jitter", "jittered-grid"),
+    description="targets on a regular lattice perturbed by gaussian jitter "
+                "(planned deployments with placement error)",
+    validator=_validate_grid_jitter,
+)
+def _grid_jitter_family(
+    *,
+    seed: int = 0,
+    num_targets: int = 20,
+    jitter: float = 25.0,
+    num_mules: int = 4,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    field_size: float = 800.0,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: "str | None" = None,
+) -> Scenario:
+    p = dict(locals())
+    _validate_grid_jitter(p)
+
+    def positions(rng: np.random.Generator, fld: Field) -> list[Point]:
+        cols = max(1, math.ceil(math.sqrt(num_targets)))
+        rows = max(1, math.ceil(num_targets / cols))
+        margin = field_size / 8.0
+        dx = (field_size - 2.0 * margin) / max(cols - 1, 1)
+        dy = (field_size - 2.0 * margin) / max(rows - 1, 1)
+        offsets = rng.normal(0.0, jitter, size=(num_targets, 2)) if jitter > 0 else \
+            np.zeros((num_targets, 2))
+        pts: list[Point] = []
+        for i in range(num_targets):
+            r, c = divmod(i, cols)
+            pts.append(fld.clamp(Point(margin + c * dx + float(offsets[i, 0]),
+                                       margin + r * dy + float(offsets[i, 1]))))
+        return pts
+
+    return _finish(seed, field_size, positions, p, "grid-jitter")
+
+
+def _validate_mixed_density(p: dict) -> None:
+    _check_common(p)
+    if not 0.0 <= p["core_fraction"] <= 1.0:
+        raise ValueError("core_fraction must lie in [0, 1]")
+    if not 0.0 < p["core_radius"] <= p["field_size"] / 2.0:
+        raise ValueError("core_radius must lie in (0, field_size / 2]")
+
+
+@register_scenario(
+    "mixed-density",
+    aliases=("mixed_density",),
+    description="a dense core disc at the field centre with a sparse uniform "
+                "fringe around it (urban-core / rural-fringe workload)",
+    validator=_validate_mixed_density,
+)
+def _mixed_density_family(
+    *,
+    seed: int = 0,
+    num_targets: int = 20,
+    core_fraction: float = 0.6,
+    core_radius: float = 120.0,
+    num_mules: int = 4,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    field_size: float = 800.0,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: "str | None" = None,
+) -> Scenario:
+    p = dict(locals())
+    _validate_mixed_density(p)
+
+    def positions(rng: np.random.Generator, fld: Field) -> list[Point]:
+        num_core = int(round(core_fraction * num_targets))
+        core = Cluster(fld.center, core_radius)
+        pts = core.sample(rng, num_core, fld) if num_core else []
+        pts.extend(fld.sample_uniform(rng, num_targets - num_core))
+        return pts
+
+    return _finish(seed, field_size, positions, p, "mixed-density")

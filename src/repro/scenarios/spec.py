@@ -1,0 +1,190 @@
+"""Declarative scenario specification: family + parameters + optional seed.
+
+A :class:`ScenarioSpec` is the data twin of a registered scenario family —
+exactly as a :class:`~repro.runner.spec.RunSpec` is the data twin of a
+strategy invocation.  It round-trips losslessly through JSON::
+
+    {"family": "corridor", "params": {"num_targets": 30, "gap_fraction": 0.4}}
+
+and replaces the bare :class:`~repro.workloads.generator.ScenarioConfig`
+inside run specs: ``RunSpec(scenario=ScenarioSpec("ring", {...}))``.  Legacy
+``ScenarioConfig`` objects and legacy JSON scenario dicts (plain config
+fields, no ``"family"`` key) keep loading through
+:func:`spec_from_scenario_config` / the runner's shim and produce
+byte-identical scenarios.
+
+``seed`` is usually left ``None`` so the surrounding run spec's replication
+seed drives generation; set it to pin the scenario while sweeping everything
+else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.scenarios.registry import (
+    build_scenario,
+    canonical_scenario_family,
+    filter_scenario_kwargs,
+    scenario_family_info,
+    validate_scenario_params,
+)
+
+__all__ = ["ScenarioSpec", "spec_from_scenario_config"]
+
+_PARAMS_FIELDS = frozenset(f.name for f in dataclasses.fields(SimulationParameters))
+
+
+def _normalize_value(value: Any) -> Any:
+    """JSON arrays arrive as lists; positions and the like are tuples in Python."""
+    if isinstance(value, list):
+        return tuple(_normalize_value(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario as data: registry family, parameters, optional pinned seed.
+
+    Attributes
+    ----------
+    family:
+        Registry name (aliases accepted, e.g. ``"grid_jitter"``).
+    params:
+        Keyword parameters for the family factory; validated against the
+        family's declared parameter table.
+    seed:
+        Optional scenario-generation seed.  ``None`` (the default) defers to
+        the run spec's replication seed; an explicit value pins the spatial
+        layout across all replications of a campaign.
+
+    Declared parameters are also readable as attributes —
+    ``spec.num_targets`` returns the explicit value or the family's declared
+    default — so code written against ``ScenarioConfig`` fields keeps
+    working.
+    """
+
+    family: str = "uniform"
+    params: Mapping[str, Any] = field(default_factory=dict)
+    seed: "int | None" = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "params", {k: _normalize_value(v) for k, v in dict(self.params).items()}
+        )
+
+    def __getattr__(self, name: str):
+        # Only called for attributes not found normally: resolve declared
+        # family parameters (explicit value, else declared default).
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            params = object.__getattribute__(self, "params")
+            family = object.__getattribute__(self, "family")
+        except AttributeError:
+            raise AttributeError(name) from None
+        if name in params:
+            return params[name]
+        try:
+            info = scenario_family_info(family)
+        except ValueError:
+            raise AttributeError(name) from None
+        declared = info.params.get(name)
+        if declared is not None and not declared.required:
+            return declared.default
+        raise AttributeError(
+            f"scenario family {info.name!r} declares no parameter {name!r}"
+        )
+
+    # -- derived --------------------------------------------------------- #
+    def canonical_family(self) -> str:
+        return canonical_scenario_family(self.family)
+
+    def with_params(self, **updates: Any) -> "ScenarioSpec":
+        """Copy of this spec with ``updates`` merged into the parameters."""
+        return replace(self, params={**self.params, **updates})
+
+    def restricted_to_family(self) -> "ScenarioSpec":
+        """Copy keeping only the parameters the family declares.
+
+        Campaign expansion applies this per cell so one shared scenario
+        parameter set can fan out over a ``scenario.family`` axis whose
+        families accept different subsets (symmetric to
+        :meth:`RunSpec.with_strategy_defaults`).
+        """
+        return replace(self, params=filter_scenario_kwargs(self.family, self.params))
+
+    def validate(self) -> "ScenarioSpec":
+        """Raise :class:`ValueError` on an unknown family or undeclared/bad params."""
+        validate_scenario_params(self.family, self.params)
+        return self
+
+    def build(self, default_seed: int = 0) -> Scenario:
+        """Build the scenario (``seed`` falls back to ``default_seed`` when unset)."""
+        seed = self.seed if self.seed is not None else default_seed
+        return build_scenario(self.family, self.params, seed=seed)
+
+    # -- serialisation --------------------------------------------------- #
+    def to_dict(self) -> dict:
+        data: dict[str, Any] = {"family": self.family}
+        if self.params:
+            params = dict(self.params)
+            if isinstance(params.get("params"), SimulationParameters):
+                params["params"] = dataclasses.asdict(params["params"])
+            data["params"] = params
+        if self.seed is not None:
+            data["seed"] = self.seed
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        payload = dict(data)
+        unknown = sorted(set(payload) - {"family", "params", "seed"})
+        if unknown:
+            raise ValueError(
+                f"unknown scenario spec field(s): {', '.join(unknown)}; "
+                "allowed: family, params, seed"
+            )
+        params = dict(payload.get("params") or {})
+        sim = params.get("params")
+        if sim is not None and not isinstance(sim, SimulationParameters):
+            bad = sorted(set(sim) - _PARAMS_FIELDS)
+            if bad:
+                raise ValueError(
+                    f"unknown scenario params.params field(s): {', '.join(bad)}"
+                )
+            params["params"] = SimulationParameters(**sim)
+        return cls(family=payload.get("family", "uniform"), params=params,
+                   seed=payload.get("seed"))
+
+
+def spec_from_scenario_config(cfg: Any) -> ScenarioSpec:
+    """Convert a legacy :class:`ScenarioConfig` into the equivalent spec.
+
+    ``cfg.distribution`` becomes the family; fields still at their defaults
+    are dropped so the spec (and its JSON) stays lean.  Building the result
+    with the same seed reproduces the legacy scenario byte for byte, because
+    the ``uniform`` / ``clustered`` families drive the very same generator.
+    """
+    from repro.workloads.generator import ScenarioConfig
+
+    if isinstance(cfg, ScenarioSpec):
+        return cfg
+    if not isinstance(cfg, ScenarioConfig):
+        raise TypeError(f"expected ScenarioConfig or ScenarioSpec, got {type(cfg).__name__}")
+    default = ScenarioConfig()
+    cluster_only = {"num_clusters", "cluster_radius"}
+    params: dict[str, Any] = {}
+    for f in dataclasses.fields(ScenarioConfig):
+        if f.name == "distribution":
+            continue
+        if f.name in cluster_only and cfg.distribution != "clustered":
+            continue  # the uniform generator ignores cluster geometry entirely
+        value = getattr(cfg, f.name)
+        if value == getattr(default, f.name):
+            continue
+        params[f.name] = value
+    return ScenarioSpec(family=cfg.distribution, params=params)

@@ -4,12 +4,19 @@
 distributed over the monitoring region.  Each simulation result is obtained
 from the average results of 20 simulations."
 
-Two spatial distributions are provided:
+Two spatial distributions are provided here:
 
 * ``uniform`` — targets scattered uniformly over the whole field;
 * ``clustered`` — targets grouped into several disconnected areas (the
   scenario the paper's introduction motivates: static sensors cannot bridge
   the gaps, so mules provide connectivity).
+
+The extended spatial catalog (corridor, hotspot, ring, ...) lives in
+:mod:`repro.scenarios.families`; every family — including these two — is
+registered in the :mod:`repro.scenarios` registry and shares
+:func:`assemble_scenario`, the position-to-scenario assembly step (VIP
+promotion, heterogeneous data-rate draws, sink/recharge placement, mule
+deployment).
 
 All generation is driven by a ``numpy.random.Generator`` derived from an
 explicit seed, so replication ``k`` of an experiment is reproducible.
@@ -31,11 +38,47 @@ from repro.network.targets import RechargeStation, Sink, Target, make_targets
 
 __all__ = [
     "ScenarioConfig",
+    "check_assembly_knobs",
+    "assemble_scenario",
     "generate_scenario",
     "uniform_scenario",
     "clustered_scenario",
     "paper_default_scenario",
 ]
+
+_MULE_PLACEMENTS = ("sink", "random", "corner")
+
+
+def check_assembly_knobs(
+    *,
+    num_targets: int,
+    num_mules: int,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_placement: str = "sink",
+) -> None:
+    """Range-check the family-independent scenario knobs (no generation).
+
+    The single home of these checks: :class:`ScenarioConfig`,
+    :func:`assemble_scenario` and every scenario-family validator in
+    :mod:`repro.scenarios.families` all delegate here.
+    """
+    if num_targets < 1:
+        raise ValueError("num_targets must be >= 1")
+    if num_mules < 1:
+        raise ValueError("num_mules must be >= 1")
+    if num_vips < 0 or num_vips > num_targets:
+        raise ValueError("num_vips must lie in [0, num_targets]")
+    if vip_weight < 1:
+        raise ValueError("vip_weight must be >= 1")
+    if data_rate < 0:
+        raise ValueError("data_rate must be non-negative")
+    if not 0.0 <= data_rate_jitter <= 1.0:
+        raise ValueError("data_rate_jitter must lie in [0, 1]")
+    if mule_placement not in _MULE_PLACEMENTS:
+        raise ValueError("mule_placement must be 'sink', 'random' or 'corner'")
 
 
 @dataclass(frozen=True)
@@ -53,6 +96,9 @@ class ScenarioConfig:
     num_vips / vip_weight:
         How many targets are promoted to VIPs and with what weight
         (the Figure 9/10 sweeps vary exactly these two numbers).
+    data_rate / data_rate_jitter:
+        Mean sensor data rate, and the relative half-width of the per-target
+        uniform draw around it (``0`` keeps every target at ``data_rate``).
     mule_battery:
         Battery capacity in joules; ``None`` disables energy modelling.
     with_recharge_station:
@@ -72,6 +118,7 @@ class ScenarioConfig:
     num_vips: int = 0
     vip_weight: int = 2
     data_rate: float = 1.0
+    data_rate_jitter: float = 0.0
     mule_battery: float | None = None
     with_recharge_station: bool = False
     field_size: float = 800.0
@@ -82,18 +129,34 @@ class ScenarioConfig:
     name: str = "generated"
 
     def __post_init__(self) -> None:
-        if self.num_targets < 1:
-            raise ValueError("num_targets must be >= 1")
-        if self.num_mules < 1:
-            raise ValueError("num_mules must be >= 1")
+        check_assembly_knobs(
+            num_targets=self.num_targets,
+            num_mules=self.num_mules,
+            num_vips=self.num_vips,
+            vip_weight=self.vip_weight,
+            data_rate=self.data_rate,
+            data_rate_jitter=self.data_rate_jitter,
+            mule_placement=self.mule_placement,
+        )
         if self.distribution not in ("uniform", "clustered"):
             raise ValueError("distribution must be 'uniform' or 'clustered'")
-        if self.num_vips < 0 or self.num_vips > self.num_targets:
-            raise ValueError("num_vips must lie in [0, num_targets]")
-        if self.vip_weight < 1:
-            raise ValueError("vip_weight must be >= 1")
-        if self.mule_placement not in ("sink", "random", "corner"):
-            raise ValueError("mule_placement must be 'sink', 'random' or 'corner'")
+        if self.num_clusters < 1:
+            raise ValueError("num_clusters must be >= 1")
+        if self.cluster_radius <= 0:
+            raise ValueError("cluster_radius must be positive")
+        if self.distribution == "clustered":
+            # Cluster centres are drawn from [margin, field_size - margin] so the
+            # whole disc stays inside the field; a radius at or beyond the limit
+            # would silently invert that interval and scatter centres (and
+            # therefore targets) outside the monitoring region.
+            margin = self.cluster_radius + 10.0
+            if margin >= self.field_size - margin:
+                raise ValueError(
+                    f"cluster_radius {self.cluster_radius:g} does not fit a "
+                    f"{self.field_size:g} m field: cluster centres need a "
+                    f"{margin:g} m margin on each side; use a radius below "
+                    f"{self.field_size / 2.0 - 10.0:g} m or enlarge the field"
+                )
 
 
 def _target_positions(cfg: ScenarioConfig, rng: np.random.Generator, fld: Field) -> list[Point]:
@@ -122,57 +185,99 @@ def _target_positions(cfg: ScenarioConfig, rng: np.random.Generator, fld: Field)
     return positions
 
 
-def _select_vips(cfg: ScenarioConfig, rng: np.random.Generator) -> dict[int, int]:
-    if cfg.num_vips == 0:
+def _select_vips(
+    num_targets: int, num_vips: int, vip_weight: int, rng: np.random.Generator
+) -> dict[int, int]:
+    if num_vips == 0:
         return {}
-    indices = rng.choice(cfg.num_targets, size=cfg.num_vips, replace=False)
-    return {int(i): cfg.vip_weight for i in indices}
+    indices = rng.choice(num_targets, size=num_vips, replace=False)
+    return {int(i): vip_weight for i in indices}
 
 
-def _mule_positions(cfg: ScenarioConfig, rng: np.random.Generator, fld: Field, sink: Point) -> list[Point]:
-    if cfg.mule_placement == "sink":
-        return [sink for _ in range(cfg.num_mules)]
-    if cfg.mule_placement == "corner":
-        return [Point(0.0, 0.0) for _ in range(cfg.num_mules)]
-    return fld.sample_uniform(rng, cfg.num_mules)
+def _mule_positions(
+    mule_placement: str, num_mules: int, rng: np.random.Generator, fld: Field, sink: Point
+) -> list[Point]:
+    if mule_placement == "sink":
+        return [sink for _ in range(num_mules)]
+    if mule_placement == "corner":
+        return [Point(0.0, 0.0) for _ in range(num_mules)]
+    return fld.sample_uniform(rng, num_mules)
 
 
-def generate_scenario(cfg: ScenarioConfig, seed: int | np.random.Generator = 0) -> Scenario:
-    """Generate a full scenario from a config and a seed (or an existing generator)."""
-    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
-    fld = Field(cfg.field_size, cfg.field_size)
+def assemble_scenario(
+    rng: np.random.Generator,
+    fld: Field,
+    positions: Sequence[Point],
+    *,
+    num_mules: int,
+    num_vips: int = 0,
+    vip_weight: int = 2,
+    data_rate: float = 1.0,
+    data_rate_jitter: float = 0.0,
+    mule_battery: "float | None" = None,
+    with_recharge_station: bool = False,
+    sink_position: "tuple[float, float] | None" = None,
+    recharge_position: "tuple[float, float] | None" = None,
+    mule_placement: str = "sink",
+    params: "SimulationParameters | None" = None,
+    name: str = "generated",
+) -> Scenario:
+    """Turn sampled target positions into a full scenario.
 
-    positions = _target_positions(cfg, rng, fld)
-    weights = _select_vips(cfg, rng)
-    targets = make_targets(positions, weights=weights, data_rate=cfg.data_rate)
+    This is the family-independent half of scenario generation: VIP
+    promotion, (optionally heterogeneous) data-rate draws, sink and recharge
+    placement, and mule deployment.  Every registered scenario family funnels
+    through here, so the knobs behave identically across the whole catalog.
+
+    The RNG is consumed in a fixed order (VIP selection, then data-rate
+    jitter when enabled, then random mule placement), keeping scenarios
+    byte-identical across code paths for a given seed.
+    """
+    params = params if params is not None else SimulationParameters()
+    num_targets = len(positions)
+    if num_targets < 1:
+        raise ValueError("a scenario needs at least one target position")
+    check_assembly_knobs(
+        num_targets=num_targets,
+        num_mules=num_mules,
+        num_vips=num_vips,
+        vip_weight=vip_weight,
+        data_rate=data_rate,
+        data_rate_jitter=data_rate_jitter,
+        mule_placement=mule_placement,
+    )
+
+    weights = _select_vips(num_targets, num_vips, vip_weight, rng)
+    rates: "float | list[float]" = data_rate
+    if data_rate_jitter > 0.0:
+        factors = rng.uniform(1.0 - data_rate_jitter, 1.0 + data_rate_jitter,
+                              size=num_targets)
+        rates = [float(data_rate * f) for f in factors]
+    targets = make_targets(positions, weights=weights, data_rate=rates)
 
     sink_pos = (
-        Point(*cfg.sink_position)
-        if cfg.sink_position is not None
-        else Point(cfg.field_size / 2.0, 0.0)
+        Point(*sink_position)
+        if sink_position is not None
+        else Point(fld.origin.x + fld.width / 2.0, fld.origin.y)
     )
     sink = Sink("sink", sink_pos)
 
     recharge = None
-    if cfg.with_recharge_station:
-        rpos = (
-            Point(*cfg.recharge_position)
-            if cfg.recharge_position is not None
-            else fld.center
-        )
+    if with_recharge_station:
+        rpos = Point(*recharge_position) if recharge_position is not None else fld.center
         recharge = RechargeStation("recharge", rpos)
 
-    mule_positions = _mule_positions(cfg, rng, fld, sink_pos)
+    mule_pos = _mule_positions(mule_placement, num_mules, rng, fld, sink_pos)
     mules = [
         DataMule(
             id=f"m{i + 1}",
             position=pos,
-            velocity=cfg.params.mule_velocity,
-            sensing_range=cfg.params.sensing_range,
-            communication_range=cfg.params.communication_range,
-            battery=Battery(cfg.mule_battery) if cfg.mule_battery is not None else None,
+            velocity=params.mule_velocity,
+            sensing_range=params.sensing_range,
+            communication_range=params.communication_range,
+            battery=Battery(mule_battery) if mule_battery is not None else None,
         )
-        for i, pos in enumerate(mule_positions)
+        for i, pos in enumerate(mule_pos)
     ]
 
     return Scenario(
@@ -181,6 +286,30 @@ def generate_scenario(cfg: ScenarioConfig, seed: int | np.random.Generator = 0) 
         mules=mules,
         recharge_station=recharge,
         field=fld,
+        params=params,
+        name=name,
+    )
+
+
+def generate_scenario(cfg: ScenarioConfig, seed: int | np.random.Generator = 0) -> Scenario:
+    """Generate a full scenario from a config and a seed (or an existing generator)."""
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+    fld = Field(cfg.field_size, cfg.field_size)
+    positions = _target_positions(cfg, rng, fld)
+    return assemble_scenario(
+        rng,
+        fld,
+        positions,
+        num_mules=cfg.num_mules,
+        num_vips=cfg.num_vips,
+        vip_weight=cfg.vip_weight,
+        data_rate=cfg.data_rate,
+        data_rate_jitter=cfg.data_rate_jitter,
+        mule_battery=cfg.mule_battery,
+        with_recharge_station=cfg.with_recharge_station,
+        sink_position=cfg.sink_position,
+        recharge_position=cfg.recharge_position,
+        mule_placement=cfg.mule_placement,
         params=cfg.params,
         name=cfg.name,
     )

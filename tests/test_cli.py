@@ -41,6 +41,73 @@ class TestStrategiesCommand:
         assert "rw-tctp" in names
 
 
+class TestScenariosCommand:
+    def test_lists_families_with_params(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for family in ("uniform", "clustered", "corridor", "hotspot", "ring",
+                       "grid-jitter", "mixed-density", "figure1"):
+            assert family in out
+        assert "num_targets=20" in out
+
+    def test_json_output(self, capsys):
+        assert main(["scenarios", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {f["name"]: f for f in payload["families"]}
+        assert "ring" in by_name
+        assert by_name["ring"]["description"]
+        params = {p["name"]: p for p in by_name["ring"]["params"]}
+        assert params["ring_radius"]["default"] == 300.0
+
+
+class TestScenarioOption:
+    def test_simulate_with_scenario_family(self, capsys):
+        code = main(["simulate", "--scenario", "ring:num_targets=8,ring_radius=200",
+                     "--strategy", "b-tctp", "--seed", "1", "--horizon", "8000",
+                     "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "ring"
+        assert payload["num_targets"] == 8
+
+    def test_simulate_unknown_family_clean_error(self, capsys):
+        assert main(["simulate", "--scenario", "voronoi"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err
+
+    def test_simulate_typoed_param_clean_error(self, capsys):
+        assert main(["simulate", "--scenario", "ring:radius=10"]) == 2
+        assert "does not accept" in capsys.readouterr().err
+
+    def test_simulate_malformed_param_clean_error(self, capsys):
+        assert main(["simulate", "--scenario", "ring:num_targets"]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_simulate_non_numeric_value_clean_error(self, capsys):
+        assert main(["simulate", "--scenario", "ring:num_targets=abc"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_non_numeric_value_clean_error(self, capsys):
+        code = main(["sweep", "--scenario", "ring:ring_width=-5x",
+                     "--strategies", "b-tctp", "--replications", "1"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sweep_with_scenario_family(self, capsys):
+        code = main(["sweep", "--scenario", "corridor:num_targets=6,num_mules=2",
+                     "--strategies", "b-tctp,chb", "--replications", "2",
+                     "--horizon", "6000", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["records"]) == 4
+        assert payload["spec"]["base"]["scenario"]["family"] == "corridor"
+
+    def test_sweep_bad_scenario_clean_error(self, capsys):
+        code = main(["sweep", "--scenario", "clustered:cluster_radius=500",
+                     "--strategies", "b-tctp", "--replications", "1"])
+        assert code == 2
+        assert "cluster_radius" in capsys.readouterr().err
+
+
 class TestSimulateCommand:
     def test_btctp_table_output(self, capsys):
         code = main(["simulate", "--strategy", "b-tctp", "--targets", "8", "--mules", "2",

@@ -30,11 +30,30 @@ class TestScenarioConfig:
             {"num_vips": 99, "num_targets": 5},
             {"vip_weight": 0},
             {"mule_placement": "moon"},
+            {"num_clusters": 0},
+            {"cluster_radius": 0.0},
+            {"cluster_radius": -5.0},
+            {"data_rate": -1.0},
+            {"data_rate_jitter": -0.1},
+            {"data_rate_jitter": 1.5},
         ],
     )
     def test_invalid_configs_rejected(self, kwargs):
         with pytest.raises(ValueError):
             ScenarioConfig(**kwargs)
+
+    def test_oversized_cluster_radius_rejected_with_clear_error(self):
+        """A radius that would push cluster centres outside the field must not
+        silently generate out-of-bounds coordinates."""
+        with pytest.raises(ValueError, match="cluster_radius"):
+            ScenarioConfig(distribution="clustered", cluster_radius=395.0)
+        with pytest.raises(ValueError, match="cluster_radius"):
+            ScenarioConfig(distribution="clustered", cluster_radius=120.0,
+                           field_size=250.0)
+        # the same radius is fine on a large enough field
+        ScenarioConfig(distribution="clustered", cluster_radius=120.0, field_size=800.0)
+        # and irrelevant for the uniform distribution, which ignores clusters
+        ScenarioConfig(distribution="uniform", cluster_radius=395.0)
 
 
 class TestGenerateScenario:
@@ -98,6 +117,33 @@ class TestGenerateScenario:
         sc = generate_scenario(ScenarioConfig(), seed=0)
         assert sc.params.mule_velocity == 2.0
         assert sc.params.move_cost_per_meter == pytest.approx(8.267)
+
+    def test_data_rate_jitter_draws_heterogeneous_rates(self):
+        cfg = ScenarioConfig(num_targets=12, data_rate=2.0, data_rate_jitter=0.25)
+        sc = generate_scenario(cfg, seed=5)
+        rates = [t.data_rate for t in sc.targets]
+        assert len(set(rates)) > 1
+        assert all(1.5 <= r <= 2.5 for r in rates)
+
+    def test_zero_jitter_keeps_legacy_rng_stream(self):
+        """jitter=0 must not consume RNG draws — replay the legacy stream by hand."""
+        import numpy as np
+
+        from repro.network.field import Field
+
+        cfg = ScenarioConfig(num_targets=10, num_vips=2, mule_placement="random")
+        sc = generate_scenario(cfg, seed=8)
+
+        # The pre-jitter generator consumed exactly: target positions, one VIP
+        # choice, then mule positions.  Any extra draw in between (e.g. a
+        # jitter draw taken even at jitter=0) would shift the mule positions.
+        rng = np.random.default_rng(8)
+        fld = Field(800.0, 800.0)
+        expected_targets = fld.sample_uniform(rng, 10)
+        rng.choice(10, size=2, replace=False)  # the VIP selection draw
+        expected_mules = fld.sample_uniform(rng, 4)
+        assert [t.position for t in sc.targets] == expected_targets
+        assert [m.position for m in sc.mules] == expected_mules
 
 
 class TestShortcuts:
