@@ -1,0 +1,132 @@
+"""Regenerate ``BENCH_PR3.json``: fast-path speedup on the campaign benchmark.
+
+Times the workload of ``benchmarks/test_bench_campaign.py`` (a two-strategy
+campaign with three replications on the standard 12-target / 3-mule quick
+setting) twice:
+
+* **optimized** — the default configuration: geometry/tour/scenario caches on
+  and the analytic fast path enabled;
+* **baseline** — caches disabled and ``SimulationConfig.fast_path=False``,
+  which is exactly the pre-PR-3 serial code path (the discrete-event loop and
+  per-cell regeneration are unchanged).
+
+Records are asserted byte-identical between the two configurations before any
+number is written.  Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_pr3.py [--out BENCH_PR3.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform
+import statistics
+import time
+
+from repro import __version__
+from repro.experiments import ExperimentSettings
+from repro.geometry.cache import caching_disabled, clear_caches
+from repro.runner import Campaign, CampaignSpec, RunSpec, execute_run
+from repro.sim.engine import SimulationConfig
+
+
+def campaign_spec(*, fast_path: bool) -> CampaignSpec:
+    settings = ExperimentSettings.quick(replications=3, horizon=25_000.0,
+                                        num_targets=12, num_mules=3)
+    return CampaignSpec(
+        base=RunSpec(
+            strategy="b-tctp",
+            scenario=settings.scenario_config(),
+            sim=SimulationConfig(horizon=settings.horizon, track_energy=False,
+                                 fast_path=fast_path),
+            seed=settings.base_seed,
+        ),
+        grid={"strategy": ["chb", "b-tctp"]},
+        replications=settings.replications,
+    )
+
+
+def timeit(fn, *, warmup: int = 3, rounds: int = 25) -> dict:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - t0)
+    return {
+        "median_s": statistics.median(samples),
+        "mean_s": statistics.mean(samples),
+        "min_s": min(samples),
+        "rounds": rounds,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR3.json")
+    parser.add_argument("--rounds", type=int, default=25)
+    args = parser.parse_args()
+
+    fast_spec = campaign_spec(fast_path=True)
+    slow_spec = campaign_spec(fast_path=False)
+
+    clear_caches()
+    optimized_records = Campaign(fast_spec).run().records
+    clear_caches()
+    with caching_disabled():
+        baseline_records = Campaign(slow_spec).run().records
+    identical = json.dumps(optimized_records, sort_keys=True) == json.dumps(
+        baseline_records, sort_keys=True
+    )
+    if not identical:
+        raise SystemExit("records diverged between baseline and optimized paths")
+
+    def run_baseline():
+        with caching_disabled():
+            Campaign(slow_spec).run()
+
+    clear_caches()
+    baseline = timeit(run_baseline, rounds=args.rounds)
+    clear_caches()
+    optimized = timeit(lambda: Campaign(fast_spec).run(), rounds=args.rounds)
+
+    cell = fast_spec.cells()[3]  # a b-tctp replication cell
+    single_fast = timeit(lambda: execute_run(cell), rounds=args.rounds)
+
+    payload = {
+        "benchmark": "benchmarks/test_bench_campaign.py::test_bench_campaign_serial_run workload",
+        "workload": {
+            "strategies": ["chb", "b-tctp"],
+            "replications": 3,
+            "num_targets": 12,
+            "num_mules": 3,
+            "horizon": 25_000.0,
+        },
+        "baseline": {
+            "description": "caches disabled + fast_path=False (pre-PR-3 serial path)",
+            **baseline,
+        },
+        "optimized": {
+            "description": "geometry/tour/scenario caches + analytic fast path (defaults)",
+            **optimized,
+        },
+        "single_run_btctp_optimized": single_fast,
+        "speedup_median": baseline["median_s"] / optimized["median_s"],
+        "records_byte_identical": identical,
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "library_version": __version__,
+        },
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"speedup (median): {payload['speedup_median']:.2f}x -> {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -42,3 +42,20 @@ def bench_campaign_spec(bench_settings: ExperimentSettings) -> CampaignSpec:
         grid={"strategy": ["chb", "b-tctp"]},
         replications=bench_settings.replications,
     )
+
+
+@pytest.fixture(scope="session")
+def bench_campaign_spec_baseline(bench_campaign_spec: CampaignSpec) -> CampaignSpec:
+    """The same campaign with the analytic fast path switched off.
+
+    Benchmarks pair this with the caches disabled (see
+    ``test_bench_campaign``) to time the pre-fast-path serial code path;
+    ``BENCH_PR3.json`` records the measured ratio.
+    """
+    import dataclasses
+
+    base = bench_campaign_spec.base
+    return dataclasses.replace(
+        bench_campaign_spec,
+        base=dataclasses.replace(base, sim=dataclasses.replace(base.sim, fast_path=False)),
+    )

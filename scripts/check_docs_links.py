@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Fail on broken intra-repository Markdown links (CI docs job).
+
+Scans every tracked ``*.md`` file for inline links/images and checks that
+
+* relative targets resolve to an existing file or directory, and
+* fragment links (``file.md#section`` or ``#section``) point at a heading
+  that actually exists in the target document (GitHub-style slugs).
+
+External links (``http(s)://``, ``mailto:``) are ignored — CI must not
+depend on the network.  Exit code 1 lists every broken link.
+
+Usage::
+
+    python scripts/check_docs_links.py [root]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+# Inline links/images: [text](target) — code spans are stripped first.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_CODE_SPAN_RE = re.compile(r"`[^`]*`")
+_FENCE_RE = re.compile(r"^(```|~~~)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a heading line."""
+    text = _CODE_SPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    return re.sub(r"[ ]", "-", text)
+
+
+def _headings(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING_RE.match(line)
+        if match:
+            slugs.add(_slugify(match.group(1)))
+    return slugs
+
+
+def _links(path: Path):
+    in_fence = False
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK_RE.finditer(_CODE_SPAN_RE.sub("", line)):
+            yield lineno, match.group(1)
+
+
+def check(root: Path) -> list[str]:
+    errors: list[str] = []
+    md_files = sorted(
+        p for p in root.rglob("*.md")
+        if not any(part.startswith(".") for part in p.relative_to(root).parts)
+    )
+    for md in md_files:
+        for lineno, target in _links(md):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            raw_path, _, fragment = target.partition("#")
+            resolved = (md.parent / raw_path).resolve() if raw_path else md.resolve()
+            where = f"{md.relative_to(root)}:{lineno}"
+            if raw_path and not resolved.exists():
+                errors.append(f"{where}: broken link target {target!r}")
+                continue
+            if fragment:
+                if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                    continue  # anchors into non-markdown targets: skip
+                if _slugify(fragment) not in _headings(resolved):
+                    errors.append(f"{where}: missing anchor {target!r}")
+    return errors
+
+
+def main() -> int:
+    root = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(".")
+    errors = check(root.resolve())
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = len(list(root.resolve().rglob('*.md')))
+    print(f"checked markdown links under {root.resolve()} "
+          f"({checked} files): {len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,7 @@ from repro.scenarios import (
     ScenarioSpec,
     available_scenario_families,
     build_scenario,
+    get_scenario,
     register_scenario,
     scenario_family_info,
     scenario_family_params,
@@ -85,7 +86,7 @@ from repro.workloads import (
     grid_scenario,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
@@ -128,6 +129,7 @@ __all__ = [
     "ScenarioSpec",
     "available_scenario_families",
     "build_scenario",
+    "get_scenario",
     "register_scenario",
     "scenario_family_info",
     "scenario_family_params",

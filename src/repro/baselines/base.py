@@ -180,10 +180,31 @@ def filter_strategy_kwargs(name: str, kwargs: Mapping[str, Any]) -> dict[str, An
 def get_strategy(name: str, **kwargs) -> PatrolStrategy:
     """Instantiate a registered strategy by name.
 
-    Keyword arguments are validated against the strategy's declared
-    parameters and forwarded to the factory, e.g.
-    ``get_strategy("w-tctp", policy="shortest")`` or
-    ``get_strategy("random", seed=7)``.
+    Parameters
+    ----------
+    name : str
+        Registry name or alias (``"b-tctp"``, ``"btctp"``, ``"sweep"`` ...;
+        see :func:`available_strategies`).
+    **kwargs
+        Keyword parameters declared by the strategy, validated against its
+        registry entry and forwarded to the factory — e.g.
+        ``get_strategy("w-tctp", policy="shortest")`` or
+        ``get_strategy("random", seed=7)``.
+
+    Returns
+    -------
+    PatrolStrategy
+        A planner object exposing ``plan(scenario) -> PatrolPlan``.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is unknown, or a keyword is not declared by the strategy
+        (for strict registrations).
+
+    See Also
+    --------
+    repro.scenarios.get_scenario : the scenario-side twin.
     """
     info = strategy_info(name)
     unknown = sorted(set(kwargs) - info.params) if info.strict else []

@@ -19,6 +19,11 @@ Sweep several strategies over seeded replications, in parallel::
 
     python -m repro sweep --strategies b-tctp,sweep --replications 8 --workers 4 --json
 
+List what is available (strategies, scenario families + parameters)::
+
+    python -m repro strategies
+    python -m repro scenarios --json
+
 Regenerate the paper's figures (full protocol, 20 replications)::
 
     python -m repro fig7
@@ -26,11 +31,14 @@ Regenerate the paper's figures (full protocol, 20 replications)::
     python -m repro fig9
     python -m repro fig10
 
-Extension experiments from DESIGN.md::
+Extension experiments (energy lifetimes and the ablation studies)::
 
     python -m repro energy
     python -m repro ablation-init
     python -m repro ablation-tsp
+    python -m repro ablation-mules
+
+Every subcommand is documented with examples in ``docs/CLI.md``.
 """
 
 from __future__ import annotations
@@ -83,6 +91,19 @@ _FIGURE_RUNNERS: dict[str, Callable] = {
     "ablation-init": ablation_init.main,
     "ablation-tsp": ablation_tsp.main,
     "ablation-mules": ablation_mules.main,
+}
+
+# One accurate help line per figure/extension command (shown by --help and
+# documented with examples in docs/CLI.md).
+_FIGURE_HELP: dict[str, str] = {
+    "fig7": "reproduce Figure 7: DCDT per visit index (Random/Sweep/CHB/B-TCTP)",
+    "fig8": "reproduce Figure 8: average SD over the (#targets, #mules) grid",
+    "fig9": "reproduce Figure 9: W-TCTP policy DCDT over (#VIPs, VIP weight)",
+    "fig10": "reproduce Figure 10: W-TCTP policy SD over (#VIPs, VIP weight)",
+    "energy": "extension: W-TCTP vs RW-TCTP battery lifetime and deliveries",
+    "ablation-init": "ablation: what B-TCTP's location initialisation contributes",
+    "ablation-tsp": "ablation: tour-construction heuristics (hull/NN/Christofides/2-opt)",
+    "ablation-mules": "ablation: visiting-interval scaling with the number of mules",
 }
 
 
@@ -140,7 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the generated CampaignSpec to this JSON file and exit")
 
     for name, runner in _FIGURE_RUNNERS.items():
-        p = sub.add_parser(name, help=f"reproduce {name} of the evaluation")
+        p = sub.add_parser(name, help=_FIGURE_HELP[name])
         p.add_argument("--quick", action="store_true",
                        help="small replication count / short horizon (for smoke runs)")
         p.add_argument("--replications", type=int, default=None)

@@ -1,0 +1,308 @@
+"""Content-addressed geometry caches shared by the fast simulation path.
+
+Campaign workloads run thousands of cells that share immutable geometric
+structure: the same scenario layout appears once per strategy in a grid, the
+same tour is rebuilt once per replication, and the same pairwise-distance
+matrix is recomputed by every construction and improvement pass.  This module
+provides the one shared caching layer for all of that:
+
+* :func:`cached_distance_matrix` — memoized pairwise Euclidean distance
+  matrices, keyed by the *content* of the point set (not object identity);
+* :func:`cached_polyline_length` — memoized closed/open polyline lengths;
+* :func:`points_fingerprint` — the stable point-set content hash keying the
+  distance/length caches and the tour memoization in
+  :mod:`repro.graphs.hamiltonian`;
+* :func:`scenario_fingerprint` — a stable content hash over everything a
+  planner or simulator reads from a scenario; the equivalence tests use it
+  to prove prototype copies are exact, and it is the supported key for any
+  scenario-derived reuse layered on top.  (The campaign prototype cache in
+  :mod:`repro.runner.campaign` keys on the *generative* content instead —
+  family + declared params + effective seed — which identifies the same
+  scenarios without building them first.)
+
+Caches are **purely memoizing**: a hit returns a value bit-for-bit identical
+to what the miss path computes, so enabling or disabling caching never
+changes a simulation record.  All caches register themselves in a module
+registry so :func:`clear_caches`, :func:`cache_stats` and the global
+:func:`configure` switch cover every consumer at once (including caches that
+other modules register here, e.g. the tour and scenario caches).
+
+>>> import numpy as np
+>>> from repro.geometry.cache import cached_distance_matrix, cache_stats, clear_caches
+>>> clear_caches()
+>>> pts = [(0.0, 0.0), (3.0, 4.0)]
+>>> float(cached_distance_matrix(pts)[0, 1])
+5.0
+>>> _ = cached_distance_matrix(pts)          # same content: served from cache
+>>> cache_stats()["distance_matrix"]["hits"]
+1
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Any, Callable, Iterable
+
+import numpy as np
+
+from repro.geometry.point import as_array, distance_matrix
+from repro.geometry.polyline import Polyline
+
+__all__ = [
+    "ContentCache",
+    "register_cache",
+    "configure",
+    "cache_enabled",
+    "caching_disabled",
+    "clear_caches",
+    "cache_stats",
+    "points_fingerprint",
+    "scenario_fingerprint",
+    "cached_distance_matrix",
+    "cached_polyline_length",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Cache registry and the global switch
+# --------------------------------------------------------------------------- #
+
+_REGISTRY: "dict[str, ContentCache]" = {}
+_LOCK = threading.Lock()
+
+# One global switch for every geometry/tour/scenario cache.  The environment
+# variable gives CI and benchmark harnesses an off-switch without code changes
+# (case/whitespace-insensitive: "0", "false", "no", "off" all disable).
+_ENABLED: bool = (
+    os.environ.get("REPRO_GEOMETRY_CACHE", "1").strip().lower()
+    not in ("0", "false", "no", "off")
+)
+
+
+class ContentCache:
+    """A small LRU cache keyed by content fingerprints.
+
+    Parameters
+    ----------
+    name:
+        Registry name (must be unique); shows up in :func:`cache_stats`.
+    maxsize:
+        Maximum number of retained entries; the least recently used entry is
+        evicted first.
+
+    Notes
+    -----
+    Instances auto-register themselves so the module-level
+    :func:`clear_caches` / :func:`cache_stats` / :func:`configure` cover
+    them.  Lookups honour the global switch: with caching disabled,
+    :meth:`get` always misses and :meth:`put` is a no-op, which makes an
+    on/off comparison a pure code-path toggle.
+    """
+
+    def __init__(self, name: str, maxsize: int = 256) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.name = name
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        register_cache(self)
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        if not _ENABLED:
+            self.misses += 1
+            return default
+        with _LOCK:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Any, value: Any) -> None:
+        if not _ENABLED:
+            return
+        with _LOCK:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
+        """Cached value for ``key``, computing (and storing) it on a miss."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = compute()
+            self.put(key, value)
+        return value
+
+    def clear(self) -> None:
+        with _LOCK:
+            self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def stats(self) -> dict:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+def register_cache(cache: ContentCache) -> ContentCache:
+    """Add ``cache`` to the registry (idempotent for the same instance)."""
+    existing = _REGISTRY.get(cache.name)
+    if existing is not None and existing is not cache:
+        raise ValueError(f"a cache named {cache.name!r} is already registered")
+    _REGISTRY[cache.name] = cache
+    return cache
+
+
+def configure(*, enabled: bool | None = None) -> None:
+    """Flip the global cache switch (``None`` leaves it unchanged).
+
+    Disabling does not drop stored entries — re-enabling resumes hits — so a
+    benchmark can interleave cached and uncached phases cheaply.  Use
+    :func:`clear_caches` for a cold start.
+    """
+    global _ENABLED
+    if enabled is not None:
+        _ENABLED = bool(enabled)
+
+
+def cache_enabled() -> bool:
+    """Whether the geometry/tour/scenario caches are currently active."""
+    return _ENABLED
+
+
+@contextmanager
+def caching_disabled():
+    """Context manager that turns every registered cache off inside the block.
+
+    >>> from repro.geometry.cache import caching_disabled, cache_enabled
+    >>> with caching_disabled():
+    ...     cache_enabled()
+    False
+    """
+    previous = _ENABLED
+    configure(enabled=False)
+    try:
+        yield
+    finally:
+        configure(enabled=previous)
+
+
+def clear_caches() -> None:
+    """Empty every registered cache and reset its hit/miss counters."""
+    for cache in _REGISTRY.values():
+        cache.clear()
+
+
+def cache_stats() -> dict[str, dict]:
+    """Per-cache ``{size, maxsize, hits, misses}`` statistics, by cache name."""
+    return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
+
+
+# --------------------------------------------------------------------------- #
+# Content fingerprints
+# --------------------------------------------------------------------------- #
+
+def points_fingerprint(points: Iterable) -> bytes:
+    """Stable content hash of a point collection (order-sensitive).
+
+    Two collections with equal coordinates in equal order share a
+    fingerprint regardless of whether they are ``Point`` objects, tuples or
+    numpy rows.
+    """
+    arr = np.ascontiguousarray(as_array(points))
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(str(arr.shape).encode())
+    digest.update(arr.tobytes())
+    return digest.digest()
+
+
+def scenario_fingerprint(scenario) -> str:
+    """Stable content hash of a :class:`~repro.network.scenario.Scenario`.
+
+    Covers everything the planners and the simulator read: target ids,
+    positions, weights and data rates; the sink; mule ids, deployment
+    positions, velocities and battery capacities; the optional recharge
+    station; the field bounds; and the physical parameters.  Two scenarios
+    generated from the same spec and seed hash identically, so the hash is a
+    safe reuse key for tours and plans built from scenario geometry.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+
+    def feed(*parts: object) -> None:
+        for part in parts:
+            digest.update(repr(part).encode())
+            digest.update(b"\x1f")
+
+    for t in scenario.targets:
+        feed("target", t.id, t.position.x, t.position.y, t.weight, t.data_rate)
+    feed("sink", scenario.sink.id, scenario.sink.position.x, scenario.sink.position.y)
+    for m in scenario.mules:
+        capacity = m.battery.capacity if m.battery is not None else None
+        feed("mule", m.id, m.position.x, m.position.y, m.velocity,
+             m.sensing_range, m.communication_range, capacity)
+    station = scenario.recharge_station
+    if station is not None:
+        feed("recharge", station.id, station.position.x, station.position.y)
+    feed("field", scenario.field)
+    feed("params", scenario.params)
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# Memoized geometry computations
+# --------------------------------------------------------------------------- #
+
+_DISTANCE_MATRIX_CACHE = ContentCache("distance_matrix", maxsize=128)
+_POLYLINE_LENGTH_CACHE = ContentCache("polyline_length", maxsize=512)
+
+
+def cached_distance_matrix(points: Iterable) -> np.ndarray:
+    """Pairwise Euclidean distance matrix, memoized by point-set content.
+
+    Bit-for-bit identical to :func:`repro.geometry.point.distance_matrix`;
+    the returned array is read-only because cache entries are shared between
+    callers (copy before mutating).
+    """
+    arr = as_array(points)
+    key = points_fingerprint(arr)
+
+    def compute() -> np.ndarray:
+        mat = distance_matrix(arr)
+        mat.flags.writeable = False
+        return mat
+
+    return _DISTANCE_MATRIX_CACHE.get_or_compute(key, compute)
+
+
+def cached_polyline_length(points, *, closed: bool = False) -> float:
+    """Length of the polyline through ``points``, memoized by content.
+
+    Equals :attr:`repro.geometry.polyline.Polyline.length` bit for bit (the
+    arc-length parametrisation every tour and start-point computation uses),
+    so :meth:`repro.graphs.tour.Tour.length` can serve from this cache and
+    share one computation across tours with identical geometry.
+    """
+    arr = as_array(points)
+    key = (points_fingerprint(arr), bool(closed))
+    return _POLYLINE_LENGTH_CACHE.get_or_compute(
+        key, lambda: Polyline(arr, closed=closed).length if arr.shape[0] else 0.0
+    )

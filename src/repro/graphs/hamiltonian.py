@@ -16,8 +16,9 @@ from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
+from repro.geometry.cache import ContentCache, cached_distance_matrix, points_fingerprint
 from repro.geometry.hull import convex_hull_indices
-from repro.geometry.point import Point, as_point, distance, distance_matrix
+from repro.geometry.point import Point, as_point, distance
 from repro.graphs.tour import Tour
 
 __all__ = [
@@ -34,7 +35,7 @@ NodeId = Hashable
 def _prepare(coordinates: Mapping[NodeId, Point]) -> tuple[list[NodeId], np.ndarray]:
     nodes = list(coordinates)
     pts = [as_point(coordinates[n]) for n in nodes]
-    return nodes, distance_matrix(pts)
+    return nodes, cached_distance_matrix(pts)
 
 
 def convex_hull_insertion_tour(coordinates: Mapping[NodeId, Point]) -> Tour:
@@ -54,7 +55,7 @@ def convex_hull_insertion_tour(coordinates: Mapping[NodeId, Point]) -> Tour:
     if len(nodes) <= 3:
         return Tour(nodes, dict(zip(nodes, pts))).counterclockwise()
 
-    dmat = distance_matrix(pts)
+    dmat = cached_distance_matrix(pts)
     hull = convex_hull_indices(pts)
     tour_idx: list[int] = list(hull)
     remaining = [i for i in range(len(nodes)) if i not in set(hull)]
@@ -128,6 +129,14 @@ TOUR_BUILDERS: dict[str, Callable[[Mapping[NodeId, Point]], Tour]] = {
     "christofides": christofides_tour,
 }
 
+# Finished circuits memoized by (node ids, coordinates content, method,
+# improve, start).  Tours are immutable, so campaign cells that share a
+# scenario — every strategy of a grid axis, every replication with a pinned
+# scenario seed — reuse the constructed (and improved) circuit instead of
+# re-running the O(n^2)/O(n^3) heuristics.  A hit returns the *same* Tour
+# instance the miss path produced, so results are identical either way.
+_TOUR_CACHE = ContentCache("hamiltonian_tour", maxsize=256)
+
 
 def build_hamiltonian_circuit(
     coordinates: Mapping[NodeId, Point],
@@ -149,17 +158,45 @@ def build_hamiltonian_circuit(
         Apply a 2-opt improvement pass after construction.
     start:
         Rotate the resulting cycle so this node comes first (e.g. the sink).
+
+    Notes
+    -----
+    Results are memoized by content (see :mod:`repro.geometry.cache`): two
+    calls with equal node ids, coordinates and options share one immutable
+    :class:`Tour` instance.  Disable via
+    :func:`repro.geometry.cache.configure` to force reconstruction.
     """
-    try:
-        builder = TOUR_BUILDERS[method]
-    except KeyError as exc:
+    builder = TOUR_BUILDERS.get(method)
+    if builder is None:
         raise ValueError(
             f"unknown tour construction method {method!r}; expected one of {sorted(TOUR_BUILDERS)}"
-        ) from exc
+        )
+    nodes = tuple(coordinates)
+    # The builder object is part of the key so swapping a TOUR_BUILDERS entry
+    # at runtime can never serve a circuit constructed by the old builder.
+    key = (
+        nodes,
+        points_fingerprint([coordinates[n] for n in nodes]),
+        method,
+        builder,
+        bool(improve),
+        start,
+    )
+    return _TOUR_CACHE.get_or_compute(
+        key, lambda: _build_circuit(coordinates, method, improve, start)
+    )
+
+
+def _build_circuit(
+    coordinates: Mapping[NodeId, Point],
+    method: str,
+    improve: bool,
+    start: NodeId | None,
+) -> Tour:
     if method == "nearest-neighbor":
         tour = nearest_neighbor_tour(coordinates, start=start)
     else:
-        tour = builder(coordinates)
+        tour = TOUR_BUILDERS[method](coordinates)
     if improve:
         from repro.graphs.improve import two_opt
 

@@ -12,6 +12,7 @@ from typing import Hashable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro.geometry.cache import cached_polyline_length
 from repro.geometry.point import Point, as_point, distance
 from repro.geometry.polyline import Polyline
 
@@ -44,6 +45,7 @@ class Tour:
             raise ValueError(f"coordinates missing for nodes: {missing!r}")
         self._order: list[NodeId] = order
         self._coords: dict[NodeId, Point] = {node: as_point(coordinates[node]) for node in order}
+        self._length: float | None = None  # lazily computed; tours are immutable
 
     # ------------------------------------------------------------------ #
     # Basic accessors
@@ -100,11 +102,16 @@ class Tour:
         return distance(self._coords[a], self._coords[b])
 
     def length(self) -> float:
-        """Total length of the closed tour."""
-        pts = self.points_in_order()
-        if len(pts) < 2:
-            return 0.0
-        return Polyline(pts, closed=True).length
+        """Total length of the closed tour (computed once per instance).
+
+        Served through :func:`repro.geometry.cache.cached_polyline_length`,
+        which computes via :class:`Polyline` — bit-identical to the direct
+        construction — so tours with identical geometry share one value.
+        """
+        if self._length is None:
+            pts = self.points_in_order()
+            self._length = 0.0 if len(pts) < 2 else cached_polyline_length(pts, closed=True)
+        return self._length
 
     def polyline(self) -> Polyline:
         """Closed :class:`Polyline` through the tour's coordinates."""

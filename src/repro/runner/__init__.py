@@ -2,7 +2,7 @@
 
 This package is the one way to run anything in the library:
 
-* :class:`RunSpec` — one simulation run (scenario config + strategy +
+* :class:`RunSpec` — one simulation run (scenario spec + strategy +
   simulator config + seed) as plain, JSON-round-trippable data;
 * :class:`CampaignSpec` — a parameter grid × replications over a base spec;
 * :class:`Campaign` — executes a spec's cells serially or over a process

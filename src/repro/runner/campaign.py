@@ -1,13 +1,21 @@
 """Campaign execution: fan independent run cells out over worker processes.
 
 Every cell of a campaign — one ``(RunSpec, seed)`` pair — is an independent
-work unit: it regenerates its scenario from config + seed, plans, simulates
-and reduces to one tidy record (a flat dict of cell coordinates and metric
-values).  Cells therefore parallelise embarrassingly; the executor uses a
-:class:`concurrent.futures.ProcessPoolExecutor` when ``max_workers`` asks for
-one, falls back to a serial loop otherwise, and preserves the deterministic
-cell order either way — a campaign's records are **identical** serial or
-parallel, byte for byte.
+work unit: it builds its scenario from the scenario spec + seed, plans,
+simulates and reduces to one tidy record (a flat dict of cell coordinates and
+metric values).  Cells therefore parallelise embarrassingly; the executor
+uses a :class:`concurrent.futures.ProcessPoolExecutor` when ``max_workers``
+asks for one, falls back to a serial loop otherwise, and preserves the
+deterministic cell order either way — a campaign's records are **identical**
+serial or parallel, byte for byte.
+
+Cells that share a scenario description — every strategy of a grid axis runs
+against the same ``(family, params, seed)`` triple, and a pinned scenario
+seed shares one layout across all replications — do not regenerate it: a
+content-keyed prototype cache (see :mod:`repro.geometry.cache`) stores the
+generated scenario once and hands each cell a
+:meth:`~repro.network.scenario.Scenario.fresh_copy`.  Reuse is purely
+memoizing: records are byte-identical with the cache on or off.
 """
 
 from __future__ import annotations
@@ -24,6 +32,8 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 import numpy as np
 
 from repro.baselines.base import get_strategy, strategy_params
+from repro.geometry.cache import ContentCache, cache_enabled, configure as _configure_caches
+from repro.network.scenario import Scenario
 from repro.runner.record_metrics import compute_metric, metric_name
 from repro.runner.spec import CampaignSpec, RunSpec
 from repro.sim.engine import PatrolSimulator
@@ -40,24 +50,79 @@ __all__ = [
 
 
 # --------------------------------------------------------------------------- #
+# Scenario reuse across cells
+# --------------------------------------------------------------------------- #
+
+# Generated scenarios memoized by (canonical family, declared params, the
+# seed that actually drives generation).  The cache stores pristine
+# prototypes; consumers always receive a fresh_copy(), so simulation never
+# mutates a cached object.  Worker processes each hold their own cache.
+_SCENARIO_CACHE = ContentCache("scenario_prototype", maxsize=64)
+
+
+def _scenario_cache_key(spec: RunSpec) -> tuple:
+    scenario = spec.scenario
+    effective_seed = scenario.seed if scenario.seed is not None else spec.seed
+    params = json.dumps(
+        {k: v for k, v in sorted(scenario.params.items())}, sort_keys=True, default=repr
+    )
+    return (scenario.canonical_family(), params, effective_seed)
+
+
+def build_cell_scenario(spec: RunSpec) -> Scenario:
+    """The cell's scenario, reusing a cached prototype when the content matches.
+
+    Two cells share a prototype exactly when they would generate identical
+    scenarios: same canonical family, same declared parameters, and the same
+    effective generation seed (the spec's pinned scenario seed, else the
+    replication seed).  Each call returns an independent
+    :meth:`~repro.network.scenario.Scenario.fresh_copy` of the prototype, so
+    mule state never leaks between cells.  With caching disabled (see
+    :func:`repro.geometry.cache.configure`) every cell regenerates from
+    scratch; either way the scenario content is identical.
+    """
+    prototype = _SCENARIO_CACHE.get_or_compute(
+        _scenario_cache_key(spec), lambda: spec.scenario.build(spec.seed)
+    )
+    return prototype.fresh_copy()
+
+
+# --------------------------------------------------------------------------- #
 # Single-cell execution (module-level so it pickles into worker processes)
 # --------------------------------------------------------------------------- #
 
 def execute_run(spec: RunSpec) -> dict:
     """Execute one run spec end to end and reduce it to a tidy record.
 
-    The record carries the cell's identification (strategy, seed, scenario
-    size, labels), the standard metrics of the paper's evaluation, and any
-    extra metrics the spec requested.  Everything in it is JSON-safe.
+    Parameters
+    ----------
+    spec : RunSpec
+        The fully specified run: scenario spec, strategy name + parameters,
+        simulator config and replication seed.
 
+    Returns
+    -------
+    dict
+        A flat, JSON-safe record carrying the cell's identification
+        (strategy, seed, scenario size, labels), the standard metrics of the
+        paper's evaluation (``average_dcdt``, ``average_sd``,
+        ``max_visiting_interval``, ``delivered_data``, ``total_distance``,
+        ``num_dead_mules``), and any extra metrics the spec requested.
+
+    Notes
+    -----
     Strategies that declare a ``seed`` parameter receive ``spec.seed`` unless
     the spec sets one explicitly, exactly as campaign expansion does — the
     same spec produces the same record through either path.  Unlike campaign
     expansion, explicitly given params are *not* filtered: an undeclared
     strategy or scenario parameter raises, so a typo in a hand-written spec
     surfaces.
+
+    The scenario is served through the prototype cache (see
+    :func:`build_cell_scenario`); records are byte-identical with caching on
+    or off.
     """
-    scenario = spec.scenario.build(spec.seed)
+    scenario = build_cell_scenario(spec)
     params = dict(spec.params)
     if "seed" in strategy_params(spec.strategy) and "seed" not in params:
         params["seed"] = spec.seed
@@ -85,6 +150,11 @@ def execute_run(spec: RunSpec) -> dict:
     return record
 
 
+def _init_worker_caches(enabled: bool) -> None:
+    """Pool-worker initializer: mirror the parent's global cache switch."""
+    _configure_caches(enabled=enabled)
+
+
 def execute_many(
     specs: Iterable[RunSpec],
     *,
@@ -110,7 +180,16 @@ def execute_many(
         except ValueError:  # pragma: no cover - spawn-only platforms
             mp_context = None
         try:
-            pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=mp_context)
+            # Workers inherit the parent's cache on/off switch explicitly:
+            # spawn-started processes re-import with the default, and even
+            # forked ones would miss a configure() call made after the pool
+            # was created — the initializer makes the state deterministic.
+            pool = ProcessPoolExecutor(
+                max_workers=max_workers,
+                mp_context=mp_context,
+                initializer=_init_worker_caches,
+                initargs=(cache_enabled(),),
+            )
         except OSError as exc:  # platforms without process support
             # Only pool *construction* falls back to serial — an error raised
             # by a cell is a real failure and must propagate, not trigger a
@@ -266,15 +345,30 @@ class CampaignResult:
 class Campaign:
     """Executor for a campaign (or single run) spec.
 
+    Parameters
+    ----------
+    spec : CampaignSpec or RunSpec
+        What to execute; a bare :class:`RunSpec` becomes a one-cell campaign.
+    max_workers : int, optional
+        ``None`` (or 1) runs serially in-process; any larger value fans the
+        cells out over that many worker processes.  Records come back in
+        deterministic cell order either way, with identical contents.
+
+    Notes
+    -----
+    Cells that share a scenario description reuse one generated prototype
+    (each receiving a fresh copy), and cells whose scenarios share geometry
+    reuse memoized tours — see :mod:`repro.geometry.cache` and
+    ``docs/PERFORMANCE.md``.  Both optimisations are byte-invisible in the
+    records.
+
+    Examples
+    --------
     >>> from repro.runner import Campaign, CampaignSpec, RunSpec
     >>> spec = CampaignSpec(base=RunSpec(strategy="b-tctp"),
     ...                     grid={"strategy": ["chb", "b-tctp"]}, replications=4)
     >>> result = Campaign(spec, max_workers=4).run()    # doctest: +SKIP
     >>> result.group_mean("average_sd", by="strategy")  # doctest: +SKIP
-
-    ``max_workers=None`` (or 1) runs serially; any larger value fans the
-    cells out over that many worker processes.  Records come back in
-    deterministic cell order either way, with identical contents.
     """
 
     def __init__(

@@ -31,6 +31,7 @@ from repro.scenarios.registry import (
     build_scenario,
     canonical_scenario_family,
     filter_scenario_kwargs,
+    get_scenario,
     register_scenario,
     scenario_family_info,
     scenario_family_params,
@@ -47,6 +48,7 @@ __all__ = [
     "build_scenario",
     "canonical_scenario_family",
     "filter_scenario_kwargs",
+    "get_scenario",
     "register_scenario",
     "scenario_family_info",
     "scenario_family_params",

@@ -265,14 +265,67 @@ def build_scenario(
 ) -> Scenario:
     """Build a scenario from a registered family, its parameters and a seed.
 
-    Parameters are validated first (:func:`validate_scenario_params`), so a
-    typo'd name surfaces as a clean :class:`ValueError` instead of a
-    ``TypeError`` from deep inside a factory.
+    Parameters
+    ----------
+    family : str
+        Registry name of the scenario family (aliases accepted, e.g.
+        ``"grid_jitter"`` for ``"grid-jitter"``).
+    params : Mapping[str, Any], optional
+        Keyword parameters for the family factory; validated against the
+        family's declared parameter table before anything is built, so a
+        typo'd name surfaces as a clean :class:`ValueError` instead of a
+        ``TypeError`` from deep inside a factory.
+    seed : int, default 0
+        Seed for the family's random generator; equal seeds reproduce the
+        scenario byte for byte.
+
+    Returns
+    -------
+    Scenario
+        The generated problem instance (targets, sink, mules, field,
+        physical parameters).
+
+    See Also
+    --------
+    get_scenario : keyword-argument convenience wrapper.
+    repro.scenarios.ScenarioSpec : the same description as round-trippable data.
     """
     params = dict(params or {})
     validate_scenario_params(family, params)
     info = scenario_family_info(family)
     return info.factory(seed=seed, **params)
+
+
+def get_scenario(family: str, *, seed: int = 0, **params: Any) -> Scenario:
+    """Instantiate a registered scenario family by name (keyword form).
+
+    The scenario twin of :func:`repro.baselines.base.get_strategy`: resolve
+    ``family`` in the registry, validate ``params`` against its declared
+    parameter table, and build the scenario.
+
+    Parameters
+    ----------
+    family : str
+        Registry name or alias of the scenario family (see
+        ``repro-patrol scenarios`` for the catalog).
+    seed : int, default 0
+        Generation seed; equal seeds reproduce the scenario byte for byte.
+    **params
+        The family's declared parameters, e.g. ``num_targets=24``.
+
+    Returns
+    -------
+    Scenario
+        The generated problem instance.
+
+    Examples
+    --------
+    >>> from repro.scenarios import get_scenario
+    >>> scenario = get_scenario("ring", num_targets=24, num_vips=2, seed=7)
+    >>> scenario.num_targets
+    24
+    """
+    return build_scenario(family, params, seed=seed)
 
 
 def _ensure_defaults() -> None:

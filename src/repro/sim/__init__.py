@@ -7,6 +7,12 @@ refilling batteries at the recharge station.  The metrics module turns the
 recorded visit log into the quantities the paper plots: visiting intervals,
 Data Collection Delay Time (DCDT), per-target standard deviation of visiting
 intervals, energy usage and data-delivery latency.
+
+Deterministic loop-route runs are served by the analytic fast path in
+:mod:`repro.sim.fastpath` (byte-identical to the event loop, several times
+faster; toggled by :attr:`SimulationConfig.fast_path`), and the metric
+extractors operate on vectorised per-target visit-time arrays cached on the
+:class:`SimulationResult`.
 """
 
 from repro.sim.engine import PatrolSimulator, SimulationConfig

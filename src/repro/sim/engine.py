@@ -54,12 +54,18 @@ class SimulationConfig:
         and then patrol the targets"): only with a common start instant are
         consecutive mules separated by exactly ``|P| / n`` of path, which is
         what drives TCTP's zero visiting-interval variance.
+    fast_path:
+        Allow the analytic loop-route fast path (:mod:`repro.sim.fastpath`)
+        for runs it can reproduce exactly.  Results are byte-identical either
+        way; disable to force the discrete-event loop (used by equivalence
+        tests and benchmarks).
     """
 
     horizon: float = 50_000.0
     max_visits: int | None = None
     track_energy: bool = True
     synchronized_start: bool = True
+    fast_path: bool = True
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -101,7 +107,25 @@ class PatrolSimulator:
 
     # ------------------------------------------------------------------ #
     def run(self) -> SimulationResult:
-        """Execute the simulation and return the recorded result."""
+        """Execute the simulation and return the recorded result.
+
+        Deterministic loop-route runs (all TCTP variants, CHB, Sweep without
+        energy tracking) are served by the analytic fast path in
+        :mod:`repro.sim.fastpath`, which reproduces the event loop's output
+        byte for byte; everything else — batteries, dwell times, visit
+        limits, stochastic or alternating routes — runs the full
+        discrete-event loop below.
+        """
+        if self.config.fast_path:
+            from repro.sim.fastpath import run_fast_path
+
+            result = run_fast_path(self)
+            if result is not None:
+                return result
+        return self._run_event_loop()
+
+    def _run_event_loop(self) -> SimulationResult:
+        """The reference discrete-event implementation."""
         cfg = self.config
         result = SimulationResult(strategy=self.plan.strategy, horizon=cfg.horizon,
                                   metadata=dict(self.plan.metadata))

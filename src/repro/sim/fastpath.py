@@ -1,0 +1,395 @@
+"""Analytic fast path for deterministic loop-route simulations.
+
+The discrete-event engine in :mod:`repro.sim.engine` spends almost all of its
+time on per-event bookkeeping: heap-managed :class:`~repro.sim.events.Event`
+objects, payload dicts, per-leg ``distance()`` calls and per-event dataclass
+construction.  For the workloads that dominate campaign time — every TCTP
+variant, CHB and Sweep — none of that is necessary: each mule follows a
+**fixed closed walk** at constant velocity, so its entire arrival-time
+sequence is an arithmetic chain over a periodic pattern of leg lengths.
+
+This module exploits that:
+
+1. per mule, the effective waypoint sequence is reduced to a *prefix + cycle*
+   pattern (mirroring the engine's consecutive-duplicate skip rule), its leg
+   lengths are computed once, and the full arrival-time chain up to the
+   horizon is produced by one ``np.cumsum`` — bit-for-bit equal to the
+   engine's sequential ``now + dist / velocity`` additions;
+2. the per-mule streams are merged by a light ``(time, sequence)`` heap that
+   replicates the engine's event-queue tie-breaking exactly, so visits,
+   collections and sink deliveries interleave in the identical global order
+   (packet sizes depend on that order: collection windows are shared between
+   mules);
+3. per-mule distance/energy accumulators come from cumulative-sum arrays cut
+   at the number of applied legs, reproducing the engine's sequential float
+   additions.
+
+The result is **byte-identical** to the event loop — same visit log, same
+deliveries, same traces, same metadata — at a fraction of the cost.  Runs the
+fast path cannot reproduce exactly fall back to the event loop:
+
+* energy-tracked batteries (mid-leg death can truncate a leg),
+* positive ``collection_time`` (dwell events shift queue tie-breaking),
+* ``max_visits`` limits (cut mid-stream),
+* non-:class:`~repro.core.plan.LoopRoute` routes (stochastic or alternating
+  walks have no fixed lap), and
+* pathological zero-length laps (the event loop's behaviour — spinning at a
+  single instant — is preserved by falling back).
+
+Toggle with :attr:`repro.sim.engine.SimulationConfig.fast_path`; the
+equivalence tests in ``tests/test_fastpath.py`` assert byte-identical results
+against the event loop for every eligible strategy family.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.core.plan import LoopRoute
+from repro.geometry.point import distance
+from repro.network.datamodel import DataPacket
+from repro.network.mules import MuleState
+from repro.sim.recorder import DeliveryRecord, MuleTrace, SimulationResult, VisitRecord
+
+__all__ = ["fast_path_eligible", "run_fast_path"]
+
+# Safety valve: beyond this many precomputed arrival events per mule the
+# array stage would dominate memory; such runs are no faster analytically,
+# so they stay on the event loop.
+_MAX_EVENTS_PER_MULE = 4_000_000
+
+
+class _Fallback(Exception):
+    """Internal signal: this run needs the exact event loop after all."""
+
+
+def fast_path_eligible(sim) -> bool:
+    """Whether ``sim`` (a :class:`~repro.sim.engine.PatrolSimulator`) qualifies."""
+    cfg = sim.config
+    if not cfg.fast_path or cfg.max_visits is not None:
+        return False
+    if sim._params.collection_time != 0.0:
+        return False
+    mules = sim.scenario.mules
+    if cfg.track_energy and any(m.battery is not None for m in mules):
+        return False
+    if any(len(m.buffer) > 0 for m in mules):
+        return False
+    return all(type(sim.plan.route_for(m.id)) is LoopRoute for m in mules)
+
+
+def run_fast_path(sim) -> "SimulationResult | None":
+    """Run ``sim`` analytically; ``None`` means "use the event loop instead"."""
+    if not fast_path_eligible(sim):
+        return None
+    try:
+        return _run(sim)
+    except _Fallback:
+        return None
+
+
+# --------------------------------------------------------------------------- #
+# Per-mule precomputation
+# --------------------------------------------------------------------------- #
+
+class _Stream:
+    """One mule's precomputed arrival-event stream."""
+
+    __slots__ = (
+        "mule", "mule_id", "trace", "coords", "init_event", "init_time", "times",
+        "nodes", "codes", "n_events", "dist_cum", "energy_cum", "applied",
+        "collections", "deliveries", "packets", "start_point",
+    )
+
+    def __init__(self, sim, mule, route: LoopRoute, sync_time: float, node_code) -> None:
+        cfg = sim.config
+        horizon = cfg.horizon
+        velocity = mule.velocity
+        position = mule.position
+        start = route.start_position()
+        energy = sim._energy
+
+        self.mule = mule
+        self.mule_id = mule.id
+        self.trace = MuleTrace(mule_id=mule.id)
+        self.coords = route.coordinates
+        self.applied = 0
+        self.collections = 0
+        self.deliveries = 0
+        self.packets: list = []
+
+        # -- effective waypoint sequence: prefix + cycle ------------------- #
+        # Mirrors the engine's _next_distinct_waypoint: a waypoint equal to
+        # the node the mule is standing on is skipped; more than 8 skips in a
+        # row halts the mule.  With static coordinates the rule collapses to
+        # "drop consecutive duplicate ids", which makes the emitted sequence
+        # eventually periodic; the (raw index, previous node) state detects
+        # the period.
+        loop = route.loop
+        raw_len = len(loop)
+        i = route.entry_index
+        emitted: list[str] = []
+        prev: "str | None" = None
+        seen: dict = {}
+        cycle_start = -1
+        while True:
+            state = (i, prev)
+            if state in seen:
+                cycle_start = seen[state]
+                break
+            seen[state] = len(emitted)
+            node = None
+            for _ in range(8):
+                candidate = loop[i]
+                i = (i + 1) % raw_len
+                if candidate != prev:
+                    node = candidate
+                    break
+            if node is None:
+                break  # the engine's waypoint iterator would halt this mule
+            emitted.append(node)
+            prev = node
+
+        prefix_len = len(emitted)
+        cycle_len = prefix_len - cycle_start if cycle_start >= 0 else 0
+        points = [self.coords[n] for n in emitted]
+
+        # -- initial leg and the first-arrival base time ------------------- #
+        self.init_event = False
+        self.init_time = 0.0
+        init_dist = 0.0
+        self.start_point: "Point | None" = None
+        if start is not None:
+            d0 = distance(position, start)
+            if d0 > 1e-12:
+                self.init_event = True
+                self.init_time = d0 / velocity if d0 > 0 else 0.0
+                init_dist = d0
+                base = max(self.init_time, sync_time)
+                first_from = start
+                self.start_point = start
+            else:
+                self.trace.initialization_time = 0.0
+                base = sync_time
+                first_from = position
+        else:
+            base = 0.0
+            first_from = position
+
+        if not emitted:
+            # Unreachable for LoopRoute (the first candidate is always
+            # accepted against prev=None and loops are non-empty), but any
+            # future route shape that emits nothing belongs on the event
+            # loop rather than on a zero-event stream here.
+            raise _Fallback
+
+        # -- leg lengths (exactly the engine's per-leg distance() calls) --- #
+        leg = np.empty(prefix_len, dtype=float)
+        leg[0] = distance(first_from, points[0])
+        for k in range(1, prefix_len):
+            leg[k] = distance(points[k - 1], points[k])
+
+        if cycle_len:
+            cyc = np.empty(cycle_len, dtype=float)
+            cyc[0] = distance(points[-1], points[cycle_start])
+            cyc[1:] = leg[cycle_start + 1:]
+            cyc_nodes = emitted[cycle_start:]
+            lap_time = float(cyc.sum()) / velocity
+            if lap_time <= 0.0:
+                raise _Fallback  # zero-length lap: the event loop spins in place
+            prefix_time = base + float(leg.sum()) / velocity
+            laps = int(max(0.0, horizon - prefix_time) / lap_time) + 2
+            if prefix_len + laps * cycle_len > _MAX_EVENTS_PER_MULE:
+                raise _Fallback
+            dists = np.concatenate([leg, np.tile(cyc, laps)])
+            nodes = emitted + cyc_nodes * laps
+        else:
+            dists = leg
+            nodes = list(emitted)
+
+        times = np.cumsum(np.concatenate(([base], dists / velocity)))[1:]
+        # The estimate leaves slack, but guarantee at least one event beyond
+        # the horizon so the merge always terminates on a popped event.
+        while cycle_len and times[-1] <= horizon:
+            extra = np.tile(cyc, 8)
+            times = np.concatenate(
+                [times, np.cumsum(np.concatenate(([times[-1]], extra / velocity)))[1:]]
+            )
+            dists = np.concatenate([dists, extra])
+            nodes += cyc_nodes * 8
+            if len(nodes) > _MAX_EVENTS_PER_MULE:
+                raise _Fallback
+
+        self.times = times.tolist()
+        self.nodes = nodes
+        self.codes = [node_code.get(n, 0) for n in nodes]
+        self.n_events = len(nodes)
+
+        # -- per-applied-leg accumulators ---------------------------------- #
+        # The engine adds movement energy on leg completion and the collect
+        # cost on target arrivals as *separate* additions; interleaving the
+        # increments before one cumulative sum reproduces the identical
+        # sequence of float operations (adding 0.0 where no collection
+        # happens is a bitwise no-op for the non-negative partial sums).
+        if self.init_event:
+            dists_applied = np.concatenate(([init_dist], dists))
+            collect_flags = np.array(
+                [False] + [c == 1 for c in self.codes], dtype=bool
+            )
+        else:
+            dists_applied = dists
+            collect_flags = np.array([c == 1 for c in self.codes], dtype=bool)
+        self.dist_cum = np.cumsum(dists_applied)
+        increments = np.empty(2 * len(dists_applied), dtype=float)
+        increments[0::2] = dists_applied * energy.move_cost_per_meter
+        increments[1::2] = np.where(collect_flags, energy.collect_cost, 0.0)
+        self.energy_cum = np.cumsum(increments)[1::2]
+
+
+# --------------------------------------------------------------------------- #
+# The merged replay
+# --------------------------------------------------------------------------- #
+
+def _run(sim) -> SimulationResult:
+    cfg = sim.config
+    scenario = sim.scenario
+    plan = sim.plan
+    horizon = cfg.horizon
+
+    result = SimulationResult(
+        strategy=plan.strategy, horizon=horizon, metadata=dict(plan.metadata)
+    )
+    sync_time = sim._synchronized_start_time() if cfg.synchronized_start else 0.0
+    result.metadata.setdefault("patrol_start_time", sync_time)
+
+    # Node kind codes: 1 = plain target, 2 = sink, 3 = recharge station.
+    node_code: dict[str, int] = {t.id: 1 for t in scenario.targets}
+    node_code[sim._sink_id] = 2
+    if sim._recharge_id is not None:
+        node_code[sim._recharge_id] = 3
+
+    streams: list[_Stream] = []
+    heap: list[tuple] = []
+    counter = 0
+    for mule in scenario.mules:
+        stream = _Stream(sim, mule, plan.route_for(mule.id), sync_time, node_code)
+        result.traces[mule.id] = stream.trace
+        streams.append(stream)
+        # Initial pushes replicate the engine's scheduling order (and thus
+        # its tie-breaking sequence numbers) exactly: one event per mule, in
+        # scenario order.
+        if stream.init_event:
+            heap.append((stream.init_time, counter, stream, -1))
+            counter += 1
+        elif stream.n_events:
+            heap.append((stream.times[0], counter, stream, 0))
+            counter += 1
+    heapq.heapify(heap)  # pop order is the unique (time, counter) total order
+
+    # Shared collection state (windows are global per target, so the merged
+    # order across mules decides every packet size — exactly as the engine's
+    # DataCollectionModel does).
+    last_collected: dict[str, float] = {t.id: 0.0 for t in scenario.targets}
+    rates: dict[str, float] = {t.id: t.data_rate for t in scenario.targets}
+
+    visits_raw: list[tuple] = []
+    deliveries: list[tuple] = []
+
+    push = heapq.heappush
+    pop = heapq.heappop
+    while heap:
+        now, _seq, stream, k = pop(heap)
+        if now > horizon:
+            break
+        if k == -1:  # INITIALIZED: apply the leg, wait for the slowest mule
+            stream.applied += 1
+            stream.trace.initialization_time = now
+            push(heap, (stream.times[0], counter, stream, 0))
+            counter += 1
+            continue
+        stream.applied += 1
+        node = stream.nodes[k]
+        code = stream.codes[k]
+        mule_id = stream.mule_id
+        if code == 1:  # plain target: visit + collect the backlog
+            visits_raw.append((now, node, mule_id, True))
+            last = last_collected[node]
+            # now >= last always (pops are time-ordered), so the engine's
+            # max(now - last, 0.0) reduces to the plain difference.
+            stream.packets.append((node, last, now, (now - last) * rates[node]))
+            last_collected[node] = now
+            stream.collections += 1
+        elif code == 2:  # sink: visit + flush the on-board buffer
+            visits_raw.append((now, node, mule_id, True))
+            if stream.packets:
+                for packet in stream.packets:
+                    deliveries.append((now, mule_id) + packet)
+                stream.deliveries += len(stream.packets)
+                stream.packets = []
+        elif code == 3:  # recharge station: non-target visit (+ refill)
+            visits_raw.append((now, node, mule_id, False))
+            if stream.mule.battery is not None:
+                stream.mule.recharge_full()
+                stream.trace.recharges += 1
+        next_k = k + 1
+        if next_k < stream.n_events:
+            push(heap, (stream.times[next_k], counter, stream, next_k))
+            counter += 1
+        # else: a halted (acyclic) stream is exhausted — no further events,
+        # matching the engine's waypoint iterator returning None.
+
+    # ----------------------------------------------------------------- #
+    # Materialise records and final mule/trace state in bulk
+    # ----------------------------------------------------------------- #
+    result.visits = [VisitRecord(t, n, m, f) for t, n, m, f in visits_raw]
+    # Pre-seed the recorder's per-target grouping from the columnar data so
+    # the metric extractors never re-scan the materialised visit records.
+    # Exactly what visit_times_by_target() would compute from result.visits.
+    target_groups: dict[str, list[float]] = {}
+    for t, n, _m, f in visits_raw:
+        if f:
+            target_groups.setdefault(n, []).append(t)
+    result.__dict__["_visit_times_cache"] = (
+        len(visits_raw),
+        {n: np.sort(np.asarray(target_groups[n], dtype=float))
+         for n in sorted(target_groups)},
+    )
+    # DeliveryRecord(delivered_at, mule_id, target_id, generated_from,
+    #                generated_to, collected_at, size); generated_to and
+    # collected_at are the same instant, as in DataCollectionModel.collect.
+    result.deliveries = [
+        DeliveryRecord(delivered_at, mule_id, target_id, generated_from,
+                       collected_at, collected_at, size)
+        for delivered_at, mule_id, target_id, generated_from, collected_at, size
+        in deliveries
+    ]
+
+    for stream in streams:
+        trace = stream.trace
+        applied = stream.applied
+        mule = stream.mule
+        if applied:
+            trace.distance_travelled = float(stream.dist_cum[applied - 1])
+            trace.energy_consumed = float(stream.energy_cum[applied - 1])
+            mule.state = MuleState.MOVING
+            arrivals = applied - 1 if stream.init_event else applied
+            if arrivals:
+                mule.position = stream.coords[stream.nodes[arrivals - 1]]
+            elif stream.start_point is not None:
+                mule.position = stream.start_point
+        trace.collections = stream.collections
+        trace.deliveries = stream.deliveries
+        if stream.packets:  # backlog still on board when the horizon hit
+            mule.buffer.extend(
+                DataPacket(
+                    target_id=target_id,
+                    generated_from=generated_from,
+                    generated_to=collected_at,
+                    collected_at=collected_at,
+                    size=size,
+                )
+                for target_id, generated_from, collected_at, size in stream.packets
+            )
+    return result

@@ -50,15 +50,45 @@ def visiting_intervals(visit_times: Sequence[float], *, initial_time: float = 0.
     return intervals
 
 
+def _interval_arrays(result: SimulationResult, *, include_first: bool = False,
+                     targets: Iterable[str] | None = None) -> dict[str, np.ndarray]:
+    """Per-target visiting-interval arrays, vectorised and cached per result.
+
+    Intervals are consecutive differences (``np.diff``) of the per-target
+    sorted visit-time arrays from
+    :meth:`~repro.sim.recorder.SimulationResult.visit_times_by_target`, which
+    is bit-identical to the scalar pairwise subtraction it replaces.  The
+    default view (``targets=None``) is cached on the result so the standard
+    metric set shares one pass over the visit log.
+    """
+    cache_key = (len(result.visits), bool(include_first))
+    if targets is None:
+        cached = result.__dict__.get("_interval_arrays_cache")
+        if cached is not None and cached[0] == cache_key:
+            return cached[1]
+    by_target = result.visit_times_by_target()
+    wanted = list(by_target) if targets is None else list(targets)
+    out: dict[str, np.ndarray] = {}
+    empty = np.empty(0, dtype=float)
+    for t in wanted:
+        times = by_target.get(t)
+        if times is None or times.size == 0:
+            out[t] = empty
+            continue
+        intervals = np.diff(times)
+        if include_first:
+            intervals = np.concatenate(([times[0] - 0.0], intervals))
+        out[t] = intervals
+    if targets is None:
+        result.__dict__["_interval_arrays_cache"] = (cache_key, out)
+    return out
+
+
 def per_target_intervals(result: SimulationResult, *, include_first: bool = False,
                          targets: Iterable[str] | None = None) -> dict[str, list[float]]:
     """Visiting-interval list for every target that was visited."""
-    if targets is None:
-        targets = result.visited_targets()
-    return {
-        t: visiting_intervals(result.visit_times(t), include_first=include_first)
-        for t in targets
-    }
+    arrays = _interval_arrays(result, include_first=include_first, targets=targets)
+    return {t: iv.tolist() for t, iv in arrays.items()}
 
 
 def dcdt_series(result: SimulationResult, *, num_points: int = 41,
@@ -71,7 +101,7 @@ def dcdt_series(result: SimulationResult, *, num_points: int = 41,
     the available entries.  Trailing indices where no target has data are
     reported as ``nan``.
     """
-    intervals = per_target_intervals(result, include_first=include_first, targets=targets)
+    intervals = _interval_arrays(result, include_first=include_first, targets=targets)
     series: list[float] = []
     for k in range(num_points):
         values = [iv[k] for iv in intervals.values() if len(iv) > k]
@@ -82,9 +112,9 @@ def dcdt_series(result: SimulationResult, *, num_points: int = 41,
 def average_dcdt(result: SimulationResult, *, include_first: bool = False,
                  targets: Iterable[str] | None = None) -> float:
     """Mean visiting interval over all targets and all visits (Figure 9's bar height)."""
-    intervals = per_target_intervals(result, include_first=include_first, targets=targets)
-    values = [v for iv in intervals.values() for v in iv]
-    return float(np.mean(values)) if values else float("nan")
+    intervals = _interval_arrays(result, include_first=include_first, targets=targets)
+    flat = _flatten(intervals)
+    return float(np.mean(flat)) if flat.size else float("nan")
 
 
 def per_target_sd(result: SimulationResult, *, targets: Iterable[str] | None = None) -> dict[str, float]:
@@ -93,8 +123,8 @@ def per_target_sd(result: SimulationResult, *, targets: Iterable[str] | None = N
     Targets with fewer than two intervals get ``nan`` (SD undefined).
     """
     out: dict[str, float] = {}
-    for t, iv in per_target_intervals(result, include_first=False, targets=targets).items():
-        if len(iv) >= 2:
+    for t, iv in _interval_arrays(result, include_first=False, targets=targets).items():
+        if iv.size >= 2:
             out[t] = float(np.std(iv, ddof=1))
         else:
             out[t] = float("nan")
@@ -109,9 +139,8 @@ def average_sd(result: SimulationResult, *, targets: Iterable[str] | None = None
 
 def max_visiting_interval(result: SimulationResult, *, targets: Iterable[str] | None = None) -> float:
     """The maximal visiting interval over all targets — the paper's optimisation objective."""
-    intervals = per_target_intervals(result, include_first=False, targets=targets)
-    values = [v for iv in intervals.values() for v in iv]
-    return float(max(values)) if values else float("nan")
+    flat = _flatten(_interval_arrays(result, include_first=False, targets=targets))
+    return float(np.max(flat)) if flat.size else float("nan")
 
 
 def delivery_latencies(result: SimulationResult) -> list[float]:
@@ -121,9 +150,9 @@ def delivery_latencies(result: SimulationResult) -> list[float]:
 
 def interval_statistics(result: SimulationResult, *, targets: Iterable[str] | None = None) -> dict:
     """One-stop summary of the interval metrics (used by reports and examples)."""
-    intervals = per_target_intervals(result, include_first=False, targets=targets)
-    flat = [v for iv in intervals.values() for v in iv]
-    if not flat:
+    intervals = _interval_arrays(result, include_first=False, targets=targets)
+    flat = _flatten(intervals)
+    if not flat.size:
         return {
             "mean_interval": float("nan"),
             "max_interval": float("nan"),
@@ -136,5 +165,12 @@ def interval_statistics(result: SimulationResult, *, targets: Iterable[str] | No
         "max_interval": float(np.max(flat)),
         "average_sd": average_sd(result, targets=targets),
         "targets_visited": len(intervals),
-        "total_intervals": len(flat),
+        "total_intervals": int(flat.size),
     }
+
+
+def _flatten(intervals: "dict[str, np.ndarray]") -> np.ndarray:
+    """All interval arrays concatenated in per-target order (may be empty)."""
+    if not intervals:
+        return np.empty(0, dtype=float)
+    return np.concatenate(list(intervals.values()))

@@ -1,9 +1,20 @@
-"""Simulation output records: visits, deliveries, per-mule traces and the result bundle."""
+"""Simulation output records: visits, deliveries, per-mule traces and the result bundle.
+
+The hot-path metric queries (:meth:`SimulationResult.visit_times`,
+:meth:`SimulationResult.visit_times_by_target` and everything in
+:mod:`repro.sim.metrics` built on them) group the visit log into per-target
+numpy arrays **once** per result and cache the grouping, instead of
+re-filtering the full log for every target as the original per-event code
+did.  The cache is invalidated by visit-log length, so incremental consumers
+that append records still see fresh data.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable
+
+import numpy as np
 
 __all__ = ["VisitRecord", "DeliveryRecord", "MuleTrace", "SimulationResult"]
 
@@ -71,16 +82,39 @@ class SimulationResult:
         out = [v for v in self.visits if v.is_target and (target_id is None or v.node_id == target_id)]
         return sorted(out, key=lambda v: (v.time, v.node_id, v.mule_id))
 
+    def visit_times_by_target(self) -> "dict[str, np.ndarray]":
+        """Sorted visit-time array per visited target, grouped in one pass.
+
+        The grouping is cached on the result (keyed by visit-log length) so
+        the metric extractors — which all need the same per-target view —
+        share one O(V) pass instead of filtering the full log per target.
+        The arrays are cache-shared: copy before mutating.
+        """
+        cached = self.__dict__.get("_visit_times_cache")
+        if cached is not None and cached[0] == len(self.visits):
+            return cached[1]
+        groups: dict[str, list[float]] = {}
+        for v in self.visits:
+            if v.is_target:
+                groups.setdefault(v.node_id, []).append(v.time)
+        arrays = {
+            t: np.sort(np.asarray(groups[t], dtype=float)) for t in sorted(groups)
+        }
+        self.__dict__["_visit_times_cache"] = (len(self.visits), arrays)
+        return arrays
+
     def visit_times(self, target_id: str) -> list[float]:
         """Sorted visit times of one target."""
-        return [v.time for v in self.target_visits(target_id)]
+        times = self.visit_times_by_target().get(target_id)
+        return [] if times is None else times.tolist()
 
     def visited_targets(self) -> list[str]:
         """Identifiers of all targets visited at least once."""
-        return sorted({v.node_id for v in self.visits if v.is_target})
+        return list(self.visit_times_by_target())
 
     def visit_count(self, target_id: str) -> int:
-        return len(self.target_visits(target_id))
+        times = self.visit_times_by_target().get(target_id)
+        return 0 if times is None else int(times.size)
 
     def total_distance(self) -> float:
         return sum(t.distance_travelled for t in self.traces.values())

@@ -229,9 +229,41 @@ def assemble_scenario(
     placement, and mule deployment.  Every registered scenario family funnels
     through here, so the knobs behave identically across the whole catalog.
 
-    The RNG is consumed in a fixed order (VIP selection, then data-rate
-    jitter when enabled, then random mule placement), keeping scenarios
-    byte-identical across code paths for a given seed.
+    Parameters
+    ----------
+    rng : numpy.random.Generator
+        Generator the family already used to sample ``positions``; consumed
+        in a fixed order (VIP selection, then data-rate jitter when enabled,
+        then random mule placement), keeping scenarios byte-identical across
+        code paths for a given seed.
+    fld : Field
+        The monitoring region the positions were sampled from.
+    positions : Sequence[Point]
+        Target coordinates, one per target.
+    num_mules : int
+        Number of data mules to deploy.
+    num_vips, vip_weight : int
+        Promote ``num_vips`` randomly chosen targets to weight ``vip_weight``.
+    data_rate, data_rate_jitter : float
+        Per-target data generation rate; with jitter ``j > 0`` each target's
+        rate is drawn uniformly from ``rate * [1 - j, 1 + j]``.
+    mule_battery : float, optional
+        Battery capacity in joules (``None`` disables energy modelling).
+    with_recharge_station : bool
+        Place a recharge station (required by RW-TCTP).
+    sink_position, recharge_position : tuple of float, optional
+        Explicit coordinates; default to the field centre / its mirror.
+    mule_placement : str
+        ``"sink"`` (default), ``"corner"`` or ``"random"``.
+    params : SimulationParameters, optional
+        Physical constants; defaults to the paper's Section 5.1 values.
+    name : str
+        Free-form scenario label used in reports.
+
+    Returns
+    -------
+    Scenario
+        The assembled problem instance.
     """
     params = params if params is not None else SimulationParameters()
     num_targets = len(positions)

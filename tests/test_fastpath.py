@@ -1,0 +1,181 @@
+"""Equivalence tests for the analytic fast-path simulator.
+
+The fast path must be an *invisible* optimisation: for every eligible run it
+has to reproduce the discrete-event loop byte for byte — visits, deliveries,
+traces, metadata and final mule state — and for every ineligible run it must
+get out of the way.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.baselines.base import get_strategy
+from repro.core.plan import LoopRoute, PatrolPlan
+from repro.geometry.point import Point
+from repro.runner import Campaign, CampaignSpec, RunSpec
+from repro.scenarios import ScenarioSpec
+from repro.sim.engine import PatrolSimulator, SimulationConfig
+from repro.sim.fastpath import fast_path_eligible, run_fast_path
+
+FAST = SimulationConfig(horizon=15_000.0, track_energy=False)
+SLOW = dataclasses.replace(FAST, fast_path=False)
+
+
+def _run_both(strategy: str, scenario_spec: ScenarioSpec, seed: int, *,
+              fast_cfg: SimulationConfig = FAST, slow_cfg: SimulationConfig = SLOW,
+              **params):
+    """One strategy on one scenario through both engines, on separate scenario copies."""
+    results = []
+    for cfg in (fast_cfg, slow_cfg):
+        scenario = scenario_spec.build(seed)
+        plan = get_strategy(strategy, **params).plan(scenario)
+        results.append((PatrolSimulator(scenario, plan, cfg).run(), scenario))
+    return results
+
+
+EQUIVALENCE_CASES = [
+    ("b-tctp", ScenarioSpec("uniform", {"num_targets": 12, "num_mules": 3}), {}),
+    ("b-tctp", ScenarioSpec("figure1", {}), {}),
+    ("b-tctp", ScenarioSpec("grid", {}), {}),
+    ("chb", ScenarioSpec("uniform", {"num_targets": 14, "num_mules": 4}), {}),
+    ("sweep", ScenarioSpec("clustered", {"num_targets": 15, "num_mules": 4}), {}),
+    ("w-tctp", ScenarioSpec("ring", {"num_targets": 14, "num_mules": 3, "num_vips": 2}), {}),
+    ("w-tctp", ScenarioSpec("single-vip", {}), {"policy": "shortest"}),
+]
+
+
+class TestByteIdenticalResults:
+    @pytest.mark.parametrize("strategy,scenario_spec,params", EQUIVALENCE_CASES,
+                             ids=[f"{s}-{spec.family}" for s, spec, _ in EQUIVALENCE_CASES])
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_full_result_equality(self, strategy, scenario_spec, params, seed):
+        (fast, scen_fast), (slow, scen_slow) = _run_both(
+            strategy, scenario_spec, seed, **params
+        )
+        assert fast == slow
+        assert len(fast.visits) > 0
+
+    @pytest.mark.parametrize("strategy,scenario_spec,params", EQUIVALENCE_CASES[:3],
+                             ids=[f"{s}-{spec.family}" for s, spec, _ in EQUIVALENCE_CASES[:3]])
+    def test_final_mule_state_matches(self, strategy, scenario_spec, params):
+        (fast, scen_fast), (slow, scen_slow) = _run_both(strategy, scenario_spec, 1, **params)
+        for mf, ms in zip(scen_fast.mules, scen_slow.mules):
+            assert mf.position == ms.position
+            assert mf.state == ms.state
+            assert [p.size for p in mf.buffer.packets] == [p.size for p in ms.buffer.packets]
+
+    def test_unsynchronized_start_equivalence(self):
+        cfg_fast = dataclasses.replace(FAST, synchronized_start=False)
+        cfg_slow = dataclasses.replace(SLOW, synchronized_start=False)
+        (fast, _), (slow, _) = _run_both(
+            "b-tctp", ScenarioSpec("uniform", {"num_targets": 10, "num_mules": 3}), 2,
+            fast_cfg=cfg_fast, slow_cfg=cfg_slow,
+        )
+        assert fast == slow
+
+    def test_horizon_cut_equivalence(self):
+        # A short horizon cuts mid-initialisation for some mules.
+        for horizon in (120.0, 500.0, 2_000.0):
+            cfg_fast = dataclasses.replace(FAST, horizon=horizon)
+            cfg_slow = dataclasses.replace(SLOW, horizon=horizon)
+            (fast, _), (slow, _) = _run_both(
+                "b-tctp", ScenarioSpec("uniform", {"num_targets": 12, "num_mules": 3}), 0,
+                fast_cfg=cfg_fast, slow_cfg=cfg_slow,
+            )
+            assert fast == slow, f"divergence at horizon={horizon}"
+
+    def test_halting_single_node_loop(self):
+        """A one-node loop halts the mule after a single visit in both engines."""
+        scenario = ScenarioSpec("uniform", {"num_targets": 3, "num_mules": 1}).build(0)
+        target = scenario.targets[0]
+        coords = {target.id: target.position}
+        for cfg in (FAST, SLOW):
+            scen = scenario.fresh_copy()
+            routes = {
+                m.id: LoopRoute(m.id, [target.id], coords) for m in scen.mules
+            }
+            plan = PatrolPlan(strategy="degenerate", routes=routes)
+            result = PatrolSimulator(scen, plan, cfg).run()
+            assert len(result.visits) == 1
+            assert result.visits[0].node_id == target.id
+
+
+class TestEligibility:
+    def _sim(self, *, scenario_spec=None, strategy="b-tctp", cfg=FAST, seed=0, **params):
+        scenario_spec = scenario_spec or ScenarioSpec(
+            "uniform", {"num_targets": 8, "num_mules": 2}
+        )
+        scenario = scenario_spec.build(seed)
+        plan = get_strategy(strategy, **params).plan(scenario)
+        return PatrolSimulator(scenario, plan, cfg)
+
+    def test_loop_routes_are_eligible(self):
+        assert fast_path_eligible(self._sim())
+
+    def test_flag_disables(self):
+        assert not fast_path_eligible(self._sim(cfg=SLOW))
+
+    def test_max_visits_falls_back(self):
+        cfg = dataclasses.replace(FAST, max_visits=10)
+        assert not fast_path_eligible(self._sim(cfg=cfg))
+
+    def test_tracked_battery_falls_back(self):
+        spec = ScenarioSpec("uniform", {"num_targets": 8, "num_mules": 2,
+                                        "mule_battery": 50_000.0})
+        cfg = dataclasses.replace(FAST, track_energy=True)
+        sim = self._sim(scenario_spec=spec, cfg=cfg)
+        assert not fast_path_eligible(sim)
+        assert run_fast_path(sim) is None
+
+    def test_untracked_battery_is_eligible(self):
+        spec = ScenarioSpec("uniform", {"num_targets": 8, "num_mules": 2,
+                                        "mule_battery": 50_000.0})
+        assert fast_path_eligible(self._sim(scenario_spec=spec))
+
+    def test_stochastic_route_falls_back(self):
+        assert not fast_path_eligible(self._sim(strategy="random", seed=1))
+
+    def test_alternating_route_falls_back(self):
+        spec = ScenarioSpec(
+            "uniform",
+            {"num_targets": 8, "num_mules": 2, "mule_battery": 200_000.0,
+             "with_recharge_station": True},
+        )
+        cfg = dataclasses.replace(FAST, track_energy=True)
+        assert not fast_path_eligible(self._sim(scenario_spec=spec, strategy="rw-tctp", cfg=cfg))
+
+    def test_dwell_time_falls_back(self):
+        spec = ScenarioSpec("uniform", {"num_targets": 8, "num_mules": 2,
+                                        "params": {"collection_time": 5.0}})
+        assert not fast_path_eligible(self._sim(scenario_spec=spec))
+
+
+class TestCampaignEquivalence:
+    def test_records_byte_identical_fast_vs_slow(self):
+        def spec(fast: bool) -> CampaignSpec:
+            return CampaignSpec(
+                base=RunSpec(
+                    strategy="b-tctp",
+                    scenario=ScenarioSpec("uniform", {"num_targets": 10, "num_mules": 3}),
+                    sim=SimulationConfig(horizon=10_000.0, track_energy=False,
+                                         fast_path=fast),
+                    seed=1,
+                ),
+                grid={"strategy": ["chb", "b-tctp", "sweep", "random"]},
+                replications=2,
+            )
+
+        fast = Campaign(spec(True)).run().records
+        slow = Campaign(spec(False)).run().records
+        assert json.dumps(fast, sort_keys=True) == json.dumps(slow, sort_keys=True)
+
+    def test_fast_path_round_trips_through_spec_json(self):
+        spec = RunSpec(strategy="b-tctp",
+                       sim=SimulationConfig(horizon=5_000.0, fast_path=False))
+        loaded = RunSpec.from_json(spec.to_json())
+        assert loaded.sim.fast_path is False
+        assert "fast_path" not in json.loads(RunSpec(strategy="b-tctp").to_json()).get("sim", {})
