@@ -19,7 +19,6 @@ number is written.  Run from the repository root::
 from __future__ import annotations
 
 import argparse
-import dataclasses
 import json
 import platform
 import statistics

@@ -1,0 +1,422 @@
+"""Regenerate ``BENCH_PR4.json``: composed-pipeline planning overhead.
+
+PR 4 re-expresses every planner as a four-stage composition
+(:mod:`repro.planning`).  This benchmark holds that refactor to its two
+promises:
+
+1. **byte identity** — for each legacy strategy, the plan produced through
+   the composed pipeline equals the plan produced by a frozen copy of the
+   pre-refactor fused implementation (kept verbatim in this file), down to
+   float bits (compared through ``repr``);
+2. **≤ 2% planning overhead** — with all geometry/tour caches disabled (so
+   real construction work dominates and nothing is amortised away), planning
+   the full strategy suite through the pipeline costs at most 2% more than
+   the fused implementations (min-of-rounds timing).
+
+Identity is asserted *before* any number is written.  Run from the
+repository root::
+
+    PYTHONPATH=src python benchmarks/bench_pr4.py [--out BENCH_PR4.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import json
+import platform
+import statistics
+import time
+
+import numpy as np
+
+from repro import __version__
+from repro.baselines.base import get_strategy
+from repro.baselines.sweep import partition_targets_balanced
+from repro.core.btctp import expected_visiting_interval
+from repro.core.plan import AlternatingLoopRoute, LoopRoute, PatrolPlan, StochasticRoute
+from repro.core.policies import get_policy
+from repro.core.rwtctp import build_weighted_recharge_path
+from repro.core.start_points import assign_mules_to_start_points, compute_start_points
+from repro.core.wtctp import build_weighted_patrolling_path
+from repro.energy.model import patrolling_rounds
+from repro.geometry.cache import caching_disabled, clear_caches
+from repro.geometry.point import centroid
+from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.graphs.validation import validate_tour
+from repro.scenarios import ScenarioSpec
+
+
+# --------------------------------------------------------------------------- #
+# Frozen pre-refactor planners (verbatim fused implementations, PR-3 seed)
+# --------------------------------------------------------------------------- #
+
+def legacy_plan_btctp(scenario, *, tsp_method="hull-insertion", improve_tour=False,
+                      location_initialization=True):
+    coords = scenario.patrol_points()
+    tour = build_hamiltonian_circuit(
+        coords, method=tsp_method, improve=improve_tour, start=scenario.sink.id)
+    validate_tour(tour, expected_nodes=list(coords))
+    loop = list(tour.order)
+    coords = tour.coordinates
+    routes = {}
+    metadata = {
+        "path_length": tour.length(),
+        "tour": loop,
+        "expected_visiting_interval": expected_visiting_interval(
+            tour.length(), scenario.num_mules, scenario.params.mule_velocity),
+    }
+    if location_initialization:
+        start_points = compute_start_points(loop, coords, scenario.num_mules)
+        assignment = assign_mules_to_start_points(
+            start_points,
+            {m.id: m.position for m in scenario.mules},
+            {m.id: m.remaining_energy for m in scenario.mules})
+        metadata["start_points"] = [
+            {"index": sp.index, "x": sp.position.x, "y": sp.position.y, "arc": sp.arc_length}
+            for sp in start_points]
+        for mule in scenario.mules:
+            sp = assignment.start_point_for(mule.id)
+            routes[mule.id] = LoopRoute(mule.id, loop, coords,
+                                        entry_index=sp.entry_index, start=sp.position)
+    else:
+        for mule in scenario.mules:
+            nearest = tour.nearest_node(mule.position)
+            routes[mule.id] = LoopRoute(mule.id, loop, coords,
+                                        entry_index=loop.index(nearest), start=None)
+    return PatrolPlan(strategy="B-TCTP", routes=routes, metadata=metadata)
+
+
+def legacy_plan_chb(scenario, *, tsp_method="hull-insertion", improve_tour=False):
+    coords = scenario.patrol_points()
+    tour = build_hamiltonian_circuit(
+        coords, method=tsp_method, improve=improve_tour, start=scenario.sink.id)
+    validate_tour(tour, expected_nodes=list(coords))
+    loop = list(tour.order)
+    routes = {}
+    for mule in scenario.mules:
+        nearest = tour.nearest_node(mule.position)
+        routes[mule.id] = LoopRoute(mule.id, loop, tour.coordinates,
+                                    entry_index=loop.index(nearest), start=None)
+    return PatrolPlan(strategy="CHB", routes=routes,
+                      metadata={"path_length": tour.length(), "tour": loop})
+
+
+def legacy_plan_sweep(scenario, *, include_sink_in_groups=True, tsp_method="hull-insertion"):
+    center = scenario.field.center if scenario.field is not None else centroid(
+        [t.position for t in scenario.targets])
+    groups = partition_targets_balanced(list(scenario.targets), scenario.num_mules, center)
+    routes, group_info = {}, []
+    for mule, group in zip(scenario.mules, groups):
+        coords = {t.id: t.position for t in group}
+        if include_sink_in_groups or not coords:
+            coords[scenario.sink.id] = scenario.sink.position
+        start = scenario.sink.id if scenario.sink.id in coords else next(iter(coords))
+        tour = build_hamiltonian_circuit(coords, method=tsp_method, start=start)
+        loop = list(tour.order)
+        entry = loop.index(tour.nearest_node(mule.position))
+        routes[mule.id] = LoopRoute(mule.id, loop, tour.coordinates,
+                                    entry_index=entry, start=None)
+        group_info.append({"mule": mule.id, "targets": [t.id for t in group],
+                           "cycle_length": tour.length()})
+    return PatrolPlan(strategy="Sweep", routes=routes, metadata={"groups": group_info})
+
+
+def legacy_plan_random(scenario, *, seed=0, include_sink=True, avoid_repeat=True):
+    coords = scenario.patrol_points()
+    candidates = [t.id for t in scenario.targets]
+    if include_sink:
+        candidates.append(scenario.sink.id)
+    children = np.random.SeedSequence(seed).spawn(len(scenario.mules))
+    routes = {}
+    for child, mule in zip(children, scenario.mules):
+        routes[mule.id] = StochasticRoute(mule.id, candidates, coords,
+                                          rng=np.random.default_rng(child),
+                                          avoid_repeat=avoid_repeat)
+    return PatrolPlan(strategy="Random", routes=routes,
+                      metadata={"seed": seed, "candidates": len(candidates)})
+
+
+def legacy_plan_wtctp(scenario, *, policy="balanced", tsp_method="hull-insertion",
+                      improve_tour=False, location_initialization=True):
+    coords = scenario.patrol_points()
+    tour = build_hamiltonian_circuit(
+        coords, method=tsp_method, improve=improve_tour, start=scenario.sink.id)
+    structure, walk = build_weighted_patrolling_path(tour, scenario.weights(), policy)
+    loop = list(walk[:-1]) if len(walk) > 1 and walk[0] == walk[-1] else list(walk)
+    coords = structure.coordinates
+    metadata = {
+        "hamiltonian_length": tour.length(),
+        "wpp_length": structure.length(),
+        "walk": loop,
+        "policy": get_policy(policy).name,
+        "vip_cycles": {vip.id: [c.length for c in structure.cycles_at(vip.id, walk)]
+                       for vip in scenario.vips()},
+    }
+    routes = {}
+    if location_initialization:
+        start_points = compute_start_points(loop, coords, scenario.num_mules)
+        assignment = assign_mules_to_start_points(
+            start_points,
+            {m.id: m.position for m in scenario.mules},
+            {m.id: m.remaining_energy for m in scenario.mules})
+        for mule in scenario.mules:
+            sp = assignment.start_point_for(mule.id)
+            routes[mule.id] = LoopRoute(mule.id, loop, coords,
+                                        entry_index=sp.entry_index, start=sp.position)
+    else:
+        for mule in scenario.mules:
+            nearest = min(range(len(loop)),
+                          key=lambda i: mule.position.distance_to(coords[loop[i]]))
+            routes[mule.id] = LoopRoute(mule.id, loop, coords, entry_index=nearest, start=None)
+    return PatrolPlan(strategy=f"W-TCTP[{get_policy(policy).name}]",
+                      routes=routes, metadata=metadata)
+
+
+def legacy_plan_rwtctp(scenario, *, policy="balanced", tsp_method="hull-insertion",
+                       improve_tour=False, location_initialization=True,
+                       treat_targets_as_vips=False, vip_weight=2):
+    if scenario.recharge_station is None:
+        raise ValueError("RW-TCTP requires a scenario with a recharge station")
+    coords = scenario.patrol_points()
+    tour = build_hamiltonian_circuit(
+        coords, method=tsp_method, improve=improve_tour, start=scenario.sink.id)
+    weights = scenario.weights()
+    if treat_targets_as_vips:
+        weights = {n: (max(w, vip_weight) if n != scenario.sink.id else w)
+                   for n, w in weights.items()}
+    wpp, wpp_walk = build_weighted_patrolling_path(tour, weights, policy)
+    wrp, wrp_walk = build_weighted_recharge_path(
+        wpp, weights, scenario.recharge_station.id,
+        scenario.recharge_station.position, walk_start=scenario.sink.id)
+    patrol_loop = wpp_walk[:-1] if wpp_walk[0] == wpp_walk[-1] else list(wpp_walk)
+    recharge_loop = wrp_walk[:-1] if wrp_walk[0] == wrp_walk[-1] else list(wrp_walk)
+    coords = wrp.coordinates
+    model = scenario.params.energy_model
+    m_energy = min(m.battery.capacity for m in scenario.mules if m.battery is not None)
+    rounds = max(patrolling_rounds(m_energy, wpp.length(), scenario.num_targets, model), 1)
+    metadata = {
+        "hamiltonian_length": tour.length(),
+        "wpp_length": wpp.length(),
+        "wrp_length": wrp.length(),
+        "patrol_rounds": rounds,
+        "policy": get_policy(policy).name,
+        "recharge_station": scenario.recharge_station.id,
+    }
+    routes = {}
+    if location_initialization:
+        start_points = compute_start_points(patrol_loop, coords, scenario.num_mules)
+        assignment = assign_mules_to_start_points(
+            start_points,
+            {m.id: m.position for m in scenario.mules},
+            {m.id: m.remaining_energy for m in scenario.mules})
+        for mule in scenario.mules:
+            sp = assignment.start_point_for(mule.id)
+            routes[mule.id] = AlternatingLoopRoute(
+                mule.id, patrol_loop, recharge_loop, coords, patrol_rounds=rounds,
+                entry_index=sp.entry_index, start=sp.position)
+    else:
+        for mule in scenario.mules:
+            nearest = min(range(len(patrol_loop)),
+                          key=lambda i: mule.position.distance_to(coords[patrol_loop[i]]))
+            routes[mule.id] = AlternatingLoopRoute(
+                mule.id, patrol_loop, recharge_loop, coords, patrol_rounds=rounds,
+                entry_index=nearest, start=None)
+    return PatrolPlan(strategy=f"RW-TCTP[{get_policy(policy).name}]",
+                      routes=routes, metadata=metadata)
+
+
+# --------------------------------------------------------------------------- #
+# Workload and identity check
+# --------------------------------------------------------------------------- #
+
+def scenarios() -> dict:
+    # The paper's evaluation sweeps up to 40 targets (Figure 8); benchmarking
+    # at that scale keeps real construction work (the quantity planners spend
+    # their time on) dominant over per-call dispatch.
+    return {
+        "plain": ScenarioSpec("uniform", {
+            "num_targets": 40, "num_mules": 4, "num_vips": 4, "vip_weight": 3,
+        }).build(7),
+        "recharge": ScenarioSpec("uniform", {
+            "num_targets": 30, "num_mules": 3, "num_vips": 3, "vip_weight": 4,
+            "mule_battery": 200_000.0, "with_recharge_station": True,
+        }).build(3),
+    }
+
+
+#: (label, scenario key, legacy fn, registry strategy name, kwargs)
+SUITE = (
+    ("b-tctp", "plain", legacy_plan_btctp, "b-tctp", {}),
+    ("b-tctp/no-init", "plain", legacy_plan_btctp, "b-tctp",
+     {"location_initialization": False}),
+    ("chb", "plain", legacy_plan_chb, "chb", {}),
+    ("sweep", "plain", legacy_plan_sweep, "sweep", {}),
+    ("random", "plain", legacy_plan_random, "random", {"seed": 11}),
+    ("w-tctp/balanced", "plain", legacy_plan_wtctp, "w-tctp", {"policy": "balanced"}),
+    ("w-tctp/shortest", "plain", legacy_plan_wtctp, "w-tctp", {"policy": "shortest"}),
+    ("rw-tctp", "recharge", legacy_plan_rwtctp, "rw-tctp", {}),
+)
+
+
+def _point(p):
+    return None if p is None else (repr(p.x), repr(p.y))
+
+
+def describe_plan(plan: PatrolPlan) -> tuple:
+    """Exact structural description (floats through ``repr``) for identity checks."""
+    routes = []
+    for mule_id in plan.mule_ids:
+        route = plan.route_for(mule_id)
+        if isinstance(route, AlternatingLoopRoute):
+            routes.append(("alt", mule_id, tuple(route.patrol_loop),
+                           tuple(route.recharge_loop), route.patrol_rounds,
+                           route.entry_index, _point(route.start_position())))
+        elif isinstance(route, LoopRoute):
+            routes.append(("loop", mule_id, tuple(route.loop), route.entry_index,
+                           _point(route.start_position()), repr(route.lap_length())))
+        else:
+            draws = tuple(itertools.islice(route.waypoints(), 64))
+            routes.append(("stochastic", mule_id, tuple(route.candidates),
+                           route.avoid_repeat, draws))
+    return (plan.strategy, tuple(routes), repr(sorted(plan.metadata.items(), key=lambda kv: kv[0])))
+
+
+def assert_byte_identical() -> int:
+    scens = scenarios()
+    checked = 0
+    for label, key, legacy_fn, strategy, kwargs in SUITE:
+        legacy = describe_plan(legacy_fn(scens[key].fresh_copy(), **kwargs))
+        composed = describe_plan(get_strategy(strategy, **kwargs).plan(scens[key].fresh_copy()))
+        assert legacy == composed, f"{label}: composed plan differs from the fused implementation"
+        checked += 1
+    return checked
+
+
+# --------------------------------------------------------------------------- #
+# Timing
+# --------------------------------------------------------------------------- #
+
+def build_planners(scens) -> list:
+    """``(scenario, legacy fn, kwargs, composed planner)`` per suite entry.
+
+    Planners are constructed once, outside the timed region: strategy
+    *construction* (`get_strategy`) is the unchanged registry path shared by
+    both eras, so timing it would only dilute the quantity under test — the
+    per-plan cost of the staged pipeline vs the fused method bodies.
+    """
+    return [
+        (scens[key], legacy_fn, kwargs, get_strategy(strategy, **kwargs))
+        for _label, key, legacy_fn, strategy, kwargs in SUITE
+    ]
+
+
+def plan_suite(planners, *, legacy: bool) -> None:
+    for scenario, legacy_fn, kwargs, planner in planners:
+        if legacy:
+            legacy_fn(scenario, **kwargs)
+        else:
+            planner.plan(scenario)
+
+
+def timeit_interleaved(fn_a, fn_b, *, warmup: int, rounds: int) -> tuple[dict, dict, list]:
+    """Time two workloads pairwise so machine drift hits both equally.
+
+    Sequential windows are hostile to a tight overhead bound: CPU frequency
+    scaling or a noisy neighbour during one window skews the ratio by far
+    more than the effect under test.  Each round times both sides
+    back-to-back (swapping the in-pair order every round); the per-round
+    *paired differences* cancel round-level drift, and their median is robust
+    to GC/scheduler spikes.  Returned third: the list of paired differences
+    ``b - a`` per round.
+    """
+    for _ in range(warmup):
+        fn_a()
+        fn_b()
+
+    def one(fn) -> float:
+        t0 = time.perf_counter()
+        fn()
+        return time.perf_counter() - t0
+
+    samples_a: list[float] = []
+    samples_b: list[float] = []
+    diffs: list[float] = []
+    for i in range(rounds):
+        if i % 2 == 0:
+            a = one(fn_a)
+            b = one(fn_b)
+        else:
+            b = one(fn_b)
+            a = one(fn_a)
+        samples_a.append(a)
+        samples_b.append(b)
+        diffs.append(b - a)
+
+    def stats(samples: list[float]) -> dict:
+        return {
+            "min_s": min(samples),
+            "median_s": statistics.median(samples),
+            "mean_s": statistics.mean(samples),
+            "rounds": rounds,
+        }
+
+    return stats(samples_a), stats(samples_b), diffs
+
+
+MAX_OVERHEAD = 0.02
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_PR4.json")
+    parser.add_argument("--rounds", type=int, default=30)
+    parser.add_argument("--warmup", type=int, default=3)
+    args = parser.parse_args()
+
+    checked = assert_byte_identical()
+    print(f"byte identity: {checked} strategy variants identical to the fused planners")
+
+    # Caches off: every round redoes the real O(n^2)/O(n^3) construction, so
+    # the measured delta is pipeline dispatch, not cache accounting.
+    scens = scenarios()
+    planners = build_planners(scens)
+    clear_caches()
+    with caching_disabled():
+        legacy, composed, diffs = timeit_interleaved(
+            lambda: plan_suite(planners, legacy=True),
+            lambda: plan_suite(planners, legacy=False),
+            warmup=args.warmup, rounds=args.rounds,
+        )
+
+    # Median paired difference over the legacy floor: robust to drift/spikes.
+    overhead = statistics.median(diffs) / legacy["min_s"]
+    print(f"legacy   min {legacy['min_s'] * 1e3:8.2f} ms")
+    print(f"composed min {composed['min_s'] * 1e3:8.2f} ms")
+    print(f"median paired diff {statistics.median(diffs) * 1e6:+8.1f} us")
+    print(f"overhead {overhead * 100:+.2f}%  (allowed: +{MAX_OVERHEAD * 100:.0f}%)")
+    assert overhead <= MAX_OVERHEAD, (
+        f"composed pipeline adds {overhead * 100:.2f}% planning overhead "
+        f"(> {MAX_OVERHEAD * 100:.0f}% allowed)"
+    )
+
+    payload = {
+        "benchmark": "pr4-composed-pipeline-overhead",
+        "library_version": __version__,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "identity": {"strategies_checked": checked, "byte_identical": True},
+        "suite": [label for label, *_ in SUITE],
+        "legacy_fused": legacy,
+        "composed_pipeline": composed,
+        "overhead_fraction": overhead,
+        "max_allowed_fraction": MAX_OVERHEAD,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,8 +56,16 @@ from repro.baselines import (
     available_strategies,
     canonical_strategy_name,
     strategy_params,
+    validate_strategy_params,
 )
 from repro.network import Scenario, SimulationParameters, Target, Sink, RechargeStation, DataMule
+from repro.planning import (
+    PipelineSpec,
+    PlanningPipeline,
+    StageSpec,
+    available_stage_backends,
+    register_stage,
+)
 from repro.runner import (
     Campaign,
     CampaignResult,
@@ -86,7 +94,7 @@ from repro.workloads import (
     grid_scenario,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",
@@ -107,6 +115,13 @@ __all__ = [
     "available_strategies",
     "canonical_strategy_name",
     "strategy_params",
+    "validate_strategy_params",
+    # composable planning pipeline
+    "PipelineSpec",
+    "StageSpec",
+    "PlanningPipeline",
+    "register_stage",
+    "available_stage_backends",
     # network substrate
     "Scenario",
     "SimulationParameters",

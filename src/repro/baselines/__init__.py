@@ -19,6 +19,7 @@ from repro.baselines.base import (
     strategy_info,
     strategy_params,
     filter_strategy_kwargs,
+    validate_strategy_params,
 )
 from repro.baselines.random_patrol import RandomPlanner
 from repro.baselines.sweep import SweepPlanner
@@ -33,6 +34,7 @@ __all__ = [
     "strategy_info",
     "strategy_params",
     "filter_strategy_kwargs",
+    "validate_strategy_params",
     "RandomPlanner",
     "SweepPlanner",
     "CHBPlanner",

@@ -33,6 +33,7 @@ __all__ = [
     "strategy_info",
     "strategy_params",
     "filter_strategy_kwargs",
+    "validate_strategy_params",
 ]
 
 
@@ -55,6 +56,14 @@ class StrategyInfo:
     :func:`get_strategy` forwards keyword arguments unvalidated (the
     pre-declaration behaviour) and :func:`filter_strategy_kwargs` keeps
     everything.
+
+    ``validator`` (optional) receives a parameter dict and raises
+    :class:`ValueError` on out-of-range or malformed values *without building
+    anything* — campaigns run it on every cell before simulation starts,
+    symmetric to :class:`repro.scenarios.registry.ScenarioInfo.validator`.
+    ``composition`` (optional) is the strategy's default planning-pipeline
+    composition (:class:`repro.planning.PipelineSpec`), shown by the
+    ``repro-patrol strategies`` listing.
     """
 
     name: str
@@ -63,6 +72,8 @@ class StrategyInfo:
     aliases: tuple[str, ...] = ()
     description: str = ""
     strict: bool = True
+    validator: "Callable[[dict], None] | None" = None
+    composition: "object | None" = None
 
 
 _REGISTRY: dict[str, StrategyInfo] = {}      # canonical name -> info
@@ -103,13 +114,18 @@ def register_strategy(
     params: "frozenset[str] | tuple[str, ...] | None" = None,
     aliases: tuple[str, ...] = (),
     description: str = "",
+    validator: "Callable[[dict], None] | None" = None,
+    composition: "object | None" = None,
 ) -> None:
     """Register a strategy factory under ``name`` (case-insensitive).
 
     ``params`` declares the keyword arguments the factory accepts; when it is
     omitted and the factory is a dataclass, the declaration is derived from
-    its fields.  ``aliases`` are alternative names resolving to the same
-    factory.
+    its fields (other callables are signature-inspected).  ``aliases`` are
+    alternative names resolving to the same factory.  ``validator`` checks
+    parameter values cheaply before any simulation (see
+    :func:`validate_strategy_params`); ``composition`` is the strategy's
+    default :class:`~repro.planning.PipelineSpec`, for listings.
     """
     _ensure_defaults()  # custom registrations must never shadow the built-ins
     key = name.lower()
@@ -129,6 +145,8 @@ def register_strategy(
         aliases=tuple(a.lower() for a in aliases),
         description=description,
         strict=strict,
+        validator=validator,
+        composition=composition,
     )
     _REGISTRY[key] = info
     _ALIASES[key] = key
@@ -142,6 +160,12 @@ def available_strategies(*, include_aliases: bool = True) -> list[str]:
     return sorted(_ALIASES) if include_aliases else sorted(_REGISTRY)
 
 
+def _did_you_mean(name: str, options) -> str:
+    from repro.planning.stages import did_you_mean
+
+    return did_you_mean(name, options)
+
+
 def canonical_strategy_name(name: str) -> str:
     """Resolve an alias (``"btctp"``) to its canonical registry name (``"b-tctp"``)."""
     _ensure_defaults()
@@ -151,6 +175,7 @@ def canonical_strategy_name(name: str) -> str:
         raise ValueError(
             f"unknown strategy {name!r}; available: "
             f"{', '.join(available_strategies(include_aliases=False))}"
+            f"{_did_you_mean(name, _ALIASES)}"
         ) from exc
 
 
@@ -170,11 +195,47 @@ def filter_strategy_kwargs(name: str, kwargs: Mapping[str, Any]) -> dict[str, An
     This is the campaign-layer convenience: one shared parameter set (say
     ``{"policy": "shortest", "seed": 7}``) can be fanned out across strategies
     that each take only part of it.
+
+    Raises
+    ------
+    ValueError
+        If ``name`` is not a registered strategy — the error names the
+        offending strategy, lists the registered ones and suggests a close
+        match, so a typo in a sweep reads unambiguously.
     """
-    info = strategy_info(name)
+    info = strategy_info(name)  # raises the named, suggesting error on typos
     if not info.strict:
         return dict(kwargs)
     return {k: v for k, v in kwargs.items() if k in info.params}
+
+
+def validate_strategy_params(name: str, params: Mapping[str, Any]) -> None:
+    """Raise :class:`ValueError` on an unknown strategy, undeclared or bad params.
+
+    Runs the declared-parameter check and the strategy's registered
+    ``validator`` (value/range checks) without instantiating a planner —
+    cheap enough for every cell of a campaign, symmetric to
+    :func:`repro.scenarios.registry.validate_scenario_params`.
+    """
+    info = strategy_info(name)  # raises on unknown strategy
+    if info.strict:
+        unknown = sorted(set(params) - info.params)
+        if unknown:
+            accepted = ", ".join(sorted(info.params)) or "(none)"
+            raise ValueError(
+                f"strategy {info.name!r} does not accept parameter(s) "
+                f"{', '.join(repr(p) for p in unknown)}; accepted: {accepted}"
+                f"{_did_you_mean(unknown[0], info.params)}"
+            )
+    if info.validator is not None:
+        try:
+            info.validator(dict(params))
+        except TypeError as exc:
+            # e.g. a non-string stage spec: surface it as the same clean
+            # pre-run rejection as any other bad parameter value.
+            raise ValueError(
+                f"invalid parameter value for strategy {info.name!r}: {exc}"
+            ) from exc
 
 
 def get_strategy(name: str, **kwargs) -> PatrolStrategy:
@@ -213,7 +274,18 @@ def get_strategy(name: str, **kwargs) -> PatrolStrategy:
         raise ValueError(
             f"strategy {info.name!r} does not accept parameter(s) "
             f"{', '.join(repr(p) for p in unknown)}; accepted: {accepted}"
+            f"{_did_you_mean(unknown[0], info.params)}"
         )
+    if info.validator is not None:
+        # The same cheap value/range validation campaigns run per cell: an
+        # out-of-range parameter fails here, before any planning starts,
+        # instead of crashing deep inside a stage backend.
+        try:
+            info.validator(dict(kwargs))
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid parameter value for strategy {info.name!r}: {exc}"
+            ) from exc
     return info.factory(**kwargs)
 
 
@@ -229,10 +301,12 @@ def _ensure_defaults() -> None:
     from repro.core.btctp import BTCTPPlanner
     from repro.core.rwtctp import RWTCTPPlanner
     from repro.core.wtctp import WTCTPPlanner
+    from repro.planning import compositions
 
     # One alias table instead of per-alias factory lambdas: the dataclass
     # constructors *are* the factories, and parameter declarations are derived
-    # from their fields.
+    # from their fields.  Each entry carries its default pipeline composition
+    # (for the CLI listing) and a pre-run parameter validator derived from it.
     defaults: tuple[tuple[str, Callable[..., PatrolStrategy], tuple[str, ...], str], ...] = (
         ("random", RandomPlanner, (),
          "uncoordinated baseline: every mule wanders to a random target"),
@@ -248,4 +322,10 @@ def _ensure_defaults() -> None:
          "recharge-aware weighted TCTP (needs a recharge station)"),
     )
     for name, factory, aliases, description in defaults:
-        register_strategy(name, factory, aliases=aliases, description=description)
+        builder = compositions.LEGACY_PIPELINES[name]
+        register_strategy(
+            name, factory, aliases=aliases, description=description,
+            validator=compositions.composition_validator(builder),
+            composition=builder().spec,
+        )
+    compositions.register_builtin_compositions()

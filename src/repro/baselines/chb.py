@@ -17,9 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.plan import LoopRoute, PatrolPlan
-from repro.graphs.hamiltonian import build_hamiltonian_circuit
-from repro.graphs.validation import validate_tour
+from repro.core.plan import PatrolPlan
 from repro.network.scenario import Scenario
 
 __all__ = ["CHBPlanner"]
@@ -27,25 +25,25 @@ __all__ = ["CHBPlanner"]
 
 @dataclass
 class CHBPlanner:
-    """Planner for the CHB baseline (shared circuit, no initialisation, no weights)."""
+    """Planner for the CHB baseline (shared circuit, no initialisation, no weights).
+
+    ``plan`` runs the stage composition
+    ``hamiltonian | none | as-built | depot-start`` through the composable
+    planning pipeline (:mod:`repro.planning`) — B-TCTP's circuit without the
+    location-initialisation phase.
+    """
 
     tsp_method: str = "hull-insertion"
     improve_tour: bool = False
     name: str = "CHB"
 
-    def plan(self, scenario: Scenario) -> PatrolPlan:
-        coords = scenario.patrol_points()
-        tour = build_hamiltonian_circuit(
-            coords, method=self.tsp_method, improve=self.improve_tour, start=scenario.sink.id
-        )
-        validate_tour(tour, expected_nodes=list(coords))
-        loop = list(tour.order)
+    def pipeline(self):
+        """The stage composition this planner executes (a :class:`PlanningPipeline`)."""
+        from repro.planning.compositions import chb_pipeline
 
-        routes = {}
-        for mule in scenario.mules:
-            nearest = tour.nearest_node(mule.position)
-            routes[mule.id] = LoopRoute(
-                mule.id, loop, tour.coordinates, entry_index=loop.index(nearest), start=None
-            )
-        metadata = {"path_length": tour.length(), "tour": loop}
-        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)
+        return chb_pipeline(
+            tsp_method=self.tsp_method, improve_tour=self.improve_tour, name=self.name
+        )
+
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        return self.pipeline().plan(scenario)

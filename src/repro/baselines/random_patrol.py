@@ -10,9 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
-from repro.core.plan import PatrolPlan, StochasticRoute
+from repro.core.plan import PatrolPlan
 from repro.network.scenario import Scenario
 
 __all__ = ["RandomPlanner"]
@@ -21,6 +19,12 @@ __all__ = ["RandomPlanner"]
 @dataclass
 class RandomPlanner:
     """Planner for the Random baseline.
+
+    ``plan`` runs the stage composition
+    ``pool | none | stochastic | depot-start`` through the composable
+    planning pipeline (:mod:`repro.planning`): the candidate pool replaces a
+    constructed circuit, and the stochastic order backend draws each next
+    waypoint online from a seeded per-mule stream.
 
     Parameters
     ----------
@@ -39,23 +43,16 @@ class RandomPlanner:
     avoid_repeat: bool = True
     name: str = "Random"
 
+    def pipeline(self):
+        """The stage composition this planner executes (a :class:`PlanningPipeline`)."""
+        from repro.planning.compositions import random_pipeline
+
+        return random_pipeline(
+            seed=self.seed,
+            include_sink=self.include_sink,
+            avoid_repeat=self.avoid_repeat,
+            name=self.name,
+        )
+
     def plan(self, scenario: Scenario) -> PatrolPlan:
-        coords = scenario.patrol_points()
-        candidates = [t.id for t in scenario.targets]
-        if self.include_sink:
-            candidates.append(scenario.sink.id)
-
-        seed_seq = np.random.SeedSequence(self.seed)
-        children = seed_seq.spawn(len(scenario.mules))
-
-        routes = {}
-        for child, mule in zip(children, scenario.mules):
-            routes[mule.id] = StochasticRoute(
-                mule.id,
-                candidates,
-                coords,
-                rng=np.random.default_rng(child),
-                avoid_repeat=self.avoid_repeat,
-            )
-        metadata = {"seed": self.seed, "candidates": len(candidates)}
-        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)
+        return self.pipeline().plan(scenario)

@@ -15,9 +15,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.core.plan import LoopRoute, PatrolPlan
-from repro.geometry.point import Point, centroid
-from repro.graphs.hamiltonian import build_hamiltonian_circuit
+from repro.core.plan import PatrolPlan
+from repro.geometry.point import Point
 from repro.network.scenario import Scenario
 from repro.network.targets import Target
 
@@ -67,34 +66,27 @@ def partition_targets_balanced(targets: list[Target], num_groups: int, center: P
 
 @dataclass
 class SweepPlanner:
-    """Planner for the Sweep baseline (one target group per data mule)."""
+    """Planner for the Sweep baseline (one target group per data mule).
+
+    ``plan`` runs the stage composition
+    ``sweep-sector | none | as-built | depot-start`` through the composable
+    planning pipeline (:mod:`repro.planning`): one angular-sector circuit per
+    mule, each patrolled independently from wherever the mule was deployed.
+    """
 
     include_sink_in_groups: bool = True
     tsp_method: str = "hull-insertion"
     name: str = "Sweep"
 
-    def plan(self, scenario: Scenario) -> PatrolPlan:
-        center = scenario.field.center if scenario.field is not None else centroid(
-            [t.position for t in scenario.targets]
+    def pipeline(self):
+        """The stage composition this planner executes (a :class:`PlanningPipeline`)."""
+        from repro.planning.compositions import sweep_pipeline
+
+        return sweep_pipeline(
+            include_sink_in_groups=self.include_sink_in_groups,
+            tsp_method=self.tsp_method,
+            name=self.name,
         )
-        groups = partition_targets_balanced(list(scenario.targets), scenario.num_mules, center)
 
-        routes = {}
-        group_info = []
-        for mule, group in zip(scenario.mules, groups):
-            coords = {t.id: t.position for t in group}
-            if self.include_sink_in_groups or not coords:
-                coords[scenario.sink.id] = scenario.sink.position
-            start = scenario.sink.id if scenario.sink.id in coords else next(iter(coords))
-            tour = build_hamiltonian_circuit(coords, method=self.tsp_method, start=start)
-            loop = list(tour.order)
-            entry = loop.index(tour.nearest_node(mule.position))
-            routes[mule.id] = LoopRoute(mule.id, loop, tour.coordinates, entry_index=entry, start=None)
-            group_info.append({
-                "mule": mule.id,
-                "targets": [t.id for t in group],
-                "cycle_length": tour.length(),
-            })
-
-        metadata = {"groups": group_info}
-        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)
+    def plan(self, scenario: Scenario) -> PatrolPlan:
+        return self.pipeline().plan(scenario)

@@ -53,6 +53,7 @@ from repro.baselines.base import (
     available_strategies,
     filter_strategy_kwargs,
     get_strategy,
+    strategy_info,
     strategy_params,
 )
 from repro.experiments import ExperimentSettings
@@ -74,6 +75,8 @@ from repro.scenarios import (
     scenario_family_info,
     spec_from_scenario_config,
 )
+from repro.planning.spec import parse_param_value, split_stage_params
+from repro.planning.stages import canonical_stage_backend
 from repro.scenarios.registry import REQUIRED
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.metrics import average_dcdt, average_sd, interval_statistics, max_visiting_interval
@@ -135,6 +138,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     sim = sub.add_parser("simulate", help="run one strategy on one generated scenario")
     sim.add_argument("--strategy", default="b-tctp", choices=available_strategies())
+    sim.add_argument("--param", action="append", metavar="KEY=VALUE",
+                     help="extra strategy parameter (repeatable), e.g. "
+                          "--param tour=cluster-first with --strategy pipeline")
     _add_scenario_arguments(sim)
     sim.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
@@ -151,6 +157,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument("--strategies", default="b-tctp",
                        help="comma-separated registry names, e.g. 'b-tctp,sweep,chb'")
+    sweep.add_argument("--param", action="append", metavar="KEY=VALUE",
+                       help="extra shared strategy parameter (repeatable); each "
+                            "strategy keeps the subset it declares")
     sweep.add_argument("--replications", type=int, default=4)
     sweep.add_argument("--workers", type=int, default=None)
     _add_scenario_arguments(sweep)
@@ -170,7 +179,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan replication cells out over this many processes")
         p.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
-    lst = sub.add_parser("strategies", help="list the available strategies")
+    lst = sub.add_parser(
+        "strategies",
+        help="list the registered strategies (aliases, parameters, pipeline composition)",
+    )
     lst.add_argument("--json", action="store_true")
 
     fams = sub.add_parser(
@@ -194,9 +206,41 @@ def _settings_from_args(args: argparse.Namespace) -> ExperimentSettings:
     return settings
 
 
+def _strategy_needs_recharge(name: str, extra_params: "dict | None" = None) -> bool:
+    """Whether the strategy's pipeline composition weaves in a recharge station.
+
+    ``extra_params`` are explicit ``--param`` overrides: a ``pipeline``
+    strategy invoked with ``--param augment=recharge`` needs a station even
+    though its *default* composition does not.
+    """
+    augment_override = (extra_params or {}).get("augment")
+    if augment_override is not None or "augment" in (extra_params or {}):
+        try:
+            from repro.planning.spec import StageSpec
+
+            spec = StageSpec.coerce(augment_override)
+            return canonical_stage_backend("augment", spec.name) == "recharge"
+        except (ValueError, TypeError):
+            return False  # malformed overrides get their own error downstream
+    try:
+        info = strategy_info(name)
+    except ValueError:
+        return False  # unknown names get their own, clearer error downstream
+    if info.composition is not None:
+        try:
+            return canonical_stage_backend("augment", info.composition.augment.name) == "recharge"
+        except ValueError:  # pragma: no cover - composition with custom backend
+            return False
+    return name.replace("_", "-").startswith("rw")
+
+
 def _scenario_config_from_args(args: argparse.Namespace) -> ScenarioConfig:
+    try:
+        extra = _extra_strategy_params(args)
+    except ValueError:
+        extra = {}  # malformed --param entries surface from the main path
     needs_recharge = args.recharge or any(
-        s.replace("_", "-").startswith("rw") for s in _strategies_from_args(args)
+        _strategy_needs_recharge(s, extra) for s in _strategies_from_args(args)
     )
     return ScenarioConfig(
         num_targets=args.targets,
@@ -210,33 +254,6 @@ def _scenario_config_from_args(args: argparse.Namespace) -> ScenarioConfig:
     )
 
 
-def _split_scenario_params(text: str) -> list[str]:
-    """Split ``k=v,k=v`` on commas that are not nested inside brackets."""
-    items, depth, current = [], 0, []
-    for ch in text:
-        if ch in "[(":
-            depth += 1
-        elif ch in "])":
-            depth -= 1
-        if ch == "," and depth == 0:
-            items.append("".join(current))
-            current = []
-        else:
-            current.append(ch)
-    items.append("".join(current))
-    return [item for item in (i.strip() for i in items) if item]
-
-
-def _parse_param_value(text: str):
-    """Best-effort typed parse: JSON literals, ``none``, else the bare string."""
-    if text.lower() in ("none", "null"):
-        return None
-    try:
-        return json.loads(text)
-    except json.JSONDecodeError:
-        return text
-
-
 def _parse_scenario_option(raw: str) -> ScenarioSpec:
     """Parse ``--scenario FAMILY[:key=val,...]`` into a validated spec."""
     family, _, rest = raw.partition(":")
@@ -246,14 +263,25 @@ def _parse_scenario_option(raw: str) -> ScenarioSpec:
             "--scenario needs a family name, e.g. 'ring' or 'ring:num_targets=24'"
         )
     params = {}
-    for item in _split_scenario_params(rest):
+    for item in split_stage_params(rest):
         key, sep, value = item.partition("=")
         if not sep or not key.strip():
             raise ValueError(
                 f"--scenario parameter {item!r} must look like key=value"
             )
-        params[key.strip()] = _parse_param_value(value.strip())
+        params[key.strip()] = parse_param_value(value.strip())
     return ScenarioSpec(family=family, params=params).validate()
+
+
+def _extra_strategy_params(args: argparse.Namespace) -> dict:
+    """Parse repeated ``--param KEY=VALUE`` flags into a params dict."""
+    params: dict = {}
+    for item in getattr(args, "param", None) or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key.strip():
+            raise ValueError(f"--param {item!r} must look like key=value")
+        params[key.strip()] = parse_param_value(value.strip())
+    return params
 
 
 def _scenario_spec_from_args(args: argparse.Namespace) -> ScenarioSpec:
@@ -277,13 +305,18 @@ def _strategy_kwargs(strategy: str, args: argparse.Namespace) -> dict:
 
 def _run_simulate(args: argparse.Namespace) -> int:
     try:
+        kwargs = _strategy_kwargs(args.strategy, args)
+        # Explicit --param entries are NOT filtered: a typo must surface.
+        kwargs.update(_extra_strategy_params(args))
+        planner = get_strategy(args.strategy, **kwargs)
         spec = _scenario_spec_from_args(args)
         scenario = spec.build(args.seed)
+        # Plan-time failures (missing recharge station, incompatible stage
+        # combinations, ...) are configuration errors, not bugs: clean exit 2.
+        plan = planner.plan(scenario)
     except (ValueError, TypeError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    planner = get_strategy(args.strategy, **_strategy_kwargs(args.strategy, args))
-    plan = planner.plan(scenario)
     result = PatrolSimulator(scenario, plan, SimulationConfig(horizon=args.horizon)).run()
 
     stats = interval_statistics(result)
@@ -360,6 +393,7 @@ def _run_sweep(args: argparse.Namespace) -> int:
         "policy" in strategy_params(s) for s in strategies
     ) else {}
     try:
+        shared.update(_extra_strategy_params(args))
         base = RunSpec(
             strategy=strategies[0],
             scenario=_scenario_spec_from_args(args),
@@ -403,12 +437,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "sweep":
         return _run_sweep(args)
     if args.command == "strategies":
-        names = available_strategies()
-        if args.json:
-            print(json.dumps(names))
-        else:
-            print("\n".join(names))
-        return 0
+        return _run_strategies_listing(args)
     if args.command == "scenarios":
         return _run_scenarios_listing(args)
     if args.command in _FIGURE_RUNNERS:
@@ -419,6 +448,45 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
+
+
+def _run_strategies_listing(args: argparse.Namespace) -> int:
+    """List the registered strategies: aliases, params, pipeline composition."""
+    strategies = []
+    for name in available_strategies(include_aliases=False):
+        info = strategy_info(name)
+        composition = info.composition
+        strategies.append({
+            "name": info.name,
+            "aliases": list(info.aliases),
+            "description": info.description,
+            "params": sorted(info.params),
+            "composition": composition.to_dict() if composition is not None else None,
+        })
+    if args.json:
+        print(json.dumps({"strategies": strategies}, indent=2, default=str))
+        return 0
+    rows = []
+    for entry in strategies:
+        name = entry["name"] + (
+            f" ({', '.join(entry['aliases'])})" if entry["aliases"] else ""
+        )
+        composition = entry["composition"]
+        if composition is not None:
+            stages = " | ".join(
+                c if isinstance(c, str) else c["name"]
+                for c in (composition[k] for k in ("tour", "augment", "order", "init"))
+            )
+        else:
+            stages = "-"
+        rows.append([name, entry["description"],
+                     ", ".join(entry["params"]) or "(none)", stages])
+    print_report(format_table(
+        ["strategy (aliases)", "description", "parameters",
+         "pipeline (tour | augment | order | init)"],
+        rows, title="Registered strategies",
+    ))
+    return 0
 
 
 def _run_scenarios_listing(args: argparse.Namespace) -> int:

@@ -18,8 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.plan import LoopRoute, PatrolPlan
-from repro.core.start_points import assign_mules_to_start_points, compute_start_points
+from repro.core.plan import PatrolPlan
 from repro.graphs.hamiltonian import build_hamiltonian_circuit
 from repro.graphs.tour import Tour
 from repro.graphs.validation import validate_tour
@@ -73,49 +72,25 @@ class BTCTPPlanner:
         validate_tour(tour, expected_nodes=list(coords))
         return tour
 
+    def pipeline(self):
+        """The stage composition this planner executes (a :class:`PlanningPipeline`).
+
+        ``hamiltonian | none | as-built | equal-spacing`` (or ``depot-start``
+        when location initialisation is disabled); output is byte-identical
+        to the historical fused implementation.
+        """
+        from repro.planning.compositions import btctp_pipeline
+
+        return btctp_pipeline(
+            tsp_method=self.tsp_method,
+            improve_tour=self.improve_tour,
+            location_initialization=self.location_initialization,
+            name=self.name,
+        )
+
     def plan(self, scenario: Scenario) -> PatrolPlan:
         """Run both phases and return the per-mule patrol plan."""
-        tour = self.build_circuit(scenario)
-        loop = list(tour.order)
-        coords = tour.coordinates
-
-        routes: dict[str, LoopRoute] = {}
-        metadata: dict = {
-            "path_length": tour.length(),
-            "tour": loop,
-            "expected_visiting_interval": expected_visiting_interval(
-                tour.length(), scenario.num_mules, scenario.params.mule_velocity
-            ),
-        }
-
-        if self.location_initialization:
-            start_points = compute_start_points(loop, coords, scenario.num_mules)
-            assignment = assign_mules_to_start_points(
-                start_points,
-                {m.id: m.position for m in scenario.mules},
-                {m.id: m.remaining_energy for m in scenario.mules},
-            )
-            metadata["start_points"] = [
-                {"index": sp.index, "x": sp.position.x, "y": sp.position.y, "arc": sp.arc_length}
-                for sp in start_points
-            ]
-            for mule in scenario.mules:
-                sp = assignment.start_point_for(mule.id)
-                routes[mule.id] = LoopRoute(
-                    mule.id,
-                    loop,
-                    coords,
-                    entry_index=sp.entry_index,
-                    start=sp.position,
-                )
-        else:
-            for mule in scenario.mules:
-                nearest = tour.nearest_node(mule.position)
-                routes[mule.id] = LoopRoute(
-                    mule.id, loop, coords, entry_index=loop.index(nearest), start=None
-                )
-
-        return PatrolPlan(strategy=self.name, routes=routes, metadata=metadata)
+        return self.pipeline().plan(scenario)
 
 
 def plan_btctp(scenario: Scenario, *, tsp_method: str = "hull-insertion",

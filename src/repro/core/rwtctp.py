@@ -22,34 +22,37 @@ from dataclasses import dataclass
 from typing import Mapping
 
 from repro.core.patrol_rules import build_patrol_walk
-from repro.core.plan import AlternatingLoopRoute, PatrolPlan
-from repro.core.policies import BreakEdgePolicy, get_policy
-from repro.core.start_points import assign_mules_to_start_points, compute_start_points
+from repro.core.plan import PatrolPlan
 from repro.core.wtctp import build_weighted_patrolling_path
 from repro.energy.model import EnergyModel, patrolling_rounds
 from repro.geometry.point import Point, distance
 from repro.graphs.hamiltonian import build_hamiltonian_circuit
 from repro.graphs.multitour import MultiTour
-from repro.graphs.tour import Tour
 from repro.graphs.validation import validate_walk_visits, validate_weighted_recharge_path
 from repro.network.scenario import Scenario
 
-__all__ = ["build_weighted_recharge_path", "RWTCTPPlanner", "plan_rwtctp"]
+__all__ = [
+    "insert_recharge_station",
+    "build_weighted_recharge_path",
+    "compute_patrol_rounds",
+    "RWTCTPPlanner",
+    "plan_rwtctp",
+]
 
 
-def build_weighted_recharge_path(
+def insert_recharge_station(
     wpp: MultiTour,
     weights: Mapping[str, int],
     recharge_id: str,
     recharge_position: Point,
-    *,
-    walk_start: str,
-) -> tuple[MultiTour, list[str]]:
-    """Insert the recharge station into a WPP, producing the WRP and its walk.
+) -> MultiTour:
+    """Structure surgery only: weave the recharge station into a WPP.
 
     The break edge is the one minimising Exp. (3); both break points are
     connected to the recharge station, which therefore joins the structure as
-    a weight-1 node (Definition 5).
+    a weight-1 node (Definition 5).  This is the augment-stage half of
+    :func:`build_weighted_recharge_path`; walk extraction (the patrolling
+    rule) is a separate pipeline stage.
     """
     wrp = wpp.copy()
     wrp.add_node(recharge_id, recharge_position)
@@ -70,11 +73,37 @@ def build_weighted_recharge_path(
     wrp.break_edge(u, v, recharge_id, key=key)
 
     validate_weighted_recharge_path(wrp, weights, recharge_id)
+    return wrp
+
+
+def build_weighted_recharge_path(
+    wpp: MultiTour,
+    weights: Mapping[str, int],
+    recharge_id: str,
+    recharge_position: Point,
+    *,
+    walk_start: str,
+) -> tuple[MultiTour, list[str]]:
+    """Insert the recharge station into a WPP, producing the WRP and its walk."""
+    wrp = insert_recharge_station(wpp, weights, recharge_id, recharge_position)
     walk = build_patrol_walk(wrp, walk_start)
     combined = dict(weights)
     combined[recharge_id] = 1
     validate_walk_visits(walk, combined)
     return wrp, walk
+
+
+def compute_patrol_rounds(scenario: Scenario, wpp_length: float) -> int:
+    """Equation (4) with the scenario's energy model and mule battery capacity."""
+    model: EnergyModel = scenario.params.energy_model
+    capacities = [
+        m.battery.capacity for m in scenario.mules if m.battery is not None
+    ]
+    if not capacities:
+        raise ValueError("RW-TCTP requires mules with batteries (finite M_Energy)")
+    m_energy = min(capacities)  # plan for the weakest mule so nobody dies
+    r = patrolling_rounds(m_energy, wpp_length, scenario.num_targets, model)
+    return max(r, 1)
 
 
 @dataclass
@@ -136,76 +165,24 @@ class RWTCTPPlanner:
 
     def compute_rounds(self, scenario: Scenario, wpp_length: float) -> int:
         """Equation (4) with the scenario's energy model and mule battery capacity."""
-        model: EnergyModel = scenario.params.energy_model
-        capacities = [
-            m.battery.capacity for m in scenario.mules if m.battery is not None
-        ]
-        if not capacities:
-            raise ValueError("RW-TCTP requires mules with batteries (finite M_Energy)")
-        m_energy = min(capacities)  # plan for the weakest mule so nobody dies
-        r = patrolling_rounds(m_energy, wpp_length, scenario.num_targets, model)
-        return max(r, 1)
+        return compute_patrol_rounds(scenario, wpp_length)
+
+    def pipeline(self):
+        """The stage composition this planner executes (a :class:`PlanningPipeline`)."""
+        from repro.planning.compositions import rwtctp_pipeline
+
+        return rwtctp_pipeline(
+            policy=self.policy,
+            tsp_method=self.tsp_method,
+            improve_tour=self.improve_tour,
+            location_initialization=self.location_initialization,
+            treat_targets_as_vips=self.treat_targets_as_vips,
+            vip_weight=self.vip_weight,
+            name=self.name,
+        )
 
     def plan(self, scenario: Scenario) -> PatrolPlan:
-        structures = self.build_structures(scenario)
-        wpp: MultiTour = structures["wpp"]
-        wrp: MultiTour = structures["wrp"]
-        wpp_walk: list[str] = structures["wpp_walk"]
-        wrp_walk: list[str] = structures["wrp_walk"]
-
-        patrol_loop = wpp_walk[:-1] if wpp_walk[0] == wpp_walk[-1] else list(wpp_walk)
-        recharge_loop = wrp_walk[:-1] if wrp_walk[0] == wrp_walk[-1] else list(wrp_walk)
-        coords = wrp.coordinates  # superset: includes the recharge station
-
-        rounds = self.compute_rounds(scenario, wpp.length())
-
-        metadata: dict = {
-            "hamiltonian_length": structures["tour"].length(),
-            "wpp_length": wpp.length(),
-            "wrp_length": wrp.length(),
-            "patrol_rounds": rounds,
-            "policy": get_policy(self.policy).name,
-            "recharge_station": scenario.recharge_station.id,
-        }
-
-        routes: dict[str, AlternatingLoopRoute] = {}
-        if self.location_initialization:
-            start_points = compute_start_points(patrol_loop, coords, scenario.num_mules)
-            assignment = assign_mules_to_start_points(
-                start_points,
-                {m.id: m.position for m in scenario.mules},
-                {m.id: m.remaining_energy for m in scenario.mules},
-            )
-            for mule in scenario.mules:
-                sp = assignment.start_point_for(mule.id)
-                routes[mule.id] = AlternatingLoopRoute(
-                    mule.id,
-                    patrol_loop,
-                    recharge_loop,
-                    coords,
-                    patrol_rounds=rounds,
-                    entry_index=sp.entry_index,
-                    start=sp.position,
-                )
-        else:
-            for mule in scenario.mules:
-                nearest = min(
-                    range(len(patrol_loop)),
-                    key=lambda i: mule.position.distance_to(coords[patrol_loop[i]]),
-                )
-                routes[mule.id] = AlternatingLoopRoute(
-                    mule.id,
-                    patrol_loop,
-                    recharge_loop,
-                    coords,
-                    patrol_rounds=rounds,
-                    entry_index=nearest,
-                    start=None,
-                )
-
-        return PatrolPlan(
-            strategy=f"{self.name}[{get_policy(self.policy).name}]", routes=routes, metadata=metadata
-        )
+        return self.pipeline().plan(scenario)
 
 
 def plan_rwtctp(

@@ -17,8 +17,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-import numpy as np
-
 from repro.geometry.point import Point, as_point, distance, northmost_index
 from repro.geometry.polyline import Polyline
 

@@ -21,17 +21,58 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from repro.core.patrol_rules import build_patrol_walk
-from repro.core.plan import LoopRoute, PatrolPlan
+from repro.core.plan import PatrolPlan
 from repro.core.policies import BreakEdgePolicy, get_policy
-from repro.core.start_points import assign_mules_to_start_points, compute_start_points
-from repro.geometry.point import Point
 from repro.graphs.hamiltonian import build_hamiltonian_circuit
 from repro.graphs.multitour import MultiTour
 from repro.graphs.tour import Tour
 from repro.graphs.validation import validate_walk_visits, validate_weighted_patrolling_path
 from repro.network.scenario import Scenario
 
-__all__ = ["build_weighted_patrolling_path", "WTCTPPlanner", "plan_wtctp"]
+__all__ = [
+    "build_wpp_structure",
+    "build_weighted_patrolling_path",
+    "WTCTPPlanner",
+    "plan_wtctp",
+]
+
+
+def build_wpp_structure(
+    tour: Tour,
+    weights: Mapping[str, int],
+    policy: "str | BreakEdgePolicy" = "balanced",
+) -> tuple[MultiTour, dict[str, int]]:
+    """Phase 1 only: the WPP multigraph plus the resolved per-node weights.
+
+    This is the cycle-construction half of
+    :func:`build_weighted_patrolling_path` — the augment stage of the
+    composable planning pipeline; traversal-order extraction (the patrolling
+    rule) is a separate stage.
+
+    Returns
+    -------
+    (structure, full_weights):
+        The WPP as a :class:`MultiTour` (VIP ``g_i`` has degree ``2 w_i``) and
+        the weight of every tour node (absent nodes defaulted to 1).
+    """
+    policy_obj = get_policy(policy)
+    full_weights = {n: int(weights.get(n, 1)) for n in tour.order}
+    for node, w in full_weights.items():
+        if w < 1:
+            raise ValueError(f"weight of {node!r} must be >= 1, got {w}")
+
+    structure = MultiTour.from_tour(tour)
+    # Descending weight = descending priority (Section 3.1-B); deterministic
+    # tie-break on the identifier so all mules build the same WPP.
+    vips = sorted(
+        (n for n, w in full_weights.items() if w > 1),
+        key=lambda n: (-full_weights[n], str(n)),
+    )
+    for vip in vips:
+        policy_obj.apply(structure, vip, full_weights[vip])
+
+    validate_weighted_patrolling_path(structure, full_weights)
+    return structure, full_weights
 
 
 def build_weighted_patrolling_path(
@@ -58,24 +99,7 @@ def build_weighted_patrolling_path(
         the closed traversal walk chosen by the patrolling rule (first node
         repeated at the end).
     """
-    policy_obj = get_policy(policy)
-    full_weights = {n: int(weights.get(n, 1)) for n in tour.order}
-    for node, w in full_weights.items():
-        if w < 1:
-            raise ValueError(f"weight of {node!r} must be >= 1, got {w}")
-
-    structure = MultiTour.from_tour(tour)
-    # Descending weight = descending priority (Section 3.1-B); deterministic
-    # tie-break on the identifier so all mules build the same WPP.
-    vips = sorted(
-        (n for n, w in full_weights.items() if w > 1),
-        key=lambda n: (-full_weights[n], str(n)),
-    )
-    for vip in vips:
-        policy_obj.apply(structure, vip, full_weights[vip])
-
-    validate_weighted_patrolling_path(structure, full_weights)
-
+    structure, full_weights = build_wpp_structure(tour, weights, policy)
     start = tour.order[0]
     walk = build_patrol_walk(structure, start)
     validate_walk_visits(walk, full_weights)
@@ -85,6 +109,11 @@ def build_weighted_patrolling_path(
 @dataclass
 class WTCTPPlanner:
     """Planner object form of W-TCTP.
+
+    ``plan`` runs the declarative stage composition
+    ``hamiltonian | wpp | ccw-angle | equal-spacing`` through the composable
+    planning pipeline (:mod:`repro.planning`); the output is byte-identical
+    to the historical fused implementation.
 
     Parameters
     ----------
@@ -112,46 +141,20 @@ class WTCTPPlanner:
         structure, walk = build_weighted_patrolling_path(tour, weights, self.policy)
         return tour, structure, walk
 
+    def pipeline(self):
+        """The stage composition this planner executes (a :class:`PlanningPipeline`)."""
+        from repro.planning.compositions import wtctp_pipeline
+
+        return wtctp_pipeline(
+            policy=self.policy,
+            tsp_method=self.tsp_method,
+            improve_tour=self.improve_tour,
+            location_initialization=self.location_initialization,
+            name=self.name,
+        )
+
     def plan(self, scenario: Scenario) -> PatrolPlan:
-        tour, structure, walk = self.build_structures(scenario)
-        loop = list(walk[:-1]) if len(walk) > 1 and walk[0] == walk[-1] else list(walk)
-        coords: dict[str, Point] = structure.coordinates
-
-        metadata: dict = {
-            "hamiltonian_length": tour.length(),
-            "wpp_length": structure.length(),
-            "walk": loop,
-            "policy": get_policy(self.policy).name,
-            "vip_cycles": {
-                vip.id: [c.length for c in structure.cycles_at(vip.id, walk)]
-                for vip in scenario.vips()
-            },
-        }
-
-        routes: dict[str, LoopRoute] = {}
-        if self.location_initialization:
-            start_points = compute_start_points(loop, coords, scenario.num_mules)
-            assignment = assign_mules_to_start_points(
-                start_points,
-                {m.id: m.position for m in scenario.mules},
-                {m.id: m.remaining_energy for m in scenario.mules},
-            )
-            for mule in scenario.mules:
-                sp = assignment.start_point_for(mule.id)
-                routes[mule.id] = LoopRoute(
-                    mule.id, loop, coords, entry_index=sp.entry_index, start=sp.position
-                )
-        else:
-            for mule in scenario.mules:
-                # Without initialisation the mule enters the walk at its nearest waypoint.
-                nearest = min(
-                    range(len(loop)),
-                    key=lambda i: mule.position.distance_to(coords[loop[i]]),
-                )
-                routes[mule.id] = LoopRoute(mule.id, loop, coords, entry_index=nearest, start=None)
-
-        return PatrolPlan(strategy=f"{self.name}[{get_policy(self.policy).name}]",
-                          routes=routes, metadata=metadata)
+        return self.pipeline().plan(scenario)
 
 
 def plan_wtctp(

@@ -24,7 +24,7 @@ from repro.runner.spec import CampaignSpec, RunSpec
 from repro.scenarios import ScenarioSpec
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.recorder import SimulationResult
-from repro.workloads.generator import ScenarioConfig, generate_scenario
+from repro.workloads.generator import ScenarioConfig
 
 __all__ = [
     "ExperimentSettings",

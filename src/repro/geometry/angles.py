@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 
-from repro.geometry.point import Point, _coords
+from repro.geometry.point import _coords
 
 __all__ = [
     "normalize_angle",

@@ -12,7 +12,7 @@ provided for the ablation experiment EXT-A2 and as drop-in replacements.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Mapping, Sequence
+from typing import Callable, Hashable, Mapping
 
 import numpy as np
 

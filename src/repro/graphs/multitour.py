@@ -17,8 +17,8 @@ the Balancing-Length policy and by the validation helpers.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
-from typing import Hashable, Iterable, Mapping, Sequence
+from collections import Counter
+from typing import Hashable, Mapping, Sequence
 
 from repro.geometry.point import Point, as_point, distance
 from repro.graphs.tour import Tour

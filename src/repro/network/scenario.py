@@ -8,10 +8,9 @@ batteries, and the physical simulation parameters from Section 5.1.
 from __future__ import annotations
 
 from dataclasses import dataclass, field as dc_field
-from typing import Mapping, Sequence
 
 from repro.energy.model import EnergyModel
-from repro.geometry.point import Point, as_point
+from repro.geometry.point import Point
 from repro.network.field import Field
 from repro.network.mules import DataMule
 from repro.network.targets import RechargeStation, Sink, Target

@@ -1,0 +1,209 @@
+"""Declarative pipeline specifications: a planning strategy as data.
+
+A :class:`PipelineSpec` names one backend (plus parameters) for each of the
+four planning stages — tour, augment, order, init — the planning twin of
+:class:`repro.scenarios.ScenarioSpec`.  It round-trips losslessly through
+JSON, so composed strategies can live in run-spec files and campaign grids
+can sweep individual stages (``plan.tour``, ``plan.order``, ...) exactly the
+way they sweep ``scenario.family``.
+
+Stage values are accepted in three spellings, all equivalent:
+
+* a :class:`StageSpec` instance;
+* a dict ``{"name": "wpp", "params": {"policy": "shortest"}}``;
+* a compact string ``"wpp:policy=shortest"`` (the CLI / grid-axis form).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+from repro.planning.stages import (
+    STAGE_KINDS,
+    canonical_stage_backend,
+    validate_stage_params,
+)
+
+__all__ = ["StageSpec", "PipelineSpec", "split_stage_params", "parse_param_value"]
+
+
+def split_stage_params(text: str) -> list[str]:
+    """Split ``k=v,k=v`` on commas that are not nested inside brackets."""
+    items: list[str] = []
+    depth, current = 0, []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            items.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    items.append("".join(current))
+    return [item for item in (i.strip() for i in items) if item]
+
+
+def parse_param_value(text: str):
+    """Best-effort typed parse: JSON literals, ``none``, else the bare string."""
+    if text.lower() in ("none", "null"):
+        return None
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError:
+        return text
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a planning pipeline: backend name + parameters."""
+
+    name: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", str(self.name))
+        object.__setattr__(self, "params", dict(self.params))
+
+    # -- construction ----------------------------------------------------- #
+    @classmethod
+    def coerce(cls, value: "StageSpec | Mapping[str, Any] | str | None") -> "StageSpec":
+        """Accept a spec, a ``{"name", "params"}`` dict, or ``"name:k=v,..."``.
+
+        ``None`` coerces to the backend named ``"none"``: CLI-style parsers
+        (``--param augment=none``, grid axes) turn the literal string
+        ``"none"`` into Python ``None`` before it reaches us, and the no-op
+        augment backend is legitimately called ``none``.
+        """
+        if value is None:
+            return cls("none")
+        if isinstance(value, StageSpec):
+            return value
+        if isinstance(value, Mapping):
+            payload = dict(value)
+            name = payload.pop("name", None)
+            params = payload.pop("params", {})
+            if name is None or payload:
+                raise ValueError(
+                    f"stage spec dict must be {{'name': ..., 'params': {{...}}}}, got {dict(value)!r}"
+                )
+            return cls(name=name, params=params)
+        if isinstance(value, str):
+            name, _, rest = value.partition(":")
+            name = name.strip()
+            if not name:
+                raise ValueError(
+                    f"stage spec {value!r} needs a backend name, e.g. 'wpp' or 'wpp:policy=shortest'"
+                )
+            params: dict[str, Any] = {}
+            for item in split_stage_params(rest):
+                key, sep, raw = item.partition("=")
+                if not sep or not key.strip():
+                    raise ValueError(f"stage parameter {item!r} must look like key=value")
+                params[key.strip()] = parse_param_value(raw.strip())
+            return cls(name=name, params=params)
+        raise TypeError(f"cannot interpret {value!r} as a stage spec")
+
+    # -- serialisation ---------------------------------------------------- #
+    def to_value(self) -> "str | dict":
+        """Compact JSON value: the bare name when there are no parameters."""
+        if not self.params:
+            return self.name
+        return {"name": self.name, "params": dict(self.params)}
+
+    def compact(self) -> str:
+        """The ``"name:k=v,..."`` one-line spelling (used by listings)."""
+        if not self.params:
+            return self.name
+        rendered = ",".join(f"{k}={json.dumps(v)}" for k, v in self.params.items())
+        return f"{self.name}:{rendered}"
+
+    def with_params(self, **params: Any) -> "StageSpec":
+        return replace(self, params={**self.params, **params})
+
+
+@dataclass(frozen=True)
+class PipelineSpec:
+    """A four-stage planning pipeline as data (tour | augment | order | init)."""
+
+    tour: StageSpec = field(default_factory=lambda: StageSpec("hamiltonian"))
+    augment: StageSpec = field(default_factory=lambda: StageSpec("none"))
+    order: StageSpec = field(default_factory=lambda: StageSpec("as-built"))
+    init: StageSpec = field(default_factory=lambda: StageSpec("equal-spacing"))
+
+    def __post_init__(self) -> None:
+        for kind in STAGE_KINDS:
+            object.__setattr__(self, kind, StageSpec.coerce(getattr(self, kind)))
+
+    # -- access ----------------------------------------------------------- #
+    def stage(self, kind: str) -> StageSpec:
+        if kind not in STAGE_KINDS:
+            raise ValueError(f"unknown stage kind {kind!r}; expected one of {STAGE_KINDS}")
+        return getattr(self, kind)
+
+    def stages(self) -> list[tuple[str, StageSpec]]:
+        """The ``(kind, stage spec)`` pairs in execution order."""
+        return [(kind, getattr(self, kind)) for kind in STAGE_KINDS]
+
+    def with_stage(self, kind: str, value: "StageSpec | Mapping | str") -> "PipelineSpec":
+        self.stage(kind)  # raises on unknown kind
+        return replace(self, **{kind: StageSpec.coerce(value)})
+
+    def compact(self) -> str:
+        """One-line composition summary: ``"tour | augment | order | init"``."""
+        return " | ".join(spec.compact() for _, spec in self.stages())
+
+    # -- validation ------------------------------------------------------- #
+    def validate(self) -> "PipelineSpec":
+        """Raise :class:`ValueError` on unknown backends, bad params or an
+        impossible stage combination — all without building anything."""
+        for kind, spec in self.stages():
+            validate_stage_params(kind, spec.name, spec.params)
+        tour = canonical_stage_backend("tour", self.tour.name)
+        augment = canonical_stage_backend("augment", self.augment.name)
+        order = canonical_stage_backend("order", self.order.name)
+        init = canonical_stage_backend("init", self.init.name)
+        if tour == "pool" and order != "stochastic":
+            raise ValueError(
+                "the 'pool' tour backend provides only a candidate set — no "
+                "circuit to traverse; combine it with order='stochastic'"
+            )
+        if augment != "none" and order not in ("ccw-angle", "reversed"):
+            raise ValueError(
+                f"order backend {order!r} cannot traverse a weighted structure "
+                f"(augment={augment!r}); use 'ccw-angle' or 'reversed'"
+            )
+        if order == "stochastic":
+            if augment != "none":
+                raise ValueError("the stochastic order backend requires augment='none'")
+            if init != "depot-start":
+                raise ValueError(
+                    "the stochastic order backend requires init='depot-start' "
+                    "(stochastic routes have no lap to space mules along)"
+                )
+        return self
+
+    # -- serialisation ---------------------------------------------------- #
+    def to_dict(self) -> dict:
+        return {kind: spec.to_value() for kind, spec in self.stages()}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PipelineSpec":
+        payload = dict(data)
+        unknown = sorted(set(payload) - set(STAGE_KINDS))
+        if unknown:
+            raise ValueError(
+                f"unknown pipeline stage(s): {', '.join(unknown)}; "
+                f"allowed: {', '.join(STAGE_KINDS)}"
+            )
+        return cls(**{k: StageSpec.coerce(v) for k, v in payload.items()})
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PipelineSpec":
+        return cls.from_dict(json.loads(text))

@@ -48,8 +48,10 @@ from repro.baselines.base import (
     filter_strategy_kwargs,
     strategy_info,
     strategy_params,
+    validate_strategy_params,
 )
 from repro.network.scenario import SimulationParameters
+from repro.planning.stages import STAGE_KINDS
 from repro.runner.record_metrics import available_metrics, metric_name
 from repro.scenarios.registry import scenario_family_params
 from repro.scenarios.spec import ScenarioSpec, spec_from_scenario_config
@@ -225,14 +227,9 @@ class RunSpec:
         Use this on hand-written single-run specs, where a typo'd parameter
         should surface instead of being filtered away by campaign expansion.
         """
-        accepted = strategy_params(self.strategy)  # raises on unknown strategy
-        if strategy_info(self.strategy).strict:
-            unknown = sorted(set(self.params) - accepted)
-            if unknown:
-                raise ValueError(
-                    f"run spec params not accepted by strategy {self.strategy!r}: "
-                    f"{', '.join(unknown)}; accepted: {', '.join(sorted(accepted)) or '(none)'}"
-                )
+        # Unknown strategy, undeclared params, out-of-range values (via the
+        # strategy's registered validator) — all before any simulation.
+        validate_strategy_params(self.strategy, self.params)
         self.scenario.validate()  # unknown family / undeclared or out-of-range params
         self.validate_metrics()
         return self
@@ -290,11 +287,22 @@ def _apply_axis(
         return replace(spec, scenario=spec.scenario.with_params(**{name: value}))
     if scope == "sim" or (not scope and name in _SIM_FIELDS):
         return replace(spec, sim=replace(spec.sim, **{name: value}))
+    if scope == "plan":
+        # "plan.tour" / "plan.order" / ...: a planning-pipeline stage axis.
+        # Stage axes are strategy parameters of the same name (the 'pipeline'
+        # strategy declares all four), so they sweep like any other param.
+        if name not in STAGE_KINDS:
+            raise ValueError(
+                f"unknown grid axis {axis!r}: 'plan.' axes must name a pipeline "
+                f"stage ({', '.join(STAGE_KINDS)})"
+            )
+        return replace(spec, params={**spec.params, name: value})
     if scope in ("", "params"):
         return replace(spec, params={**spec.params, name: value})
     raise ValueError(
         f"unknown grid axis {axis!r}: use 'strategy', 'seed', 'scenario.family', a "
-        "scenario/sim field name, or an explicit 'scenario.'/'sim.'/'params.' prefix"
+        "scenario/sim field name, a 'plan.<stage>' axis, or an explicit "
+        "'scenario.'/'sim.'/'params.' prefix"
     )
 
 
@@ -393,11 +401,11 @@ class CampaignSpec:
             scope, _, name = axis.partition(".")
             if not name:
                 scope, name = "", axis
-            if scope and scope not in ("scenario", "sim", "params"):
+            if scope and scope not in ("scenario", "sim", "params", "plan"):
                 raise ValueError(
                     f"unknown grid axis {axis!r}: use 'strategy', 'seed', "
-                    "'scenario.family', a scenario/sim field name, or an explicit "
-                    "'scenario.'/'sim.'/'params.' prefix"
+                    "'scenario.family', a scenario/sim field name, a 'plan.<stage>' "
+                    "axis, or an explicit 'scenario.'/'sim.'/'params.' prefix"
                 )
             if scope == "scenario":
                 if name in _FAMILY_AXES or name == "seed" or name in scenario_params:
@@ -407,6 +415,11 @@ class CampaignSpec:
                     f"grid axis {axis!r} names a parameter declared by none of the "
                     f"campaign's scenario families ({', '.join(repr(f) for f in families)})"
                 )
+            if scope == "plan" and name not in STAGE_KINDS:
+                raise ValueError(
+                    f"unknown grid axis {axis!r}: 'plan.' axes must name a pipeline "
+                    f"stage ({', '.join(STAGE_KINDS)})"
+                )
             if scope == "sim" or (not scope and name in ("strategy", "seed")):
                 continue
             if not scope and (name in _FAMILY_AXES or name in scenario_params
@@ -414,6 +427,12 @@ class CampaignSpec:
                 continue
             if not strict or any(name in strategy_params(s) for s in strategies):
                 continue
+            if scope == "plan":
+                raise ValueError(
+                    f"grid axis {axis!r} sweeps a pipeline stage, but none of "
+                    f"{', '.join(repr(s) for s in strategies)} declares a {name!r} "
+                    "parameter — use the 'pipeline' strategy for stage sweeps"
+                )
             if scope == "params":
                 raise ValueError(
                     f"grid axis {axis!r} names a parameter declared by none of "
@@ -492,6 +511,14 @@ class CampaignSpec:
                 if axis != "seed":
                     labels[axis] = value
             spec = replace(spec, scenario=spec.scenario.restricted_to_family().validate())
+            # Strategy-side pre-run validation, symmetric to the scenario
+            # validation above: a typo'd stage name or out-of-range strategy
+            # param in any cell fails here, before any simulation runs.  The
+            # validator sees the params the cells will actually carry (the
+            # strategy's declared subset of the shared parameter set).
+            validate_strategy_params(
+                spec.strategy, filter_strategy_kwargs(spec.strategy, spec.params)
+            )
             for k, seed in enumerate(self.seeds(base_seed=spec.seed)):
                 cell = replace(spec, seed=seed, labels={**labels, "replication": k})
                 cells.append(cell.with_strategy_defaults())

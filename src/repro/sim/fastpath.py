@@ -36,6 +36,13 @@ fast path cannot reproduce exactly fall back to the event loop:
 * pathological zero-length laps (the event loop's behaviour — spinning at a
   single instant — is preserved by falling back).
 
+Eligibility is decided per *route class*, not per strategy name, so
+strategies composed through the planning pipeline (:mod:`repro.planning`) —
+including new cross-combinations like ``sw-tctp`` or ``cb-tctp`` — ride the
+fast path automatically whenever they emit plain loop routes; recharge
+compositions (``rw-tctp``, ``crw-tctp``) fall back exactly like the fused
+planners did.
+
 Toggle with :attr:`repro.sim.engine.SimulationConfig.fast_path`; the
 equivalence tests in ``tests/test_fastpath.py`` assert byte-identical results
 against the event loop for every eligible strategy family.

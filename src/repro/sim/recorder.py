@@ -12,8 +12,6 @@ that append records still see fresh data.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
-
 import numpy as np
 
 __all__ = ["VisitRecord", "DeliveryRecord", "MuleTrace", "SimulationResult"]

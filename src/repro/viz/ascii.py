@@ -35,7 +35,8 @@ def ascii_field_map(scenario: Scenario, *, cols: int = 60, rows: int = 24,
         raise ValueError("map must be at least 10x5 characters")
     grid = _grid(cols, rows)
     field = scenario.field
-    place = lambda p: _project(as_point(p), field.width, field.height, cols, rows, field.origin)
+    def place(p):
+        return _project(as_point(p), field.width, field.height, cols, rows, field.origin)
 
     for target in scenario.targets:
         r, c = place(target.position)

@@ -30,7 +30,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.energy.battery import Battery
-from repro.geometry.point import Point, distance
+from repro.geometry.point import Point
 from repro.network.field import Cluster, Field
 from repro.network.mules import DataMule
 from repro.network.scenario import Scenario, SimulationParameters

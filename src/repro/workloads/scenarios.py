@@ -9,8 +9,6 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
-
 from repro.energy.battery import Battery
 from repro.geometry.point import Point
 from repro.network.field import Field

@@ -13,7 +13,7 @@ from repro.graphs.tour import Tour
 from repro.network.field import Field
 from repro.network.mules import DataMule
 from repro.network.scenario import Scenario, SimulationParameters
-from repro.network.targets import RechargeStation, Sink, Target
+from repro.network.targets import Sink, Target
 from repro.workloads.scenarios import figure1_scenario, grid_scenario, single_vip_scenario
 
 

@@ -1,7 +1,5 @@
 """Unit tests for repro.analysis.theory (closed-form steady-state predictions)."""
 
-import math
-
 import pytest
 
 from repro.analysis.theory import (

@@ -34,11 +34,19 @@ class TestStrategiesCommand:
         assert main(["strategies"]) == 0
         out = capsys.readouterr().out
         assert "b-tctp" in out and "chb" in out
+        # the listing shows the pipeline composition of each strategy
+        assert "hamiltonian | none | as-built | equal-spacing" in out
 
     def test_json_output(self, capsys):
         assert main(["strategies", "--json"]) == 0
-        names = json.loads(capsys.readouterr().out)
-        assert "rw-tctp" in names
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {s["name"]: s for s in payload["strategies"]}
+        assert "rw-tctp" in by_name
+        assert by_name["rw-tctp"]["aliases"] == ["rwtctp"]
+        assert "policy" in by_name["rw-tctp"]["params"]
+        assert by_name["w-tctp"]["composition"]["augment"]["name"] == "wpp"
+        # the new cross-combined strategies are listed too
+        assert {"sw-tctp", "cb-tctp", "crw-tctp", "pipeline"} <= set(by_name)
 
 
 class TestScenariosCommand:
@@ -85,6 +93,56 @@ class TestScenarioOption:
     def test_simulate_non_numeric_value_clean_error(self, capsys):
         assert main(["simulate", "--scenario", "ring:num_targets=abc"]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestParamOption:
+    BASE = ["simulate", "--targets", "6", "--mules", "2", "--horizon", "5000", "--json"]
+
+    def test_pipeline_strategy_with_stage_params(self, capsys):
+        code = main(self.BASE + ["--strategy", "pipeline",
+                                 "--param", "tour=cluster-first",
+                                 "--param", "order=reversed"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"] == "Pipeline[cluster-first|none|reversed|equal-spacing]"
+
+    def test_augment_none_is_the_noop_backend(self, capsys):
+        # 'none' parses to Python None at the CLI layer; it must still mean
+        # the augment backend literally named "none"
+        code = main(self.BASE + ["--strategy", "pipeline", "--param", "augment=none"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "|none|" in payload["strategy"]
+
+    def test_pipeline_recharge_autoprovisions_station(self, capsys):
+        # composition-based recharge detection must honour --param overrides
+        code = main(self.BASE + ["--strategy", "pipeline",
+                                 "--param", "augment=recharge",
+                                 "--param", "order=ccw-angle"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["strategy"].startswith("Pipeline[hamiltonian|recharge")
+
+    def test_incompatible_stages_clean_error(self, capsys):
+        code = main(self.BASE + ["--strategy", "pipeline",
+                                 "--param", "augment=wpp", "--param", "order=as-built"])
+        assert code == 2
+        assert "cannot traverse a weighted structure" in capsys.readouterr().err
+
+    def test_stage_typo_clean_error_with_suggestion(self, capsys):
+        code = main(self.BASE + ["--strategy", "pipeline", "--param", "tour=hamiltonain"])
+        assert code == 2
+        assert "did you mean 'hamiltonian'" in capsys.readouterr().err
+
+    def test_out_of_range_param_clean_error(self, capsys):
+        code = main(self.BASE + ["--strategy", "cb-tctp", "--param", "num_clusters=-5"])
+        assert code == 2
+        assert "num_clusters" in capsys.readouterr().err
+
+    def test_malformed_param_clean_error(self, capsys):
+        code = main(self.BASE + ["--strategy", "b-tctp", "--param", "tsp_method"])
+        assert code == 2
+        assert "key=value" in capsys.readouterr().err
 
     def test_sweep_non_numeric_value_clean_error(self, capsys):
         code = main(["sweep", "--scenario", "ring:ring_width=-5x",

@@ -3,10 +3,9 @@
 import pytest
 
 from repro.core.plan import AlternatingLoopRoute
-from repro.core.rwtctp import RWTCTPPlanner, build_weighted_recharge_path, plan_rwtctp
+from repro.core.rwtctp import build_weighted_recharge_path, plan_rwtctp
 from repro.core.wtctp import build_weighted_patrolling_path
-from repro.energy.model import EnergyModel, patrolling_rounds
-from repro.geometry.point import Point
+from repro.energy.model import patrolling_rounds
 from repro.graphs.hamiltonian import build_hamiltonian_circuit
 from repro.graphs.validation import validate_walk_visits, validate_weighted_recharge_path
 from repro.sim.engine import PatrolSimulator, SimulationConfig

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.wtctp import WTCTPPlanner, build_weighted_patrolling_path, plan_wtctp
+from repro.core.wtctp import build_weighted_patrolling_path, plan_wtctp
 from repro.graphs.hamiltonian import build_hamiltonian_circuit
 from repro.graphs.validation import validate_walk_visits, validate_weighted_patrolling_path
 from repro.sim.engine import PatrolSimulator, SimulationConfig

@@ -4,8 +4,6 @@ These tests check the *shape* claims of the paper's figures on small but real
 experiment runs — they are the automated counterpart of EXPERIMENTS.md.
 """
 
-import math
-
 import numpy as np
 import pytest
 

@@ -15,7 +15,6 @@ import pytest
 
 from repro.baselines.base import get_strategy
 from repro.core.plan import LoopRoute, PatrolPlan
-from repro.geometry.point import Point
 from repro.runner import Campaign, CampaignSpec, RunSpec
 from repro.scenarios import ScenarioSpec
 from repro.sim.engine import PatrolSimulator, SimulationConfig

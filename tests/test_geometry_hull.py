@@ -1,7 +1,6 @@
 """Unit tests for repro.geometry.hull (Andrew monotone chain convex hull)."""
 
 import numpy as np
-import pytest
 
 from repro.geometry.hull import convex_hull, convex_hull_indices, point_in_hull
 from repro.geometry.point import Point

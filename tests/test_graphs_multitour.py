@@ -177,3 +177,69 @@ class TestCyclesAt:
         square_multitour.add_edge("a", "c")
         g = square_multitour.as_networkx()
         assert g.number_of_edges() == 5
+
+
+class TestEdgeCaseScenarios:
+    """PR-4 satellite: single-target scenarios, all-equal weights, weight-1 VIPs."""
+
+    def test_single_target_plus_sink_structure(self):
+        # The smallest patrollable scenario: one target and the sink, joined
+        # by two parallel edges (out and back) — a valid Eulerian structure.
+        mt = MultiTour({"sink": Point(0, 0), "t": Point(10, 0)})
+        mt.add_edge("sink", "t")
+        mt.add_edge("sink", "t")
+        assert mt.is_eulerian()
+        walk = mt.euler_circuit(start="sink")
+        assert walk[0] == walk[-1] == "sink"
+        assert mt.visit_counts(walk) == {"sink": 1, "t": 1}
+        assert mt.length() == pytest.approx(20.0)
+
+    def test_single_target_scenario_end_to_end(self):
+        from repro.baselines.base import get_strategy
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario("uniform", num_targets=1, num_mules=1, seed=3)
+        for strategy in ("b-tctp", "chb", "sweep", "w-tctp"):
+            plan = get_strategy(strategy).plan(scenario.fresh_copy())
+            loop = plan.routes[scenario.mules[0].id].loop
+            assert sorted(set(loop)) == sorted({scenario.sink.id, scenario.targets[0].id})
+
+    def test_all_equal_vip_weights_balanced_degrees(self, square_tour):
+        # Every target weight 2: each node must end with degree 4, and the
+        # walk must visit each exactly twice per lap.
+        from repro.core.wtctp import build_weighted_patrolling_path
+
+        weights = {n: 2 for n in square_tour.order}
+        structure, walk = build_weighted_patrolling_path(square_tour, weights, "shortest")
+        for node in square_tour.order:
+            assert structure.degree(node) == 4
+            assert structure.cycles_through(node) == 2
+        assert structure.visit_counts(walk) == weights
+
+    def test_weight_one_vips_are_noops(self, square_tour):
+        # "VIPs" of weight 1 must leave the structure untouched: the WPP is
+        # exactly the lifted Hamiltonian circuit, for both policies.
+        from repro.core.wtctp import build_wpp_structure
+
+        base = MultiTour.from_tour(square_tour)
+        for policy in ("shortest", "balanced"):
+            structure, full = build_wpp_structure(
+                square_tour, {n: 1 for n in square_tour.order}, policy
+            )
+            assert sorted(structure.edges()) == sorted(base.edges())
+            assert structure.weight_profile() == {n: 1 for n in square_tour.order}
+
+    def test_weight_one_vip_scenario_matches_unweighted_plan(self):
+        # A scenario whose "VIPs" all have weight 1 must produce the same
+        # W-TCTP walk as a plain B-TCTP circuit (every node once per lap).
+        from repro.baselines.base import get_strategy
+        from repro.scenarios import get_scenario
+
+        scenario = get_scenario("uniform", num_targets=8, num_mules=2,
+                                num_vips=3, vip_weight=1, seed=5)
+        w_plan = get_strategy("w-tctp").plan(scenario.fresh_copy())
+        b_plan = get_strategy("b-tctp").plan(scenario.fresh_copy())
+        w_loop = next(iter(w_plan.routes.values())).loop
+        b_loop = next(iter(b_plan.routes.values())).loop
+        assert sorted(w_loop) == sorted(b_loop)  # same node multiset: no VIP expansion
+        assert len(set(w_loop)) == len(w_loop)   # every node exactly once

@@ -131,3 +131,38 @@ class TestValidateWalkVisits:
     def test_open_walk_counts_endpoints_once(self):
         # no closing repetition: every node counted exactly once
         validate_walk_visits(["a", "b", "c"], {"a": 1, "b": 1, "c": 1})
+
+
+class TestEdgeCases:
+    """PR-4 satellite: single-target, all-equal weights, weight-1 VIP checks."""
+
+    def test_single_node_tour_valid(self):
+        validate_tour(Tour(["only"], {"only": Point(0, 0)}), expected_nodes=["only"])
+
+    def test_two_node_parallel_edge_wpp(self):
+        mt = MultiTour({"sink": Point(0, 0), "t": Point(5, 0)})
+        mt.add_edge("sink", "t")
+        mt.add_edge("sink", "t")
+        validate_weighted_patrolling_path(mt, {"sink": 1, "t": 1})
+
+    def test_all_equal_weights_validated(self):
+        mt = MultiTour({c: Point(i, 0) for i, c in enumerate("abc")})
+        for pair in (("a", "b"), ("b", "c"), ("c", "a")):
+            mt.add_edge(*pair)
+            mt.add_edge(*pair)  # weight 2 everywhere: degree 4 at each node
+        validate_weighted_patrolling_path(mt, {"a": 2, "b": 2, "c": 2})
+        validate_walk_visits(["a", "b", "c", "a", "b", "c", "a"],
+                             {"a": 2, "b": 2, "c": 2})
+
+    def test_weight_one_vip_is_plain_cycle(self):
+        # weight-1 "VIPs" demand degree 2 — i.e. no augmentation at all
+        mt = MultiTour({c: Point(i, i) for i, c in enumerate("abcd")})
+        for pair in (("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")):
+            mt.add_edge(*pair)
+        validate_weighted_patrolling_path(mt, {c: 1 for c in "abcd"})
+        validate_walk_visits(["a", "b", "c", "d", "a"], {c: 1 for c in "abcd"})
+
+    def test_weight_one_walk_with_repeat_rejected(self):
+        # visiting a weight-1 target twice per lap violates Definition 3
+        with pytest.raises(ValidationError):
+            validate_walk_visits(["a", "b", "a", "b", "a"], {"a": 1, "b": 1})

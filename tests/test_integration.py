@@ -4,8 +4,6 @@ These exercise the public API exactly the way the examples and the experiment
 harness do, and assert the cross-cutting invariants the paper relies on.
 """
 
-import math
-
 import pytest
 
 from repro import (

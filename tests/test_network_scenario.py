@@ -4,10 +4,9 @@ import pytest
 
 from repro.energy.battery import Battery
 from repro.geometry.point import Point
-from repro.network.field import Field
 from repro.network.mules import DataMule
 from repro.network.scenario import Scenario, SimulationParameters
-from repro.network.targets import RechargeStation, Sink, Target
+from repro.network.targets import Sink, Target
 
 
 class TestSimulationParameters:

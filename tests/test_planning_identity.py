@@ -1,0 +1,89 @@
+"""PR-4 byte-identity: composed pipelines reproduce the fused planners exactly.
+
+The golden files under ``tests/golden/`` were captured by running the
+*pre-refactor* fused planners (the seed of PR 4):
+
+* ``pr4_plans.json`` — 24 serialized :class:`PatrolPlan`\\ s covering every
+  legacy strategy (all six, with their parameter variants) on three fixture
+  scenarios;
+* ``pr4_experiments.json`` — the full output of all eight figure/ablation
+  experiments under ``ExperimentSettings.quick()``.
+
+These tests re-run the same inputs through the composed stage pipeline and
+require exact equality — floats compared through ``repr`` (plans) and JSON
+round-trips (experiments), i.e. bit-for-bit.
+"""
+
+import contextlib
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from plan_golden import golden_scenarios, golden_strategy_calls, serialize_plan
+from repro.baselines.base import get_strategy
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return golden_scenarios()
+
+
+def _golden_plans():
+    return json.loads((GOLDEN_DIR / "pr4_plans.json").read_text())
+
+
+class TestGoldenPlans:
+    def test_golden_covers_declared_calls(self):
+        golden = _golden_plans()
+        declared = [(key, strategy, kwargs) for key, strategy, kwargs in golden_strategy_calls()]
+        captured = [(e["scenario"], e["strategy"], e["kwargs"]) for e in _golden_plans()]
+        assert len(golden) == len(declared)
+        assert captured == declared
+
+    def test_all_legacy_strategies_covered(self):
+        strategies = {e["strategy"] for e in _golden_plans()}
+        assert strategies == {"random", "sweep", "chb", "b-tctp", "w-tctp", "rw-tctp"}
+
+    @pytest.mark.parametrize("index", range(len(golden_strategy_calls())),
+                             ids=lambda i: "{0[1]}-{0[0]}-{1}".format(
+                                 golden_strategy_calls()[i], i))
+    def test_plan_byte_identical(self, scenarios, index):
+        entry = _golden_plans()[index]
+        scenario = scenarios[entry["scenario"]].fresh_copy()
+        plan = get_strategy(entry["strategy"], **entry["kwargs"]).plan(scenario)
+        assert serialize_plan(plan) == entry["plan"]
+
+
+class TestGoldenExperiments:
+    """All eight figure/ablation experiments, byte-identical to the seed."""
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        return json.loads((GOLDEN_DIR / "pr4_experiments.json").read_text())
+
+    @pytest.mark.parametrize("name", [
+        "fig7", "fig8", "fig9", "fig10",
+        "energy", "ablation-init", "ablation-tsp", "ablation-mules",
+    ])
+    def test_experiment_records_identical(self, golden, name):
+        from repro.cli import _jsonable
+        from repro.experiments import (
+            ablation_init, ablation_mules, ablation_tsp, ext_energy,
+            fig10_policy_sd, fig7_dcdt, fig8_sd, fig9_policy_dcdt,
+        )
+        from repro.experiments.common import ExperimentSettings
+
+        mains = {
+            "fig7": fig7_dcdt.main, "fig8": fig8_sd.main,
+            "fig9": fig9_policy_dcdt.main, "fig10": fig10_policy_sd.main,
+            "energy": ext_energy.main, "ablation-init": ablation_init.main,
+            "ablation-tsp": ablation_tsp.main, "ablation-mules": ablation_mules.main,
+        }
+        with contextlib.redirect_stdout(io.StringIO()):
+            data = mains[name](ExperimentSettings.quick())
+        got = json.loads(json.dumps(_jsonable(data), default=float))
+        assert got == golden[name], f"{name} records drifted from the pre-refactor seed"
