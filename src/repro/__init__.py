@@ -84,6 +84,7 @@ from repro.scenarios import (
     scenario_family_params,
 )
 from repro.sim import PatrolSimulator, SimulationConfig, SimulationResult
+from repro.store import ResultStore, run_fingerprint
 from repro.workloads import (
     ScenarioConfig,
     generate_scenario,
@@ -94,7 +95,7 @@ from repro.workloads import (
     grid_scenario,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "__version__",
@@ -136,6 +137,9 @@ __all__ = [
     "CampaignResult",
     "execute_run",
     "load_spec",
+    # persistent result store
+    "ResultStore",
+    "run_fingerprint",
     # simulator
     "PatrolSimulator",
     "SimulationConfig",

@@ -19,6 +19,15 @@ Sweep several strategies over seeded replications, in parallel::
 
     python -m repro sweep --strategies b-tctp,sweep --replications 8 --workers 4 --json
 
+Resume a sweep from the persistent result store, with progress on stderr::
+
+    python -m repro sweep --strategies chb,b-tctp --store ~/.cache/repro-store --progress
+
+Inspect / aggregate the store across past campaigns (see ``docs/STORE.md``)::
+
+    python -m repro store stats
+    python -m repro report --by strategy --metrics average_sd
+
 List what is available (strategies, scenario families + parameters)::
 
     python -m repro strategies
@@ -80,6 +89,13 @@ from repro.planning.stages import canonical_stage_backend
 from repro.scenarios.registry import REQUIRED
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.metrics import average_dcdt, average_sd, interval_statistics, max_visiting_interval
+from repro.store import ResultStore, default_store, parse_filter_expression
+from repro.store.report import (
+    entry_rows,
+    export_records_csv,
+    export_records_json,
+    summarize_records,
+)
 from repro.workloads.generator import ScenarioConfig
 
 __all__ = ["main", "build_parser"]
@@ -127,6 +143,18 @@ def _add_scenario_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clustered", action="store_true", help="use disconnected target clusters")
 
 
+def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """Resumable-execution flags shared by the run/sweep subcommands."""
+    parser.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
+                        help="resume from / write back to a persistent result store; "
+                             "with no DIR, uses $REPRO_STORE_DIR (or the user cache "
+                             "directory)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="never touch a result store, even when REPRO_STORE_DIR is set")
+    parser.add_argument("--progress", action="store_true",
+                        help="print done/total progress (and store hits/misses) to stderr")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
     parser = argparse.ArgumentParser(
@@ -151,6 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--json", action="store_true", help="emit the tidy records as JSON")
     run.add_argument("--out", default=None, help="also save records (+ spec) to this JSON file")
     run.add_argument("--csv", default=None, help="also export the scalar columns to this CSV file")
+    _add_store_arguments(run)
 
     sweep = sub.add_parser(
         "sweep", help="cross strategies with seeded replications and run them as a campaign"
@@ -168,6 +197,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--csv", default=None, help="also export the records to this CSV file")
     sweep.add_argument("--spec-out", default=None,
                        help="write the generated CampaignSpec to this JSON file and exit")
+    _add_store_arguments(sweep)
 
     for name, runner in _FIGURE_RUNNERS.items():
         p = sub.add_parser(name, help=_FIGURE_HELP[name])
@@ -189,6 +219,49 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list the registered scenario families and their parameters"
     )
     fams.add_argument("--json", action="store_true")
+
+    store = sub.add_parser(
+        "store", help="inspect / maintain the persistent result store (see docs/STORE.md)"
+    )
+    store.add_argument("action", choices=["list", "stats", "gc", "clear", "export"],
+                       help="list entries, show stats, sweep stale entries, drop "
+                            "everything, or export stored records to CSV/JSON")
+    store.add_argument("--dir", default=None, metavar="DIR",
+                       help="store directory (default: $REPRO_STORE_DIR)")
+    store.add_argument("--strategy", default=None,
+                       help="list/export: filter by strategy registry name")
+    store.add_argument("--family", default=None, help="list/export: filter by scenario family")
+    store.add_argument("--where", action="append", metavar="KEY=VALUE",
+                       help="list/export: extra record/spec filter (repeatable): key=value, "
+                            "key=lo..hi (inclusive range) or key=a|b|c (membership)")
+    store.add_argument("--limit", type=int, default=None,
+                       help="list/export: cap the number of entries")
+    store.add_argument("--max-age-days", type=float, default=None,
+                       help="gc: also remove entries older than this many days")
+    store.add_argument("--keep-other-versions", action="store_true",
+                       help="gc: keep entries written by other library versions")
+    store.add_argument("--out", default=None, help="export: write records to this JSON file")
+    store.add_argument("--csv", default=None, help="export: write records to this CSV file")
+    store.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    report = sub.add_parser(
+        "report",
+        help="aggregate stored records across past campaigns (group means per strategy/...)",
+    )
+    report.add_argument("--dir", default=None, metavar="DIR",
+                        help="store directory (default: $REPRO_STORE_DIR)")
+    report.add_argument("--strategy", default=None, help="filter by strategy registry name")
+    report.add_argument("--family", default=None, help="filter by scenario family")
+    report.add_argument("--where", action="append", metavar="KEY=VALUE",
+                        help="extra record/spec filter (repeatable): key=value, "
+                             "key=lo..hi or key=a|b|c")
+    report.add_argument("--metrics", default="average_dcdt,average_sd",
+                        help="comma-separated record columns to average")
+    report.add_argument("--by", default="strategy",
+                        help="comma-separated grouping columns (default: strategy)")
+    report.add_argument("--limit", type=int, default=None, help="cap the number of entries")
+    report.add_argument("--csv", default=None, help="also write the summary table to this CSV file")
+    report.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     return parser
 
 
@@ -342,6 +415,31 @@ def _run_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cli_store_arg(args: argparse.Namespace):
+    """The ``store=`` value of a run/sweep invocation (``--no-store`` wins)."""
+    if getattr(args, "no_store", False):
+        return False
+    return getattr(args, "store", None)
+
+
+def _progress_callback(args: argparse.Namespace):
+    """``progress(done, total)`` printer for ``--progress`` (stderr), else None."""
+    if not getattr(args, "progress", False):
+        return None
+
+    def _print_progress(done: int, total: int) -> None:
+        print(f"progress: {done}/{total}", file=sys.stderr)
+
+    return _print_progress
+
+
+def _report_store_counts(result: CampaignResult, args: argparse.Namespace) -> None:
+    info = result.metadata.get("store")
+    if info and getattr(args, "progress", False):
+        print(f"store: {info['hits']} hits, {info['misses']} misses ({info['root']})",
+              file=sys.stderr)
+
+
 def _emit_campaign_result(result: CampaignResult, args: argparse.Namespace, title: str) -> None:
     if args.out:
         result.save_json(args.out)
@@ -372,7 +470,8 @@ def _run_spec_file(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     # Execution errors are bugs, not bad specs — let them traceback.
-    result = campaign.run()
+    result = campaign.run(progress=_progress_callback(args), store=_cli_store_arg(args))
+    _report_store_counts(result, args)
     kind = "campaign" if isinstance(spec, CampaignSpec) else "run"
     _emit_campaign_result(result, args, title=f"Records of {kind} spec {args.spec}")
     return 0
@@ -417,7 +516,8 @@ def _run_sweep(args: argparse.Namespace) -> int:
         Path(args.spec_out).write_text(spec.to_json() + "\n")
         print(f"wrote campaign spec to {args.spec_out}")
         return 0
-    result = campaign.run()
+    result = campaign.run(progress=_progress_callback(args), store=_cli_store_arg(args))
+    _report_store_counts(result, args)
     _emit_campaign_result(
         result, args,
         title=f"Sweep of {', '.join(strategies)} x {args.replications} replications",
@@ -440,6 +540,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_strategies_listing(args)
     if args.command == "scenarios":
         return _run_scenarios_listing(args)
+    if args.command == "store":
+        return _run_store_command(args)
+    if args.command == "report":
+        return _run_report_command(args)
     if args.command in _FIGURE_RUNNERS:
         settings = _settings_from_args(args)
         data = _FIGURE_RUNNERS[args.command](settings)
@@ -522,6 +626,170 @@ def _run_scenarios_listing(args: argparse.Namespace) -> int:
     print_report(format_table(
         ["family (aliases)", "description", "parameters"], rows,
         title="Registered scenario families",
+    ))
+    return 0
+
+
+def _open_store(args: argparse.Namespace) -> "ResultStore | None":
+    """The store a ``store``/``report`` invocation addresses (``--dir`` wins)."""
+    if args.dir:
+        return ResultStore(args.dir)
+    store = default_store()
+    if store is None:
+        print("error: no result store configured: pass --dir DIR or set REPRO_STORE_DIR",
+              file=sys.stderr)
+    return store
+
+
+def _parse_where(args: argparse.Namespace) -> dict:
+    filters = {}
+    for item in getattr(args, "where", None) or []:
+        key, condition = parse_filter_expression(item)
+        filters[key] = condition
+    return filters
+
+
+# Which store-command flags each action consumes; anything else given on the
+# command line is a mistake that must not be silently ignored ("store gc
+# --strategy chb" scoping a deletion that gc cannot scope).
+_STORE_ACTION_FLAGS = {
+    "list": ("strategy", "family", "where", "limit"),
+    "stats": (),
+    "gc": ("max_age_days", "keep_other_versions"),
+    "clear": (),
+    "export": ("strategy", "family", "where", "limit", "out", "csv"),
+}
+_STORE_FLAG_DEFAULTS = {
+    "strategy": None, "family": None, "where": None, "limit": None,
+    "max_age_days": None, "keep_other_versions": False, "out": None, "csv": None,
+}
+
+
+def _reject_unused_store_flags(args: argparse.Namespace) -> "str | None":
+    """The first flag the chosen store action would silently ignore, if any."""
+    allowed = _STORE_ACTION_FLAGS[args.action]
+    for flag, default in _STORE_FLAG_DEFAULTS.items():
+        if flag not in allowed and getattr(args, flag) != default:
+            return "--" + flag.replace("_", "-")
+    return None
+
+
+def _run_store_command(args: argparse.Namespace) -> int:
+    """Maintain the result store: list / stats / gc / clear / export."""
+    unused = _reject_unused_store_flags(args)
+    if unused is not None:
+        print(f"error: {unused} does not apply to 'store {args.action}'", file=sys.stderr)
+        return 2
+    store = _open_store(args)
+    if store is None:
+        return 2
+
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            rows = [[k, stats[k]] for k in
+                    ("root", "entries", "payload_bytes")]
+            rows += [[f"entries @ {v}", n] for v, n in sorted(stats["library_versions"].items())]
+            print_report(format_table(["stat", "value"], rows, title="Result store"))
+        return 0
+
+    if args.action == "list":
+        try:
+            filters = _parse_where(args)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if filters:  # content filters need the payloads; plain listings do not
+            entries = store.query(strategy=args.strategy, family=args.family,
+                                  limit=args.limit, where=filters)
+        else:
+            entries = store.entries(strategy=args.strategy, family=args.family,
+                                    limit=args.limit)
+        if args.json:
+            payload = [
+                {"fingerprint": e.fingerprint, "strategy": e.strategy, "family": e.family,
+                 "seed": e.seed, "created_at": e.created_at,
+                 "library_version": e.library_version}
+                for e in entries
+            ]
+            print(json.dumps({"entries": payload}, indent=2, sort_keys=True))
+        else:
+            headers, rows = entry_rows(entries)
+            print_report(format_table(headers, rows,
+                                      title=f"Stored runs ({len(entries)}) in {store.root}"))
+        return 0
+
+    if args.action == "gc":
+        removed = store.gc(max_age_days=args.max_age_days,
+                           keep_other_versions=args.keep_other_versions)
+        print(f"gc: removed {removed} entries from {store.root}")
+        return 0
+
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"clear: removed {removed} entries from {store.root}")
+        return 0
+
+    # export
+    try:
+        filters = _parse_where(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not args.out and not args.csv:
+        print("error: store export needs --out FILE (JSON) and/or --csv FILE", file=sys.stderr)
+        return 2
+    entries = store.query(strategy=args.strategy, family=args.family,
+                          limit=args.limit, where=filters)
+    if args.out:
+        export_records_json(entries, args.out)
+        print(f"wrote {len(entries)} records to {args.out}")
+    if args.csv:
+        export_records_csv(entries, args.csv)
+        print(f"wrote {len(entries)} records to {args.csv}")
+    return 0
+
+
+def _run_report_command(args: argparse.Namespace) -> int:
+    """Aggregate stored records (group means) without re-simulating anything."""
+    store = _open_store(args)
+    if store is None:
+        return 2
+    try:
+        filters = _parse_where(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    entries = store.query(strategy=args.strategy, family=args.family,
+                          limit=args.limit, where=filters)
+    entries = [e for e in entries if e.record is not None]
+    if not entries:
+        print("no stored records match the filters", file=sys.stderr)
+        return 1
+    metrics = [m.strip() for m in args.metrics.split(",") if m.strip()]
+    by_columns = [b.strip() for b in args.by.split(",") if b.strip()] or ["strategy"]
+    by = by_columns[0] if len(by_columns) == 1 else tuple(by_columns)
+    try:
+        headers, rows = summarize_records(entries, metrics=metrics, by=by)
+    except KeyError as exc:
+        print(f"error: stored records have no column {exc.args[0]!r}", file=sys.stderr)
+        return 2
+    if args.csv:
+        from repro.experiments.reporting import to_csv
+        from repro.store.io import atomic_write_text
+
+        atomic_write_text(args.csv, to_csv(headers, rows), newline="")
+        print(f"wrote summary to {args.csv}")
+    if args.json:
+        groups = [dict(zip(headers, row)) for row in rows]
+        print(json.dumps({"records": len(entries), "groups": _jsonable(groups)},
+                         indent=2, sort_keys=True, default=str))
+        return 0
+    print_report(format_table(
+        headers, rows,
+        title=f"Report over {len(entries)} stored records in {store.root}",
     ))
     return 0
 

@@ -19,8 +19,9 @@ import numpy as np
 from repro.baselines.base import PatrolStrategy, get_strategy
 from repro.core.plan import PatrolPlan
 from repro.network.scenario import Scenario
-from repro.runner.campaign import execute_many, group_mean, group_records
+from repro.runner.campaign import execute_many, execute_resumable, group_mean, group_records
 from repro.runner.spec import CampaignSpec, RunSpec
+from repro.store import resolve_store
 from repro.scenarios import ScenarioSpec
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.recorder import SimulationResult
@@ -58,6 +59,11 @@ class ExperimentSettings:
     mule_placement: str = "random"
     distribution: str = "uniform"
     max_workers: int | None = None
+    # Experiments are resumable by default: None uses the persistent result
+    # store when one is configured (REPRO_STORE_DIR / repro.store.configure),
+    # False opts out, True/path/ResultStore force one — the semantics of
+    # repro.store.resolve_store.  Records are byte-identical either way.
+    store: Any = None
 
     @classmethod
     def quick(cls, **overrides) -> "ExperimentSettings":
@@ -137,10 +143,21 @@ def run_experiment_cells(
     cells: "Iterable[RunSpec] | CampaignSpec",
     settings: ExperimentSettings,
 ) -> list[dict]:
-    """Execute expanded run cells with the settings' worker budget."""
+    """Execute expanded run cells with the settings' worker budget.
+
+    When a result store is in play (``settings.store``; by default the
+    configured ``REPRO_STORE_DIR`` store, if any), already-computed cells are
+    served from it and only the misses simulate — re-running an experiment
+    suite after touching one strategy re-executes only the affected cells.
+    Pass ``ExperimentSettings(store=False)`` to opt out.
+    """
     if isinstance(cells, CampaignSpec):
         cells = cells.cells()
-    return execute_many(cells, max_workers=settings.max_workers)
+    store = resolve_store(settings.store)
+    if store is None:
+        return execute_many(cells, max_workers=settings.max_workers)
+    records, _, _ = execute_resumable(cells, store=store, max_workers=settings.max_workers)
+    return records
 
 
 def simulate_plan(scenario: Scenario, plan: PatrolPlan, *, horizon: float,

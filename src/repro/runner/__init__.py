@@ -10,7 +10,11 @@ This package is the one way to run anything in the library:
   per-run records with identical content either way;
 * :func:`execute_run` — run one spec in-process and get its record;
 * :func:`load_spec` — read a ``RunSpec`` / ``CampaignSpec`` JSON file, the
-  format behind ``python -m repro run spec.json``.
+  format behind ``python -m repro run spec.json``;
+* :func:`execute_resumable` / ``Campaign.run(store=...)`` — incremental
+  execution against the persistent result store (:mod:`repro.store`): cells
+  whose content fingerprints are already stored are served from disk, only
+  the misses execute.
 
 The CLI (``python -m repro run`` / ``sweep``), every figure experiment in
 :mod:`repro.experiments`, and the benchmark harness are all built on top of
@@ -23,6 +27,7 @@ from repro.runner.campaign import (
     CampaignResult,
     execute_run,
     execute_many,
+    execute_resumable,
     group_records,
     group_mean,
 )
@@ -41,6 +46,7 @@ __all__ = [
     "CampaignResult",
     "execute_run",
     "execute_many",
+    "execute_resumable",
     "group_records",
     "group_mean",
     "available_metrics",

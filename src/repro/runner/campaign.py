@@ -38,10 +38,13 @@ from repro.runner.record_metrics import compute_metric, metric_name
 from repro.runner.spec import CampaignSpec, RunSpec
 from repro.sim.engine import PatrolSimulator
 from repro.sim.metrics import average_dcdt, average_sd, max_visiting_interval
+from repro.store import resolve_store, run_fingerprint
+from repro.store.io import atomic_write_text
 
 __all__ = [
     "execute_run",
     "execute_many",
+    "execute_resumable",
     "Campaign",
     "CampaignResult",
     "group_records",
@@ -160,6 +163,7 @@ def execute_many(
     *,
     max_workers: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    on_record: Callable[[int, dict], None] | None = None,
 ) -> list[dict]:
     """Execute run specs, optionally across processes; results keep spec order.
 
@@ -167,6 +171,10 @@ def execute_many(
     processes are only worth their startup cost for non-trivial cell counts,
     and the output is identical either way.  ``progress(done, total)`` is
     called after each completed cell (serial mode only calls it in order).
+    ``on_record(index, record)`` streams each finished record (in spec order,
+    before ``progress``) — the resumable executor uses it to write results
+    back to the store as they complete, so a killed campaign keeps its
+    finished cells.
 
     Workers use the ``fork`` start method where the platform offers it, so
     strategies/metrics registered at runtime stay visible in the pool.  On
@@ -202,24 +210,87 @@ def execute_many(
                 records = []
                 for record in pool.map(execute_run, specs, chunksize=chunksize):
                     records.append(record)
+                    if on_record is not None:
+                        on_record(len(records) - 1, record)
                     if progress is not None:
                         progress(len(records), len(specs))
                 return records
     records = []
     for spec in specs:
         records.append(execute_run(spec))
+        if on_record is not None:
+            on_record(len(records) - 1, records[-1])
         if progress is not None:
             progress(len(records), len(specs))
     return records
 
 
+def execute_resumable(
+    specs: Iterable[RunSpec],
+    *,
+    store,
+    max_workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> "tuple[list[dict], int, int]":
+    """Execute run specs against a result store; returns ``(records, hits, misses)``.
+
+    Every spec's :func:`~repro.store.run_fingerprint` is looked up first;
+    only the misses are executed (in parallel, exactly as
+    :func:`execute_many` would) and each finished record is written back to
+    the store **as it completes**, so an interrupted campaign resumes from
+    its last finished cell.  Records keep spec order and are byte-identical
+    (under JSON serialisation) to a cold, store-less run — stored hits are
+    the JSON round-trip of what the miss path computed.
+
+    ``progress(done, total)`` counts hits as immediately done: a fully warm
+    campaign reports ``(total, total)`` once without executing anything.
+    """
+    specs = list(specs)
+    fingerprints = [run_fingerprint(spec) for spec in specs]
+    records: "list[dict | None]" = []
+    miss_indices: list[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        record = store.get(fingerprint)
+        records.append(record)
+        if record is None:
+            miss_indices.append(index)
+    hits = len(specs) - len(miss_indices)
+    if progress is not None and hits:
+        progress(hits, len(specs))
+
+    def _write_back(subset_index: int, record: dict) -> None:
+        index = miss_indices[subset_index]
+        store.put(fingerprints[index], record, specs[index])
+
+    fresh = execute_many(
+        [specs[i] for i in miss_indices],
+        max_workers=max_workers,
+        progress=(
+            None if progress is None
+            else lambda done, _total: progress(hits + done, len(specs))
+        ),
+        on_record=_write_back,
+    )
+    for index, record in zip(miss_indices, fresh):
+        records[index] = record
+    return records, hits, len(miss_indices)
+
+
 def _json_sanitize(obj: Any) -> Any:
-    """Replace non-finite floats with ``None`` so the output is strict JSON.
+    """Make a record value strict-JSON-safe: no NaN tokens, no numpy types.
 
     Python's ``json`` would happily emit the non-standard ``NaN`` token
     (which jq / ``JSON.parse`` reject), and several metrics return NaN by
-    design — e.g. ``vip_sd`` on a scenario without VIPs.
+    design — e.g. ``vip_sd`` on a scenario without VIPs — so non-finite
+    floats become ``None``.  Custom metric extractors may also return numpy
+    scalars or arrays (possibly nested inside lists/dicts): scalars are
+    unwrapped to their Python twins and arrays become (nested) lists, with
+    the same NaN handling applied element-wise.
     """
+    if isinstance(obj, np.ndarray):
+        obj = obj.tolist()
+    if isinstance(obj, np.generic):
+        obj = obj.item()
     if isinstance(obj, float) and not np.isfinite(obj):
         return None
     if isinstance(obj, dict):
@@ -322,24 +393,27 @@ class CampaignResult:
 
     def save_json(self, path: "str | Path") -> Path:
         """Write the payload with the same ``_meta`` stamp as ``results_io.save_result``,
-        so archived record files are traceable to the library version that made them."""
+        so archived record files are traceable to the library version that made them.
+
+        The write is atomic (temp file + ``os.replace``): a killed run leaves
+        either the previous artifact or the complete new one, never a
+        truncated JSON document.
+        """
         from repro import __version__
 
         payload = self._payload()
         payload["_meta"] = {"library_version": __version__, "saved_at_unix": time.time()}
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload, indent=2, sort_keys=True, allow_nan=False) + "\n")
-        return path
+        text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+        return atomic_write_text(path, text + "\n")
 
     def save_csv(self, path: "str | Path") -> Path:
+        """Export the scalar columns as CSV, atomically (see :meth:`save_json`)."""
         from repro.experiments.reporting import to_csv
 
         headers, rows = self.to_rows(scalar_only=True)
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(to_csv(headers, rows))
-        return path
+        # newline="" writes the CSV's own line endings verbatim on every
+        # platform instead of translating them to os.linesep.
+        return atomic_write_text(path, to_csv(headers, rows), newline="")
 
 
 class Campaign:
@@ -391,12 +465,40 @@ class Campaign:
             self._cells = self.spec.cells()
         return self._cells
 
-    def run(self, *, progress: Callable[[int, int], None] | None = None) -> CampaignResult:
-        """Execute every cell and return the tidy records."""
+    def run(
+        self,
+        *,
+        progress: Callable[[int, int], None] | None = None,
+        store=None,
+    ) -> CampaignResult:
+        """Execute every cell and return the tidy records.
+
+        Parameters
+        ----------
+        progress:
+            Optional ``progress(done, total)`` callback, invoked after each
+            completed cell (store hits count as immediately done).
+        store:
+            Resume from / write back to a persistent result store (see
+            :func:`repro.store.resolve_store`): ``None`` uses the default
+            store when one is configured (``REPRO_STORE_DIR``), ``False``
+            opts out, ``True`` forces one, and a path or
+            :class:`~repro.store.ResultStore` names one explicitly.  Cells
+            whose fingerprints are already stored are served from the store
+            — byte-identical under JSON serialisation to executing them —
+            and the result metadata gains a ``"store"`` block with the
+            hit/miss counts.
+        """
         cells = self.cells()
-        records = execute_many(cells, max_workers=self.max_workers, progress=progress)
-        return CampaignResult(
-            records=records,
-            spec=self.spec,
-            metadata={"num_cells": len(cells), "max_workers": self.max_workers},
-        )
+        metadata: dict[str, Any] = {"num_cells": len(cells), "max_workers": self.max_workers}
+        resolved = resolve_store(store)
+        if resolved is None:
+            records = execute_many(cells, max_workers=self.max_workers, progress=progress)
+        else:
+            records, hits, misses = execute_resumable(
+                cells, store=resolved, max_workers=self.max_workers, progress=progress
+            )
+            metadata["store"] = {
+                "root": str(resolved.root), "hits": hits, "misses": misses
+            }
+        return CampaignResult(records=records, spec=self.spec, metadata=metadata)

@@ -1,0 +1,133 @@
+"""Deterministic run fingerprints: the content address of one simulation cell.
+
+A fingerprint is a stable hash over the **canonical JSON** of everything that
+determines a run's record: the scenario spec (canonical family name + sorted
+parameters + optional pinned seed), the canonical strategy name and its
+effective parameters, the full simulator config, the replication seed, the
+requested extra metrics, and the record labels (labels are copied verbatim
+into the record, so two cells differing only in labels produce different
+records and must hash differently).  A **code-version salt** (the library
+version) is mixed in, so upgrading the library never serves records computed
+by older code — stale entries simply stop hitting and can be swept by
+``ResultStore.gc()``.
+
+Canonicalisation mirrors what execution actually does:
+
+* the strategy name is hashed **as spelled**: records carry the spec's raw
+  strategy string verbatim (``record["strategy"] = spec.strategy``), so the
+  alias ``"btctp"`` and its registry name ``"b-tctp"`` produce different
+  records and must hash differently.  Scenario family aliases, by contrast,
+  *do* resolve to their registry names — no record field carries the raw
+  family spelling (labels, which may, are hashed too);
+* strategies that declare a ``seed`` parameter receive the replication seed,
+  exactly as :func:`repro.runner.campaign.execute_run` injects it — a bare
+  hand-written spec and its campaign-expanded twin share a fingerprint;
+* dictionaries are key-sorted and the JSON is emitted with a fixed format,
+  so insertion order never leaks into the hash.
+
+The fingerprint deliberately does **not** include execution-mode knobs that
+are proven byte-invisible (worker count, geometry-cache switch): records are
+identical either way, so they must share an address.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Any
+
+from repro.baselines.base import strategy_params
+
+__all__ = ["canonical_run_payload", "canonical_run_json", "run_fingerprint", "code_salt"]
+
+
+def code_salt() -> str:
+    """The code-version salt mixed into every fingerprint (the library version)."""
+    from repro import __version__  # lazy: repro/__init__ imports the runner stack
+
+    return f"repro-patrol/{__version__}"
+
+
+def _jsonable(value: Any) -> Any:
+    """Canonical JSON-safe twin of a spec value (tuples become lists)."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(dataclasses.asdict(value))
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if hasattr(value, "item") and not isinstance(value, (str, bytes)):
+        try:
+            return value.item()  # numpy scalars hash as their Python twins
+        except (AttributeError, ValueError):  # pragma: no cover - exotic .item()
+            return repr(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+def canonical_run_payload(spec) -> dict:
+    """The canonical, JSON-safe description of one run cell.
+
+    Parameters
+    ----------
+    spec : repro.runner.RunSpec
+        The cell to canonicalise (duck-typed to avoid an import cycle).
+
+    Returns
+    -------
+    dict
+        ``{strategy, scenario, params, sim, seed, metrics, labels}`` with
+        the family registry name resolved (the strategy keeps its raw
+        spelling — records carry it verbatim), the seed injected for
+        seed-declaring strategies, and every mapping key-sorted by the JSON
+        emitter.
+    """
+    params = dict(spec.params)
+    if "seed" in strategy_params(spec.strategy) and "seed" not in params:
+        params["seed"] = spec.seed
+    scenario = spec.scenario
+    scenario_payload: dict[str, Any] = {
+        "family": scenario.canonical_family(),
+        "params": _jsonable(dict(scenario.params)),
+    }
+    if scenario.seed is not None:
+        scenario_payload["seed"] = scenario.seed
+    return {
+        "strategy": str(spec.strategy),
+        "scenario": scenario_payload,
+        "params": _jsonable(params),
+        "sim": _jsonable(dataclasses.asdict(spec.sim)),
+        "seed": spec.seed,
+        "metrics": [_jsonable(list(m) if isinstance(m, tuple) else m) for m in spec.metrics],
+        "labels": _jsonable(dict(spec.labels)),
+    }
+
+
+def canonical_run_json(spec) -> str:
+    """The canonical JSON text the fingerprint hashes (key-sorted, compact)."""
+    return json.dumps(
+        canonical_run_payload(spec), sort_keys=True, separators=(",", ":"), allow_nan=True
+    )
+
+
+def run_fingerprint(spec, *, salt: "str | None" = None) -> str:
+    """Content address of ``spec``: blake2b over its canonical JSON + salt.
+
+    Two specs share a fingerprint exactly when execution would produce
+    byte-identical records; ``salt`` defaults to :func:`code_salt` so records
+    never survive a library version change unnoticed.
+
+    >>> from repro.runner import RunSpec
+    >>> a = run_fingerprint(RunSpec(strategy="b-tctp", seed=1))
+    >>> b = run_fingerprint(RunSpec(strategy="b-tctp", seed=2))  # different seed
+    >>> c = run_fingerprint(RunSpec(strategy="btctp", seed=1))   # alias spelling:
+    >>> a == b, a == c       # different records (record["strategy"] differs)
+    (False, False)
+    """
+    digest = hashlib.blake2b(digest_size=20)
+    digest.update(canonical_run_json(spec).encode())
+    digest.update(b"\x1f")
+    digest.update((salt if salt is not None else code_salt()).encode())
+    return digest.hexdigest()

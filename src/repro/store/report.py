@@ -1,0 +1,99 @@
+"""Reporting over stored runs: aggregate past campaigns and export them.
+
+The store accumulates tidy records across every campaign that ran against
+it; this module reduces those records back into the same group-mean tables
+the live experiments print — without re-simulating anything — and exports
+filtered slices to CSV/JSON (atomically, like every other artifact writer).
+
+Used by the ``repro-patrol report`` and ``repro-patrol store export``
+subcommands; the functions take plain entry/record lists so they compose
+with :meth:`repro.store.ResultStore.query` and with in-memory records alike.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.store.io import atomic_write_text
+from repro.store.query import StoredRun
+
+__all__ = ["summarize_records", "export_records_json", "export_records_csv", "entry_rows"]
+
+
+def _records(entries: "Iterable[StoredRun | Mapping[str, Any]]") -> list[dict]:
+    out = []
+    for entry in entries:
+        record = entry.record if isinstance(entry, StoredRun) else entry
+        if record is not None:
+            out.append(dict(record))
+    return out
+
+
+def summarize_records(
+    entries: "Iterable[StoredRun | Mapping[str, Any]]",
+    *,
+    metrics: Sequence[str] = ("average_dcdt", "average_sd"),
+    by: "str | Sequence[str]" = "strategy",
+) -> "tuple[list[str], list[list]]":
+    """Group-mean table over stored records: header + rows.
+
+    Groups the records by the ``by`` column(s) and reduces every requested
+    metric with the experiments' NaN-aware mean; a trailing ``runs`` column
+    counts the records behind each row.
+    """
+    # Lazy import: repro.runner.campaign imports repro.store for resumable
+    # execution, so the aggregation helpers must not be pulled in at import
+    # time from this side of the cycle.
+    from repro.runner.campaign import group_mean, group_records
+
+    records = _records(entries)
+    columns = (by,) if isinstance(by, str) else tuple(by)
+    keyed = group_records(records, by)
+    means = {metric: group_mean(records, metric, by=by) for metric in metrics}
+    headers = [*columns, *[f"mean {m}" for m in metrics], "runs"]
+    rows = []
+    for key in sorted(keyed, key=lambda k: tuple(str(v) for v in (k if isinstance(k, tuple) else (k,)))):
+        key_cells = list(key) if isinstance(key, tuple) else [key]
+        rows.append(
+            key_cells + [means[m][key] for m in metrics] + [len(keyed[key])]
+        )
+    return headers, rows
+
+
+def entry_rows(entries: Iterable[StoredRun]) -> "tuple[list[str], list[list]]":
+    """Header + rows of an index listing (``repro-patrol store list``)."""
+    headers = ["fingerprint", "strategy", "family", "seed", "created_at", "library_version"]
+    rows = [
+        [e.fingerprint[:12], e.strategy or "-", e.family or "-",
+         "-" if e.seed is None else e.seed,
+         datetime.fromtimestamp(e.created_at).isoformat(timespec="seconds"),
+         e.library_version]
+        for e in entries
+    ]
+    return headers, rows
+
+
+def export_records_json(
+    entries: "Iterable[StoredRun | Mapping[str, Any]]", path: "str | Path"
+) -> Path:
+    """Write the records (strict JSON, NaN as ``null``) atomically; returns the path."""
+    from repro.runner.campaign import _json_sanitize
+
+    payload = {"records": _json_sanitize(_records(entries))}
+    text = json.dumps(payload, indent=2, sort_keys=True, allow_nan=False)
+    return atomic_write_text(path, text + "\n")
+
+
+def export_records_csv(
+    entries: "Iterable[StoredRun | Mapping[str, Any]]", path: "str | Path"
+) -> Path:
+    """Write the scalar record columns as CSV atomically; returns the path."""
+    from repro.experiments.reporting import to_csv
+    from repro.runner.campaign import CampaignResult
+
+    result = CampaignResult(records=_records(entries))
+    headers, rows = result.to_rows(scalar_only=True)
+    return atomic_write_text(path, to_csv(headers, rows), newline="")

@@ -1,0 +1,578 @@
+"""The persistent result store: SQLite index + JSON record payloads on disk.
+
+Layout (under a configurable root directory)::
+
+    <root>/index.sqlite              fingerprint -> metadata index
+    <root>/records/<ff>/<fp>.json    one payload per run (sharded by prefix)
+
+Each payload file holds the canonical run payload it was computed from, the
+record itself, and provenance (library version, creation time).  Records are
+stored with ``NaN`` preserved and dictionary insertion order intact, so a
+warm lookup returns the record **byte-identical under JSON serialisation**
+to what a cold execution produces (tuples come back as lists — their JSON
+canonical form; see ``docs/STORE.md``).
+
+Writes are crash-safe: the payload is published with an atomic rename
+(:mod:`repro.store.io`) *before* the index row is inserted, and lookups
+self-heal — an index row whose payload file is missing or unreadable counts
+as a miss and is dropped.  ``gc()`` sweeps orphaned payloads from interrupted
+writes along with entries from other library versions (whose fingerprints,
+salted by version, can never hit again).
+
+The module-level :func:`configure` / :func:`clear_store` / :func:`store_stats`
+API mirrors :mod:`repro.geometry.cache`: set ``REPRO_STORE_DIR`` (or call
+``configure(root=...)``) and every campaign and experiment becomes resumable
+by default; pass ``store=False`` to opt a single run out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.store.fingerprint import canonical_run_payload, code_salt, run_fingerprint
+from repro.store.io import atomic_write_json
+from repro.store.query import StoredRun, matches
+
+__all__ = [
+    "ResultStore",
+    "configure",
+    "default_root",
+    "default_store",
+    "resolve_store",
+    "store_enabled",
+    "clear_store",
+    "store_stats",
+]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    fingerprint     TEXT PRIMARY KEY,
+    strategy        TEXT NOT NULL DEFAULT '',
+    family          TEXT NOT NULL DEFAULT '',
+    seed            INTEGER,
+    created_at      REAL NOT NULL,
+    library_version TEXT NOT NULL,
+    payload         TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_runs_strategy ON runs (strategy);
+CREATE INDEX IF NOT EXISTS idx_runs_family ON runs (family);
+CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created_at);
+"""
+
+
+def _np_safe(obj: Any) -> Any:
+    """JSON ``default`` hook: numpy scalars/arrays serialise as their Python twins."""
+    item = getattr(obj, "item", None)
+    if callable(item) and getattr(obj, "shape", None) == ():
+        return item()
+    tolist = getattr(obj, "tolist", None)
+    if callable(tolist):
+        return tolist()
+    raise TypeError(f"object of type {type(obj).__name__} is not JSON serialisable")
+
+
+class ResultStore:
+    """Content-addressed store of finished run records.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the index and payloads (created on first write).
+        ``None`` uses the configured default (``configure(root=...)``, else
+        the ``REPRO_STORE_DIR`` environment variable) and raises
+        :class:`ValueError` when neither is set.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.runner import RunSpec
+    >>> from repro.store import ResultStore, run_fingerprint
+    >>> store = ResultStore(tempfile.mkdtemp())
+    >>> spec = RunSpec(strategy="b-tctp", seed=1)
+    >>> fp = run_fingerprint(spec)
+    >>> store.get(fp) is None
+    True
+    >>> _ = store.put(fp, {"average_sd": 0.0}, spec)
+    >>> store.get(fp)
+    {'average_sd': 0.0}
+    """
+
+    def __init__(self, root: "str | Path | None" = None) -> None:
+        if root is None:
+            root = default_root()
+            if root is None:
+                raise ValueError(
+                    "no store root configured: pass ResultStore(root=...), call "
+                    "repro.store.configure(root=...), or set REPRO_STORE_DIR"
+                )
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self._conn: "sqlite3.Connection | None" = None
+
+    # -- plumbing --------------------------------------------------------- #
+
+    @property
+    def index_path(self) -> Path:
+        return self.root / "index.sqlite"
+
+    @property
+    def records_dir(self) -> Path:
+        return self.root / "records"
+
+    def _connection(self) -> sqlite3.Connection:
+        """The store's sqlite connection, opened (and schema-initialised) once.
+
+        Resumable execution performs one lookup per cell and one insert per
+        miss on this hot path, so the connection is cached on the instance
+        rather than reopened per operation.  Writes use ``with
+        self._connection() as conn`` — a transaction scope (the ``with``
+        commits, it does not close).
+        """
+        if self._conn is None:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(self.index_path)
+            self._conn.executescript(_SCHEMA)
+        return self._conn
+
+    def _index_exists(self) -> bool:
+        return self._conn is not None or self.index_path.exists()
+
+    def _payload_path(self, fingerprint: str) -> Path:
+        return self.records_dir / fingerprint[:2] / f"{fingerprint}.json"
+
+    def fingerprint(self, spec) -> str:
+        """Content address of ``spec`` (see :func:`repro.store.run_fingerprint`)."""
+        return run_fingerprint(spec)
+
+    # -- read ------------------------------------------------------------- #
+
+    def contains(self, fingerprint: str) -> bool:
+        if not self._index_exists():
+            return False
+        row = self._connection().execute(
+            "SELECT 1 FROM runs WHERE fingerprint = ?", (fingerprint,)
+        ).fetchone()
+        return row is not None
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.contains(fingerprint)
+
+    def get(self, fingerprint: str) -> "dict | None":
+        """The stored record for ``fingerprint``, or ``None`` on a miss.
+
+        An index row whose payload file is missing or unreadable self-heals:
+        the row is dropped and the lookup counts as a miss.
+        """
+        entry = self.get_entry(fingerprint)
+        return None if entry is None else entry.record
+
+    def get_entry(self, fingerprint: str) -> "StoredRun | None":
+        """Like :meth:`get` but returning the full :class:`StoredRun` entry."""
+        if not self._index_exists():
+            self.misses += 1
+            return None
+        row = self._connection().execute(
+            "SELECT strategy, family, seed, created_at, library_version, payload "
+            "FROM runs WHERE fingerprint = ?",
+            (fingerprint,),
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        entry = self._load_entry(fingerprint, row)
+        if entry is None:
+            self._drop(fingerprint)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def _load_entry(self, fingerprint: str, row: tuple) -> "StoredRun | None":
+        strategy, family, seed, created_at, version, payload_name = row
+        path = self.root / payload_name
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        return StoredRun(
+            fingerprint=fingerprint,
+            strategy=strategy,
+            family=family,
+            seed=seed,
+            created_at=created_at,
+            library_version=version,
+            path=path,
+            spec=payload.get("spec"),
+            record=payload.get("record"),
+        )
+
+    # -- write ------------------------------------------------------------ #
+
+    def put(self, fingerprint: str, record: Mapping[str, Any], spec=None) -> StoredRun:
+        """Store one record under ``fingerprint`` (atomic; idempotent).
+
+        ``spec`` may be a :class:`~repro.runner.RunSpec` (canonicalised here)
+        or an already-canonical payload dict; it powers :meth:`query` filters
+        and the index columns, and may be omitted for anonymous records.
+        """
+        payload_spec: "dict | None"
+        if spec is None or isinstance(spec, Mapping):
+            payload_spec = dict(spec) if spec is not None else None
+        else:
+            payload_spec = canonical_run_payload(spec)
+        created_at = time.time()
+        version = code_salt()
+        payload = {
+            "fingerprint": fingerprint,
+            "library_version": version,
+            "created_at": created_at,
+            "spec": payload_spec,
+            "record": dict(record),
+        }
+        path = self._payload_path(fingerprint)
+        # Publish the payload before the index row: a crash in between leaves
+        # an orphan file (swept by gc()), never a dangling index entry.
+        atomic_write_json(path, payload, default=_np_safe)
+        scenario = (payload_spec or {}).get("scenario", {})
+        # The index column holds the *canonical* strategy name so queries
+        # match every alias spelling; the payload (and record) keep the raw
+        # spelling the fingerprint hashed.
+        strategy = _canonical_strategy((payload_spec or {}).get("strategy", ""))
+        with self._connection() as conn:
+            conn.execute(
+                "INSERT OR REPLACE INTO runs "
+                "(fingerprint, strategy, family, seed, created_at, library_version, payload) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                (
+                    fingerprint,
+                    strategy,
+                    scenario.get("family", ""),
+                    (payload_spec or {}).get("seed"),
+                    created_at,
+                    version,
+                    str(path.relative_to(self.root)),
+                ),
+            )
+        return StoredRun(
+            fingerprint=fingerprint,
+            strategy=strategy,
+            family=scenario.get("family", ""),
+            seed=(payload_spec or {}).get("seed"),
+            created_at=created_at,
+            library_version=version,
+            path=path,
+            spec=payload_spec,
+            record=dict(record),
+        )
+
+    def _drop(self, fingerprint: str) -> None:
+        with self._connection() as conn:
+            conn.execute("DELETE FROM runs WHERE fingerprint = ?", (fingerprint,))
+        path = self._payload_path(fingerprint)
+        if path.exists():
+            path.unlink()
+
+    # -- enumeration / query ---------------------------------------------- #
+
+    def _rows(
+        self,
+        *,
+        strategy: "str | None" = None,
+        family: "str | None" = None,
+        limit: "int | None" = None,
+    ) -> list[tuple]:
+        if not self._index_exists():
+            return []
+        clauses, args = [], []
+        if strategy is not None:
+            clauses.append("strategy = ?")
+            args.append(_canonical_strategy(strategy))
+        if family is not None:
+            clauses.append("family = ?")
+            args.append(_canonical_family(family))
+        sql = (
+            "SELECT fingerprint, strategy, family, seed, created_at, "
+            "library_version, payload FROM runs"
+        )
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY created_at DESC, fingerprint"
+        if limit is not None:
+            sql += " LIMIT ?"
+            args.append(int(limit))
+        return self._connection().execute(sql, args).fetchall()
+
+    def entries(
+        self,
+        *,
+        strategy: "str | None" = None,
+        family: "str | None" = None,
+        limit: "int | None" = None,
+    ) -> list[StoredRun]:
+        """Index-only listing (no payloads loaded), newest first."""
+        return [
+            StoredRun(
+                fingerprint=fp, strategy=s, family=f, seed=seed,
+                created_at=created, library_version=version,
+                path=self.root / payload,
+            )
+            for fp, s, f, seed, created, version, payload in self._rows(
+                strategy=strategy, family=family, limit=limit
+            )
+        ]
+
+    def query(
+        self,
+        *,
+        strategy: "str | None" = None,
+        family: "str | None" = None,
+        limit: "int | None" = None,
+        where: "Mapping[str, Any] | None" = None,
+        **params: Any,
+    ) -> list[StoredRun]:
+        """Stored runs matching the filters, newest first, payloads loaded.
+
+        ``strategy`` / ``family`` filter on the index (aliases resolve to
+        registry names); every other keyword — or the ``where`` mapping, for
+        keys that are not valid Python identifiers — filters on record
+        columns, scenario/strategy parameters and simulator fields with the
+        scalar/range/membership semantics of :mod:`repro.store.query`.
+
+        >>> store.query(strategy="b-tctp", num_targets=(10, 30))  # doctest: +SKIP
+        """
+        filters = {**(dict(where) if where else {}), **params}
+        out: list[StoredRun] = []
+        for row in self._rows(strategy=strategy, family=family):
+            entry = self._load_entry(row[0], row[1:])
+            if entry is None or not matches(entry, filters):
+                continue
+            out.append(entry)
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+    def records(self, **kwargs: Any) -> list[dict]:
+        """The record dicts of :meth:`query` (same filters)."""
+        return [e.record for e in self.query(**kwargs) if e.record is not None]
+
+    # -- maintenance ------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        if not self._index_exists():
+            return 0
+        return self._connection().execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+
+    def stats(self) -> dict:
+        """Size and provenance summary: entries, payload bytes, versions, hits/misses."""
+        versions: dict[str, int] = {}
+        entries = 0
+        if self._index_exists():
+            for version, count in self._connection().execute(
+                "SELECT library_version, COUNT(*) FROM runs GROUP BY library_version"
+            ):
+                versions[version] = count
+                entries += count
+        payload_bytes = sum(
+            f.stat().st_size for f in self.records_dir.glob("*/*.json")
+        ) if self.records_dir.exists() else 0
+        return {
+            "root": str(self.root),
+            "entries": entries,
+            "payload_bytes": payload_bytes,
+            "library_versions": versions,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+    def clear(self) -> int:
+        """Drop every entry (and payload file); returns the number removed."""
+        removed = len(self)
+        if self._index_exists():
+            with self._connection() as conn:
+                conn.execute("DELETE FROM runs")
+        if self.records_dir.exists():
+            for path in self.records_dir.glob("*/*.json"):
+                path.unlink()
+            for shard in self.records_dir.iterdir():
+                if shard.is_dir() and not any(shard.iterdir()):
+                    shard.rmdir()
+        self.hits = 0
+        self.misses = 0
+        return removed
+
+    def gc(
+        self,
+        *,
+        max_age_days: "float | None" = None,
+        keep_other_versions: bool = False,
+    ) -> int:
+        """Sweep unusable entries; returns the number removed.
+
+        Removes (a) entries written by a different library version — their
+        fingerprints carry an old code salt, so they can never hit again —
+        unless ``keep_other_versions`` is set; (b) entries older than
+        ``max_age_days``, when given; and (c) orphaned payload files left by
+        interrupted writes (files with no index row).
+        """
+        removed = 0
+        if self._index_exists():
+            clauses, args = [], []
+            if not keep_other_versions:
+                clauses.append("library_version != ?")
+                args.append(code_salt())
+            if max_age_days is not None:
+                clauses.append("created_at < ?")
+                args.append(time.time() - max_age_days * 86_400.0)
+            if clauses:
+                sql = "SELECT fingerprint, payload FROM runs WHERE " + " OR ".join(clauses)
+                doomed = self._connection().execute(sql, args).fetchall()
+                with self._connection() as conn:
+                    conn.executemany(
+                        "DELETE FROM runs WHERE fingerprint = ?",
+                        [(fp,) for fp, _ in doomed],
+                    )
+                for _, payload_name in doomed:
+                    path = self.root / payload_name
+                    if path.exists():
+                        path.unlink()
+                removed += len(doomed)
+        removed += self._sweep_orphans()
+        return removed
+
+    def _sweep_orphans(self) -> int:
+        if not self.records_dir.exists():
+            return 0
+        indexed = {payload for _, _, _, _, _, _, payload in self._rows()}
+        swept = 0
+        for path in self.records_dir.glob("*/*"):
+            if not path.is_file():
+                continue
+            rel = str(path.relative_to(self.root))
+            if rel not in indexed:
+                path.unlink()
+                swept += 1
+        return swept
+
+
+def _canonical_strategy(name: str) -> str:
+    from repro.baselines.base import canonical_strategy_name
+
+    try:
+        return canonical_strategy_name(name)
+    except ValueError:
+        return name  # query for an unregistered name simply matches nothing
+
+
+def _canonical_family(name: str) -> str:
+    from repro.scenarios.registry import canonical_scenario_family
+
+    try:
+        return canonical_scenario_family(name)
+    except ValueError:
+        return name
+
+
+# --------------------------------------------------------------------------- #
+# Default store: configure / clear / stats (mirrors repro.geometry.cache)
+# --------------------------------------------------------------------------- #
+
+_CONFIGURED_ROOT: "Path | None" = None
+_ENABLED: bool = True
+
+
+def configure(*, root: "str | Path | None" = None, enabled: "bool | None" = None) -> None:
+    """Set the default store root and/or the implicit-resume switch.
+
+    ``root`` (when given) becomes the default store directory, taking
+    precedence over ``REPRO_STORE_DIR``.  ``enabled=False`` stops campaigns
+    and experiments from resuming *implicitly* (``store=None``); explicitly
+    passing a store or ``store=True`` still works.  ``None`` leaves either
+    setting unchanged.
+    """
+    global _CONFIGURED_ROOT, _ENABLED
+    if root is not None:
+        _CONFIGURED_ROOT = Path(root)
+    if enabled is not None:
+        _ENABLED = bool(enabled)
+
+
+def default_root() -> "Path | None":
+    """The configured default store directory, or ``None`` when unset.
+
+    Resolution order: ``configure(root=...)``, then a non-empty
+    ``REPRO_STORE_DIR`` environment variable (read at call time).
+    """
+    if _CONFIGURED_ROOT is not None:
+        return _CONFIGURED_ROOT
+    env = os.environ.get("REPRO_STORE_DIR", "").strip()
+    return Path(env) if env else None
+
+
+def _fallback_root() -> Path:
+    cache_home = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(cache_home) if cache_home else Path.home() / ".cache"
+    return base / "repro-patrol" / "store"
+
+
+def default_store(*, create: bool = False) -> "ResultStore | None":
+    """The default :class:`ResultStore`, or ``None`` when no root is configured.
+
+    ``create=True`` falls back to the user cache directory
+    (``$XDG_CACHE_HOME/repro-patrol/store``) instead of returning ``None`` —
+    the behaviour behind ``store=True`` / the CLI's bare ``--store``.
+    """
+    root = default_root()
+    if root is None:
+        if not create:
+            return None
+        root = _fallback_root()
+    return ResultStore(root)
+
+
+def store_enabled() -> bool:
+    """Whether implicit resume (``store=None``) is active and a root is configured."""
+    return _ENABLED and default_root() is not None
+
+
+def resolve_store(store: Any) -> "ResultStore | None":
+    """Normalise a ``store=`` argument into a :class:`ResultStore` or ``None``.
+
+    * ``None`` — the default store when one is configured **and** enabled
+      (set ``REPRO_STORE_DIR`` to make every campaign resumable), else no
+      store;
+    * ``False`` — explicitly no store (the opt-out);
+    * ``True`` — the default store, created under the user cache directory
+      when no root is configured;
+    * a path or :class:`ResultStore` — that store.
+    """
+    if store is None:
+        return default_store() if _ENABLED else None
+    if store is False:
+        return None
+    if store is True:
+        return default_store(create=True)
+    if isinstance(store, ResultStore):
+        return store
+    if isinstance(store, (str, Path)):
+        return ResultStore(store)
+    raise TypeError(
+        f"store must be None, a bool, a path or a ResultStore, got {type(store).__name__}"
+    )
+
+
+def clear_store() -> int:
+    """Clear the default store (no-op returning 0 when none is configured)."""
+    store = default_store()
+    return store.clear() if store is not None else 0
+
+
+def store_stats() -> "dict | None":
+    """Stats of the default store, or ``None`` when none is configured."""
+    store = default_store()
+    return store.stats() if store is not None else None

@@ -17,6 +17,23 @@ from repro.network.targets import Sink, Target
 from repro.workloads.scenarios import figure1_scenario, grid_scenario, single_vip_scenario
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(monkeypatch):
+    """Keep tests hermetic: no ambient result store leaks into (or out of) a test.
+
+    A developer with ``REPRO_STORE_DIR`` exported (or a prior ``configure``
+    call) would otherwise make every campaign in the suite resume from their
+    personal store.  Tests that want a store use an explicit ``tmp_path``
+    root or ``repro.store.configure``; monkeypatch restores these globals
+    afterwards.
+    """
+    from repro.store import store as store_module
+
+    monkeypatch.delenv("REPRO_STORE_DIR", raising=False)
+    monkeypatch.setattr(store_module, "_CONFIGURED_ROOT", None)
+    monkeypatch.setattr(store_module, "_ENABLED", True)
+
+
 @pytest.fixture
 def square_points() -> dict[str, Point]:
     """Four nodes on a unit-ish square plus labels, handy for tour tests."""

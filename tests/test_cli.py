@@ -334,3 +334,181 @@ class TestFigureCommands:
         serial = json.loads(serial_out[serial_out.index("{"):])
         parallel = json.loads(parallel_out[parallel_out.index("{"):])
         assert serial["grid"] == parallel["grid"]
+
+
+_SWEEP_SMALL = ["sweep", "--strategies", "chb,b-tctp", "--replications", "2",
+                "--targets", "6", "--mules", "2", "--horizon", "5000"]
+
+
+class TestStoreFlags:
+    def test_progress_prints_done_total_to_stderr(self, capsys):
+        assert main([*_SWEEP_SMALL, "--progress", "--json"]) == 0
+        err = capsys.readouterr().err
+        assert "progress: 1/4" in err and "progress: 4/4" in err
+
+    def test_sweep_with_store_resumes_and_reports_hits(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--progress", "--json"]) == 0
+        first = capsys.readouterr()
+        assert "store: 0 hits, 4 misses" in first.err
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--progress", "--json"]) == 0
+        second = capsys.readouterr()
+        assert "store: 4 hits, 0 misses" in second.err
+        assert "progress: 4/4" in second.err
+        a, b = json.loads(first.out)["records"], json.loads(second.out)["records"]
+        assert json.dumps(a, sort_keys=True) == json.dumps(b, sort_keys=True)
+
+    def test_env_var_store_with_opt_out(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_DIR", str(tmp_path))
+        assert main([*_SWEEP_SMALL, "--progress", "--json"]) == 0
+        capsys.readouterr()
+        assert main([*_SWEEP_SMALL, "--no-store", "--progress", "--json"]) == 0
+        err = capsys.readouterr().err
+        assert "store:" not in err          # opted out: no hits/misses line
+        assert "progress: 1/4" in err       # every cell re-executed
+
+    def test_run_spec_file_with_store(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "kind": "campaign",
+            "base": {"strategy": "chb",
+                     "scenario": {"family": "uniform",
+                                  "params": {"num_targets": 6, "num_mules": 2}},
+                     "sim": {"horizon": 5000.0, "track_energy": False}},
+            "replications": 2,
+        }))
+        store_dir = str(tmp_path / "store")
+        assert main(["run", str(spec_path), "--store", store_dir, "--progress",
+                     "--json"]) == 0
+        capsys.readouterr()
+        assert main(["run", str(spec_path), "--store", store_dir, "--progress",
+                     "--json"]) == 0
+        err = capsys.readouterr().err
+        assert "store: 2 hits, 0 misses" in err
+
+
+class TestStoreCommand:
+    def _populate(self, tmp_path, capsys) -> str:
+        store_dir = str(tmp_path / "store")
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--json"]) == 0
+        capsys.readouterr()
+        return store_dir
+
+    def test_requires_a_configured_store(self, capsys):
+        assert main(["store", "stats"]) == 2
+        assert "no result store configured" in capsys.readouterr().err
+
+    def test_stats_and_list(self, tmp_path, capsys):
+        store_dir = self._populate(tmp_path, capsys)
+        assert main(["store", "stats", "--dir", store_dir, "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] == 4
+        assert main(["store", "list", "--dir", store_dir, "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)["entries"]
+        assert len(entries) == 4
+        assert {e["strategy"] for e in entries} == {"chb", "b-tctp"}
+        assert main(["store", "list", "--dir", store_dir, "--strategy", "chb"]) == 0
+        out = capsys.readouterr().out
+        assert "chb" in out and "b-tctp" not in out
+
+    def test_env_var_names_the_store(self, tmp_path, capsys, monkeypatch):
+        store_dir = self._populate(tmp_path, capsys)
+        monkeypatch.setenv("REPRO_STORE_DIR", store_dir)
+        assert main(["store", "stats", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["entries"] == 4
+
+    def test_gc_and_clear(self, tmp_path, capsys):
+        store_dir = self._populate(tmp_path, capsys)
+        assert main(["store", "gc", "--dir", store_dir]) == 0
+        assert "removed 0 entries" in capsys.readouterr().out
+        assert main(["store", "clear", "--dir", store_dir]) == 0
+        assert "removed 4 entries" in capsys.readouterr().out
+
+    def test_export_records(self, tmp_path, capsys):
+        store_dir = self._populate(tmp_path, capsys)
+        out_json = str(tmp_path / "records.json")
+        out_csv = str(tmp_path / "records.csv")
+        assert main(["store", "export", "--dir", store_dir, "--strategy", "chb",
+                     "--out", out_json, "--csv", out_csv]) == 0
+        capsys.readouterr()
+        payload = json.loads(open(out_json).read())
+        assert len(payload["records"]) == 2
+        assert open(out_csv).read().startswith("strategy,")
+
+    def test_export_needs_a_destination(self, tmp_path, capsys):
+        store_dir = self._populate(tmp_path, capsys)
+        assert main(["store", "export", "--dir", store_dir]) == 2
+        assert "needs --out" in capsys.readouterr().err
+
+    def test_export_where_filter(self, tmp_path, capsys):
+        store_dir = self._populate(tmp_path, capsys)
+        out_json = str(tmp_path / "filtered.json")
+        assert main(["store", "export", "--dir", store_dir,
+                     "--where", "replication=1..1", "--out", out_json]) == 0
+        capsys.readouterr()
+        assert len(json.loads(open(out_json).read())["records"]) == 2
+
+    def test_malformed_where_clean_error(self, tmp_path, capsys):
+        store_dir = self._populate(tmp_path, capsys)
+        assert main(["store", "export", "--dir", store_dir, "--where", "nope",
+                     "--out", str(tmp_path / "x.json")]) == 2
+        assert "key=value" in capsys.readouterr().err
+
+    def test_flags_an_action_would_ignore_are_rejected(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        # gc cannot scope deletion by strategy — refusing beats silently
+        # sweeping everything.
+        assert main(["store", "gc", "--dir", store_dir, "--strategy", "chb"]) == 2
+        assert "--strategy does not apply to 'store gc'" in capsys.readouterr().err
+        assert main(["store", "clear", "--dir", store_dir, "--where", "x=1"]) == 2
+        assert "--where does not apply to 'store clear'" in capsys.readouterr().err
+        assert main(["store", "list", "--dir", store_dir, "--max-age-days", "3"]) == 2
+        assert "--max-age-days does not apply" in capsys.readouterr().err
+        assert main(["store", "stats", "--dir", store_dir, "--limit", "2"]) == 2
+        assert "--limit does not apply" in capsys.readouterr().err
+
+    def test_list_honours_where_filters(self, tmp_path, capsys):
+        store_dir = self._populate(tmp_path, capsys)
+        assert main(["store", "list", "--dir", store_dir,
+                     "--where", "replication=1", "--json"]) == 0
+        entries = json.loads(capsys.readouterr().out)["entries"]
+        assert len(entries) == 2
+
+
+class TestReportCommand:
+    def test_report_over_stored_records(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["report", "--dir", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["records"] == 4
+        groups = {g["strategy"]: g for g in payload["groups"]}
+        assert set(groups) == {"chb", "b-tctp"}
+        assert groups["b-tctp"]["runs"] == 2
+        assert groups["b-tctp"]["mean average_sd"] == pytest.approx(0.0, abs=1e-9)
+
+    def test_report_table_and_csv(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--json"]) == 0
+        capsys.readouterr()
+        csv_path = str(tmp_path / "summary.csv")
+        assert main(["report", "--dir", store_dir, "--by", "strategy,seed",
+                     "--metrics", "average_dcdt", "--csv", csv_path]) == 0
+        out = capsys.readouterr().out
+        assert "Report over 4 stored records" in out
+        assert open(csv_path).read().splitlines()[0] == "strategy,seed,mean average_dcdt,runs"
+
+    def test_no_matching_records(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["report", "--dir", store_dir, "--strategy", "sweep"]) == 1
+        assert "no stored records match" in capsys.readouterr().err
+
+    def test_unknown_metric_clean_error(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["report", "--dir", store_dir, "--metrics", "no_such_metric"]) == 2
+        assert "no column" in capsys.readouterr().err

@@ -1,0 +1,145 @@
+"""CampaignResult export round-trips: CSV/JSON on disk equals the in-memory
+records, writes are atomic, and ``_json_sanitize`` flattens numpy values."""
+
+from __future__ import annotations
+
+import csv
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runner import Campaign, CampaignSpec, CampaignResult, RunSpec
+from repro.runner.campaign import _json_sanitize
+from repro.scenarios import ScenarioSpec
+from repro.sim.engine import SimulationConfig
+from repro.store.io import atomic_write_text
+
+
+@pytest.fixture(scope="module")
+def campaign_result() -> CampaignResult:
+    spec = CampaignSpec(
+        base=RunSpec(
+            strategy="b-tctp",
+            scenario=ScenarioSpec("uniform", {"num_targets": 6, "num_mules": 2}),
+            sim=SimulationConfig(horizon=4000.0, track_energy=False),
+            seed=1,
+        ),
+        grid={"strategy": ["chb", "b-tctp"]},
+        replications=2,
+    )
+    return Campaign(spec).run()
+
+
+class TestJsonRoundTrip:
+    def test_saved_json_equals_in_memory_records(self, campaign_result, tmp_path):
+        path = campaign_result.save_json(tmp_path / "records.json")
+        payload = json.loads(path.read_text())
+        assert payload["records"] == campaign_result.records
+        assert payload["spec"] == campaign_result.spec.to_dict()
+        assert payload["_meta"]["library_version"]
+
+    def test_nan_metrics_become_null_not_token(self, tmp_path):
+        result = CampaignResult(records=[{"vip_sd": float("nan"), "x": 1}])
+        path = result.save_json(tmp_path / "r.json")
+        text = path.read_text()
+        assert "NaN" not in text
+        assert json.loads(text)["records"] == [{"vip_sd": None, "x": 1}]
+
+    def test_save_json_is_atomic(self, campaign_result, tmp_path):
+        target = tmp_path / "records.json"
+        target.write_text("previous artifact")
+        campaign_result.save_json(target)
+        assert json.loads(target.read_text())["records"] == campaign_result.records
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_failed_write_leaves_previous_artifact(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("previous artifact")
+
+        with pytest.raises(TypeError):
+            # atomic_write_text only publishes after a complete write; force a
+            # failure inside the write itself.
+            atomic_write_text(target, object())  # type: ignore[arg-type]
+        assert target.read_text() == "previous artifact"
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestCsvRoundTrip:
+    def test_saved_csv_matches_scalar_columns(self, campaign_result, tmp_path):
+        path = campaign_result.save_csv(tmp_path / "records.csv")
+        with open(path, newline="") as fh:
+            rows = list(csv.reader(fh))
+        headers, expected_rows = campaign_result.to_rows(scalar_only=True)
+        assert rows[0] == headers
+        assert len(rows) == 1 + len(expected_rows)
+        for read_row, expected in zip(rows[1:], expected_rows):
+            for read_cell, cell in zip(read_row, expected):
+                if isinstance(cell, float):
+                    assert float(read_cell) == pytest.approx(cell, abs=1e-6)
+                else:
+                    assert read_cell == str(cell)
+
+    def test_csv_written_with_unix_newlines_verbatim(self, campaign_result, tmp_path):
+        path = campaign_result.save_csv(tmp_path / "records.csv")
+        raw = path.read_bytes()
+        assert b"\r" not in raw          # newline="" wrote to_csv's \n verbatim
+        assert raw.endswith(b"\n")
+
+    def test_save_csv_is_atomic(self, campaign_result, tmp_path):
+        target = tmp_path / "records.csv"
+        target.write_text("stale")
+        campaign_result.save_csv(target)
+        assert target.read_text().startswith("strategy,")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+class TestJsonSanitize:
+    def test_nested_numpy_scalars_unwrap(self):
+        record = {"a": np.int64(3), "b": [np.float64(1.5), {"c": np.bool_(True)}]}
+        out = _json_sanitize(record)
+        assert out == {"a": 3, "b": [1.5, {"c": True}]}
+        assert type(out["a"]) is int and type(out["b"][0]) is float
+        json.dumps(out, allow_nan=False)  # strict-JSON safe
+
+    def test_numpy_arrays_become_nested_lists(self):
+        record = {"grid": np.arange(4.0).reshape(2, 2), "ints": np.array([1, 2])}
+        out = _json_sanitize(record)
+        assert out == {"grid": [[0.0, 1.0], [2.0, 3.0]], "ints": [1, 2]}
+        json.dumps(out, allow_nan=False)
+
+    def test_numpy_nan_and_inf_become_null(self):
+        record = {"nan": np.float64("nan"), "inf": np.float64("inf"),
+                  "arr": np.array([1.0, float("nan")])}
+        out = _json_sanitize(record)
+        assert out == {"nan": None, "inf": None, "arr": [1.0, None]}
+
+    def test_tuples_become_lists(self):
+        assert _json_sanitize({"pos": (1, 2)}) == {"pos": [1, 2]}
+
+    def test_save_json_with_numpy_metric_values(self, tmp_path):
+        result = CampaignResult(records=[{"counts": np.array([3, 4]), "m": np.int32(7)}])
+        path = result.save_json(tmp_path / "np.json")
+        assert json.loads(path.read_text())["records"] == [{"counts": [3, 4], "m": 7}]
+
+
+class TestAtomicWriteText:
+    def test_creates_parents_and_returns_path(self, tmp_path):
+        path = atomic_write_text(tmp_path / "deep" / "nested" / "f.txt", "hello")
+        assert path.read_text() == "hello"
+
+    def test_concurrent_writers_leave_a_complete_file(self, tmp_path):
+        target = tmp_path / "contended.txt"
+        payloads = [f"payload-{i}\n" * 200 for i in range(8)]
+
+        def write(text):
+            atomic_write_text(target, text)
+
+        threads = [threading.Thread(target=write, args=(p,)) for p in payloads]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert target.read_text() in payloads   # one complete payload, never a mix
+        assert list(tmp_path.glob("*.tmp")) == []
