@@ -1,0 +1,189 @@
+"""The ``repro-patrol check`` orchestrator: run analyzers, filter, report.
+
+Runs the four static analyzers (registry contract, determinism lint,
+fingerprint coverage, spec-schema drift), applies inline
+``# repro: allow[rule-id]`` suppressions and the committed baseline, and
+renders the surviving findings — as ``path:line: rule-id: message`` text or
+as a JSON report for CI artifacts.
+
+The global checks always see the whole tree; passing explicit ``paths``
+switches to *file mode*, which runs only the determinism lint over those
+files (that is how the fixture tests seed one violation per rule and how a
+pre-commit hook would lint a changed file quickly).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import (
+    BASELINE_DEFAULT,
+    Finding,
+    load_baseline,
+    split_suppressed,
+)
+from repro.analysis.rules import RULE_IDS, RULES
+
+__all__ = ["CheckReport", "run_check", "render_text", "render_json"]
+
+
+@dataclass
+class CheckReport:
+    """Outcome of one ``check`` invocation."""
+
+    findings: list[Finding]
+    files_scanned: int
+    suppressed: int = 0
+    baselined: int = 0
+    analyzers: tuple[str, ...] = ()
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.errors
+
+    def counts(self) -> dict[str, int]:
+        """Findings per rule id (only rules that fired)."""
+        table: dict[str, int] = {}
+        for finding in self.findings:
+            table[finding.rule] = table.get(finding.rule, 0) + 1
+        return dict(sorted(table.items()))
+
+
+def _validate_only(only: "Iterable[str] | None") -> "frozenset[str] | None":
+    if only is None:
+        return None
+    requested = frozenset(only)
+    unknown = sorted(requested - RULE_IDS)
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s): {', '.join(unknown)}; see `repro-patrol "
+            "check --rules` for the catalog"
+        )
+    return requested
+
+
+def run_check(
+    paths: "Sequence[str | Path] | None" = None,
+    *,
+    only: "Iterable[str] | None" = None,
+    baseline: "str | Path | None" = None,
+) -> CheckReport:
+    """Run the self-checking analyzers and return the filtered report.
+
+    Parameters
+    ----------
+    paths:
+        When given, lint only these files/directories (determinism rules
+        only).  When omitted, run all four analyzers over the whole tree.
+    only:
+        Restrict to these rule ids (raises on unknown ids).
+    baseline:
+        Baseline file of tolerated findings; defaults to
+        ``.repro-analysis-baseline.json`` in the working directory when that
+        file exists.
+    """
+    from repro.analysis.determinism import check_determinism
+    from repro.analysis.fingerprint_coverage import check_fingerprint_coverage
+    from repro.analysis.registry_contract import check_registries
+    from repro.analysis.schema_drift import check_schema_drift
+
+    selected = _validate_only(only)
+    findings: list[Finding] = []
+    analyzers: list[str] = []
+    errors: list[str] = []
+
+    det_findings, sources = check_determinism(paths)
+    findings.extend(det_findings)
+    analyzers.append("determinism")
+
+    if paths is None:
+        for name, analyzer in (
+            ("registry", check_registries),
+            ("fingerprint", check_fingerprint_coverage),
+            ("schema", check_schema_drift),
+        ):
+            try:
+                findings.extend(analyzer())
+                analyzers.append(name)
+            except Exception as exc:  # a broken analyzer must fail the check loudly
+                errors.append(f"analyzer {name!r} crashed: {exc!r}")
+
+    if selected is not None:
+        findings = [f for f in findings if f.rule in selected]
+
+    # Inline suppressions need each finding's source text: the determinism
+    # lint already read its files; registry findings anchor in source files
+    # too, so read any missing ones on demand.
+    for finding in findings:
+        if finding.path and finding.path not in sources:
+            candidate = _resolve_repo_path(finding.path)
+            if candidate is not None:
+                sources[finding.path] = candidate.read_text()
+
+    baseline_keys = None
+    baseline_path = Path(baseline) if baseline is not None else Path(BASELINE_DEFAULT)
+    if baseline is not None or baseline_path.is_file():
+        baseline_keys = load_baseline(baseline_path)
+
+    kept, suppressed, baselined = split_suppressed(
+        findings, source_cache=sources, baseline=baseline_keys
+    )
+    kept.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return CheckReport(
+        findings=kept,
+        files_scanned=len(sources),
+        suppressed=suppressed,
+        baselined=baselined,
+        analyzers=tuple(analyzers),
+        errors=errors,
+    )
+
+
+def _resolve_repo_path(rel: str) -> "Path | None":
+    """Find the file behind a repo-relative finding path (``src/repro/...``)."""
+    direct = Path(rel)
+    if direct.is_file():
+        return direct
+    if rel.startswith("src/repro/"):
+        import repro
+
+        candidate = Path(repro.__file__).parent.parent.parent / rel
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def render_text(report: CheckReport) -> str:
+    """Human-readable report: one line per finding, then a summary line."""
+    lines = [f.format() for f in report.findings]
+    lines.extend(f"error: {message}" for message in report.errors)
+    counts = report.counts()
+    if counts:
+        per_rule = ", ".join(f"{rule} x{n}" for rule, n in counts.items())
+        lines.append(f"check: {len(report.findings)} finding(s) ({per_rule}) "
+                     f"over {report.files_scanned} file(s)")
+    else:
+        lines.append(
+            f"check ok: {len(RULES)} rules, {report.files_scanned} file(s), "
+            f"{report.suppressed} suppressed, {report.baselined} baselined"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: CheckReport) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    payload = {
+        "ok": report.ok,
+        "analyzers": list(report.analyzers),
+        "files_scanned": report.files_scanned,
+        "suppressed": report.suppressed,
+        "baselined": report.baselined,
+        "counts": report.counts(),
+        "findings": [f.to_dict() for f in report.findings],
+        "errors": list(report.errors),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,146 @@
+"""Structured findings, inline suppressions, and the committed baseline.
+
+A :class:`Finding` is one analyzer hit: a stable rule id, a repo-relative
+path, a 1-based line (0 for whole-artifact findings such as schema drift) and
+a human message.  Findings are plain data so ``repro-patrol check`` can
+render them as ``path:line: rule-id: message`` text or as JSON for CI
+artifacts.
+
+Two escape hatches keep the checkers adoptable on a living tree:
+
+* **inline suppressions** — a ``# repro: allow[rule-id]`` comment on the
+  offending line acknowledges one finding in place (several ids separated by
+  commas).  Suppressions are for *justified* violations — the comment should
+  say why, e.g. the byte-invisible geometry-cache switch;
+* **a committed baseline** — ``.repro-analysis-baseline.json`` records known
+  findings by ``(rule, path, message)`` so pre-existing debt does not block
+  ``--strict`` while still failing the build on anything new.  Line numbers
+  are deliberately not part of the key: unrelated edits move code around.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = [
+    "Finding",
+    "suppressed_rules_by_line",
+    "load_baseline",
+    "write_baseline",
+    "split_suppressed",
+]
+
+BASELINE_DEFAULT = ".repro-analysis-baseline.json"
+
+_SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([a-z0-9,\-\s]+)\]")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One analyzer hit: rule id, location, message."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def key(self) -> tuple[str, str, str]:
+        """The baseline identity: rule + path + message (line-independent)."""
+        return (self.rule, self.path, self.message)
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "message": self.message}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "Finding":
+        return cls(rule=str(data["rule"]), path=str(data["path"]),
+                   line=int(data.get("line", 0)), message=str(data["message"]))
+
+
+def suppressed_rules_by_line(source: str) -> dict[int, frozenset[str]]:
+    """Parse ``# repro: allow[...]`` comments: 1-based line -> suppressed ids."""
+    table: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            ids = frozenset(
+                item.strip() for item in match.group(1).split(",") if item.strip()
+            )
+            if ids:
+                table[lineno] = ids
+    return table
+
+
+def load_baseline(path: "str | Path") -> frozenset[tuple[str, str, str]]:
+    """The baselined finding keys from a committed baseline file.
+
+    Raises :class:`ValueError` on a malformed file — a baseline that cannot
+    be parsed must not silently disable itself.
+    """
+    text = Path(path).read_text()
+    try:
+        payload = json.loads(text)
+        entries = payload["findings"]
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed analysis baseline {path}: {exc}") from exc
+    keys = set()
+    for entry in entries:
+        finding = Finding.from_dict(entry)
+        keys.add(finding.key())
+    return frozenset(keys)
+
+
+def write_baseline(path: "str | Path", findings: Iterable[Finding]) -> None:
+    """Write ``findings`` as the new committed baseline (sorted, line-free)."""
+    entries = sorted(
+        {f.key() for f in findings}  # dedup: the key ignores line numbers
+    )
+    payload = {
+        "version": 1,
+        "comment": "known findings tolerated by `repro-patrol check`; "
+                   "see docs/ANALYSIS.md for the workflow",
+        "findings": [
+            {"rule": rule, "path": p, "message": message}
+            for rule, p, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def split_suppressed(
+    findings: Iterable[Finding],
+    *,
+    source_cache: "Mapping[str, str] | None" = None,
+    baseline: "frozenset[tuple[str, str, str]] | None" = None,
+) -> tuple[list[Finding], int, int]:
+    """Partition findings into (kept, inline-suppressed count, baselined count).
+
+    ``source_cache`` maps finding paths to their source text (for inline
+    suppression comments); ``baseline`` is the loaded baseline key set.
+    """
+    kept: list[Finding] = []
+    suppressed = baselined = 0
+    suppression_tables: dict[str, dict[int, frozenset[str]]] = {}
+    for finding in findings:
+        if baseline and finding.key() in baseline:
+            baselined += 1
+            continue
+        if source_cache and finding.path in source_cache:
+            if finding.path not in suppression_tables:
+                suppression_tables[finding.path] = suppressed_rules_by_line(
+                    source_cache[finding.path]
+                )
+            allowed = suppression_tables[finding.path].get(finding.line, frozenset())
+            if finding.rule in allowed:
+                suppressed += 1
+                continue
+        kept.append(finding)
+    return kept, suppressed, baselined

@@ -1,0 +1,195 @@
+"""Fingerprint-coverage checker: every spec field must reach the run fingerprint.
+
+The content-addressed result store (PR 5) serves records by
+:func:`repro.store.fingerprint.run_fingerprint`.  Its correctness argument
+is global — *two specs share a fingerprint exactly when execution would
+produce byte-identical records* — but it decomposes into a local, checkable
+predicate per dataclass field: **each field of each spec type is either
+hashed by the canonicaliser, or exempted with a written reason**.  A field
+added to :class:`~repro.runner.RunSpec` (or any nested spec) without a
+hashing decision would make two *different* runs collide and silently serve
+a stale cached record; this checker turns that failure mode into a build
+break.
+
+Three rules:
+
+* ``fpr-uncovered-field`` — a spec dataclass field with no entry in
+  :data:`~repro.store.fingerprint.FINGERPRINT_COVERAGE` and no exemption in
+  :data:`~repro.store.fingerprint.FINGERPRINT_EXEMPT`;
+* ``fpr-stale-entry`` — a coverage or exemption entry naming a field (or
+  class) that no longer exists;
+* ``fpr-unread-field`` — a coverage entry claiming ``"hashed"`` whose field
+  the canonicaliser's source never actually reads (checked against the AST
+  of ``repro/store/fingerprint.py``), or an ``"asdict"`` wildcard with no
+  ``dataclasses.asdict`` call in sight: the declaration must not be able to
+  lie about the code.
+
+The checker takes explicit ``spec_classes`` / ``coverage`` / ``exempt``
+overrides so tests can prove the failure mode: registering a spec class with
+one extra field *must* produce ``fpr-uncovered-field``.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import inspect
+from typing import Any, Mapping
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry_contract import relative_to_repo
+
+__all__ = ["check_fingerprint_coverage", "default_spec_classes"]
+
+#: Field-read evidence that differs from the field name: ScenarioSpec.family
+#: is consumed through its canonical resolver, not a bare attribute read.
+_EVIDENCE_ALIASES: dict[tuple[str, str], str] = {
+    ("ScenarioSpec", "family"): "canonical_family",
+}
+
+_MECHANISMS = frozenset({"hashed", "asdict", "via-params"})
+
+
+def default_spec_classes() -> dict[str, type]:
+    """The spec dataclasses whose fields must be fingerprint-covered."""
+    from repro.planning.spec import PipelineSpec
+    from repro.runner.spec import RunSpec
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.sim.engine import SimulationConfig
+
+    return {
+        "RunSpec": RunSpec,
+        "ScenarioSpec": ScenarioSpec,
+        "SimulationConfig": SimulationConfig,
+        "PipelineSpec": PipelineSpec,
+    }
+
+
+def _fingerprint_module():
+    import repro.store.fingerprint as fingerprint
+
+    return fingerprint
+
+
+def _module_evidence(source: str) -> tuple[frozenset[str], bool]:
+    """``(attribute names read anywhere, asdict call present)`` for the module."""
+    tree = ast.parse(source)
+    attrs: set[str] = set()
+    asdict_called = False
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Attribute):
+            attrs.add(node.attr)
+            if node.attr == "asdict":
+                asdict_called = True
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "asdict":
+            asdict_called = True
+    return frozenset(attrs), asdict_called
+
+
+def check_fingerprint_coverage(
+    spec_classes: "Mapping[str, type] | None" = None,
+    coverage: "Mapping[str, Mapping[str, str]] | None" = None,
+    exempt: "Mapping[tuple[str, str], str] | None" = None,
+    fingerprint_source: "str | None" = None,
+) -> list[Finding]:
+    """Check the coverage declaration against the spec fields and the code.
+
+    All parameters default to the live library state; tests override them to
+    seed violations (an extra spec field, a stale entry, a lying ``hashed``
+    claim).
+    """
+    module = _fingerprint_module()
+    if spec_classes is None:
+        spec_classes = default_spec_classes()
+    if coverage is None:
+        coverage = module.FINGERPRINT_COVERAGE
+    if exempt is None:
+        exempt = module.FINGERPRINT_EXEMPT
+    if fingerprint_source is None:
+        fingerprint_source = inspect.getsource(module)
+    path = relative_to_repo(module.__file__)
+    attrs_read, asdict_called = _module_evidence(fingerprint_source)
+
+    findings: list[Finding] = []
+
+    def _add(rule: str, message: str) -> None:
+        findings.append(Finding(rule=rule, path=path, line=_coverage_line(module), message=message))
+
+    # -- stale entries ----------------------------------------------------- #
+    for class_name in sorted(coverage):
+        if class_name not in spec_classes:
+            _add("fpr-stale-entry",
+                 f"FINGERPRINT_COVERAGE names unknown spec class {class_name!r}")
+    for class_name, field_name in sorted(exempt):
+        if class_name not in spec_classes:
+            _add("fpr-stale-entry",
+                 f"FINGERPRINT_EXEMPT names unknown spec class {class_name!r}")
+        elif field_name not in _field_names(spec_classes[class_name]):
+            _add("fpr-stale-entry",
+                 f"FINGERPRINT_EXEMPT names unknown field "
+                 f"{class_name}.{field_name}")
+
+    # -- per-class field coverage ------------------------------------------ #
+    for class_name in sorted(spec_classes):
+        cls = spec_classes[class_name]
+        declared = dict(coverage.get(class_name, {}))
+        wildcard = declared.pop("*", None)
+        fields = _field_names(cls)
+        for field_name in sorted(set(declared) - fields):
+            _add("fpr-stale-entry",
+                 f"FINGERPRINT_COVERAGE names unknown field "
+                 f"{class_name}.{field_name}")
+        for field_name in sorted(fields):
+            mechanism = declared.get(field_name, wildcard)
+            if mechanism is None:
+                if (class_name, field_name) in exempt:
+                    reason = str(exempt[(class_name, field_name)]).strip()
+                    if not reason:
+                        _add("fpr-uncovered-field",
+                             f"{class_name}.{field_name} is exempted without a "
+                             "reason; exemptions must explain why the field is "
+                             "byte-invisible")
+                    continue
+                _add("fpr-uncovered-field",
+                     f"{class_name}.{field_name} is not consumed by "
+                     "canonical_run_payload() and carries no exemption: a new "
+                     "spec field that does not reach the fingerprint can serve "
+                     "stale cached records")
+                continue
+            if mechanism not in _MECHANISMS:
+                _add("fpr-stale-entry",
+                     f"{class_name}.{field_name} declares unknown coverage "
+                     f"mechanism {mechanism!r} (expected one of "
+                     f"{', '.join(sorted(_MECHANISMS))})")
+                continue
+            if mechanism == "hashed":
+                evidence = _EVIDENCE_ALIASES.get((class_name, field_name), field_name)
+                if evidence not in attrs_read:
+                    _add("fpr-unread-field",
+                         f"{class_name}.{field_name} is declared 'hashed' but "
+                         f"the fingerprint module never reads .{evidence}: the "
+                         "declaration does not match the code")
+            elif mechanism == "asdict" and not asdict_called:
+                _add("fpr-unread-field",
+                     f"{class_name}.{field_name} is declared 'asdict' but the "
+                     "fingerprint module never calls dataclasses.asdict()")
+    return findings
+
+
+def _field_names(cls: type) -> frozenset[str]:
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"spec class {cls!r} is not a dataclass")
+    return frozenset(f.name for f in dataclasses.fields(cls))
+
+
+def _coverage_line(module: Any) -> int:
+    """The line of the FINGERPRINT_COVERAGE declaration (anchor for findings)."""
+    try:
+        source = inspect.getsource(module)
+    except OSError:  # pragma: no cover - source unavailable
+        return 0
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        if line.startswith("FINGERPRINT_COVERAGE"):
+            return lineno
+    return 0

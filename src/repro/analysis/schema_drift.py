@@ -1,0 +1,179 @@
+"""Spec-schema drift check: the wire format of the specs is a committed golden.
+
+RunSpec / CampaignSpec / ScenarioSpec / SimulationConfig / PipelineSpec /
+StageSpec round-trip through JSON — they *are* the repo's wire format: spec
+files on disk, campaign grids, the result store's payloads, and (per
+ROADMAP) the future service API all speak it.  This check derives a schema
+from each dataclass — field names, annotation strings, default reprs — and
+asserts it equals the committed golden
+(``src/repro/analysis/golden/spec_schemas.json``).
+
+Any schema change therefore shows up as a reviewable golden diff instead of
+a silent format drift: adding a field, changing a default (which changes
+what serialisers omit), or renaming anything fails ``repro-patrol check``
+until ``repro-patrol check --write-golden`` re-records the schemas — at
+which point the fingerprint-coverage rules independently force a hashing
+decision for any new field.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "spec_schema",
+    "current_schemas",
+    "golden_path",
+    "load_golden",
+    "write_golden",
+    "check_schema_drift",
+]
+
+_GOLDEN_RELPATH = "src/repro/analysis/golden/spec_schemas.json"
+
+
+def _spec_classes() -> dict[str, type]:
+    from repro.planning.spec import PipelineSpec, StageSpec
+    from repro.runner.spec import CampaignSpec, RunSpec
+    from repro.scenarios.spec import ScenarioSpec
+    from repro.sim.engine import SimulationConfig
+
+    return {
+        "CampaignSpec": CampaignSpec,
+        "PipelineSpec": PipelineSpec,
+        "RunSpec": RunSpec,
+        "ScenarioSpec": ScenarioSpec,
+        "SimulationConfig": SimulationConfig,
+        "StageSpec": StageSpec,
+    }
+
+
+def _default_repr(field: dataclasses.Field) -> str:
+    if field.default is not dataclasses.MISSING:
+        return repr(field.default)
+    if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        # Spec factories are deterministic constructors (dict, ScenarioSpec,
+        # StageSpec("hamiltonian")); recording the produced value keeps
+        # default *changes* visible, not just default *presence*.
+        return repr(field.default_factory())  # type: ignore[misc]
+    return "<required>"
+
+
+def spec_schema(cls: type) -> dict:
+    """The drift-checked schema of one spec dataclass (field/type/default)."""
+    if not dataclasses.is_dataclass(cls):
+        raise TypeError(f"{cls!r} is not a dataclass")
+    return {
+        "fields": {
+            f.name: {"type": str(f.type), "default": _default_repr(f)}
+            for f in dataclasses.fields(cls)
+        },
+    }
+
+
+def current_schemas(classes: "Mapping[str, type] | None" = None) -> dict[str, dict]:
+    """Schemas of all round-trippable spec classes, keyed by class name."""
+    classes = dict(classes) if classes is not None else _spec_classes()
+    return {name: spec_schema(classes[name]) for name in sorted(classes)}
+
+
+def golden_path() -> Path:
+    """Location of the committed golden schema file (inside the package)."""
+    return Path(__file__).parent / "golden" / "spec_schemas.json"
+
+
+def load_golden(path: "Path | None" = None) -> dict[str, dict]:
+    """The committed golden schemas; raises on a missing/corrupt golden."""
+    golden_file = path if path is not None else golden_path()
+    try:
+        return json.loads(golden_file.read_text())["schemas"]
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, KeyError, TypeError) as exc:
+        raise ValueError(f"malformed golden schema file {golden_file}: {exc}") from exc
+
+
+def write_golden(path: "Path | None" = None,
+                 schemas: "Mapping[str, dict] | None" = None) -> Path:
+    """Re-record the golden schemas (``repro-patrol check --write-golden``)."""
+    golden_file = path if path is not None else golden_path()
+    payload = {
+        "comment": "golden wire-format schemas of the round-trippable specs; "
+                   "regenerate with `repro-patrol check --write-golden` "
+                   "(see docs/ANALYSIS.md)",
+        "schemas": dict(schemas) if schemas is not None else current_schemas(),
+    }
+    golden_file.parent.mkdir(parents=True, exist_ok=True)
+    golden_file.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return golden_file
+
+
+def _diff_fields(name: str, golden: Mapping[str, Any],
+                 current: Mapping[str, Any], path: str) -> list[Finding]:
+    findings = []
+    golden_fields = dict(golden.get("fields", {}))
+    current_fields = dict(current.get("fields", {}))
+    for field_name in sorted(set(current_fields) - set(golden_fields)):
+        findings.append(Finding(
+            rule="schema-drift", path=path, line=0,
+            message=f"{name}.{field_name} was added but the golden schema was "
+                    "not updated (run `repro-patrol check --write-golden` after "
+                    "reviewing the wire-format change)",
+        ))
+    for field_name in sorted(set(golden_fields) - set(current_fields)):
+        findings.append(Finding(
+            rule="schema-drift", path=path, line=0,
+            message=f"{name}.{field_name} exists in the golden schema but not "
+                    "in the dataclass (removed or renamed without updating the "
+                    "golden)",
+        ))
+    for field_name in sorted(set(golden_fields) & set(current_fields)):
+        recorded, actual = golden_fields[field_name], current_fields[field_name]
+        for aspect in ("type", "default"):
+            if recorded.get(aspect) != actual.get(aspect):
+                findings.append(Finding(
+                    rule="schema-drift", path=path, line=0,
+                    message=f"{name}.{field_name} {aspect} changed: golden "
+                            f"{recorded.get(aspect)!r} vs current "
+                            f"{actual.get(aspect)!r}",
+                ))
+    return findings
+
+
+def check_schema_drift(
+    current: "Mapping[str, dict] | None" = None,
+    golden: "Mapping[str, dict] | None" = None,
+) -> list[Finding]:
+    """Compare the live spec schemas against the committed golden."""
+    path = _GOLDEN_RELPATH
+    if current is None:
+        current = current_schemas()
+    if golden is None:
+        try:
+            golden = load_golden()
+        except FileNotFoundError:
+            return [Finding(
+                rule="schema-missing-golden", path=path, line=0,
+                message="golden schema file is missing; run `repro-patrol "
+                        "check --write-golden` and commit the result",
+            )]
+    findings: list[Finding] = []
+    for name in sorted(set(current) - set(golden)):
+        findings.append(Finding(
+            rule="schema-missing-golden", path=path, line=0,
+            message=f"spec class {name!r} has no golden schema entry",
+        ))
+    for name in sorted(set(golden) - set(current)):
+        findings.append(Finding(
+            rule="schema-missing-golden", path=path, line=0,
+            message=f"golden schema names {name!r}, which is no longer a "
+                    "round-trippable spec class",
+        ))
+    for name in sorted(set(golden) & set(current)):
+        findings.extend(_diff_fields(name, golden[name], current[name], path))
+    return findings

@@ -34,6 +34,9 @@ __all__ = [
     "strategy_params",
     "filter_strategy_kwargs",
     "validate_strategy_params",
+    "all_strategy_infos",
+    "strategy_alias_table",
+    "derived_strategy_params",
 ]
 
 
@@ -236,6 +239,33 @@ def validate_strategy_params(name: str, params: Mapping[str, Any]) -> None:
             raise ValueError(
                 f"invalid parameter value for strategy {info.name!r}: {exc}"
             ) from exc
+
+
+def all_strategy_infos() -> dict[str, StrategyInfo]:
+    """Snapshot of the whole registry: canonical name -> :class:`StrategyInfo`.
+
+    The introspection hook for :mod:`repro.analysis.registry_contract`; the
+    returned dict is a copy, so analyzers can never mutate the registry.
+    """
+    _ensure_defaults()
+    return dict(_REGISTRY)
+
+
+def strategy_alias_table() -> dict[str, str]:
+    """Every accepted strategy key (canonical names included) -> canonical name."""
+    _ensure_defaults()
+    return dict(_ALIASES)
+
+
+def derived_strategy_params(factory: Callable[..., PatrolStrategy]) -> tuple[frozenset[str], bool]:
+    """Re-derive ``(params, strict)`` from a factory, as registration would.
+
+    Exposed so the registry-contract checker can compare an explicitly
+    declared parameter set against what the factory signature actually
+    accepts — the two drifting apart is exactly the bug the checker exists
+    to catch.
+    """
+    return _declared_params(factory)
 
 
 def get_strategy(name: str, **kwargs) -> PatrolStrategy:

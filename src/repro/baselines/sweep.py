@@ -55,7 +55,7 @@ def partition_targets_balanced(targets: list[Target], num_groups: int, center: P
     if len(targets) < num_groups:
         return groups
     # Move targets from the largest groups into empty ones.
-    for gi, group in enumerate(groups):
+    for group in groups:
         while not group:
             donor = max(range(len(groups)), key=lambda j: len(groups[j]))
             if len(groups[donor]) <= 1:

@@ -33,6 +33,13 @@ List what is available (strategies, scenario families + parameters)::
     python -m repro strategies
     python -m repro scenarios --json
 
+Run the static self-checking analyzers (registry contracts, determinism,
+fingerprint coverage, spec-schema drift — see ``docs/ANALYSIS.md``)::
+
+    python -m repro check --strict
+    python -m repro check --rules
+    python -m repro check src/repro/sim/engine.py
+
 Regenerate the paper's figures (full protocol, 20 replications)::
 
     python -m repro fig7
@@ -199,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the generated CampaignSpec to this JSON file and exit")
     _add_store_arguments(sweep)
 
-    for name, runner in _FIGURE_RUNNERS.items():
+    for name in _FIGURE_RUNNERS:
         p = sub.add_parser(name, help=_FIGURE_HELP[name])
         p.add_argument("--quick", action="store_true",
                        help="small replication count / short horizon (for smoke runs)")
@@ -243,6 +250,31 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("--out", default=None, help="export: write records to this JSON file")
     store.add_argument("--csv", default=None, help="export: write records to this CSV file")
     store.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+
+    check = sub.add_parser(
+        "check",
+        help="run the static self-checking analyzers (registry contracts, "
+             "determinism, fingerprint coverage, schema drift; see docs/ANALYSIS.md)",
+    )
+    check.add_argument("paths", nargs="*", metavar="PATH",
+                       help="lint only these files/directories (determinism "
+                            "rules only); default: the whole tree, all analyzers")
+    check.add_argument("--strict", action="store_true",
+                       help="exit nonzero when any finding survives "
+                            "suppressions and the baseline (the CI gate)")
+    check.add_argument("--only", default=None, metavar="RULES",
+                       help="comma-separated rule ids to run (see --rules)")
+    check.add_argument("--baseline", default=None, metavar="FILE",
+                       help="baseline file of tolerated findings "
+                            "(default: .repro-analysis-baseline.json when present)")
+    check.add_argument("--write-baseline", action="store_true",
+                       help="write the current findings to the baseline file and exit")
+    check.add_argument("--write-golden", action="store_true",
+                       help="re-record the golden spec schemas and exit")
+    check.add_argument("--rules", action="store_true",
+                       help="list the rule catalog and exit")
+    check.add_argument("--json", action="store_true",
+                       help="emit the machine-readable report (the CI artifact format)")
 
     report = sub.add_parser(
         "report",
@@ -544,6 +576,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_store_command(args)
     if args.command == "report":
         return _run_report_command(args)
+    if args.command == "check":
+        return _run_check_command(args)
     if args.command in _FIGURE_RUNNERS:
         settings = _settings_from_args(args)
         data = _FIGURE_RUNNERS[args.command](settings)
@@ -749,6 +783,58 @@ def _run_store_command(args: argparse.Namespace) -> int:
     if args.csv:
         export_records_csv(entries, args.csv)
         print(f"wrote {len(entries)} records to {args.csv}")
+    return 0
+
+
+def _run_check_command(args: argparse.Namespace) -> int:
+    """Run the static self-checking analyzers (see docs/ANALYSIS.md)."""
+    # Lazy import: the analyzers pull in ast/inspect machinery no other
+    # subcommand needs.
+    from repro.analysis.check import render_json, render_text, run_check
+    from repro.analysis.rules import RULES
+
+    if args.rules:
+        if args.json:
+            print(json.dumps({"rules": [
+                {"id": r.id, "analyzer": r.analyzer, "summary": r.summary}
+                for r in RULES
+            ]}, indent=2))
+        else:
+            rows = [[r.id, r.analyzer, r.summary] for r in RULES]
+            print_report(format_table(["rule id", "analyzer", "summary"], rows,
+                                      title="Analysis rule catalog"))
+        return 0
+
+    if args.write_golden:
+        from repro.analysis.schema_drift import write_golden
+
+        golden_file = write_golden()
+        print(f"wrote golden spec schemas to {golden_file}")
+        return 0
+
+    only = None
+    if args.only:
+        only = [item.strip() for item in args.only.split(",") if item.strip()]
+    try:
+        # When re-recording the baseline, the old one (which may not even
+        # exist yet) must not filter the findings being recorded.
+        baseline = None if args.write_baseline else args.baseline
+        report = run_check(paths=args.paths or None, only=only, baseline=baseline)
+    except (ValueError, FileNotFoundError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        from repro.analysis.findings import BASELINE_DEFAULT, write_baseline
+
+        baseline_path = args.baseline or BASELINE_DEFAULT
+        write_baseline(baseline_path, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline_path}")
+        return 0
+
+    print(render_json(report) if args.json else render_text(report))
+    if args.strict and not report.ok:
+        return 1
     return 0
 
 

@@ -114,6 +114,10 @@ class RWTCTPPlanner:
     ----------
     policy:
         Break-edge policy used for the underlying WPP construction.
+    tsp_method, improve_tour:
+        Passed through to the phase-1 Hamiltonian-circuit construction.
+    location_initialization:
+        Space the mules equally along the WRP before patrolling (paper default).
     treat_targets_as_vips:
         Section IV opens with "treat the recharge station as a NTP and all the
         targets are treated as VIPs"; in the evaluation the target weights of

@@ -119,7 +119,7 @@ class WTCTPPlanner:
     ----------
     policy:
         ``"shortest"`` (Exp. 1) or ``"balanced"`` (Exp. 2) break-edge policy.
-    tsp_method / improve_tour:
+    tsp_method, improve_tour:
         Passed through to the phase-1 Hamiltonian-circuit construction.
     location_initialization:
         Space the mules equally along the WPP before patrolling (paper default).

@@ -77,8 +77,11 @@ _LOCK = threading.Lock()
 # One global switch for every geometry/tour/scenario cache.  The environment
 # variable gives CI and benchmark harnesses an off-switch without code changes
 # (case/whitespace-insensitive: "0", "false", "no", "off" all disable).
+# Byte-invisible by proof: the cache equivalence tests assert records are
+# identical with the switch on or off, so this env read can never change a
+# result — exactly the justification the determinism lint suppression wants.
 _ENABLED: bool = (
-    os.environ.get("REPRO_GEOMETRY_CACHE", "1").strip().lower()
+    os.environ.get("REPRO_GEOMETRY_CACHE", "1").strip().lower()  # repro: allow[det-env-branch]
     not in ("0", "false", "no", "off")
 )
 

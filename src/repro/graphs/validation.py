@@ -115,7 +115,7 @@ def validate_walk_visits(
     for node in seq:
         counts[node] = counts.get(node, 0) + 1
     allowed = set(weights) | set(extra_allowed)
-    for node, cnt in counts.items():
+    for node in counts:
         if node not in allowed:
             raise ValidationError(f"walk visits unknown node {node!r}")
     for node, w in weights.items():

@@ -37,6 +37,8 @@ __all__ = [
     "stage_backend_info",
     "validate_stage_params",
     "did_you_mean",
+    "all_stage_infos",
+    "stage_alias_table",
 ]
 
 #: The four stage kinds, in execution order.
@@ -213,6 +215,23 @@ def validate_stage_params(kind: str, name: str, params: Mapping[str, Any]) -> No
             raise ValueError(
                 f"invalid parameter value for {kind} stage backend {info.name!r}: {exc}"
             ) from exc
+
+
+def all_stage_infos() -> dict[str, dict[str, StageBackendInfo]]:
+    """Snapshot of all four registries: kind -> canonical name -> info.
+
+    The introspection hook for :mod:`repro.analysis.registry_contract`; the
+    returned dicts are copies, so analyzers can never mutate the registries.
+    """
+    _ensure_defaults()
+    return {kind: dict(_REGISTRY[kind]) for kind in STAGE_KINDS}
+
+
+def stage_alias_table(kind: str) -> dict[str, str]:
+    """Every accepted backend key of one kind (canonical names included) -> canonical."""
+    _ensure_defaults()
+    _check_kind(kind)
+    return dict(_ALIASES[kind])
 
 
 def _ensure_defaults() -> None:

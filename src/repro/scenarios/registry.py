@@ -45,6 +45,8 @@ __all__ = [
     "filter_scenario_kwargs",
     "validate_scenario_params",
     "build_scenario",
+    "all_scenario_infos",
+    "scenario_alias_table",
 ]
 
 
@@ -326,6 +328,22 @@ def get_scenario(family: str, *, seed: int = 0, **params: Any) -> Scenario:
     24
     """
     return build_scenario(family, params, seed=seed)
+
+
+def all_scenario_infos() -> dict[str, ScenarioInfo]:
+    """Snapshot of the whole registry: canonical family -> :class:`ScenarioInfo`.
+
+    The introspection hook for :mod:`repro.analysis.registry_contract`; the
+    returned dict is a copy, so analyzers can never mutate the registry.
+    """
+    _ensure_defaults()
+    return dict(_REGISTRY)
+
+
+def scenario_alias_table() -> dict[str, str]:
+    """Every accepted family key (canonical names included) -> canonical name."""
+    _ensure_defaults()
+    return dict(_ALIASES)
 
 
 def _ensure_defaults() -> None:

@@ -39,7 +39,56 @@ from typing import Any
 
 from repro.baselines.base import strategy_params
 
-__all__ = ["canonical_run_payload", "canonical_run_json", "run_fingerprint", "code_salt"]
+__all__ = [
+    "canonical_run_payload",
+    "canonical_run_json",
+    "run_fingerprint",
+    "code_salt",
+    "FINGERPRINT_COVERAGE",
+    "FINGERPRINT_EXEMPT",
+]
+
+# --------------------------------------------------------------------------- #
+# Coverage declaration, checked statically by `repro-patrol check`
+# --------------------------------------------------------------------------- #
+# Every dataclass field of the spec types below MUST appear here (or in
+# FINGERPRINT_EXEMPT with a reason): the fingerprint-coverage analyzer
+# (repro.analysis.fingerprint_coverage) fails the build otherwise.  This is
+# what makes schema growth safe for the content-addressed store — a field
+# added to a spec without a decision about its hashing can never silently
+# serve stale cache hits.
+#
+# Mechanisms:
+#   "hashed"     — canonical_run_payload() reads the field directly (the
+#                  analyzer also verifies that read exists in this module's
+#                  AST);
+#   "asdict"     — the whole dataclass is hashed via dataclasses.asdict();
+#   "via-params" — the value round-trips inside an already-hashed mapping
+#                  (pipeline stage specs travel in spec.params).
+FINGERPRINT_COVERAGE: dict[str, dict[str, str]] = {
+    "RunSpec": {
+        "strategy": "hashed",
+        "scenario": "hashed",
+        "params": "hashed",
+        "sim": "hashed",
+        "seed": "hashed",
+        "metrics": "hashed",
+        "labels": "hashed",
+    },
+    "ScenarioSpec": {
+        "family": "hashed",
+        "params": "hashed",
+        "seed": "hashed",
+    },
+    "SimulationConfig": {"*": "asdict"},
+    "PipelineSpec": {"*": "via-params"},
+}
+
+#: ``(class name, field name) -> reason`` for fields deliberately excluded
+#: from the fingerprint.  Empty today: exemptions are for knobs *proven*
+#: byte-invisible (records identical either way), and every current spec
+#: field changes records.
+FINGERPRINT_EXEMPT: dict[tuple[str, str], str] = {}
 
 
 def code_salt() -> str:

@@ -1,0 +1,9 @@
+"""Seeded violation fixture: ``det-env-branch`` must fire here."""
+
+import os
+
+
+def horizon_default():
+    if os.environ.get("FAST_MODE"):          # finding: environment branch
+        return 1_000.0
+    return float(os.getenv("HORIZON", "50000"))   # finding: environment read

@@ -1,0 +1,13 @@
+"""Seeded violation fixture: ``det-global-np-random`` must fire here."""
+
+import numpy as np
+
+
+def jitter(n):
+    np.random.seed(0)                    # finding: global RNG state
+    return np.random.rand(n)             # finding: global RNG draw
+
+
+def seeded_ok(seed, n):
+    rng = np.random.default_rng(seed)    # allowed: seeded generator idiom
+    return rng.random(n)

@@ -1,0 +1,13 @@
+"""Seeded violation fixture: ``det-set-iteration`` must fire here."""
+
+
+def build_rows(names):
+    rows = []
+    for name in set(names):                  # finding: undefined iteration order
+        rows.append(name)
+    rows += [n for n in {"a", "b", "c"}]     # finding: comprehension over a set
+    return rows
+
+
+def sorted_ok(names):
+    return [name for name in sorted(set(names))]   # allowed: sorted first

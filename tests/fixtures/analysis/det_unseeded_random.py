@@ -1,0 +1,18 @@
+"""Seeded violation fixture: ``det-unseeded-random`` must fire here.
+
+Never imported — only parsed by the determinism linter in
+``tests/test_analysis_check.py``.
+"""
+
+import random
+from random import shuffle
+
+
+def pick(values):
+    shuffle(values)                      # finding: from-imported global RNG
+    return random.choice(values)         # finding: module-level global RNG
+
+
+def seeded_ok(seed, values):
+    rng = random.Random(seed)            # allowed: seeded constructor idiom
+    return rng.choice(values)

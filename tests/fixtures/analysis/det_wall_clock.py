@@ -1,0 +1,10 @@
+"""Seeded violation fixture: ``det-wall-clock`` must fire here."""
+
+import time
+from datetime import datetime
+
+
+def stamp_record(record):
+    record["created"] = time.time()          # finding: wall clock
+    record["pretty"] = datetime.now()        # finding: wall clock
+    return record

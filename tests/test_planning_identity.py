@@ -36,6 +36,11 @@ def _golden_plans():
     return json.loads((GOLDEN_DIR / "pr4_plans.json").read_text())
 
 
+def _plan_case_id(index):
+    scenario_key, strategy, _kwargs = golden_strategy_calls()[index]
+    return f"{strategy}-{scenario_key}-{index}"
+
+
 class TestGoldenPlans:
     def test_golden_covers_declared_calls(self):
         golden = _golden_plans()
@@ -49,8 +54,7 @@ class TestGoldenPlans:
         assert strategies == {"random", "sweep", "chb", "b-tctp", "w-tctp", "rw-tctp"}
 
     @pytest.mark.parametrize("index", range(len(golden_strategy_calls())),
-                             ids=lambda i: "{0[1]}-{0[0]}-{1}".format(
-                                 golden_strategy_calls()[i], i))
+                             ids=_plan_case_id)
     def test_plan_byte_identical(self, scenarios, index):
         entry = _golden_plans()[index]
         scenario = scenarios[entry["scenario"]].fresh_copy()
