@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""End-to-end smoke test for the serve daemon (CI `serve-smoke` job).
+
+Starts ``repro-patrol serve`` as a real subprocess on a free loopback port
+with a temporary result store, then proves the service contract of
+docs/SERVICE.md over the wire:
+
+1. a POSTed CampaignSpec streams NDJSON whose records are **byte-identical**
+   (sorted JSON) to ``repro-patrol run`` executing the same spec file;
+2. re-POSTing the same campaign re-executes **zero** cells — every record is
+   served from the store, byte-identical to the first stream;
+3. ``/stats`` agrees with the observed admission counters and embeds the
+   store stats document.
+
+Run locally: ``python scripts/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from http.client import HTTPConnection
+from pathlib import Path
+
+CAMPAIGN = {
+    "kind": "campaign",
+    "base": {
+        "strategy": "b-tctp",
+        "scenario": {"family": "uniform",
+                     "params": {"num_targets": 8, "num_mules": 2}},
+        "sim": {"horizon": 6000.0, "track_energy": False},
+    },
+    "grid": {"strategy": ["b-tctp", "chb"]},
+    "replications": 2,
+}
+NUM_CELLS = 4
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def request(port: int, method: str, path: str, body: "dict | None" = None):
+    conn = HTTPConnection("127.0.0.1", port, timeout=120)
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        conn.request(method, path, body=payload)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def wait_healthy(port: int, proc: subprocess.Popen, deadline_s: float = 30) -> None:
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise SystemExit(f"daemon exited early with code {proc.returncode}")
+        try:
+            status, _body = request(port, "GET", "/healthz")
+            if status == 200:
+                return
+        except OSError:
+            pass
+        time.sleep(0.2)
+    raise SystemExit("daemon did not become healthy in time")
+
+
+def post_campaign(port: int) -> list[dict]:
+    status, raw = request(port, "POST", "/campaigns", CAMPAIGN)
+    assert status == 200, (status, raw)
+    events = [json.loads(line) for line in raw.decode().splitlines()]
+    assert events[0] == {"event": "start", "total": NUM_CELLS}, events[0]
+    assert events[-1]["event"] == "done" and events[-1]["failed"] == 0, events[-1]
+    return events
+
+
+def canonical(records: list[dict]) -> list[str]:
+    return [json.dumps(r, sort_keys=True) for r in records]
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        store_dir = str(Path(tmp) / "store")
+        spec_path = Path(tmp) / "campaign.json"
+        spec_path.write_text(json.dumps(CAMPAIGN))
+        port = free_port()
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--port", str(port),
+             "--workers", "2", "--store", store_dir],
+        )
+        try:
+            wait_healthy(port, proc)
+
+            cold = post_campaign(port)
+            assert cold[-1]["executed"] == NUM_CELLS, cold[-1]
+            served = [e["record"] for e in cold if e["event"] == "cell"]
+
+            # 1. byte identity with the CLI executing the same spec file
+            cli = subprocess.run(
+                [sys.executable, "-m", "repro", "run", str(spec_path),
+                 "--no-store", "--json"],
+                check=True, capture_output=True, text=True)
+            cli_records = json.loads(cli.stdout)["records"]
+            assert canonical(served) == canonical(cli_records), \
+                "daemon stream diverged from CLI execution"
+
+            # 2. re-POST: zero re-executions, identical bytes
+            warm = post_campaign(port)
+            assert warm[-1]["executed"] == 0, warm[-1]
+            assert warm[-1]["store"] == NUM_CELLS, warm[-1]
+            warm_records = [e["record"] for e in warm if e["event"] == "cell"]
+            assert canonical(warm_records) == canonical(served), \
+                "store-served records diverged from the first stream"
+
+            # 3. /stats tells the same story, with the store document embedded
+            status, raw = request(port, "GET", "/stats")
+            assert status == 200, (status, raw)
+            stats = json.loads(raw)
+            scheduler = stats["scheduler"]
+            assert scheduler["requests"] == 2, scheduler
+            assert scheduler["executed"] == NUM_CELLS, scheduler
+            assert scheduler["store_hits"] == NUM_CELLS, scheduler
+            assert scheduler["rejected"] == 0, scheduler
+            assert stats["store"]["entries"] == NUM_CELLS, stats["store"]
+        finally:
+            proc.terminate()
+            proc.wait(timeout=30)
+    print(f"serve smoke ok: {NUM_CELLS} cells executed once, "
+          f"re-POST served {NUM_CELLS}/{NUM_CELLS} from the store, "
+          "streams byte-identical to the CLI")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,7 +43,9 @@ from repro.analysis.registry_contract import relative_to_repo
 __all__ = ["DEFAULT_SCOPE", "scope_files", "check_determinism", "lint_source"]
 
 #: Packages under ``repro`` whose modules are reachable from registered
-#: factories or the simulator: the registered code paths.
+#: factories or the simulator: the registered code paths.  ``service`` is in
+#: scope because the serve daemon promises byte identity with CLI execution —
+#: a wall clock or environment branch anywhere on its path would break it.
 DEFAULT_SCOPE: tuple[str, ...] = (
     "baselines",
     "core",
@@ -52,6 +54,7 @@ DEFAULT_SCOPE: tuple[str, ...] = (
     "network",
     "planning",
     "scenarios",
+    "service",
     "sim",
     "workloads",
 )

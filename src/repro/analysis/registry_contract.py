@@ -210,8 +210,10 @@ def check_registries(
     scenarios: "Mapping[str, Any] | None" = None,
     scenario_aliases: "Mapping[str, str] | None" = None,
     stages: "Mapping[str, Mapping[str, Any]] | None" = None,
+    transports: "Mapping[str, Any] | None" = None,
+    transport_aliases: "Mapping[str, str] | None" = None,
 ) -> list[Finding]:
-    """Run every registry-contract rule over the three registries.
+    """Run every registry-contract rule over the four registries.
 
     All parameters default to the live registries (via their ``all_*_infos``
     introspection hooks); tests inject synthetic info tables to seed
@@ -226,6 +228,7 @@ def check_registries(
     )
     from repro.planning.stages import STAGE_KINDS, all_stage_infos, stage_alias_table
     from repro.scenarios.registry import all_scenario_infos, scenario_alias_table
+    from repro.service.registry import all_transport_infos, transport_alias_table
 
     findings: list[Finding] = []
     sim_fields = _sim_field_names()
@@ -341,4 +344,32 @@ def check_registries(
             findings += _mutable_default_findings(
                 f"{kind} backend", name, info.factory, info.defaults()
             )
+
+    # -- serve transports -------------------------------------------------- #
+    if transports is None:
+        transports = all_transport_infos()
+        transport_aliases = transport_alias_table()
+    elif transport_aliases is None:
+        transport_aliases = {name: name for name in transports}
+    findings += _alias_shadow_findings(
+        "transport", transport_aliases,
+        lambda name: factory_location(transports[name].factory),
+    )
+    for name in sorted(transports):
+        info = transports[name]
+        path, line = factory_location(info.factory)
+        if not info.description.strip():
+            findings.append(Finding(
+                rule="registry-missing-description", path=path, line=line,
+                message=f"transport {name!r} has no description",
+            ))
+        # The leading scheduler argument is injected by the server wiring,
+        # so docstrings may document it without declaring it an option.
+        findings += _docstring_drift_findings(
+            "transport", name, info.factory, info.params,
+            extra_allowed=frozenset({"scheduler"}),
+        )
+        findings += _mutable_default_findings(
+            "transport", name, info.factory, info.defaults()
+        )
     return findings

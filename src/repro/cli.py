@@ -101,6 +101,7 @@ from repro.store.report import (
     entry_rows,
     export_records_csv,
     export_records_json,
+    store_stats_payload,
     summarize_records,
 )
 from repro.workloads.generator import ScenarioConfig
@@ -164,11 +165,15 @@ def _add_store_arguments(parser: argparse.ArgumentParser) -> None:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed separately for testing)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-patrol",
         description="Reproduction of the ICPP 2011 data-mule patrolling paper "
                     "(B-TCTP / W-TCTP / RW-TCTP).",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run one strategy on one generated scenario")
@@ -226,6 +231,39 @@ def build_parser() -> argparse.ArgumentParser:
         "scenarios", help="list the registered scenario families and their parameters"
     )
     fams.add_argument("--json", action="store_true")
+
+    trans = sub.add_parser(
+        "transports", help="list the registered serve-daemon transports and their options"
+    )
+    trans.add_argument("--json", action="store_true")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation service daemon: accept RunSpec/CampaignSpec "
+             "over a transport, coalesce duplicate in-flight work, stream "
+             "NDJSON results (see docs/SERVICE.md)",
+    )
+    serve.add_argument("--transport", default="http",
+                       help="registered transport name (see the 'transports' "
+                            "command); default: http")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="interface to bind (http transport); 0.0.0.0 exposes "
+                            "the daemon beyond loopback")
+    serve.add_argument("--port", type=int, default=8422,
+                       help="TCP port (http transport); 0 picks an ephemeral port")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker threads executing cells (default: 2)")
+    serve.add_argument("--queue-limit", type=int, default=64,
+                       help="max admitted-but-unfinished cells; a request whose "
+                            "new cells do not fit is rejected with 429 + "
+                            "Retry-After (default: 64)")
+    serve.add_argument("--store", nargs="?", const=True, default=None, metavar="DIR",
+                       help="serve cached records from / write results to this "
+                            "result store; with no DIR, uses $REPRO_STORE_DIR "
+                            "(or the user cache directory)")
+    serve.add_argument("--no-store", action="store_true",
+                       help="serve without a result store (in-flight coalescing "
+                            "still deduplicates concurrent identical requests)")
 
     store = sub.add_parser(
         "store", help="inspect / maintain the persistent result store (see docs/STORE.md)"
@@ -572,6 +610,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_strategies_listing(args)
     if args.command == "scenarios":
         return _run_scenarios_listing(args)
+    if args.command == "transports":
+        return _run_transports_listing(args)
+    if args.command == "serve":
+        return _run_serve(args)
     if args.command == "store":
         return _run_store_command(args)
     if args.command == "report":
@@ -664,6 +706,79 @@ def _run_scenarios_listing(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_transports_listing(args: argparse.Namespace) -> int:
+    """List the registered serve-daemon transports (mirror of 'scenarios')."""
+    # Lazy import: only the service subcommands need the service package.
+    from repro.service import all_transport_infos
+
+    transports = []
+    for name, info in sorted(all_transport_infos().items()):
+        transports.append({
+            "name": name,
+            "aliases": list(info.aliases),
+            "description": info.description,
+            "options": [
+                {
+                    "name": p.name,
+                    "kind": p.kind,
+                    **({"default": p.default} if not p.required else {}),
+                    "required": p.required,
+                }
+                for p in info.params.values()
+            ],
+        })
+    if args.json:
+        print(json.dumps({"transports": transports}, indent=2, default=str))
+        return 0
+    rows = []
+    for entry in transports:
+        signature = ", ".join(
+            o["name"] if o["required"] else f"{o['name']}={o['default']}"
+            for o in entry["options"]
+        )
+        name = entry["name"] + (
+            f" ({', '.join(entry['aliases'])})" if entry["aliases"] else ""
+        )
+        rows.append([name, entry["description"], signature or "(none)"])
+    print_report(format_table(
+        ["transport (aliases)", "description", "options"], rows,
+        title="Registered serve transports",
+    ))
+    return 0
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """Run the simulation service daemon until interrupted."""
+    from repro.service import ServiceScheduler, filter_transport_kwargs, get_transport
+
+    try:
+        scheduler = ServiceScheduler(
+            store=_cli_store_arg(args),
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+        )
+        # One shared flag set; each transport keeps the options it declares
+        # (stdio takes neither --host nor --port).
+        options = filter_transport_kwargs(
+            args.transport, {"host": args.host, "port": args.port}
+        )
+        transport = get_transport(args.transport, scheduler, **options)
+    except (ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    store = scheduler.store
+    backing = "no result store (coalescing only)" if store is None \
+        else f"result store at {store.root}"
+    endpoint = getattr(transport, "url", f"transport {args.transport!r}")
+    print(f"serving on {endpoint}: {args.workers} worker(s), "
+          f"queue limit {args.queue_limit}, {backing}", file=sys.stderr)
+    try:
+        transport.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        scheduler.shutdown(wait=True)
+    return 0
+
+
 def _open_store(args: argparse.Namespace) -> "ResultStore | None":
     """The store a ``store``/``report`` invocation addresses (``--dir`` wins)."""
     if args.dir:
@@ -719,7 +834,9 @@ def _run_store_command(args: argparse.Namespace) -> int:
         return 2
 
     if args.action == "stats":
-        stats = store.stats()
+        # The same document the serve daemon's /stats endpoint embeds — one
+        # formatter, two surfaces (see repro.store.report.store_stats_payload).
+        stats = store_stats_payload(store)
         if args.json:
             print(json.dumps(stats, indent=2, sort_keys=True))
         else:

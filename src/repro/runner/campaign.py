@@ -43,6 +43,7 @@ from repro.store.io import atomic_write_text
 
 __all__ = [
     "execute_run",
+    "execute_cell",
     "execute_many",
     "execute_resumable",
     "Campaign",
@@ -153,6 +154,36 @@ def execute_run(spec: RunSpec) -> dict:
     return record
 
 
+def execute_cell(spec: RunSpec, *, store=None) -> "tuple[dict, str]":
+    """Execute one cell against an optional store; returns ``(record, source)``.
+
+    The store-aware single-cell primitive behind the service scheduler
+    (:mod:`repro.service`): the spec's fingerprint is looked up first,
+    a miss executes, and the fresh record is written back **immediately** —
+    so concurrent callers and interrupted daemons never lose a finished
+    cell.  ``source`` is ``"store"`` for a hit and ``"executed"`` for a
+    fresh run.
+
+    ``store`` must be an already-resolved :class:`~repro.store.ResultStore`
+    or ``None`` (no :func:`~repro.store.resolve_store` defaulting here — the
+    caller has already decided whether persistence is on).
+
+    The spec is executed exactly as given: campaign expansion (replication
+    labels, strategy-default filtering) must happen *before* this call —
+    via ``Campaign(spec).cells()`` — for records and fingerprints to match
+    campaign execution byte for byte.
+    """
+    if store is None:
+        return execute_run(spec), "executed"
+    fingerprint = run_fingerprint(spec)
+    record = store.get(fingerprint)
+    if record is not None:
+        return record, "store"
+    record = execute_run(spec)
+    store.put(fingerprint, record, spec)
+    return record, "executed"
+
+
 def _init_worker_caches(enabled: bool) -> None:
     """Pool-worker initializer: mirror the parent's global cache switch."""
     _configure_caches(enabled=enabled)
@@ -164,6 +195,7 @@ def execute_many(
     max_workers: int | None = None,
     progress: Callable[[int, int], None] | None = None,
     on_record: Callable[[int, dict], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> list[dict]:
     """Execute run specs, optionally across processes; results keep spec order.
 
@@ -174,7 +206,10 @@ def execute_many(
     ``on_record(index, record)`` streams each finished record (in spec order,
     before ``progress``) — the resumable executor uses it to write results
     back to the store as they complete, so a killed campaign keeps its
-    finished cells.
+    finished cells.  ``cancel()`` is polled between cells: once it returns
+    true, no further cell starts and the records completed so far are
+    returned (cells are atomic — the one in flight finishes; the service
+    scheduler leans on this for graceful shutdown).
 
     Workers use the ``fork`` start method where the platform offers it, so
     strategies/metrics registered at runtime stay visible in the pool.  On
@@ -182,6 +217,8 @@ def execute_many(
     import time of a module the workers also import.
     """
     specs = list(specs)
+    if cancel is not None and cancel():
+        return []
     if max_workers is not None and max_workers > 1 and len(specs) > 1:
         try:
             mp_context = multiprocessing.get_context("fork")
@@ -214,6 +251,9 @@ def execute_many(
                         on_record(len(records) - 1, record)
                     if progress is not None:
                         progress(len(records), len(specs))
+                    if cancel is not None and cancel():
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        break
                 return records
     records = []
     for spec in specs:
@@ -222,6 +262,8 @@ def execute_many(
             on_record(len(records) - 1, records[-1])
         if progress is not None:
             progress(len(records), len(specs))
+        if cancel is not None and cancel():
+            break
     return records
 
 
@@ -231,6 +273,8 @@ def execute_resumable(
     store,
     max_workers: int | None = None,
     progress: Callable[[int, int], None] | None = None,
+    on_record: Callable[[int, dict], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> "tuple[list[dict], int, int]":
     """Execute run specs against a result store; returns ``(records, hits, misses)``.
 
@@ -244,6 +288,12 @@ def execute_resumable(
 
     ``progress(done, total)`` counts hits as immediately done: a fully warm
     campaign reports ``(total, total)`` once without executing anything.
+    ``on_record(index, record)`` observes every record — the hits first (in
+    spec order), then each executed miss as it completes, after its store
+    write-back.  ``cancel()`` is polled between executed cells (see
+    :func:`execute_many`); a cancelled call leaves ``None`` placeholders in
+    the returned records for the cells that never ran, while ``misses``
+    still counts every cell that *needed* execution.
     """
     specs = list(specs)
     fingerprints = [run_fingerprint(spec) for spec in specs]
@@ -257,10 +307,16 @@ def execute_resumable(
     hits = len(specs) - len(miss_indices)
     if progress is not None and hits:
         progress(hits, len(specs))
+    if on_record is not None:
+        for index, record in enumerate(records):
+            if record is not None:
+                on_record(index, record)
 
     def _write_back(subset_index: int, record: dict) -> None:
         index = miss_indices[subset_index]
         store.put(fingerprints[index], record, specs[index])
+        if on_record is not None:
+            on_record(index, record)
 
     fresh = execute_many(
         [specs[i] for i in miss_indices],
@@ -270,6 +326,7 @@ def execute_resumable(
             else lambda done, _total: progress(hits + done, len(specs))
         ),
         on_record=_write_back,
+        cancel=cancel,
     )
     for index, record in zip(miss_indices, fresh):
         records[index] = record
@@ -470,6 +527,8 @@ class Campaign:
         *,
         progress: Callable[[int, int], None] | None = None,
         store=None,
+        on_record: Callable[[int, dict], None] | None = None,
+        cancel: Callable[[], bool] | None = None,
     ) -> CampaignResult:
         """Execute every cell and return the tidy records.
 
@@ -488,17 +547,31 @@ class Campaign:
             — byte-identical under JSON serialisation to executing them —
             and the result metadata gains a ``"store"`` block with the
             hit/miss counts.
+        on_record:
+            Optional ``on_record(index, record)`` observer streaming each
+            record as it becomes available (``index`` is the cell's position
+            in :meth:`cells`); with a store, it fires after the record's
+            write-back.
+        cancel:
+            Optional ``cancel()`` poll: once it returns true, no further
+            cell starts; the result keeps the records completed so far (in
+            cell order) and its metadata gains ``"cancelled": True``.
         """
         cells = self.cells()
         metadata: dict[str, Any] = {"num_cells": len(cells), "max_workers": self.max_workers}
         resolved = resolve_store(store)
         if resolved is None:
-            records = execute_many(cells, max_workers=self.max_workers, progress=progress)
+            records = execute_many(cells, max_workers=self.max_workers, progress=progress,
+                                   on_record=on_record, cancel=cancel)
         else:
             records, hits, misses = execute_resumable(
-                cells, store=resolved, max_workers=self.max_workers, progress=progress
+                cells, store=resolved, max_workers=self.max_workers, progress=progress,
+                on_record=on_record, cancel=cancel,
             )
             metadata["store"] = {
                 "root": str(resolved.root), "hits": hits, "misses": misses
             }
-        return CampaignResult(records=records, spec=self.spec, metadata=metadata)
+        completed = [r for r in records if r is not None]
+        if len(completed) < len(cells):
+            metadata["cancelled"] = True
+        return CampaignResult(records=completed, spec=self.spec, metadata=metadata)

@@ -1,0 +1,127 @@
+"""Line-oriented stdio transport: the daemon over stdin/stdout pipes.
+
+The second built-in transport keeps the registry honestly plural and gives
+scripted clients (and tests) a socket-free way to drive the scheduler: one
+JSON request per input line, NDJSON events on the output stream — the exact
+event documents the HTTP transport chunks over the wire, so a client can
+switch transports without reparsing anything.
+
+Request lines::
+
+    {"kind": "run", "strategy": "b-tctp", "seed": 3}     stream the cell events
+    {"kind": "campaign", "base": {...}, ...}             stream every cell
+    {"op": "stats"}                                      one stats line
+    {"op": "lookup", "fingerprint": "<fp>"}              one lookup line
+
+Errors never kill the session: a malformed line or rejected spec emits one
+``{"event": "error", ...}`` line (overload rejections carry
+``retry_after``), and the loop reads on.  EOF on the input ends the session
+and drains the scheduler.
+
+Run it as ``repro-patrol serve --transport stdio``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, IO
+
+from repro.service.registry import register_transport
+from repro.service.scheduler import ServiceClosed, ServiceOverloaded, ServiceScheduler
+
+__all__ = ["StdioTransport"]
+
+
+class StdioTransport:
+    """Serve scheduler requests line by line over a pair of text streams.
+
+    Parameters
+    ----------
+    scheduler:
+        The scheduler executing and coalescing the admitted specs.
+    input_stream / output_stream:
+        Text streams to read requests from / write NDJSON events to;
+        ``None`` means the process's stdin/stdout (resolved lazily, so a
+        test can swap :data:`sys.stdin` before serving).  Tests pass
+        :class:`io.StringIO` pairs.
+    """
+
+    def __init__(self, scheduler: ServiceScheduler, *,
+                 input_stream: "IO[str] | None" = None,
+                 output_stream: "IO[str] | None" = None) -> None:
+        self.scheduler = scheduler
+        self._input = input_stream
+        self._output = output_stream
+
+    def _emit(self, payload: Any) -> None:
+        output = self._output
+        if output is None:
+            import sys
+
+            output = sys.stdout
+        output.write(json.dumps(payload, sort_keys=True) + "\n")
+        output.flush()
+
+    def _serve_line(self, line: str) -> None:
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            self._emit({"event": "error", "message": f"line is not valid JSON: {exc}"})
+            return
+        if not isinstance(request, dict):
+            self._emit({"event": "error",
+                        "message": "each line must be a JSON object (a spec or an op)"})
+            return
+        op = request.get("op")
+        if op == "stats":
+            self._emit({"event": "stats", "stats": self.scheduler.stats()})
+            return
+        if op == "lookup":
+            fingerprint = request.get("fingerprint", "")
+            found = self.scheduler.lookup(fingerprint)
+            self._emit(found if found is not None
+                       else {"fingerprint": fingerprint, "status": "unknown"})
+            return
+        if op is not None:
+            self._emit({"event": "error", "message": f"unknown op {op!r}; "
+                        "ops: stats, lookup"})
+            return
+        try:
+            ticket = self.scheduler.submit(request)
+        except ServiceOverloaded as exc:
+            self._emit({"event": "error", "message": str(exc),
+                        "retry_after": exc.retry_after})
+            return
+        except ServiceClosed as exc:
+            self._emit({"event": "error", "message": str(exc)})
+            return
+        except (ValueError, TypeError, KeyError) as exc:
+            self._emit({"event": "error", "message": f"{exc}"})
+            return
+        for event in ticket.events():
+            self._emit(event)
+
+    def serve_forever(self) -> None:
+        """Process request lines until EOF, then drain the scheduler."""
+        stream = self._input
+        if stream is None:
+            import sys
+
+            stream = sys.stdin
+        try:
+            for line in stream:
+                if line.strip():
+                    self._serve_line(line)
+        finally:
+            self.scheduler.shutdown(wait=True)
+
+
+@register_transport(
+    "stdio",
+    aliases=("console",),
+    description="line-oriented JSON over stdin/stdout: one request per line, "
+                "NDJSON events out (socket-free scripting and testing)",
+)
+def stdio_transport(scheduler) -> StdioTransport:
+    """Build the stdio transport (see :class:`StdioTransport`); no options."""
+    return StdioTransport(scheduler)

@@ -20,7 +20,26 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.store.io import atomic_write_text
 from repro.store.query import StoredRun
 
-__all__ = ["summarize_records", "export_records_json", "export_records_csv", "entry_rows"]
+__all__ = [
+    "summarize_records",
+    "export_records_json",
+    "export_records_csv",
+    "entry_rows",
+    "store_stats_payload",
+]
+
+
+def store_stats_payload(store) -> dict:
+    """The canonical machine-readable stats document of one store.
+
+    The single formatter behind ``repro-patrol store stats --json`` **and**
+    the serve daemon's ``/stats`` endpoint — both render exactly this dict,
+    so dashboards and scripts can consume either source interchangeably.
+    Currently this is :meth:`repro.store.ResultStore.stats` verbatim (root,
+    entries, payload bytes, per-version entry counts, session hit/miss
+    counters); any future field lands in both surfaces at once.
+    """
+    return store.stats()
 
 
 def _records(entries: "Iterable[StoredRun | Mapping[str, Any]]") -> list[dict]:

@@ -19,6 +19,15 @@ as a miss and is dropped.  ``gc()`` sweeps orphaned payloads from interrupted
 writes along with entries from other library versions (whose fingerprints,
 salted by version, can never hit again).
 
+The store is also safe under **concurrent writers** — the ``serve`` daemon's
+worker threads all share one instance: the sqlite connection is opened with
+``check_same_thread=False`` and every statement runs under the store's own
+lock; the index uses WAL journaling (readers never block the writer), and
+commits retry with backoff when another *process* holds the write lock.
+Two writers racing on the same fingerprint are benign: the payload rename is
+atomic and the index insert is ``INSERT OR REPLACE``, so the duplicate put
+is an idempotent no-op race, not corruption.
+
 The module-level :func:`configure` / :func:`clear_store` / :func:`store_stats`
 API mirrors :mod:`repro.geometry.cache`: set ``REPRO_STORE_DIR`` (or call
 ``configure(root=...)``) and every campaign and experiment becomes resumable
@@ -30,6 +39,7 @@ from __future__ import annotations
 import json
 import os
 import sqlite3
+import threading
 import time
 from pathlib import Path
 from typing import Any, Mapping
@@ -63,6 +73,15 @@ CREATE INDEX IF NOT EXISTS idx_runs_strategy ON runs (strategy);
 CREATE INDEX IF NOT EXISTS idx_runs_family ON runs (family);
 CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created_at);
 """
+
+# Cross-process write contention: how long sqlite itself blocks on a held
+# write lock (timeout=) and how the store retries around the residue.  The
+# in-process threads of one store never contend — they serialise on the
+# store's own lock — so these only matter for multi-process campaigns
+# sharing one root.
+_SQLITE_TIMEOUT_S = 5.0
+_LOCK_RETRIES = 5
+_LOCK_RETRY_BASE_S = 0.05
 
 
 def _np_safe(obj: Any) -> Any:
@@ -114,6 +133,10 @@ class ResultStore:
         self.hits = 0
         self.misses = 0
         self._conn: "sqlite3.Connection | None" = None
+        # Reentrant: locked sections call _connection() / _drop(), which
+        # take the lock again.  One lock serialises every index statement
+        # and the hit/miss counters across the daemon's worker threads.
+        self._lock = threading.RLock()
 
     # -- plumbing --------------------------------------------------------- #
 
@@ -133,12 +156,44 @@ class ResultStore:
         rather than reopened per operation.  Writes use ``with
         self._connection() as conn`` — a transaction scope (the ``with``
         commits, it does not close).
+
+        One connection is shared across threads (``check_same_thread=False``)
+        because every statement already runs under the store lock; WAL
+        journaling keeps concurrent *processes* on the same root from
+        blocking readers during a commit.
         """
-        if self._conn is None:
-            self.root.mkdir(parents=True, exist_ok=True)
-            self._conn = sqlite3.connect(self.index_path)
-            self._conn.executescript(_SCHEMA)
-        return self._conn
+        with self._lock:
+            if self._conn is None:
+                self.root.mkdir(parents=True, exist_ok=True)
+                conn = sqlite3.connect(
+                    self.index_path, timeout=_SQLITE_TIMEOUT_S, check_same_thread=False
+                )
+                conn.executescript(_SCHEMA)
+                try:
+                    conn.execute("PRAGMA journal_mode=WAL")
+                except sqlite3.OperationalError:  # pragma: no cover - e.g. network fs
+                    pass  # the rollback journal still works, with coarser locking
+                self._conn = conn
+            return self._conn
+
+    def _retry_locked(self, operation):
+        """Run ``operation`` retrying on SQLITE_BUSY/LOCKED with backoff.
+
+        WAL allows readers alongside one writer, but two *processes*
+        committing at once can still collide after sqlite's own ``timeout``
+        expires; a short exponential backoff absorbs the residue instead of
+        surfacing a spurious ``database is locked`` to the campaign.
+        """
+        for attempt in range(_LOCK_RETRIES):
+            try:
+                return operation()
+            except sqlite3.OperationalError as exc:
+                message = str(exc).lower()
+                if "locked" not in message and "busy" not in message:
+                    raise
+                if attempt == _LOCK_RETRIES - 1:
+                    raise
+                time.sleep(_LOCK_RETRY_BASE_S * (2 ** attempt))
 
     def _index_exists(self) -> bool:
         return self._conn is not None or self.index_path.exists()
@@ -155,9 +210,10 @@ class ResultStore:
     def contains(self, fingerprint: str) -> bool:
         if not self._index_exists():
             return False
-        row = self._connection().execute(
-            "SELECT 1 FROM runs WHERE fingerprint = ?", (fingerprint,)
-        ).fetchone()
+        with self._lock:
+            row = self._connection().execute(
+                "SELECT 1 FROM runs WHERE fingerprint = ?", (fingerprint,)
+            ).fetchone()
         return row is not None
 
     def __contains__(self, fingerprint: str) -> bool:
@@ -174,24 +230,25 @@ class ResultStore:
 
     def get_entry(self, fingerprint: str) -> "StoredRun | None":
         """Like :meth:`get` but returning the full :class:`StoredRun` entry."""
-        if not self._index_exists():
-            self.misses += 1
-            return None
-        row = self._connection().execute(
-            "SELECT strategy, family, seed, created_at, library_version, payload "
-            "FROM runs WHERE fingerprint = ?",
-            (fingerprint,),
-        ).fetchone()
-        if row is None:
-            self.misses += 1
-            return None
-        entry = self._load_entry(fingerprint, row)
-        if entry is None:
-            self._drop(fingerprint)
-            self.misses += 1
-            return None
-        self.hits += 1
-        return entry
+        with self._lock:
+            if not self._index_exists():
+                self.misses += 1
+                return None
+            row = self._connection().execute(
+                "SELECT strategy, family, seed, created_at, library_version, payload "
+                "FROM runs WHERE fingerprint = ?",
+                (fingerprint,),
+            ).fetchone()
+            if row is None:
+                self.misses += 1
+                return None
+            entry = self._load_entry(fingerprint, row)
+            if entry is None:
+                self._drop(fingerprint)
+                self.misses += 1
+                return None
+            self.hits += 1
+            return entry
 
     def _load_entry(self, fingerprint: str, row: tuple) -> "StoredRun | None":
         strategy, family, seed, created_at, version, payload_name = row
@@ -220,6 +277,12 @@ class ResultStore:
         ``spec`` may be a :class:`~repro.runner.RunSpec` (canonicalised here)
         or an already-canonical payload dict; it powers :meth:`query` filters
         and the index columns, and may be omitted for anonymous records.
+
+        Two writers racing on the same fingerprint (daemon workers, or two
+        campaign processes sharing a root) are a benign no-op race: both
+        publish equal record content via an atomic rename and the index
+        insert is ``INSERT OR REPLACE`` — last writer wins, nothing is ever
+        left torn.
         """
         payload_spec: "dict | None"
         if spec is None or isinstance(spec, Mapping):
@@ -244,21 +307,26 @@ class ResultStore:
         # match every alias spelling; the payload (and record) keep the raw
         # spelling the fingerprint hashed.
         strategy = _canonical_strategy((payload_spec or {}).get("strategy", ""))
-        with self._connection() as conn:
-            conn.execute(
-                "INSERT OR REPLACE INTO runs "
-                "(fingerprint, strategy, family, seed, created_at, library_version, payload) "
-                "VALUES (?, ?, ?, ?, ?, ?, ?)",
-                (
-                    fingerprint,
-                    strategy,
-                    scenario.get("family", ""),
-                    (payload_spec or {}).get("seed"),
-                    created_at,
-                    version,
-                    str(path.relative_to(self.root)),
-                ),
-            )
+
+        def _insert() -> None:
+            with self._connection() as conn:
+                conn.execute(
+                    "INSERT OR REPLACE INTO runs "
+                    "(fingerprint, strategy, family, seed, created_at, library_version, payload) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        fingerprint,
+                        strategy,
+                        scenario.get("family", ""),
+                        (payload_spec or {}).get("seed"),
+                        created_at,
+                        version,
+                        str(path.relative_to(self.root)),
+                    ),
+                )
+
+        with self._lock:
+            self._retry_locked(_insert)
         return StoredRun(
             fingerprint=fingerprint,
             strategy=strategy,
@@ -272,8 +340,12 @@ class ResultStore:
         )
 
     def _drop(self, fingerprint: str) -> None:
-        with self._connection() as conn:
-            conn.execute("DELETE FROM runs WHERE fingerprint = ?", (fingerprint,))
+        def _delete() -> None:
+            with self._connection() as conn:
+                conn.execute("DELETE FROM runs WHERE fingerprint = ?", (fingerprint,))
+
+        with self._lock:
+            self._retry_locked(_delete)
         path = self._payload_path(fingerprint)
         if path.exists():
             path.unlink()
@@ -306,7 +378,8 @@ class ResultStore:
         if limit is not None:
             sql += " LIMIT ?"
             args.append(int(limit))
-        return self._connection().execute(sql, args).fetchall()
+        with self._lock:
+            return self._connection().execute(sql, args).fetchall()
 
     def entries(
         self,
@@ -366,16 +439,19 @@ class ResultStore:
     def __len__(self) -> int:
         if not self._index_exists():
             return 0
-        return self._connection().execute("SELECT COUNT(*) FROM runs").fetchone()[0]
+        with self._lock:
+            return self._connection().execute("SELECT COUNT(*) FROM runs").fetchone()[0]
 
     def stats(self) -> dict:
         """Size and provenance summary: entries, payload bytes, versions, hits/misses."""
         versions: dict[str, int] = {}
         entries = 0
         if self._index_exists():
-            for version, count in self._connection().execute(
-                "SELECT library_version, COUNT(*) FROM runs GROUP BY library_version"
-            ):
+            with self._lock:
+                rows = self._connection().execute(
+                    "SELECT library_version, COUNT(*) FROM runs GROUP BY library_version"
+                ).fetchall()
+            for version, count in rows:
                 versions[version] = count
                 entries += count
         payload_bytes = sum(
@@ -394,8 +470,12 @@ class ResultStore:
         """Drop every entry (and payload file); returns the number removed."""
         removed = len(self)
         if self._index_exists():
-            with self._connection() as conn:
-                conn.execute("DELETE FROM runs")
+            def _delete_all() -> None:
+                with self._connection() as conn:
+                    conn.execute("DELETE FROM runs")
+
+            with self._lock:
+                self._retry_locked(_delete_all)
         if self.records_dir.exists():
             for path in self.records_dir.glob("*/*.json"):
                 path.unlink()
@@ -431,12 +511,18 @@ class ResultStore:
                 args.append(time.time() - max_age_days * 86_400.0)
             if clauses:
                 sql = "SELECT fingerprint, payload FROM runs WHERE " + " OR ".join(clauses)
-                doomed = self._connection().execute(sql, args).fetchall()
-                with self._connection() as conn:
-                    conn.executemany(
-                        "DELETE FROM runs WHERE fingerprint = ?",
-                        [(fp,) for fp, _ in doomed],
-                    )
+
+                def _sweep() -> list[tuple]:
+                    rows = self._connection().execute(sql, args).fetchall()
+                    with self._connection() as conn:
+                        conn.executemany(
+                            "DELETE FROM runs WHERE fingerprint = ?",
+                            [(fp,) for fp, _ in rows],
+                        )
+                    return rows
+
+                with self._lock:
+                    doomed = self._retry_locked(_sweep)
                 for _, payload_name in doomed:
                     path = self.root / payload_name
                     if path.exists():

@@ -512,3 +512,85 @@ class TestReportCommand:
         capsys.readouterr()
         assert main(["report", "--dir", store_dir, "--metrics", "no_such_metric"]) == 2
         assert "no column" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version_prints_library_version(self, capsys):
+        import repro
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-patrol {repro.__version__}"
+
+    def test_single_source_of_truth(self):
+        # pyproject's dynamic version and the fingerprint code salt both read
+        # repro.__version__; the CLI flag must never drift from them.
+        import repro
+        from repro.store.fingerprint import code_salt
+
+        assert code_salt().endswith(repro.__version__)
+
+
+class TestTransportsCommand:
+    def test_lists_transports_with_options(self, capsys):
+        assert main(["transports"]) == 0
+        out = capsys.readouterr().out
+        assert "http (rest)" in out
+        assert "stdio (console)" in out
+        assert "host=127.0.0.1" in out and "port=8422" in out
+
+    def test_json_output(self, capsys):
+        assert main(["transports", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {t["name"]: t for t in payload["transports"]}
+        assert by_name["http"]["aliases"] == ["rest"]
+        options = {o["name"]: o for o in by_name["http"]["options"]}
+        assert options["port"] == {"name": "port", "kind": "int",
+                                   "default": 8422, "required": False}
+        assert by_name["stdio"]["options"] == []
+
+
+class TestServeCommand:
+    def test_unknown_transport_is_a_clean_error(self, capsys):
+        assert main(["serve", "--transport", "htp", "--no-store"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown transport" in err and "did you mean 'http'" in err
+
+    def test_bad_worker_count_is_a_clean_error(self, capsys):
+        assert main(["serve", "--workers", "0", "--no-store"]) == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_stdio_serve_round_trip(self, capsys, monkeypatch):
+        """`serve --transport stdio` is a full daemon run we can drive in-process."""
+        import io
+
+        spec = {"kind": "run", "strategy": "b-tctp", "seed": 1,
+                "scenario": {"family": "uniform",
+                             "params": {"num_targets": 5, "num_mules": 2}},
+                "sim": {"horizon": 300.0, "track_energy": False}}
+        lines = json.dumps(spec) + "\n" + json.dumps({"op": "stats"}) + "\n"
+        monkeypatch.setattr("sys.stdin", io.StringIO(lines))
+        assert main(["serve", "--transport", "stdio", "--no-store"]) == 0
+        captured = capsys.readouterr()
+        assert "no result store (coalescing only)" in captured.err
+        events = [json.loads(line) for line in captured.out.splitlines()]
+        assert [e["event"] for e in events] == ["start", "cell", "done", "stats"]
+        assert events[1]["record"]["strategy"] == "b-tctp"
+        assert events[3]["stats"]["executed"] == 1
+
+
+class TestStoreStatsFormatter:
+    def test_store_stats_json_is_the_shared_payload(self, tmp_path, capsys):
+        from repro.store import ResultStore
+        from repro.store.report import store_stats_payload
+
+        store_dir = str(tmp_path / "store")
+        assert main([*_SWEEP_SMALL, "--store", store_dir, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["store", "stats", "--dir", store_dir, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        # byte-for-byte the document the daemon's /stats endpoint embeds
+        assert payload == json.loads(
+            json.dumps(store_stats_payload(ResultStore(store_dir)), sort_keys=True))
+        assert payload["entries"] == 4

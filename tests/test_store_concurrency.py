@@ -1,0 +1,97 @@
+"""Concurrency hardening of the result store (the serve daemon's substrate).
+
+One :class:`ResultStore` instance is shared by every scheduler worker
+thread; these tests pin down the guarantees the service layer leans on —
+thread-shared connection, WAL journaling, benign duplicate puts, and
+consistent reads under concurrent writers.
+"""
+
+import sqlite3
+import threading
+
+from repro.runner import Campaign, RunSpec
+from repro.scenarios import ScenarioSpec
+from repro.sim import SimulationConfig
+from repro.store import ResultStore, run_fingerprint
+
+
+def cell(seed):
+    spec = RunSpec(
+        strategy="b-tctp",
+        scenario=ScenarioSpec("uniform", {"num_targets": 5, "num_mules": 2}),
+        sim=SimulationConfig(horizon=300.0, track_energy=False),
+        seed=seed,
+    )
+    return Campaign(spec).cells()[0]
+
+
+def fake_record(seed):
+    return {"strategy": "b-tctp", "seed": seed, "average_sd": 0.0}
+
+
+class TestThreadSharedConnection:
+    def test_wal_journaling_enabled(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(run_fingerprint(cell(0)), fake_record(0), cell(0))
+        mode = sqlite3.connect(store.index_path).execute(
+            "PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+
+    def test_reads_and_writes_from_worker_threads(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        errors = []
+
+        def worker(offset):
+            try:
+                for i in range(20):
+                    seed = offset * 100 + i
+                    spec = cell(seed)
+                    fingerprint = run_fingerprint(spec)
+                    store.put(fingerprint, fake_record(seed), spec)
+                    assert store.contains(fingerprint)
+                    assert store.get(fingerprint)["seed"] == seed
+                    store.stats()  # aggregate reads interleave with writes
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert errors == []
+        assert len(store) == 80
+
+    def test_duplicate_put_race_is_benign(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        spec = cell(7)
+        fingerprint = run_fingerprint(spec)
+        record = fake_record(7)
+        barrier = threading.Barrier(4)
+        errors = []
+
+        def racer():
+            try:
+                barrier.wait(timeout=30)
+                store.put(fingerprint, record, spec)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=racer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert errors == []
+        assert len(store) == 1
+        assert store.get(fingerprint) == record
+
+    def test_two_instances_same_root(self, tmp_path):
+        """Cross-connection visibility: a CLI and a daemon sharing one root."""
+        writer = ResultStore(tmp_path / "store")
+        reader = ResultStore(tmp_path / "store")
+        spec = cell(3)
+        fingerprint = run_fingerprint(spec)
+        writer.put(fingerprint, fake_record(3), spec)
+        assert reader.contains(fingerprint)
+        assert reader.get(fingerprint) == fake_record(3)
