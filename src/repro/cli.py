@@ -96,7 +96,7 @@ from repro.planning.stages import canonical_stage_backend
 from repro.scenarios.registry import REQUIRED
 from repro.sim.engine import PatrolSimulator, SimulationConfig
 from repro.sim.metrics import average_dcdt, average_sd, interval_statistics, max_visiting_interval
-from repro.store import ResultStore, default_store, parse_filter_expression
+from repro.store import MergeConflictError, ResultStore, default_store, parse_filter_expression
 from repro.store.report import (
     entry_rows,
     export_records_csv,
@@ -265,12 +265,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve without a result store (in-flight coalescing "
                             "still deduplicates concurrent identical requests)")
 
+    shard = sub.add_parser(
+        "shard",
+        help="split a campaign into disjoint resumable shards and run them "
+             "(shard -> run anywhere -> store merge; see docs/SHARDING.md)",
+    )
+    shard.add_argument("action", choices=["create", "run"],
+                       help="create: write a shard manifest from a campaign spec; "
+                            "run: execute one shard of a manifest")
+    shard.add_argument("target", metavar="FILE",
+                       help="campaign spec JSON (create) or shard manifest JSON (run)")
+    shard.add_argument("--num-shards", type=int, default=None, metavar="N",
+                       help="create: how many disjoint shards to split into")
+    shard.add_argument("--out", "-o", default=None, metavar="FILE",
+                       help="create: where to write the manifest (default: stdout)")
+    shard.add_argument("--index", type=int, default=None, metavar="I",
+                       help="run: which shard of the manifest to execute")
+    shard.add_argument("--workers", type=int, default=None,
+                       help="run: execute the shard's cells over N worker processes")
+    shard.add_argument("--json", action="store_true",
+                       help="run: emit the shard's records as JSON")
+    _add_store_arguments(shard)
+
     store = sub.add_parser(
         "store", help="inspect / maintain the persistent result store (see docs/STORE.md)"
     )
-    store.add_argument("action", choices=["list", "stats", "gc", "clear", "export"],
+    store.add_argument("action", choices=["list", "stats", "gc", "clear", "export", "merge"],
                        help="list entries, show stats, sweep stale entries, drop "
-                            "everything, or export stored records to CSV/JSON")
+                            "everything, export stored records to CSV/JSON, or "
+                            "merge shard stores into this one")
     store.add_argument("--dir", default=None, metavar="DIR",
                        help="store directory (default: $REPRO_STORE_DIR)")
     store.add_argument("--strategy", default=None,
@@ -287,6 +310,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gc: keep entries written by other library versions")
     store.add_argument("--out", default=None, help="export: write records to this JSON file")
     store.add_argument("--csv", default=None, help="export: write records to this CSV file")
+    store.add_argument("--from-dir", dest="from_dir", nargs="+", default=None, metavar="DIR",
+                       help="merge: shard store directories to union into the "
+                            "--dir store (duplicates are benign; conflicting "
+                            "records for one fingerprint abort the merge)")
     store.add_argument("--json", action="store_true", help="emit machine-readable JSON")
 
     check = sub.add_parser(
@@ -614,6 +641,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_transports_listing(args)
     if args.command == "serve":
         return _run_serve(args)
+    if args.command == "shard":
+        return _run_shard_command(args)
     if args.command == "store":
         return _run_store_command(args)
     if args.command == "report":
@@ -779,6 +808,60 @@ def _run_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_shard_command(args: argparse.Namespace) -> int:
+    """Split a campaign into shards (create) or execute one shard (run)."""
+    from repro.runner.sharding import load_manifest, make_manifest, run_shard, write_manifest
+
+    if args.action == "create":
+        if args.num_shards is None:
+            print("error: shard create needs --num-shards N", file=sys.stderr)
+            return 2
+        try:
+            spec = load_spec(args.target)
+            if args.out:
+                write_manifest(spec, args.num_shards, args.out)
+                manifest = load_manifest(args.out)
+            else:
+                manifest = make_manifest(spec, args.num_shards)
+                print(json.dumps(manifest, indent=2, sort_keys=True))
+        except (FileNotFoundError, json.JSONDecodeError, ValueError, TypeError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        sizes = [len(s["cells"]) for s in manifest["shards"]]
+        where = args.out if args.out else "stdout"
+        print(f"shard: split {manifest['num_cells']} cells into "
+              f"{manifest['num_shards']} shards ({min(sizes)}-{max(sizes)} "
+              f"cells each) -> {where}", file=sys.stderr if not args.out else sys.stdout)
+        return 0
+
+    # run
+    if args.index is None:
+        print("error: shard run needs --index I", file=sys.stderr)
+        return 2
+    try:
+        manifest = load_manifest(args.target)
+    except (FileNotFoundError, json.JSONDecodeError, ValueError, TypeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not 0 <= args.index < manifest["num_shards"]:
+        print(f"error: shard index {args.index} out of range: manifest has "
+              f"{manifest['num_shards']} shards", file=sys.stderr)
+        return 2
+    result = run_shard(
+        manifest, args.index,
+        store=_cli_store_arg(args), max_workers=args.workers,
+        progress=_progress_callback(args),
+    )
+    _report_store_counts(result, args)
+    if args.json:
+        print(result.to_json())
+    else:
+        shard_info = result.metadata["shard"]
+        print(f"shard {shard_info['index']}/{shard_info['num_shards']}: "
+              f"{len(result)} records")
+    return 0
+
+
 def _open_store(args: argparse.Namespace) -> "ResultStore | None":
     """The store a ``store``/``report`` invocation addresses (``--dir`` wins)."""
     if args.dir:
@@ -807,10 +890,12 @@ _STORE_ACTION_FLAGS = {
     "gc": ("max_age_days", "keep_other_versions"),
     "clear": (),
     "export": ("strategy", "family", "where", "limit", "out", "csv"),
+    "merge": ("from_dir",),
 }
 _STORE_FLAG_DEFAULTS = {
     "strategy": None, "family": None, "where": None, "limit": None,
     "max_age_days": None, "keep_other_versions": False, "out": None, "csv": None,
+    "from_dir": None,
 }
 
 
@@ -881,6 +966,28 @@ def _run_store_command(args: argparse.Namespace) -> int:
     if args.action == "clear":
         removed = store.clear()
         print(f"clear: removed {removed} entries from {store.root}")
+        return 0
+
+    if args.action == "merge":
+        if not args.from_dir:
+            print("error: store merge needs --from-dir DIR [DIR ...]", file=sys.stderr)
+            return 2
+        totals = {"merged": 0, "duplicates": 0}
+        for source in args.from_dir:
+            try:
+                counts = store.merge_from(source)
+            except MergeConflictError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 1
+            totals["merged"] += counts["merged"]
+            totals["duplicates"] += counts["duplicates"]
+            print(f"merge: {source}: {counts['merged']} merged, "
+                  f"{counts['duplicates']} duplicates")
+        if args.json:
+            print(json.dumps({"root": str(store.root), **totals}, indent=2, sort_keys=True))
+        else:
+            print(f"merged {totals['merged']} entries "
+                  f"({totals['duplicates']} duplicates) into {store.root}")
         return 0
 
     # export

@@ -14,7 +14,10 @@ This package is the one way to run anything in the library:
 * :func:`execute_resumable` / ``Campaign.run(store=...)`` — incremental
   execution against the persistent result store (:mod:`repro.store`): cells
   whose content fingerprints are already stored are served from disk, only
-  the misses execute.
+  the misses execute;
+* :func:`make_manifest` / :func:`run_shard` (:mod:`repro.runner.sharding`)
+  — split one campaign into N disjoint, individually resumable shards for
+  multi-machine execution, merged back with ``repro-patrol store merge``.
 
 The CLI (``python -m repro run`` / ``sweep``), every figure experiment in
 :mod:`repro.experiments`, and the benchmark harness are all built on top of
@@ -36,6 +39,13 @@ from repro.runner.record_metrics import (
     compute_metric,
     register_metric,
 )
+from repro.runner.sharding import (
+    load_manifest,
+    make_manifest,
+    run_shard,
+    shard_cells,
+    write_manifest,
+)
 
 __all__ = [
     "RunSpec",
@@ -52,4 +62,9 @@ __all__ = [
     "available_metrics",
     "compute_metric",
     "register_metric",
+    "make_manifest",
+    "write_manifest",
+    "load_manifest",
+    "shard_cells",
+    "run_shard",
 ]

@@ -215,6 +215,12 @@ def execute_many(
     strategies/metrics registered at runtime stay visible in the pool.  On
     spawn-only platforms (Windows), custom registrations must happen at
     import time of a module the workers also import.
+
+    The serial path first hands the whole spec list to the batched fast path
+    (:mod:`repro.sim.batchpath`), which evaluates every batch-eligible cell
+    in one stacked tensor pass and leaves the rest to the ordinary per-cell
+    :func:`execute_run`; records are byte-identical either way, and the
+    callbacks still fire per cell in spec order.
     """
     specs = list(specs)
     if cancel is not None and cancel():
@@ -255,9 +261,15 @@ def execute_many(
                         pool.shutdown(wait=False, cancel_futures=True)
                         break
                 return records
+    # Imported lazily: batchpath pulls in campaign helpers, and eager
+    # circular imports would tie module load order in knots.
+    from repro.sim.batchpath import batch_execute_records
+
+    pre = batch_execute_records(specs)
     records = []
-    for spec in specs:
-        records.append(execute_run(spec))
+    for index, spec in enumerate(specs):
+        record = pre[index]
+        records.append(record if record is not None else execute_run(spec))
         if on_record is not None:
             on_record(len(records) - 1, records[-1])
         if progress is not None:

@@ -1,0 +1,213 @@
+"""Campaign sharding: split one campaign into N disjoint, resumable slices.
+
+A mega-campaign outgrows one machine long before it outgrows the result
+store, so the missing piece is a way to split the *work* while keeping the
+*records* content-addressed and mergeable.  The unit of splitting is the
+cell index: :meth:`~repro.runner.spec.CampaignSpec.cells` expansion is
+deterministic, so "cells 0, 3, 6, ... of this spec" names the same work on
+every machine that holds the spec — no cell payloads need to travel, only a
+small JSON manifest.
+
+The workflow (see ``docs/SHARDING.md``)::
+
+    repro-patrol shard create campaign.json --num-shards 3 -o manifest.json
+    # copy manifest.json to three machines, then on machine i:
+    repro-patrol shard run manifest.json --index i --store ./shard-i
+    # collect the shard stores anywhere and union them:
+    repro-patrol store merge --store ./merged --from-dir ./shard-0 ./shard-1 ./shard-2
+    repro-patrol report --store ./merged ...
+
+Each shard runs through :func:`~repro.runner.campaign.execute_resumable`,
+so a killed shard resumes from its last finished cell, and re-running a
+finished shard is a no-op.  Because records are content-addressed by run
+fingerprint, the merged store is byte-identical to one produced by running
+the unsharded campaign — the shard/merge golden tests and CI's
+``shard-smoke`` job assert exactly that.
+
+Cells are assigned round-robin (cell ``i`` to shard ``i % N``): grid
+expansion orders replications innermost, so round-robin spreads every
+(strategy, scenario) combination evenly across shards instead of handing
+one shard all the expensive cells of a single strategy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.runner.campaign import CampaignResult, execute_many, execute_resumable
+from repro.runner.spec import CampaignSpec, RunSpec
+from repro.store import resolve_store
+from repro.store.io import atomic_write_json
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "make_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_campaign",
+    "shard_cells",
+    "run_shard",
+]
+
+MANIFEST_FORMAT = "repro-shard-manifest/1"
+
+
+def make_manifest(spec: "CampaignSpec | RunSpec", num_shards: int) -> dict:
+    """Split ``spec`` into ``num_shards`` disjoint shards; returns the manifest.
+
+    The manifest embeds the full campaign spec (so a shard runner needs no
+    other file) plus one explicit cell-index list per shard.  Explicit lists
+    — rather than "shard i takes ``i % N``" by convention — make the
+    manifest self-describing and let :func:`load_manifest` verify
+    disjointness and completeness against the embedded spec, so a manifest
+    edited by hand cannot silently drop or double-run cells.
+    """
+    if isinstance(spec, RunSpec):
+        spec = CampaignSpec(base=spec)
+    if num_shards < 1:
+        raise ValueError("num_shards must be >= 1")
+    num_cells = len(spec.cells())
+    if num_shards > num_cells:
+        raise ValueError(
+            f"cannot split {num_cells} cells into {num_shards} shards: "
+            "at least one shard would be empty"
+        )
+    shards = [
+        {
+            "index": index,
+            "cells": list(range(index, num_cells, num_shards)),
+        }
+        for index in range(num_shards)
+    ]
+    return {
+        "format": MANIFEST_FORMAT,
+        "campaign": spec.to_dict(),
+        "num_shards": num_shards,
+        "num_cells": num_cells,
+        "shards": shards,
+    }
+
+
+def write_manifest(
+    spec: "CampaignSpec | RunSpec", num_shards: int, path: "str | Path"
+) -> Path:
+    """Write :func:`make_manifest`'s output to ``path`` atomically."""
+    return atomic_write_json(
+        path, make_manifest(spec, num_shards), indent=2, sort_keys=True,
+        allow_nan=False,
+    )
+
+
+def load_manifest(source: "str | Path | Mapping[str, Any]") -> dict:
+    """Load and validate a shard manifest (path or already-parsed mapping).
+
+    Validation is structural *and* semantic: the format tag must match, the
+    embedded campaign must expand to exactly the manifest's ``num_cells``,
+    and the shard cell lists must partition ``range(num_cells)`` — every
+    cell exactly once, no index out of range.  A manifest that fails any of
+    these describes different work than its spec, and running it would
+    silently corrupt the merged campaign.
+    """
+    if isinstance(source, Mapping):
+        data: dict = dict(source)
+    else:
+        data = json.loads(Path(source).read_text())
+    if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
+        raise ValueError(
+            f"not a shard manifest: expected format {MANIFEST_FORMAT!r}, "
+            f"got {data.get('format')!r}" if isinstance(data, dict)
+            else "not a shard manifest: top level is not a JSON object"
+        )
+    for key in ("campaign", "num_shards", "num_cells", "shards"):
+        if key not in data:
+            raise ValueError(f"shard manifest is missing the {key!r} key")
+    spec = CampaignSpec.from_dict(data["campaign"])
+    num_cells = len(spec.cells())
+    if num_cells != data["num_cells"]:
+        raise ValueError(
+            f"shard manifest claims {data['num_cells']} cells but its campaign "
+            f"expands to {num_cells} — the spec and the shard lists disagree"
+        )
+    shards = data["shards"]
+    if len(shards) != data["num_shards"]:
+        raise ValueError(
+            f"shard manifest claims {data['num_shards']} shards "
+            f"but lists {len(shards)}"
+        )
+    seen: set[int] = set()
+    total = 0
+    for position, shard in enumerate(shards):
+        if shard.get("index") != position:
+            raise ValueError(
+                f"shard at position {position} carries index {shard.get('index')!r}"
+            )
+        cells = shard.get("cells", [])
+        for cell in cells:
+            if not isinstance(cell, int) or not 0 <= cell < num_cells:
+                raise ValueError(
+                    f"shard {position} lists cell {cell!r}, outside 0..{num_cells - 1}"
+                )
+        total += len(cells)
+        seen.update(cells)
+    if len(seen) != total:
+        raise ValueError("shard manifest assigns at least one cell to two shards")
+    if len(seen) != num_cells:
+        missing = sorted(set(range(num_cells)) - seen)[:5]
+        raise ValueError(
+            f"shard manifest covers {len(seen)} of {num_cells} cells "
+            f"(first missing: {missing})"
+        )
+    return data
+
+
+def manifest_campaign(manifest: Mapping[str, Any]) -> CampaignSpec:
+    """The campaign spec embedded in a (validated) manifest."""
+    return CampaignSpec.from_dict(manifest["campaign"])
+
+
+def shard_cells(manifest: Mapping[str, Any], shard_index: int) -> list[RunSpec]:
+    """The fully expanded run cells of one shard, in campaign cell order."""
+    shards = manifest["shards"]
+    if not 0 <= shard_index < len(shards):
+        raise ValueError(
+            f"shard index {shard_index} out of range: manifest has {len(shards)} shards"
+        )
+    cells = manifest_campaign(manifest).cells()
+    return [cells[i] for i in shards[shard_index]["cells"]]
+
+
+def run_shard(
+    manifest: Mapping[str, Any],
+    shard_index: int,
+    *,
+    store: Any = None,
+    max_workers: "int | None" = None,
+    progress=None,
+) -> CampaignResult:
+    """Execute one shard of a manifest, resumably when a store is given.
+
+    With a store (the normal multi-machine flow), every finished cell is
+    written back as it completes and already-stored cells are skipped —
+    interrupting and re-running a shard never loses or recomputes work.
+    Without one, the shard simply executes in-process and returns its
+    records (useful for smoke tests).  The result's metadata records the
+    shard coordinates so a merged report can trace provenance.
+    """
+    cells = shard_cells(manifest, shard_index)
+    metadata: dict[str, Any] = {
+        "num_cells": len(cells),
+        "max_workers": max_workers,
+        "shard": {"index": shard_index, "num_shards": manifest["num_shards"]},
+    }
+    resolved = resolve_store(store)
+    if resolved is None:
+        records = execute_many(cells, max_workers=max_workers, progress=progress)
+    else:
+        records, hits, misses = execute_resumable(
+            cells, store=resolved, max_workers=max_workers, progress=progress
+        )
+        metadata["store"] = {"root": str(resolved.root), "hits": hits, "misses": misses}
+    completed = [r for r in records if r is not None]
+    return CampaignResult(records=completed, spec=None, metadata=metadata)

@@ -1,0 +1,591 @@
+"""Batched fast path: evaluate many campaign cells as one stacked tensor pass.
+
+The scalar fast path (:mod:`repro.sim.fastpath`) already replaces the event
+loop with one cumulative sum per mule — but a campaign still dispatches it
+cell by cell from Python, and each cell pays a Python heap merge over every
+arrival event plus per-record object materialisation.  For the cells that
+dominate mega-campaigns none of that is needed either:
+
+* without energy-tracked batteries nothing truncates a stream, so a cell's
+  visit log is exactly "every precomputed arrival up to the horizon" — no
+  merge required to *find* the events;
+* the record's interval metrics consume per-target **sorted** visit times,
+  which are order-independent;
+* the only genuinely order-dependent quantities — collection-window packet
+  sizes and the sink-delivery sum — are recovered from the sorted arrays
+  with ``np.searchsorted`` / ``np.lexsort``, provided no two visit events
+  share a timestamp (cells with ties fall back to the scalar path, where the
+  heap's sequence numbers arbitrate exactly as the engine does).
+
+So this module groups a campaign's eligible cells by **leg-pattern shape**
+(rows of identical interleaved travel/dwell length), stacks every
+``(cell, mule)`` row into one matrix and runs a single ``np.cumsum(axis=1)``
+over the whole block — the (cells × mules × legs) tensor pass — then reduces
+each cell straight to its tidy record dict without ever materialising
+:class:`~repro.sim.recorder.VisitRecord` objects.  Per-row sequential
+additions inside the stacked cumsum are bit-for-bit the additions the engine
+would have performed, so records are **byte-identical** to per-cell dispatch
+(asserted by ``benchmarks/bench_pr8.py`` and the differential fuzz harness
+before any speed claim).
+
+A cell rides the batch only when every check passes; anything else silently
+degrades to the per-cell scalar fast path (or the event loop), never to a
+wrong answer:
+
+* the cell's :func:`~repro.sim.fastpath.fast_path_rejection` is ``None``;
+* no energy-tracked batteries (death truncates streams mid-pattern);
+* no ``max_visits`` (a global cut mid-merge is order-dependent);
+* no custom ``spec.metrics`` (extractors receive a full
+  :class:`~repro.sim.recorder.SimulationResult`, which the batch never
+  builds);
+* no duplicate event timestamps, and the lap estimate must clear the
+  horizon (both verified *after* the tensor pass, per cell).
+
+Toggle with :attr:`repro.sim.engine.SimulationConfig.batch_path` per spec,
+:func:`configure` per process, or the ``REPRO_BATCHPATH`` environment
+variable — mirroring the geometry-cache switch.  All three are
+byte-invisible: they only choose the dispatch path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.geometry.cache import ContentCache
+from repro.geometry.point import distance
+from repro.sim.fastpath import (
+    _Fallback,
+    dedup_walk,
+    fast_path_rejection,
+    route_pattern,
+)
+from repro.sim.metrics import average_dcdt, average_sd, max_visiting_interval
+from repro.sim.recorder import SimulationResult
+
+__all__ = [
+    "batch_execute_records",
+    "batchpath_enabled",
+    "batchpath_disabled",
+    "configure",
+]
+
+# Per-row event cap: beyond this the stacked matrices stop paying for
+# themselves; such cells stay on the per-cell scalar fast path.
+_MAX_BATCH_EVENTS = 250_000
+
+# Soft bound on floats per stacked block; groups larger than this are
+# processed in row chunks so peak memory stays flat regardless of campaign
+# size.
+_MAX_BLOCK_FLOATS = 8_000_000
+
+_LOCK = threading.Lock()
+
+# Patrol plans memoized by (strategy, declared params incl. any injected
+# seed, scenario content key).  Planning is deterministic in that triple —
+# the determinism patrol enforces it — so every replication cell of a pinned
+# scenario reuses one plan instead of re-planning identical content.  The
+# batch only ever *reads* a plan (routes are generator factories; nothing is
+# advanced), so sharing one object across cells is safe, and the cache is
+# purely memoizing: byte-identical records with it on or off.
+_PLAN_CACHE = ContentCache("batch_plan", maxsize=128)
+
+# Prepared increment rows memoized by (plan key, horizon, synchronized
+# start): everything a row reads — routes, mule velocities and deployment
+# positions, the collection dwell — is a function of that key, so every
+# replication cell of a pinned scenario shares one row set (and its cumsum
+# output, which depends only on the row).  Cells whose row construction
+# falls back cache the sentinel so identical cells skip straight to the
+# scalar path.
+_ROW_CACHE = ContentCache("batch_rows", maxsize=256)
+_ROW_FALLBACK = "fallback"
+
+# One process-wide switch for the batched dispatch.  The environment variable
+# gives CI and benchmark harnesses an off-switch without code changes
+# (case/whitespace-insensitive: "0", "false", "no", "off" all disable).
+# Byte-invisible by proof: the differential harness and bench_pr8 assert
+# records are identical with the switch on or off, so this env read can never
+# change a result — exactly the justification the determinism lint
+# suppression wants.
+_ENABLED: bool = (
+    os.environ.get("REPRO_BATCHPATH", "1").strip().lower()  # repro: allow[det-env-branch]
+    not in ("0", "false", "no", "off")
+)
+
+
+def configure(*, enabled: bool) -> None:
+    """Turn the batched dispatch on or off for this process."""
+    global _ENABLED
+    with _LOCK:
+        _ENABLED = bool(enabled)
+
+
+def batchpath_enabled() -> bool:
+    """Whether the process-wide batched-dispatch switch is on."""
+    return _ENABLED
+
+
+@contextmanager
+def batchpath_disabled():
+    """Temporarily force per-cell dispatch (benchmark baselines, tests)."""
+    previous = _ENABLED
+    configure(enabled=False)
+    try:
+        yield
+    finally:
+        configure(enabled=previous)
+
+
+# --------------------------------------------------------------------------- #
+# Per-(cell, mule) row precomputation
+# --------------------------------------------------------------------------- #
+
+class _Row:
+    """One mule's interleaved travel/dwell increment row, pre-cumsum."""
+
+    __slots__ = (
+        "base", "init_event", "init_time", "init_dist", "codes", "tidx",
+        "dists", "inc", "cyclic", "full", "dist_prefix", "init_prefix",
+    )
+
+    def __init__(
+        self, sim, mule, route, sync_time: float, node_code, node_tidx
+    ) -> None:
+        cfg = sim.config
+        horizon = cfg.horizon
+        velocity = mule.velocity
+        position = mule.position
+        start = route.start_position()
+        dwell_time = sim._params.collection_time
+
+        emitted, cycle_start = dedup_walk(*route_pattern(route))
+        if not emitted:
+            raise _Fallback
+
+        prefix_len = len(emitted)
+        cycle_len = prefix_len - cycle_start if cycle_start >= 0 else 0
+        coords = route.coordinates
+        points = [coords[n] for n in emitted]
+        codes0 = np.fromiter(
+            (node_code.get(n, 0) for n in emitted), dtype=np.int8,
+            count=prefix_len,
+        )
+        tidx0 = np.fromiter(
+            (node_tidx.get(n, -1) for n in emitted), dtype=np.int32,
+            count=prefix_len,
+        )
+        dwell0 = np.where(codes0 == 1, dwell_time, 0.0)
+
+        # -- initial leg and the first-departure base time (as _Stream) ---- #
+        self.init_event = False
+        self.init_time = 0.0
+        self.init_dist = 0.0
+        if start is not None:
+            d0 = distance(position, start)
+            if d0 > 1e-12:
+                self.init_event = True
+                self.init_time = d0 / velocity if d0 > 0 else 0.0
+                self.init_dist = d0
+                base = max(self.init_time, sync_time)
+                first_from = start
+            else:
+                base = sync_time
+                first_from = position
+        else:
+            base = 0.0
+            first_from = position
+        self.base = base
+
+        # -- leg lengths (exactly the engine's per-leg distance() calls) --- #
+        leg = np.empty(prefix_len, dtype=float)
+        leg[0] = distance(first_from, points[0])
+        for k in range(1, prefix_len):
+            leg[k] = distance(points[k - 1], points[k])
+
+        if cycle_len:
+            cyc = np.empty(cycle_len, dtype=float)
+            cyc[0] = distance(points[-1], points[cycle_start])
+            cyc[1:] = leg[cycle_start + 1:]
+            cyc_dwell = dwell0[cycle_start:]
+            lap_advance = float(cyc.sum()) / velocity + float(cyc_dwell.sum())
+            if lap_advance <= 0.0:
+                raise _Fallback  # zero-advance lap
+            prefix_time = base + float(leg.sum()) / velocity + float(dwell0.sum())
+            laps = int(max(0.0, horizon - prefix_time) / lap_advance) + 2
+            if prefix_len + laps * cycle_len > _MAX_BATCH_EVENTS:
+                raise _Fallback
+            dists = np.concatenate([leg, np.tile(cyc, laps)])
+            dwells = np.concatenate([dwell0, np.tile(cyc_dwell, laps)])
+            codes = np.concatenate([codes0, np.tile(codes0[cycle_start:], laps)])
+            tidx = np.concatenate([tidx0, np.tile(tidx0[cycle_start:], laps)])
+        else:
+            dists = leg
+            dwells = dwell0
+            codes = codes0
+            tidx = tidx0
+
+        self.cyclic = cycle_len > 0
+        self.codes = codes
+        self.tidx = tidx
+        self.dists = dists
+        inc = np.empty(2 * len(dists), dtype=float)
+        inc[0::2] = dists / velocity
+        inc[1::2] = dwells
+        self.inc = inc
+        self.full: "np.ndarray | None" = None  # filled by the stacked cumsum
+        # Lazy per-row prefix sums of travelled distance (see _finish_cell).
+        self.dist_prefix: "np.ndarray | None" = None
+        self.init_prefix: "np.ndarray | None" = None
+
+
+class _Cell:
+    """One campaign cell prepared for batch evaluation."""
+
+    __slots__ = (
+        "spec", "scenario", "plan", "sink_id", "rows", "target_ids",
+        "rates_arr",
+    )
+
+    def __init__(
+        self, spec, scenario, plan, sink_id, rows, target_ids, rates_arr
+    ) -> None:
+        self.spec = spec
+        self.scenario = scenario
+        self.plan = plan
+        self.sink_id = sink_id
+        self.rows = rows
+        self.target_ids = target_ids
+        self.rates_arr = rates_arr
+
+
+def _prepare_cell(spec) -> "_Cell | None":
+    """Build scenario/plan for ``spec`` and vet it for the batch class."""
+    from repro.runner.campaign import _scenario_cache_key, build_cell_scenario
+
+    from repro.baselines.base import get_strategy, strategy_params
+    from repro.sim.engine import PatrolSimulator
+
+    cfg = spec.sim
+    if not cfg.batch_path or cfg.max_visits is not None or spec.metrics:
+        return None
+    scenario = build_cell_scenario(spec)
+    if cfg.track_energy and any(m.battery is not None for m in scenario.mules):
+        return None
+    params = dict(spec.params)
+    if "seed" in strategy_params(spec.strategy) and "seed" not in params:
+        params["seed"] = spec.seed
+    plan_key = (
+        spec.strategy,
+        json.dumps(sorted(params.items()), default=repr),
+        _scenario_cache_key(spec),
+    )
+    plan = _PLAN_CACHE.get(plan_key)
+    if plan is None:
+        planner = get_strategy(spec.strategy, **params)
+        plan = planner.plan(scenario)
+        _PLAN_CACHE.put(plan_key, plan)
+    sim = PatrolSimulator(scenario, plan, cfg)
+    if fast_path_rejection(sim) is not None:
+        return None
+
+    sync_time = sim._synchronized_start_time() if cfg.synchronized_start else 0.0
+    targets = scenario.targets
+    node_code: dict[str, int] = {t.id: 1 for t in targets}
+    node_code[sim._sink_id] = 2
+    if sim._recharge_id is not None:
+        node_code[sim._recharge_id] = 3
+    node_tidx: dict[str, int] = {t.id: i for i, t in enumerate(targets)}
+    node_tidx[sim._sink_id] = len(targets)
+    row_key = (plan_key, cfg.horizon, cfg.synchronized_start)
+    rows = _ROW_CACHE.get(row_key)
+    if rows is _ROW_FALLBACK:
+        return None
+    if rows is None:
+        try:
+            rows = [
+                _Row(sim, mule, plan.route_for(mule.id), sync_time, node_code,
+                     node_tidx)
+                for mule in scenario.mules
+            ]
+        except _Fallback:
+            _ROW_CACHE.put(row_key, _ROW_FALLBACK)
+            return None
+        _ROW_CACHE.put(row_key, rows)
+    target_ids = [t.id for t in targets]
+    rates_arr = np.array([t.data_rate for t in targets], dtype=float)
+    return _Cell(spec, scenario, plan, sim._sink_id, rows, target_ids, rates_arr)
+
+
+# --------------------------------------------------------------------------- #
+# The stacked tensor pass
+# --------------------------------------------------------------------------- #
+
+def _stacked_cumsum(rows: "list[_Row]") -> None:
+    """One ``np.cumsum(axis=1)`` per leg-pattern shape group, over all rows.
+
+    Rows are grouped by increment length, stacked into a ``[base, inc...]``
+    matrix and cumsum'd along axis 1 — per-row this is the identical
+    sequence of sequential float additions the scalar path performs, so the
+    resulting arrival/departure chains are bitwise equal.
+    """
+    groups: "dict[int, list[_Row]]" = {}
+    for row in rows:
+        groups.setdefault(len(row.inc), []).append(row)
+    for width, members in groups.items():
+        chunk = max(1, _MAX_BLOCK_FLOATS // (width + 1))
+        for lo in range(0, len(members), chunk):
+            part = members[lo:lo + chunk]
+            block = np.empty((len(part), width + 1), dtype=float)
+            for r, row in enumerate(part):
+                block[r, 0] = row.base
+                block[r, 1:] = row.inc
+            block = np.cumsum(block, axis=1)
+            for r, row in enumerate(part):
+                row.full = block[r]
+
+
+# --------------------------------------------------------------------------- #
+# Per-cell reduction to a record
+# --------------------------------------------------------------------------- #
+
+def _ties_are_benign(times_all, codes_all, tidx_all, row_all) -> bool:
+    """Whether every equal-timestamp group of visit events is order-invariant.
+
+    See the call site for the three material shapes.  The scan touches only
+    the tied runs of the sorted recorded-event times, so tie-free cells (the
+    vast majority) pay one sort and one diff.
+    """
+    recorded_idx = np.nonzero((codes_all == 1) | (codes_all == 2))[0]
+    if recorded_idx.size < 2:
+        return True
+    order = recorded_idx[np.argsort(times_all[recorded_idx], kind="stable")]
+    sorted_times = times_all[order]
+    eq = np.nonzero(np.diff(sorted_times) == 0.0)[0]
+    if eq.size == 0:
+        return True
+    collect_times = times_all[codes_all == 1]
+    min_collect = float(collect_times.min()) if collect_times.size else np.inf
+    # eq holds positions where sorted_times[i] == sorted_times[i+1];
+    # consecutive positions chain into one tied run.
+    run_breaks = np.nonzero(np.diff(eq) > 1)[0] + 1
+    for run in np.split(eq, run_breaks):
+        members = order[run[0]:run[-1] + 2]
+        g_codes = codes_all[members]
+        g_rows = row_all[members]
+        g_collect = g_codes == 1
+        g_sink = g_codes == 2
+        targets = tidx_all[members[g_collect]]
+        if np.unique(targets).size < int(g_collect.sum()):
+            return False  # same-target simultaneous collections
+        if set(g_rows[g_sink].tolist()) & set(g_rows[g_collect].tolist()):
+            return False  # one mule collecting and flushing at one instant
+        if int(g_sink.sum()) >= 2 and min_collect < sorted_times[run[0]]:
+            return False  # simultaneous flushes, possibly with data on board
+    return True
+
+
+def _finish_cell(cell: _Cell) -> "dict | None":
+    """Reduce one cumsum'd cell to its record; ``None`` → scalar fallback."""
+    spec = cell.spec
+    cfg = spec.sim
+    horizon = cfg.horizon
+
+    per_mule_distance: list[float] = []
+    kept_times: list[np.ndarray] = []
+    kept_codes: list[np.ndarray] = []
+    kept_tidx: list[np.ndarray] = []
+    kept_rows: list[int] = []
+    sink_times_by_row: "dict[int, np.ndarray]" = {}
+
+    for row_index, row in enumerate(cell.rows):
+        full = row.full
+        arrivals = full[1::2]
+        if row.cyclic and arrivals[-1] <= horizon:
+            return None  # lap estimate fell short: scalar path extends exactly
+        n_keep = int(np.searchsorted(arrivals, horizon, side="right"))
+        init_applied = 1 if (row.init_event and row.init_time <= horizon) else 0
+        applied = n_keep + init_applied
+        if applied:
+            # Travelled distance is the engine's leg-by-leg running sum —
+            # a cumsum prefix, computed once per (shared) row.  The
+            # initial-leg variant is a separate prefix: prepending the leg
+            # changes every partial sum's rounding, so it cannot be derived
+            # from the plain one by adding init_dist afterwards.
+            if row.init_event:
+                if row.init_prefix is None:
+                    row.init_prefix = np.cumsum(
+                        np.concatenate(([row.init_dist], row.dists))
+                    )
+                per_mule_distance.append(float(row.init_prefix[applied - 1]))
+            else:
+                if row.dist_prefix is None:
+                    row.dist_prefix = np.cumsum(row.dists)
+                per_mule_distance.append(float(row.dist_prefix[applied - 1]))
+        else:
+            per_mule_distance.append(0.0)
+        times = arrivals[:n_keep]
+        codes = row.codes[:n_keep]
+        kept_times.append(times)
+        kept_codes.append(codes)
+        kept_tidx.append(row.tidx[:n_keep])
+        kept_rows.append(row_index)
+        sink_times_by_row[row_index] = times[codes == 2]
+
+    times_all = np.concatenate(kept_times) if kept_times else np.empty(0)
+    codes_all = (
+        np.concatenate(kept_codes) if kept_codes
+        else np.empty(0, dtype=np.int8)
+    )
+    tidx_all = (
+        np.concatenate(kept_tidx) if kept_tidx
+        else np.empty(0, dtype=np.int32)
+    )
+    row_all = np.concatenate(
+        [np.full(len(t), r, dtype=np.int32) for t, r in zip(kept_times, kept_rows)]
+    ) if kept_times else np.empty(0, dtype=np.int32)
+
+    # Tie audit: visit events sharing a timestamp are ordered by the
+    # engine's heap sequence counters, which the batch does not replay.
+    # Most ties cannot reach the record — two mules arriving at *different*
+    # targets at once interact with nothing, and a mule at the sink with an
+    # empty buffer flushes nothing — but three shapes are genuinely
+    # order-dependent and send the cell to the scalar path:
+    # same-target simultaneous collections (the second packet has size 0 —
+    # which mule carries which size depends on heap order), a mule hitting a
+    # target and the sink at the same instant (deliver-now vs next flush),
+    # and simultaneous flushes with data on board (delivery-list order is
+    # the float summation order).
+    if not _ties_are_benign(times_all, codes_all, tidx_all, row_all):
+        return None
+
+    # Per-target grouping in one lexsort: primary key target index, secondary
+    # key time — each group slice comes out time-sorted, exactly the
+    # recorder's per-node ``np.sort``.
+    collect_indices = np.nonzero(codes_all == 1)[0]
+    ct = times_all[collect_indices]
+    cx = tidx_all[collect_indices]
+    node_times: dict[str, np.ndarray] = {}
+    collect_sizes = np.empty(ct.size, dtype=float)
+    num_targets = len(cell.target_ids)
+    if ct.size:
+        order = np.lexsort((ct, cx))
+        ct_s = ct[order]
+        cx_s = cx[order]
+        # Collection-window packet sizes: (t_j - t_{j-1}) * rate with the
+        # window opening at 0.0 — the engine's max(now - last, 0.0) reduces
+        # to the plain difference under time-ordered processing.  Group
+        # starts (where the target index changes) reset the window to 0.0.
+        prev = np.empty_like(ct_s)
+        prev[0] = 0.0
+        prev[1:] = ct_s[:-1]
+        starts = np.nonzero(np.diff(cx_s) != 0)[0] + 1
+        prev[starts] = 0.0
+        sizes_s = (ct_s - prev) * cell.rates_arr[cx_s]
+        collect_sizes[order] = sizes_s
+        bounds = np.searchsorted(cx_s, np.arange(num_targets + 1))
+        for ti in range(num_targets):
+            lo, hi = bounds[ti], bounds[ti + 1]
+            if hi > lo:
+                node_times[cell.target_ids[ti]] = ct_s[lo:hi]
+    sink_visit_times = times_all[codes_all == 2]
+    if sink_visit_times.size:
+        node_times[cell.sink_id] = np.sort(sink_visit_times)
+
+    # Sink deliveries: each collected packet flushes at its mule's first
+    # strictly-later sink visit; the engine's delivery list is ordered by
+    # flush time, FIFO within a flush — ``lexsort`` reproduces both.
+    delivery_sink_t: list[np.ndarray] = []
+    delivery_collect_t: list[np.ndarray] = []
+    delivery_sizes: list[np.ndarray] = []
+    row_of_collect = row_all[collect_indices]
+    for row_index in kept_rows:
+        lo, hi = np.searchsorted(row_of_collect, [row_index, row_index + 1])
+        if hi == lo:
+            continue
+        c_times = ct[lo:hi]
+        c_sizes = collect_sizes[lo:hi]
+        s_times = sink_times_by_row[row_index]
+        sidx = np.searchsorted(s_times, c_times, side="left")
+        delivered = sidx < len(s_times)
+        if delivered.any():
+            delivery_sink_t.append(s_times[sidx[delivered]])
+            delivery_collect_t.append(c_times[delivered])
+            delivery_sizes.append(c_sizes[delivered])
+    if delivery_sizes:
+        sink_t = np.concatenate(delivery_sink_t)
+        col_t = np.concatenate(delivery_collect_t)
+        sizes = np.concatenate(delivery_sizes)
+        order = np.lexsort((col_t, sink_t))
+        delivered_data: "float | int" = float(np.cumsum(sizes[order])[-1])
+    else:
+        delivered_data = 0  # sum([]) in the recorder is the int 0
+
+    # The metric extractors run unchanged on a stub result pre-seeded with
+    # the per-node arrays — identical inputs, identical code, identical
+    # floats (and the same int/float JSON spelling).
+    stub = SimulationResult(strategy=cell.plan.strategy, horizon=horizon)
+    stub.__dict__["_visit_times_cache"] = (
+        0, {n: node_times[n] for n in sorted(node_times)}
+    )
+
+    record: dict = {
+        "strategy": spec.strategy,
+        "seed": spec.seed,
+        "num_targets": cell.scenario.num_targets,
+        "num_mules": cell.scenario.num_mules,
+        "horizon": cfg.horizon,
+    }
+    record.update(spec.labels)
+    record["planner"] = cell.plan.strategy
+    record["average_dcdt"] = average_dcdt(stub)
+    record["average_sd"] = average_sd(stub)
+    record["max_visiting_interval"] = max_visiting_interval(stub)
+    record["delivered_data"] = delivered_data
+    record["total_distance"] = sum(per_mule_distance)
+    record["num_dead_mules"] = 0
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# Entry point
+# --------------------------------------------------------------------------- #
+
+def batch_execute_records(specs) -> "list[dict | None]":
+    """Evaluate the batch-eligible cells of ``specs`` in one tensor pass.
+
+    Returns one entry per spec, in order: the finished record for every cell
+    the batch handled, ``None`` for every cell that must run per-cell (the
+    caller dispatches those through the ordinary
+    :func:`~repro.runner.campaign.execute_run`).  Records are byte-identical
+    to per-cell execution; with the switch off (or fewer than two specs,
+    where stacking cannot win) everything is ``None``.
+    """
+    specs = list(specs)
+    out: "list[dict | None]" = [None] * len(specs)
+    if not _ENABLED or len(specs) < 2:
+        return out
+    cells: "list[_Cell | None]" = [_prepare_cell(spec) for spec in specs]
+    # Cells sharing cached row sets alias the same _Row objects; stack each
+    # distinct row once (and skip rows a previous batch already cumsum'd —
+    # the output depends only on the row, so recomputing it is a no-op).
+    rows = []
+    seen: set[int] = set()
+    for cell in cells:
+        if cell is None:
+            continue
+        for row in cell.rows:
+            if row.full is None and id(row) not in seen:
+                seen.add(id(row))
+                rows.append(row)
+    if rows:
+        _stacked_cumsum(rows)
+    if not any(cell is not None for cell in cells):
+        return out
+    for index, cell in enumerate(cells):
+        if cell is not None:
+            out[index] = _finish_cell(cell)
+    return out

@@ -59,6 +59,13 @@ class SimulationConfig:
         for runs it can reproduce exactly.  Results are byte-identical either
         way; disable to force the discrete-event loop (used by equivalence
         tests and benchmarks).
+    batch_path:
+        Allow the campaign-level batched fast path
+        (:mod:`repro.sim.batchpath`), which evaluates many fastpath-eligible
+        cells of one campaign as a single stacked tensor pass.  Results are
+        byte-identical either way; disable (or set ``REPRO_BATCHPATH=0``) to
+        force per-cell dispatch.  Has no effect on single runs — only
+        :func:`repro.runner.campaign.execute_many` consults it.
     """
 
     horizon: float = 50_000.0
@@ -66,6 +73,7 @@ class SimulationConfig:
     track_energy: bool = True
     synchronized_start: bool = True
     fast_path: bool = True
+    batch_path: bool = True
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -109,11 +117,12 @@ class PatrolSimulator:
     def run(self) -> SimulationResult:
         """Execute the simulation and return the recorded result.
 
-        Deterministic loop-route runs (all TCTP variants, CHB, Sweep without
-        energy tracking) are served by the analytic fast path in
-        :mod:`repro.sim.fastpath`, which reproduces the event loop's output
-        byte for byte; everything else — batteries, dwell times, visit
-        limits, stochastic or alternating routes — runs the full
+        Deterministic loop-route runs (all TCTP variants including RW-TCTP's
+        alternating recharge schedule, CHB, Sweep — with or without tracked
+        batteries, dwell times and visit limits) are served by the analytic
+        fast path in :mod:`repro.sim.fastpath`, which reproduces the event
+        loop's output byte for byte; everything else — stochastic routes,
+        pre-loaded buffers, degenerate zero-advance laps — runs the full
         discrete-event loop below.
         """
         if self.config.fast_path:

@@ -12,40 +12,47 @@ This module exploits that:
 
 1. per mule, the effective waypoint sequence is reduced to a *prefix + cycle*
    pattern (mirroring the engine's consecutive-duplicate skip rule), its leg
-   lengths are computed once, and the full arrival-time chain up to the
-   horizon is produced by one ``np.cumsum`` — bit-for-bit equal to the
-   engine's sequential ``now + dist / velocity`` additions;
+   lengths are computed once, and the full arrival/departure-time chain up to
+   the horizon — travel legs interleaved with per-target dwell times — is
+   produced by one ``np.cumsum``, bit-for-bit equal to the engine's
+   sequential ``now + dist / velocity`` and ``now + dwell`` additions;
 2. the per-mule streams are merged by a light ``(time, sequence)`` heap that
    replicates the engine's event-queue tie-breaking exactly, so visits,
-   collections and sink deliveries interleave in the identical global order
-   (packet sizes depend on that order: collection windows are shared between
-   mules);
+   collections, dwell completions, mid-leg deaths and sink deliveries
+   interleave in the identical global order (packet sizes depend on that
+   order: collection windows are shared between mules);
 3. per-mule distance/energy accumulators come from cumulative-sum arrays cut
-   at the number of applied legs, reproducing the engine's sequential float
-   additions.
+   at the number of applied legs (battery-tracked mules instead replay their
+   drain/recharge/death bookkeeping live against the precomputed schedule,
+   which battery state never shifts — death only truncates it).
 
 The result is **byte-identical** to the event loop — same visit log, same
-deliveries, same traces, same metadata — at a fraction of the cost.  Runs the
-fast path cannot reproduce exactly fall back to the event loop:
+deliveries, same traces, same metadata — at a fraction of the cost.  Positive
+``collection_time`` dwells, ``max_visits`` cutoffs, energy-tracked batteries
+(including mid-leg death and recharge laps) and RW-TCTP's
+:class:`~repro.core.plan.AlternatingLoopRoute` are all reproduced exactly.
+Runs the fast path cannot reproduce exactly fall back to the event loop:
 
-* energy-tracked batteries (mid-leg death can truncate a leg),
-* positive ``collection_time`` (dwell events shift queue tie-breaking),
-* ``max_visits`` limits (cut mid-stream),
-* non-:class:`~repro.core.plan.LoopRoute` routes (stochastic or alternating
-  walks have no fixed lap), and
-* pathological zero-length laps (the event loop's behaviour — spinning at a
+* stochastic routes (any route class other than
+  :class:`~repro.core.plan.LoopRoute` /
+  :class:`~repro.core.plan.AlternatingLoopRoute` has no precomputable
+  waypoint pattern),
+* mules deployed with pre-loaded data buffers (the merged replay assumes
+  every buffer starts empty), and
+* pathological zero-advance laps (the event loop's behaviour — spinning at a
   single instant — is preserved by falling back).
 
 Eligibility is decided per *route class*, not per strategy name, so
 strategies composed through the planning pipeline (:mod:`repro.planning`) —
 including new cross-combinations like ``sw-tctp`` or ``cb-tctp`` — ride the
-fast path automatically whenever they emit plain loop routes; recharge
-compositions (``rw-tctp``, ``crw-tctp``) fall back exactly like the fused
-planners did.
+fast path automatically whenever they emit plain or alternating loop routes.
+:func:`fast_path_rejection` names the reason a simulation stays on the event
+loop; the fallback-boundary tests pin every reason it can return.
 
 Toggle with :attr:`repro.sim.engine.SimulationConfig.fast_path`; the
-equivalence tests in ``tests/test_fastpath.py`` assert byte-identical results
-against the event loop for every eligible strategy family.
+equivalence tests in ``tests/test_fastpath.py`` and the differential fuzz
+harness in ``tests/test_fastpath_differential.py`` assert byte-identical
+results against the event loop for every eligible strategy family.
 """
 
 from __future__ import annotations
@@ -54,37 +61,62 @@ import heapq
 
 import numpy as np
 
-from repro.core.plan import LoopRoute
-from repro.geometry.point import distance
+from repro.core.plan import AlternatingLoopRoute, LoopRoute, MuleRoute
+from repro.geometry.point import Point, distance
 from repro.network.datamodel import DataPacket
 from repro.network.mules import MuleState
 from repro.sim.recorder import DeliveryRecord, MuleTrace, SimulationResult, VisitRecord
 
-__all__ = ["fast_path_eligible", "run_fast_path"]
+__all__ = ["fast_path_eligible", "fast_path_rejection", "run_fast_path"]
 
 # Safety valve: beyond this many precomputed arrival events per mule the
 # array stage would dominate memory; such runs are no faster analytically,
 # so they stay on the event loop.
 _MAX_EVENTS_PER_MULE = 4_000_000
 
+# Merge-heap event kinds (the engine's EventKind, reduced to what the replay
+# needs; values are only compared for equality, never ordered — the
+# (time, counter) prefix of each heap tuple is already a total order).
+_ARRIVAL = 0
+_INIT = 1
+_DWELL_DONE = 2
+_DEATH = 3
+
 
 class _Fallback(Exception):
     """Internal signal: this run needs the exact event loop after all."""
 
 
+def fast_path_rejection(sim) -> str | None:
+    """Why ``sim`` cannot take the fast path, or ``None`` when it can.
+
+    Returns a stable reason code so callers (and the fallback-boundary
+    tests) can tell the remaining rejection classes apart:
+
+    * ``"fast-path-disabled"`` — :attr:`SimulationConfig.fast_path` is off;
+    * ``"preloaded-buffer"`` — a mule starts with data already on board;
+    * ``"route-class"`` — a route is neither :class:`LoopRoute` nor
+      :class:`AlternatingLoopRoute` (e.g. the Random baseline's
+      :class:`StochasticRoute`).
+
+    A ``None`` here is necessary but not sufficient: degenerate runs
+    (zero-advance laps, streams past the event-count safety valve) still
+    fall back dynamically inside :func:`run_fast_path`.
+    """
+    if not sim.config.fast_path:
+        return "fast-path-disabled"
+    mules = sim.scenario.mules
+    if any(len(m.buffer) > 0 for m in mules):
+        return "preloaded-buffer"
+    for m in mules:
+        if type(sim.plan.route_for(m.id)) not in (LoopRoute, AlternatingLoopRoute):
+            return "route-class"
+    return None
+
+
 def fast_path_eligible(sim) -> bool:
     """Whether ``sim`` (a :class:`~repro.sim.engine.PatrolSimulator`) qualifies."""
-    cfg = sim.config
-    if not cfg.fast_path or cfg.max_visits is not None:
-        return False
-    if sim._params.collection_time != 0.0:
-        return False
-    mules = sim.scenario.mules
-    if cfg.track_energy and any(m.battery is not None for m in mules):
-        return False
-    if any(len(m.buffer) > 0 for m in mules):
-        return False
-    return all(type(sim.plan.route_for(m.id)) is LoopRoute for m in mules)
+    return fast_path_rejection(sim) is None
 
 
 def run_fast_path(sim) -> "SimulationResult | None":
@@ -98,6 +130,89 @@ def run_fast_path(sim) -> "SimulationResult | None":
 
 
 # --------------------------------------------------------------------------- #
+# Waypoint-pattern resolution
+# --------------------------------------------------------------------------- #
+
+def route_pattern(route: MuleRoute) -> "tuple[list[str], list[str]]":
+    """Raw waypoint sequence of ``route`` as a ``(prefix, cycle)`` pair.
+
+    The infinite ``route.waypoints()`` stream equals ``prefix`` followed by
+    ``cycle`` repeated forever.  Supported route classes:
+
+    * :class:`LoopRoute`: no prefix, one lap rotated to the entry index;
+    * :class:`AlternatingLoopRoute` with ``patrol_rounds == 1``: every lap
+      follows the recharge path (and the first lap is *not* rotated — the
+      rotation only applies to a first *patrol* lap);
+    * :class:`AlternatingLoopRoute` with ``patrol_rounds == r > 1``: a
+      prefix of one rotated patrol lap, ``r - 2`` plain patrol laps and one
+      recharge lap, then a steady-state cycle of ``r - 1`` patrol laps plus
+      one recharge lap.
+    """
+    if type(route) is LoopRoute:
+        loop = route.loop
+        entry = route.entry_index
+        return [], loop[entry:] + loop[:entry]
+    if type(route) is AlternatingLoopRoute:
+        patrol = route.patrol_loop
+        recharge = route.recharge_loop
+        rounds = route.patrol_rounds
+        if rounds == 1:
+            return [], list(recharge)
+        entry = route.entry_index
+        rotated = patrol[entry:] + patrol[:entry]
+        prefix = rotated + patrol * (rounds - 2) + recharge
+        cycle = patrol * (rounds - 1) + recharge
+        return prefix, cycle
+    raise _Fallback
+
+
+def dedup_walk(
+    raw_prefix: "list[str]", raw_cycle: "list[str]"
+) -> "tuple[list[str], int]":
+    """Collapse the engine's duplicate-skip rule over a prefix + cycle pattern.
+
+    Mirrors ``_next_distinct_waypoint``: a waypoint equal to the node the
+    mule is standing on is skipped; more than 8 skips in a row halts the
+    mule.  With static coordinates the rule collapses to "drop consecutive
+    duplicate ids", which keeps the emitted sequence eventually periodic;
+    the (position-in-cycle, previous node) state detects the period.
+
+    Returns ``(emitted, cycle_start)`` where ``emitted[cycle_start:]`` is one
+    full period of the steady state, or ``cycle_start == -1`` when the walk
+    halts (the engine's waypoint iterator would return ``None``).
+    """
+    plen = len(raw_prefix)
+    clen = len(raw_cycle)
+    emitted: list[str] = []
+    prev: "str | None" = None
+    seen: dict = {}
+    pos = 0
+    while True:
+        if pos >= plen:
+            if clen == 0:
+                break  # finite raw sequence exhausted: the mule halts
+            state = ((pos - plen) % clen, prev)
+            if state in seen:
+                return emitted, seen[state]
+            seen[state] = len(emitted)
+        node = None
+        for _ in range(8):
+            if pos < plen:
+                candidate = raw_prefix[pos]
+            else:
+                candidate = raw_cycle[(pos - plen) % clen]
+            pos += 1
+            if candidate != prev:
+                node = candidate
+                break
+        if node is None:
+            break  # the engine's waypoint iterator would halt this mule
+        emitted.append(node)
+        prev = node
+    return emitted, -1
+
+
+# --------------------------------------------------------------------------- #
 # Per-mule precomputation
 # --------------------------------------------------------------------------- #
 
@@ -105,18 +220,21 @@ class _Stream:
     """One mule's precomputed arrival-event stream."""
 
     __slots__ = (
-        "mule", "mule_id", "trace", "coords", "init_event", "init_time", "times",
-        "nodes", "codes", "n_events", "dist_cum", "energy_cum", "applied",
-        "collections", "deliveries", "packets", "start_point",
+        "mule", "mule_id", "trace", "coords", "init_event", "init_time",
+        "init_dist", "times", "departs", "nodes", "codes", "dists", "n_events",
+        "dist_cum", "energy_cum", "applied", "collections", "deliveries",
+        "packets", "start_point", "tracked", "dead", "position", "velocity",
+        "move_cost", "pending_death", "energy",
     )
 
-    def __init__(self, sim, mule, route: LoopRoute, sync_time: float, node_code) -> None:
+    def __init__(self, sim, mule, route: MuleRoute, sync_time: float, node_code) -> None:
         cfg = sim.config
         horizon = cfg.horizon
         velocity = mule.velocity
         position = mule.position
         start = route.start_position()
         energy = sim._energy
+        dwell_time = sim._params.collection_time
 
         self.mule = mule
         self.mule_id = mule.id
@@ -126,54 +244,44 @@ class _Stream:
         self.collections = 0
         self.deliveries = 0
         self.packets: list = []
+        self.tracked = cfg.track_energy and mule.battery is not None
+        self.dead = False
+        self.position = position
+        self.velocity = velocity
+        self.move_cost = energy.move_cost_per_meter
+        self.energy = energy
+        self.pending_death: "tuple[float, Point] | None" = None
 
         # -- effective waypoint sequence: prefix + cycle ------------------- #
-        # Mirrors the engine's _next_distinct_waypoint: a waypoint equal to
-        # the node the mule is standing on is skipped; more than 8 skips in a
-        # row halts the mule.  With static coordinates the rule collapses to
-        # "drop consecutive duplicate ids", which makes the emitted sequence
-        # eventually periodic; the (raw index, previous node) state detects
-        # the period.
-        loop = route.loop
-        raw_len = len(loop)
-        i = route.entry_index
-        emitted: list[str] = []
-        prev: "str | None" = None
-        seen: dict = {}
-        cycle_start = -1
-        while True:
-            state = (i, prev)
-            if state in seen:
-                cycle_start = seen[state]
-                break
-            seen[state] = len(emitted)
-            node = None
-            for _ in range(8):
-                candidate = loop[i]
-                i = (i + 1) % raw_len
-                if candidate != prev:
-                    node = candidate
-                    break
-            if node is None:
-                break  # the engine's waypoint iterator would halt this mule
-            emitted.append(node)
-            prev = node
+        emitted, cycle_start = dedup_walk(*route_pattern(route))
+        if not emitted:
+            # Unreachable for the supported routes (the first candidate is
+            # always accepted against prev=None and loops are non-empty), but
+            # any future route shape that emits nothing belongs on the event
+            # loop rather than on a zero-event stream here.
+            raise _Fallback
 
         prefix_len = len(emitted)
         cycle_len = prefix_len - cycle_start if cycle_start >= 0 else 0
         points = [self.coords[n] for n in emitted]
+        codes0 = [node_code.get(n, 0) for n in emitted]
+        # Dwell applies on plain-target arrivals only (the engine checks
+        # ``node_id in self._target_ids``, which excludes sink and recharge).
+        dwell0 = np.array(
+            [dwell_time if c == 1 else 0.0 for c in codes0], dtype=float
+        )
 
-        # -- initial leg and the first-arrival base time ------------------- #
+        # -- initial leg and the first-departure base time ----------------- #
         self.init_event = False
         self.init_time = 0.0
-        init_dist = 0.0
+        self.init_dist = 0.0
         self.start_point: "Point | None" = None
         if start is not None:
             d0 = distance(position, start)
             if d0 > 1e-12:
                 self.init_event = True
                 self.init_time = d0 / velocity if d0 > 0 else 0.0
-                init_dist = d0
+                self.init_dist = d0
                 base = max(self.init_time, sync_time)
                 first_from = start
                 self.start_point = start
@@ -184,13 +292,6 @@ class _Stream:
         else:
             base = 0.0
             first_from = position
-
-        if not emitted:
-            # Unreachable for LoopRoute (the first candidate is always
-            # accepted against prev=None and loops are non-empty), but any
-            # future route shape that emits nothing belongs on the event
-            # loop rather than on a zero-event stream here.
-            raise _Fallback
 
         # -- leg lengths (exactly the engine's per-leg distance() calls) --- #
         leg = np.empty(prefix_len, dtype=float)
@@ -203,35 +304,59 @@ class _Stream:
             cyc[0] = distance(points[-1], points[cycle_start])
             cyc[1:] = leg[cycle_start + 1:]
             cyc_nodes = emitted[cycle_start:]
-            lap_time = float(cyc.sum()) / velocity
-            if lap_time <= 0.0:
-                raise _Fallback  # zero-length lap: the event loop spins in place
-            prefix_time = base + float(leg.sum()) / velocity
-            laps = int(max(0.0, horizon - prefix_time) / lap_time) + 2
+            cyc_dwell = dwell0[cycle_start:]
+            # One steady-state lap advances time by its travel plus its
+            # dwells; a lap that advances neither is the event loop's
+            # spin-in-place pathology.
+            lap_advance = float(cyc.sum()) / velocity + float(cyc_dwell.sum())
+            if lap_advance <= 0.0:
+                raise _Fallback  # zero-advance lap: the event loop spins in place
+            prefix_time = base + float(leg.sum()) / velocity + float(dwell0.sum())
+            laps = int(max(0.0, horizon - prefix_time) / lap_advance) + 2
             if prefix_len + laps * cycle_len > _MAX_EVENTS_PER_MULE:
                 raise _Fallback
             dists = np.concatenate([leg, np.tile(cyc, laps)])
+            dwells = np.concatenate([dwell0, np.tile(cyc_dwell, laps)])
             nodes = emitted + cyc_nodes * laps
         else:
             dists = leg
+            dwells = dwell0
             nodes = list(emitted)
 
-        times = np.cumsum(np.concatenate(([base], dists / velocity)))[1:]
-        # The estimate leaves slack, but guarantee at least one event beyond
-        # the horizon so the merge always terminates on a popped event.
-        while cycle_len and times[-1] <= horizon:
-            extra = np.tile(cyc, 8)
-            times = np.concatenate(
-                [times, np.cumsum(np.concatenate(([times[-1]], extra / velocity)))[1:]]
+        # -- the arrival/departure chain, one cumulative sum --------------- #
+        # The engine alternates ``now + dist / velocity`` (travel) with
+        # ``now + dwell`` (COLLECTION_DONE); interleaving both increment
+        # kinds before a single cumsum reproduces the identical sequence of
+        # float additions (adding a 0.0 dwell is a bitwise no-op for the
+        # non-negative partial sums).  full = [depart_0, arrive_0, depart_1,
+        # arrive_1, ...]: arrivals are the odd slots, departures the even.
+        inc = np.empty(2 * len(dists), dtype=float)
+        inc[0::2] = dists / velocity
+        inc[1::2] = dwells
+        full = np.cumsum(np.concatenate(([base], inc)))
+        # The estimate leaves slack, but guarantee at least one arrival
+        # beyond the horizon so the merge always terminates on a popped
+        # event.  full[-2] is the last arrival (full ends on a departure).
+        while cycle_len and full[-2] <= horizon:
+            cyc_tiled = np.tile(cyc, 8)
+            dwell_tiled = np.tile(cyc_dwell, 8)
+            extra = np.empty(2 * len(cyc_tiled), dtype=float)
+            extra[0::2] = cyc_tiled / velocity
+            extra[1::2] = dwell_tiled
+            full = np.concatenate(
+                [full, np.cumsum(np.concatenate(([full[-1]], extra)))[1:]]
             )
-            dists = np.concatenate([dists, extra])
+            dists = np.concatenate([dists, cyc_tiled])
+            dwells = np.concatenate([dwells, dwell_tiled])
             nodes += cyc_nodes * 8
             if len(nodes) > _MAX_EVENTS_PER_MULE:
                 raise _Fallback
 
-        self.times = times.tolist()
+        self.times = full[1::2].tolist()    # arrival of leg k
+        self.departs = full[0::2].tolist()  # departure before leg k (len n+1)
         self.nodes = nodes
         self.codes = [node_code.get(n, 0) for n in nodes]
+        self.dists = dists.tolist()
         self.n_events = len(nodes)
 
         # -- per-applied-leg accumulators ---------------------------------- #
@@ -240,19 +365,52 @@ class _Stream:
         # increments before one cumulative sum reproduces the identical
         # sequence of float operations (adding 0.0 where no collection
         # happens is a bitwise no-op for the non-negative partial sums).
-        if self.init_event:
-            dists_applied = np.concatenate(([init_dist], dists))
-            collect_flags = np.array(
-                [False] + [c == 1 for c in self.codes], dtype=bool
-            )
+        # Battery-tracked mules skip the bulk arrays: their drains clip
+        # against live battery charge, so the merge replays them one by one.
+        if not self.tracked:
+            if self.init_event:
+                dists_applied = np.concatenate(([self.init_dist], dists))
+                collect_flags = np.array(
+                    [False] + [c == 1 for c in self.codes], dtype=bool
+                )
+            else:
+                dists_applied = dists
+                collect_flags = np.array([c == 1 for c in self.codes], dtype=bool)
+            self.dist_cum = np.cumsum(dists_applied)
+            increments = np.empty(2 * len(dists_applied), dtype=float)
+            increments[0::2] = dists_applied * energy.move_cost_per_meter
+            increments[1::2] = np.where(collect_flags, energy.collect_cost, 0.0)
+            self.energy_cum = np.cumsum(increments)[1::2]
         else:
-            dists_applied = dists
-            collect_flags = np.array([c == 1 for c in self.codes], dtype=bool)
-        self.dist_cum = np.cumsum(dists_applied)
-        increments = np.empty(2 * len(dists_applied), dtype=float)
-        increments[0::2] = dists_applied * energy.move_cost_per_meter
-        increments[1::2] = np.where(collect_flags, energy.collect_cost, 0.0)
-        self.energy_cum = np.cumsum(increments)[1::2]
+            self.dist_cum = None
+            self.energy_cum = None
+
+    # ------------------------------------------------------------------ #
+    # Live battery bookkeeping (battery-tracked streams only)
+    # ------------------------------------------------------------------ #
+
+    def finish_leg(self, destination: Point, dist: float) -> None:
+        """The engine's ``_finish_leg`` for a tracked mule: move + drain."""
+        mule = self.mule
+        self.position = destination
+        mule.position = destination
+        self.trace.distance_travelled += dist
+        drained = mule.battery.drain(self.energy.movement_energy(dist))
+        self.trace.energy_consumed += drained
+        mule.state = MuleState.MOVING
+
+    def kill(self, now: float) -> None:
+        """The engine's ``_kill_mule``: strand the mule mid-leg."""
+        reachable, destination = self.pending_death
+        final_position = self.position.towards(destination, reachable)
+        self.position = final_position
+        mule = self.mule
+        mule.position = final_position
+        self.trace.distance_travelled += reachable
+        self.trace.energy_consumed += mule.battery.drain(mule.battery.remaining)
+        self.dead = True
+        self.trace.death_time = now
+        mule.state = MuleState.DEAD
 
 
 # --------------------------------------------------------------------------- #
@@ -264,6 +422,9 @@ def _run(sim) -> SimulationResult:
     scenario = sim.scenario
     plan = sim.plan
     horizon = cfg.horizon
+    max_visits = cfg.max_visits
+    has_dwell = sim._params.collection_time > 0.0
+    collect_cost = sim._energy.collect_cost
 
     result = SimulationResult(
         strategy=plan.strategy, horizon=horizon, metadata=dict(plan.metadata)
@@ -277,9 +438,35 @@ def _run(sim) -> SimulationResult:
     if sim._recharge_id is not None:
         node_code[sim._recharge_id] = 3
 
-    streams: list[_Stream] = []
     heap: list[tuple] = []
     counter = 0
+
+    def push_leg(stream: _Stream, k: int, depart: float) -> None:
+        """The engine's ``_schedule_move`` for leg ``k`` departing at ``depart``.
+
+        Pushes the arrival — or, for a tracked mule whose battery cannot
+        cover the leg, the mid-leg ENERGY_DEPLETED event — consuming exactly
+        one sequence number either way.  No push when the (halted, acyclic)
+        stream is exhausted, matching the engine's waypoint iterator
+        returning ``None``.
+        """
+        nonlocal counter
+        if k >= stream.n_events:
+            return
+        if stream.tracked and stream.move_cost > 0:
+            dist = stream.dists[k]
+            reachable = stream.mule.battery.remaining / stream.move_cost
+            if reachable + 1e-9 < dist:
+                velocity = stream.velocity
+                death_time = depart + (reachable / velocity if velocity > 0 else 0.0)
+                stream.pending_death = (reachable, stream.coords[stream.nodes[k]])
+                heapq.heappush(heap, (death_time, counter, stream, _DEATH, k))
+                counter += 1
+                return
+        heapq.heappush(heap, (stream.times[k], counter, stream, _ARRIVAL, k))
+        counter += 1
+
+    streams: list[_Stream] = []
     for mule in scenario.mules:
         stream = _Stream(sim, mule, plan.route_for(mule.id), sync_time, node_code)
         result.traces[mule.id] = stream.trace
@@ -288,11 +475,19 @@ def _run(sim) -> SimulationResult:
         # its tie-breaking sequence numbers) exactly: one event per mule, in
         # scenario order.
         if stream.init_event:
-            heap.append((stream.init_time, counter, stream, -1))
+            if stream.tracked and stream.move_cost > 0:
+                reachable = mule.battery.remaining / stream.move_cost
+                if reachable + 1e-9 < stream.init_dist:
+                    velocity = stream.velocity
+                    death_time = reachable / velocity if velocity > 0 else 0.0
+                    stream.pending_death = (reachable, stream.start_point)
+                    heap.append((death_time, counter, stream, _DEATH, -1))
+                    counter += 1
+                    continue
+            heap.append((stream.init_time, counter, stream, _INIT, -1))
             counter += 1
-        elif stream.n_events:
-            heap.append((stream.times[0], counter, stream, 0))
-            counter += 1
+        else:
+            push_leg(stream, 0, stream.departs[0])
     heapq.heapify(heap)  # pop order is the unique (time, counter) total order
 
     # Shared collection state (windows are global per target, so the merged
@@ -303,33 +498,56 @@ def _run(sim) -> SimulationResult:
 
     visits_raw: list[tuple] = []
     deliveries: list[tuple] = []
+    visits_recorded = 0
 
     push = heapq.heappush
     pop = heapq.heappop
     while heap:
-        now, _seq, stream, k = pop(heap)
+        now, _seq, stream, kind, k = pop(heap)
         if now > horizon:
             break
-        if k == -1:  # INITIALIZED: apply the leg, wait for the slowest mule
+        if stream.dead:
+            continue  # discard events of a mule that died at a collect
+        if kind == _INIT:  # INITIALIZED: apply the leg, wait for the slowest mule
             stream.applied += 1
+            if stream.tracked:
+                stream.finish_leg(stream.start_point, stream.init_dist)
             stream.trace.initialization_time = now
-            push(heap, (stream.times[0], counter, stream, 0))
-            counter += 1
+            push_leg(stream, 0, max(now, sync_time))
             continue
+        if kind == _DEATH:  # ENERGY_DEPLETED: strand mid-leg, no further events
+            stream.kill(now)
+            continue
+        if kind == _DWELL_DONE:  # COLLECTION_DONE: resume patrolling
+            push_leg(stream, k + 1, stream.departs[k + 1])
+            continue
+        # ARRIVAL
         stream.applied += 1
         node = stream.nodes[k]
         code = stream.codes[k]
         mule_id = stream.mule_id
+        if stream.tracked:
+            stream.finish_leg(stream.coords[node], stream.dists[k])
         if code == 1:  # plain target: visit + collect the backlog
             visits_raw.append((now, node, mule_id, True))
+            visits_recorded += 1
             last = last_collected[node]
             # now >= last always (pops are time-ordered), so the engine's
             # max(now - last, 0.0) reduces to the plain difference.
             stream.packets.append((node, last, now, (now - last) * rates[node]))
             last_collected[node] = now
             stream.collections += 1
+            if stream.tracked:
+                battery = stream.mule.battery
+                drained = battery.drain(collect_cost)
+                stream.trace.energy_consumed += drained
+                if battery.depleted:
+                    stream.dead = True
+                    stream.trace.death_time = now
+                    stream.mule.state = MuleState.DEAD
         elif code == 2:  # sink: visit + flush the on-board buffer
             visits_raw.append((now, node, mule_id, True))
+            visits_recorded += 1
             if stream.packets:
                 for packet in stream.packets:
                     deliveries.append((now, mule_id) + packet)
@@ -340,12 +558,16 @@ def _run(sim) -> SimulationResult:
             if stream.mule.battery is not None:
                 stream.mule.recharge_full()
                 stream.trace.recharges += 1
-        next_k = k + 1
-        if next_k < stream.n_events:
-            push(heap, (stream.times[next_k], counter, stream, next_k))
+        if max_visits is not None and visits_recorded >= max_visits:
+            break
+        # The engine pushes the dwell/next-leg event even for a mule that
+        # just died collecting (the event is discarded dead on pop), so the
+        # sequence counter advances identically here.
+        if has_dwell and code == 1:
+            push(heap, (stream.departs[k + 1], counter, stream, _DWELL_DONE, k))
             counter += 1
-        # else: a halted (acyclic) stream is exhausted — no further events,
-        # matching the engine's waypoint iterator returning None.
+        else:
+            push_leg(stream, k + 1, stream.departs[k + 1])
 
     # ----------------------------------------------------------------- #
     # Materialise records and final mule/trace state in bulk
@@ -377,7 +599,9 @@ def _run(sim) -> SimulationResult:
         trace = stream.trace
         applied = stream.applied
         mule = stream.mule
-        if applied:
+        if stream.tracked:
+            pass  # distance/energy/position/state were replayed live
+        elif applied:
             trace.distance_travelled = float(stream.dist_cum[applied - 1])
             trace.energy_consumed = float(stream.energy_cum[applied - 1])
             mule.state = MuleState.MOVING

@@ -35,6 +35,7 @@ from repro.store.fingerprint import (
 from repro.store.io import atomic_write_json, atomic_write_text
 from repro.store.query import StoredRun, matches, parse_filter_expression
 from repro.store.store import (
+    MergeConflictError,
     ResultStore,
     clear_store,
     configure,
@@ -47,6 +48,7 @@ from repro.store.store import (
 
 __all__ = [
     "ResultStore",
+    "MergeConflictError",
     "StoredRun",
     "run_fingerprint",
     "canonical_run_payload",

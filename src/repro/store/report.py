@@ -68,7 +68,14 @@ def summarize_records(
     # time from this side of the cycle.
     from repro.runner.campaign import group_mean, group_records
 
-    records = _records(entries)
+    # Reduce in content order, not insertion order: a merged shard store and
+    # an unsharded store hold the same records under different created_at
+    # timestamps, and float means are not associative — sorting by canonical
+    # record content makes the table a pure function of the record *set*.
+    records = sorted(
+        _records(entries),
+        key=lambda r: json.dumps(r, sort_keys=True, default=str),
+    )
     columns = (by,) if isinstance(by, str) else tuple(by)
     keyed = group_records(records, by)
     means = {metric: group_mean(records, metric, by=by) for metric in metrics}

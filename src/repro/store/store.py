@@ -45,11 +45,12 @@ from pathlib import Path
 from typing import Any, Mapping
 
 from repro.store.fingerprint import canonical_run_payload, code_salt, run_fingerprint
-from repro.store.io import atomic_write_json
+from repro.store.io import atomic_write_json, atomic_write_text
 from repro.store.query import StoredRun, matches
 
 __all__ = [
     "ResultStore",
+    "MergeConflictError",
     "configure",
     "default_root",
     "default_store",
@@ -82,6 +83,25 @@ CREATE INDEX IF NOT EXISTS idx_runs_created ON runs (created_at);
 _SQLITE_TIMEOUT_S = 5.0
 _LOCK_RETRIES = 5
 _LOCK_RETRY_BASE_S = 0.05
+
+
+class MergeConflictError(ValueError):
+    """Two stores hold *different* records under the same fingerprint.
+
+    Fingerprints are content addresses salted by library version, so shards
+    of one campaign can only collide on a fingerprint when they computed the
+    same cell — and then the records must agree.  A mismatch means the shards
+    were produced by diverging code or corrupted payloads; merging would
+    silently pick one side, so the merge refuses instead.
+    """
+
+    def __init__(self, fingerprint: str, source: "str | Path") -> None:
+        self.fingerprint = fingerprint
+        self.source = str(source)
+        super().__init__(
+            f"merge conflict on fingerprint {fingerprint}: the record in "
+            f"{self.source} differs from the one already stored"
+        )
 
 
 def _np_safe(obj: Any) -> Any:
@@ -530,6 +550,72 @@ class ResultStore:
                 removed += len(doomed)
         removed += self._sweep_orphans()
         return removed
+
+    def merge_from(self, source: "ResultStore | str | Path") -> dict:
+        """Union ``source``'s entries into this store; returns the counts.
+
+        The shard-merge primitive behind ``repro-patrol store merge``: every
+        readable entry of ``source`` is copied over **verbatim** — payload
+        bytes, creation time, library version and index columns all preserved
+        — so a merged store is byte-identical to one that executed every
+        shard itself, and merging is idempotent.  Entries whose fingerprint
+        this store already holds are *duplicate-benign*: when the two records
+        agree (canonical JSON comparison) the copy is skipped, and when they
+        differ the merge raises :class:`MergeConflictError` **before**
+        touching anything else — conflicting shards are a provenance problem
+        to investigate, not to paper over.  Dangling source rows (index entry
+        whose payload file is unreadable) are skipped, exactly as lookups
+        treat them.
+
+        Returns ``{"merged": copied, "duplicates": skipped}``.
+        """
+        if not isinstance(source, ResultStore):
+            source = ResultStore(source)
+        pending: list[tuple] = []
+        duplicates = 0
+        for row in source._rows():
+            fingerprint = row[0]
+            src = source._load_entry(fingerprint, row[1:])
+            if src is None:
+                continue
+            mine = None
+            if self.contains(fingerprint):
+                with self._lock:
+                    mine_row = self._connection().execute(
+                        "SELECT strategy, family, seed, created_at, "
+                        "library_version, payload FROM runs WHERE fingerprint = ?",
+                        (fingerprint,),
+                    ).fetchone()
+                mine = self._load_entry(fingerprint, mine_row) if mine_row else None
+            if mine is not None:
+                mine_json = json.dumps(mine.record, sort_keys=True, default=_np_safe)
+                src_json = json.dumps(src.record, sort_keys=True, default=_np_safe)
+                if mine_json != src_json:
+                    raise MergeConflictError(fingerprint, source.root)
+                duplicates += 1
+                continue
+            pending.append(row)
+
+        # The whole source is vetted before the first byte lands, so a
+        # conflict anywhere aborts the merge with this store untouched.
+        for fingerprint, strategy, family, seed, created_at, version, payload_name in pending:
+            src_path = source.root / payload_name
+            dest_path = self._payload_path(fingerprint)
+            atomic_write_text(dest_path, src_path.read_text())
+
+            def _insert() -> None:
+                with self._connection() as conn:
+                    conn.execute(
+                        "INSERT OR REPLACE INTO runs "
+                        "(fingerprint, strategy, family, seed, created_at, "
+                        "library_version, payload) VALUES (?, ?, ?, ?, ?, ?, ?)",
+                        (fingerprint, strategy, family, seed, created_at,
+                         version, str(dest_path.relative_to(self.root))),
+                    )
+
+            with self._lock:
+                self._retry_locked(_insert)
+        return {"merged": len(pending), "duplicates": duplicates}
 
     def _sweep_orphans(self) -> int:
         if not self.records_dir.exists():

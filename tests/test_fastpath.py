@@ -18,7 +18,7 @@ from repro.core.plan import LoopRoute, PatrolPlan
 from repro.runner import Campaign, CampaignSpec, RunSpec
 from repro.scenarios import ScenarioSpec
 from repro.sim.engine import PatrolSimulator, SimulationConfig
-from repro.sim.fastpath import fast_path_eligible, run_fast_path
+from repro.sim.fastpath import fast_path_eligible, fast_path_rejection, run_fast_path
 
 FAST = SimulationConfig(horizon=15_000.0, track_energy=False)
 SLOW = dataclasses.replace(FAST, fast_path=False)
@@ -116,19 +116,23 @@ class TestEligibility:
         assert fast_path_eligible(self._sim())
 
     def test_flag_disables(self):
-        assert not fast_path_eligible(self._sim(cfg=SLOW))
+        sim = self._sim(cfg=SLOW)
+        assert not fast_path_eligible(sim)
+        assert fast_path_rejection(sim) == "fast-path-disabled"
 
-    def test_max_visits_falls_back(self):
+    def test_max_visits_is_eligible(self):
         cfg = dataclasses.replace(FAST, max_visits=10)
-        assert not fast_path_eligible(self._sim(cfg=cfg))
+        sim = self._sim(cfg=cfg)
+        assert fast_path_eligible(sim)
+        assert run_fast_path(sim) is not None
 
-    def test_tracked_battery_falls_back(self):
+    def test_tracked_battery_is_eligible(self):
         spec = ScenarioSpec("uniform", {"num_targets": 8, "num_mules": 2,
                                         "mule_battery": 50_000.0})
         cfg = dataclasses.replace(FAST, track_energy=True)
         sim = self._sim(scenario_spec=spec, cfg=cfg)
-        assert not fast_path_eligible(sim)
-        assert run_fast_path(sim) is None
+        assert fast_path_eligible(sim)
+        assert run_fast_path(sim) is not None
 
     def test_untracked_battery_is_eligible(self):
         spec = ScenarioSpec("uniform", {"num_targets": 8, "num_mules": 2,
@@ -136,21 +140,38 @@ class TestEligibility:
         assert fast_path_eligible(self._sim(scenario_spec=spec))
 
     def test_stochastic_route_falls_back(self):
-        assert not fast_path_eligible(self._sim(strategy="random", seed=1))
+        sim = self._sim(strategy="random", seed=1)
+        assert not fast_path_eligible(sim)
+        assert fast_path_rejection(sim) == "route-class"
 
-    def test_alternating_route_falls_back(self):
+    def test_alternating_route_is_eligible(self):
         spec = ScenarioSpec(
             "uniform",
             {"num_targets": 8, "num_mules": 2, "mule_battery": 200_000.0,
              "with_recharge_station": True},
         )
         cfg = dataclasses.replace(FAST, track_energy=True)
-        assert not fast_path_eligible(self._sim(scenario_spec=spec, strategy="rw-tctp", cfg=cfg))
+        sim = self._sim(scenario_spec=spec, strategy="rw-tctp", cfg=cfg)
+        assert fast_path_eligible(sim)
+        assert run_fast_path(sim) is not None
 
-    def test_dwell_time_falls_back(self):
+    def test_dwell_time_is_eligible(self):
         spec = ScenarioSpec("uniform", {"num_targets": 8, "num_mules": 2,
                                         "params": {"collection_time": 5.0}})
-        assert not fast_path_eligible(self._sim(scenario_spec=spec))
+        sim = self._sim(scenario_spec=spec)
+        assert fast_path_eligible(sim)
+        assert run_fast_path(sim) is not None
+
+    def test_preloaded_buffer_falls_back(self):
+        from repro.network.datamodel import DataPacket
+
+        sim = self._sim()
+        sim.scenario.mules[0].buffer.add(
+            DataPacket(target_id="t0", generated_from=0.0, generated_to=1.0,
+                       collected_at=1.0, size=1.0)
+        )
+        assert not fast_path_eligible(sim)
+        assert fast_path_rejection(sim) == "preloaded-buffer"
 
 
 class TestCampaignEquivalence:

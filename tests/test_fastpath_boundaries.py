@@ -1,0 +1,305 @@
+"""Fallback-boundary tests: every rejection path lands on a pinned answer.
+
+For each remaining way a cell can decline the scalar fast path or the batched
+tensor pass, these tests pin two things at once:
+
+* the fallback actually fires (the rejection reason / batch ``None``), and
+* the authoritative event-loop result matches a hand-computed expectation,
+
+so a future widening of eligibility has a ground-truth answer to preserve,
+not just "the two paths agree with each other".
+
+The hand computations all use the 2 m/s line scenario: sink at the origin,
+g1 at 100 m, g2 at 200 m, loop sink → g1 → g2 (a 400 m lap), data rate 1.0 —
+g1 is visited at t = 50, g2 at t = 100, the sink flush lands at t = 200
+(plus the visit the engine records at t = 0 for a mule standing on the sink).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.core.plan import LoopRoute, PatrolPlan, StochasticRoute
+from repro.energy.battery import Battery
+from repro.geometry.point import Point
+from repro.network.datamodel import DataPacket
+from repro.network.field import Field
+from repro.network.mules import DataMule
+from repro.network.scenario import Scenario, SimulationParameters
+from repro.network.targets import RechargeStation, Sink, Target
+from repro.runner.campaign import _json_sanitize, execute_run
+from repro.runner.spec import RunSpec
+from repro.scenarios import ScenarioSpec
+from repro.sim import batchpath
+from repro.sim.engine import PatrolSimulator, SimulationConfig
+from repro.sim.fastpath import fast_path_eligible, fast_path_rejection
+
+FAST = SimulationConfig(horizon=500.0, track_energy=False)
+SLOW = dataclasses.replace(FAST, fast_path=False)
+
+
+def line_scenario(*, battery=None, with_recharge=False, collection_time=0.0,
+                  rates=(1.0, 1.0), velocities=(2.0,)):
+    params = SimulationParameters(collection_time=collection_time)
+    targets = [
+        Target("g1", Point(100.0, 0.0), data_rate=rates[0]),
+        Target("g2", Point(200.0, 0.0), data_rate=rates[1]),
+    ]
+    sink = Sink("sink", Point(0.0, 0.0))
+    recharge = RechargeStation("recharge", Point(150.0, 0.0)) if with_recharge else None
+    mules = [
+        DataMule(f"m{i + 1}", sink.position, velocity=v,
+                 battery=battery() if battery else None)
+        for i, v in enumerate(velocities)
+    ]
+    return Scenario(targets=targets, sink=sink, mules=mules,
+                    recharge_station=recharge, field=Field(), params=params,
+                    name="line")
+
+
+def loop_plan(scenario, *, loops=None):
+    coords = scenario.patrol_points(
+        include_recharge=scenario.recharge_station is not None
+    )
+    loops = loops or {m.id: ["sink", "g1", "g2"] for m in scenario.mules}
+    return PatrolPlan(
+        strategy="manual",
+        routes={mid: LoopRoute(mid, loop, coords) for mid, loop in loops.items()},
+    )
+
+
+def run_both(scenario_factory, plan_factory, *, fast_cfg=FAST, slow_cfg=SLOW):
+    results = []
+    for cfg in (fast_cfg, slow_cfg):
+        scenario = scenario_factory()
+        results.append(PatrolSimulator(scenario, plan_factory(scenario), cfg).run())
+    return results
+
+
+def canonical(record: dict) -> str:
+    return json.dumps(_json_sanitize(record), sort_keys=True)
+
+
+class TestScalarRejections:
+    """The three remaining scalar rejection reasons, each with ground truth."""
+
+    def test_disabled_flag_rejects_and_event_loop_is_authoritative(self):
+        scenario = line_scenario()
+        sim = PatrolSimulator(scenario, loop_plan(scenario), SLOW)
+        assert fast_path_rejection(sim) == "fast-path-disabled"
+        result = sim.run()
+        assert result.visit_times("g1") == pytest.approx([50.0, 250.0, 450.0])
+        assert result.visit_times("g2") == pytest.approx([100.0, 300.0, 500.0])
+        assert result.visit_times("sink") == pytest.approx([0.0, 200.0, 400.0])
+        # Flushes at 200 (50 + 100) and 400 ((250-50) + (300-100)).
+        assert result.total_delivered_data() == pytest.approx(550.0)
+        assert result.traces["m1"].distance_travelled == pytest.approx(1000.0)
+
+    def test_preloaded_buffer_rejects_and_preload_flushes_first(self):
+        def build():
+            scenario = line_scenario()
+            scenario.mules[0].buffer.add(
+                DataPacket(target_id="g9", generated_from=0.0, generated_to=1.0,
+                           collected_at=1.0, size=7.0)
+            )
+            return scenario
+
+        scenario = build()
+        sim = PatrolSimulator(scenario, loop_plan(scenario), FAST)
+        assert fast_path_rejection(sim) == "preloaded-buffer"
+        result = PatrolSimulator(build(), loop_plan(build()), SLOW).run()
+        # The preloaded 7.0 rides ahead of the lap's 150.0 in the first flush.
+        assert result.total_delivered_data() == pytest.approx(557.0)
+        assert result.deliveries[0].size == pytest.approx(7.0)
+
+    def test_stochastic_route_rejects_and_single_candidate_halts(self):
+        def plan(scenario):
+            coords = scenario.patrol_points()
+            return PatrolPlan(strategy="manual", routes={
+                "m1": StochasticRoute("m1", ["g1"], coords, seed=3),
+            })
+
+        scenario = line_scenario()
+        sim = PatrolSimulator(scenario, plan(scenario), FAST)
+        assert fast_path_rejection(sim) == "route-class"
+        result = sim.run()
+        # One candidate repeats forever; the duplicate-skip rule halts the
+        # mule after its single 100 m leg: one visit, nothing delivered.
+        assert result.visit_times("g1") == pytest.approx([50.0])
+        assert result.total_delivered_data() == 0
+        assert result.traces["m1"].distance_travelled == pytest.approx(100.0)
+
+
+class TestBatchFallbacks:
+    """Cells the batch declines must land on the per-cell answer, not near it."""
+
+    def _spec(self, *, strategy="b-tctp", sim=None, seed=1, **kwargs):
+        sim_fields = {"horizon": 5_000.0, "track_energy": False}
+        sim_fields.update(sim or {})
+        return RunSpec(
+            strategy=strategy,
+            scenario=ScenarioSpec(
+                "uniform",
+                {"num_targets": 8, "num_mules": 2, **kwargs.pop("params", {})},
+                seed=5,
+            ),
+            sim=SimulationConfig(**sim_fields),
+            seed=seed,
+            **kwargs,
+        )
+
+    def _assert_falls_back_but_agrees(self, spec):
+        pre = batchpath.batch_execute_records([spec, spec])
+        assert pre == [None, None]
+        with batchpath.batchpath_disabled():
+            per_cell = execute_run(spec)
+        event = execute_run(dataclasses.replace(
+            spec, sim=dataclasses.replace(spec.sim, fast_path=False)
+        ))
+        assert canonical(per_cell) == canonical(event)
+        return per_cell
+
+    def test_max_visits_cell_falls_back(self):
+        spec = self._spec(sim={"max_visits": 10})
+        self._assert_falls_back_but_agrees(spec)
+
+    def test_max_visits_ground_truth_on_the_line(self):
+        scenario = line_scenario()
+        cfg = dataclasses.replace(SLOW, horizon=10_000.0, max_visits=4)
+        result = PatrolSimulator(scenario, loop_plan(scenario), cfg).run()
+        # Recorded visits sink@0 (standing start), g1@50, g2@100, sink@200,
+        # then the cap trips; the flush at the fourth visit still lands.
+        assert [v.time for v in result.visits] == pytest.approx(
+            [0.0, 50.0, 100.0, 200.0]
+        )
+        assert result.total_delivered_data() == pytest.approx(150.0)
+
+    def test_tracked_battery_cell_falls_back(self):
+        spec = self._spec(
+            sim={"track_energy": True},
+            params={"mule_battery": 500_000.0, "with_recharge_station": True},
+        )
+        self._assert_falls_back_but_agrees(spec)
+
+    def test_custom_metrics_cell_falls_back(self):
+        spec = self._spec(metrics=["path_length"])
+        record = self._assert_falls_back_but_agrees(spec)
+        assert "path_length" in record
+
+    def test_batch_path_flag_opts_out_per_spec(self):
+        spec = self._spec(sim={"batch_path": False})
+        pre = batchpath.batch_execute_records([spec, spec])
+        assert pre == [None, None]
+        # The scalar fast path stays on: the flag only skips the batch layer.
+        scenario_sim = self._spec()
+        assert scenario_sim.sim.fast_path
+
+    def test_material_ties_fall_back(self):
+        # chb staggers several mules around one tour; on this layout two
+        # mules collect at the same target at the same instant, which is
+        # heap-order dependent — the batch must hand the cell back.
+        spec = RunSpec(
+            strategy="chb",
+            scenario=ScenarioSpec("uniform", {"num_targets": 12, "num_mules": 3},
+                                  seed=42),
+            sim=SimulationConfig(horizon=15_000.0, track_energy=False),
+            seed=1,
+        )
+        pre = batchpath.batch_execute_records([spec, spec])
+        assert pre == [None, None]
+        with batchpath.batchpath_disabled():
+            per_cell = execute_run(spec)
+        event = execute_run(dataclasses.replace(
+            spec, sim=dataclasses.replace(spec.sim, fast_path=False)
+        ))
+        assert canonical(per_cell) == canonical(event)
+
+    def test_single_spec_batches_are_skipped(self):
+        spec = self._spec()
+        assert batchpath.batch_execute_records([spec]) == [None]
+
+    def test_process_switch_disables_batching(self):
+        spec = self._spec()
+        with batchpath.batchpath_disabled():
+            assert batchpath.batch_execute_records([spec, spec]) == [None, None]
+        assert batchpath.batchpath_enabled()
+
+
+class TestPerEntityConfigAudit:
+    """Eligibility must consider *every* mule and target, not just the first.
+
+    Regression guards for the per-entity audit: heterogeneous velocities,
+    heterogeneous data rates and partially drained batteries all stay
+    byte-identical between the fast paths and the event loop.
+    """
+
+    def test_heterogeneous_velocities(self):
+        def build():
+            return line_scenario(velocities=(2.0, 4.0))
+
+        def plan(scenario):
+            return loop_plan(scenario, loops={
+                "m1": ["sink", "g1", "g2"],
+                "m2": ["sink", "g2", "g1"],
+            })
+
+        sim = PatrolSimulator(build(), plan(build()), FAST)
+        assert fast_path_eligible(sim)
+        fast, slow = run_both(build, plan)
+        assert fast == slow
+        # m2 runs the reversed lap at 4 m/s: g2 (200 m) at t = 50
+        # (after its standing-start sink visit at t = 0).
+        m2_visits = [v.time for v in fast.visits if v.mule_id == "m2"]
+        assert m2_visits[:2] == pytest.approx([0.0, 50.0])
+
+    def test_heterogeneous_data_rates(self):
+        def build():
+            return line_scenario(rates=(0.5, 2.0))
+
+        fast, slow = run_both(build, loop_plan)
+        assert fast == slow
+        # First flush at t = 200: 50 s * 0.5 + 100 s * 2.0.
+        first_flush = [d for d in fast.deliveries if d.delivered_at == 200.0]
+        assert sum(d.size for d in first_flush) == pytest.approx(225.0)
+
+    def test_partially_drained_battery_untracked(self):
+        def build():
+            return line_scenario(
+                battery=lambda: Battery(100_000.0, remaining=40_000.0),
+                with_recharge=True,
+            )
+
+        fast, slow = run_both(build, loop_plan)
+        assert fast == slow
+
+    def test_partially_drained_battery_tracked(self):
+        cfg_fast = dataclasses.replace(FAST, track_energy=True)
+        cfg_slow = dataclasses.replace(SLOW, track_energy=True)
+
+        def build():
+            return line_scenario(
+                battery=lambda: Battery(100_000.0, remaining=40_000.0),
+                with_recharge=True,
+            )
+
+        fast, slow = run_both(build, loop_plan, fast_cfg=cfg_fast,
+                              slow_cfg=cfg_slow)
+        assert fast == slow
+
+    def test_batch_respects_per_mule_batteries(self):
+        """Any mule with a battery under track_energy sends the cell back."""
+        spec = RunSpec(
+            strategy="b-tctp",
+            scenario=ScenarioSpec(
+                "uniform",
+                {"num_targets": 8, "num_mules": 3, "mule_battery": 400_000.0,
+                 "with_recharge_station": True},
+                seed=5,
+            ),
+            sim=SimulationConfig(horizon=5_000.0, track_energy=True),
+            seed=1,
+        )
+        assert batchpath.batch_execute_records([spec, spec]) == [None, None]

@@ -1,0 +1,209 @@
+"""Differential fuzz harness: batched vs scalar vs event-loop, byte for byte.
+
+Draws seeded random :class:`~repro.runner.RunSpec` cases across scenario
+families, strategies and simulator configs, and asserts that the three
+execution paths —
+
+* the **batched** tensor pass (:func:`repro.sim.batchpath.batch_execute_records`),
+* the **scalar** per-cell fast path (batchpath disabled),
+* the **event loop** (``fast_path=False``),
+
+— produce byte-identical sanitized records for every case.  Cases the batch
+(or the scalar fast path) declines are still checked: a fallback must land on
+the same record, never a different one.
+
+On a mismatch the failing case is greedily shrunk (fewer targets, fewer
+mules, shorter horizon, defaults restored) before reporting, so the assertion
+message carries a minimal reproducer.
+
+The case count and the generator seed are fixed for CI but overridable::
+
+    REPRO_FUZZ_SEED=123 REPRO_FUZZ_CASES=500 pytest tests/test_fastpath_differential.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.runner.campaign import _json_sanitize, execute_run
+from repro.runner.spec import RunSpec
+from repro.scenarios import ScenarioSpec
+from repro.sim import batchpath
+from repro.sim.engine import SimulationConfig
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260808"))
+FUZZ_CASES = int(os.environ.get("REPRO_FUZZ_CASES", "200"))
+
+FAMILIES = ["uniform", "grid-jitter", "clustered", "ring"]
+STRATEGIES = [
+    "b-tctp", "w-tctp", "rw-tctp", "chb", "sweep", "random",
+    "b-tctp-cw", "sw-tctp", "cb-tctp", "crw-tctp", "staggered-chb",
+]
+HORIZONS = [800.0, 2_500.0, 6_000.0, 12_000.0]
+
+
+# Recharge-loop strategies refuse to plan without a station to loop through.
+NEEDS_RECHARGE = ("rw-tctp", "crw-tctp")
+
+
+def draw_case(rng: np.random.Generator) -> dict:
+    """One random case as a plain dict (plain dicts shrink and print well)."""
+    case = {
+        "family": FAMILIES[int(rng.integers(len(FAMILIES)))],
+        "strategy": STRATEGIES[int(rng.integers(len(STRATEGIES)))],
+        "num_targets": int(rng.integers(3, 13)),
+        "num_mules": int(rng.integers(1, 5)),
+        "num_vips": int(rng.integers(0, 3)),
+        "data_rate_jitter": float(rng.choice([0.0, 0.0, 0.3])),
+        "with_recharge_station": bool(rng.integers(2)),
+        "horizon": float(rng.choice(HORIZONS)),
+        "synchronized_start": bool(rng.integers(2)),
+        "scenario_seed": int(rng.integers(1_000)) if rng.integers(2) else None,
+        "mule_battery": 200_000.0 if rng.integers(4) == 0 else None,
+        "seed": int(rng.integers(1_000_000)),
+    }
+    if case["strategy"] in NEEDS_RECHARGE:
+        # Recharge-loop planning needs both the station and finite batteries
+        # (untracked here: track_energy stays False, so the fast paths apply).
+        case["with_recharge_station"] = True
+        case["mule_battery"] = 150_000.0
+    return case
+
+
+def case_spec(case: dict, *, fast_path: bool = True) -> RunSpec:
+    params = {
+        "num_targets": case["num_targets"],
+        "num_mules": case["num_mules"],
+        "num_vips": case["num_vips"],
+        "data_rate_jitter": case["data_rate_jitter"],
+        "with_recharge_station": case["with_recharge_station"],
+        "mule_battery": case["mule_battery"],
+    }
+    return RunSpec(
+        strategy=case["strategy"],
+        scenario=ScenarioSpec(case["family"], params, seed=case["scenario_seed"]),
+        sim=SimulationConfig(
+            horizon=case["horizon"],
+            track_energy=False,
+            synchronized_start=case["synchronized_start"],
+            fast_path=fast_path,
+        ),
+        seed=case["seed"],
+    )
+
+
+def canonical(record: dict) -> str:
+    return json.dumps(_json_sanitize(record), sort_keys=True)
+
+
+def run_three_ways(case: dict) -> "tuple[str | None, dict]":
+    """Returns ``(mismatch_description | None, path_flags)`` for one case."""
+    spec = case_spec(case)
+    batched = batchpath.batch_execute_records([spec, spec])[0]
+    with batchpath.batchpath_disabled():
+        scalar = execute_run(spec)
+    event = execute_run(case_spec(case, fast_path=False))
+    flags = {"batched": batched is not None}
+    scalar_c = canonical(scalar)
+    event_c = canonical(event)
+    if scalar_c != event_c:
+        return f"scalar != event loop\n scalar: {scalar_c}\n event:  {event_c}", flags
+    if batched is not None:
+        batched_c = canonical(batched)
+        if batched_c != scalar_c:
+            return f"batched != scalar\n batched: {batched_c}\n scalar:  {scalar_c}", flags
+    return None, flags
+
+
+def shrink(case: dict) -> dict:
+    """Greedy shrink: keep any single-field reduction that still mismatches."""
+    candidates = [
+        ("num_targets", 3), ("num_mules", 1), ("num_vips", 0),
+        ("horizon", HORIZONS[0]), ("data_rate_jitter", 0.0),
+        ("with_recharge_station", False), ("mule_battery", None),
+        ("synchronized_start", True),
+        ("scenario_seed", None), ("family", "uniform"), ("seed", 0),
+    ]
+    current = dict(case)
+    progress = True
+    while progress:
+        progress = False
+        for key, value in candidates:
+            if current[key] == value:
+                continue
+            trial = dict(current)
+            trial[key] = value
+            try:
+                mismatch, _ = run_three_ways(trial)
+            except Exception:
+                continue  # shrunk case fails differently; keep the original
+            if mismatch is not None:
+                current = trial
+                progress = True
+    return current
+
+
+class TestDifferentialFuzz:
+    def test_three_paths_agree_on_random_specs(self):
+        rng = np.random.default_rng(FUZZ_SEED)
+        batched_cases = 0
+        for index in range(FUZZ_CASES):
+            case = draw_case(rng)
+            mismatch, flags = run_three_ways(case)
+            if mismatch is not None:
+                minimal = shrink(case)
+                final, _ = run_three_ways(minimal)
+                pytest.fail(
+                    f"case {index} (seed {FUZZ_SEED}) diverged.\n"
+                    f"original: {json.dumps(case, sort_keys=True)}\n"
+                    f"shrunk:   {json.dumps(minimal, sort_keys=True)}\n"
+                    f"{final or mismatch}"
+                )
+            batched_cases += flags["batched"]
+        # The sweep must actually exercise the tensor pass, not fuzz fallbacks.
+        assert batched_cases >= FUZZ_CASES // 4, (
+            f"only {batched_cases}/{FUZZ_CASES} cases rode the batch path"
+        )
+
+    def test_generator_is_deterministic(self):
+        a = [draw_case(np.random.default_rng(7)) for _ in range(5)]
+        b = [draw_case(np.random.default_rng(7)) for _ in range(5)]
+        assert a == b
+
+    def test_batch_handles_mixed_eligibility_without_reordering(self):
+        """A batch mixing eligible and fallback cells keeps records aligned."""
+        rng = np.random.default_rng(FUZZ_SEED + 1)
+        cases = [draw_case(rng) for _ in range(12)]
+        specs = [case_spec(c) for c in cases]
+        pre = batchpath.batch_execute_records(specs)
+        with batchpath.batchpath_disabled():
+            expected = [execute_run(s) for s in specs]
+        for record, want in zip(pre, expected):
+            if record is not None:
+                assert canonical(record) == canonical(want)
+
+    def test_fuzz_seed_env_override(self):
+        """REPRO_FUZZ_SEED reshapes the sweep (read at import; spot-check here)."""
+        assert FUZZ_SEED == int(os.environ.get("REPRO_FUZZ_SEED", "20260808"))
+        case = draw_case(np.random.default_rng(FUZZ_SEED))
+        assert set(case) == {
+            "family", "strategy", "num_targets", "num_mules", "num_vips",
+            "data_rate_jitter", "with_recharge_station", "mule_battery",
+            "horizon", "synchronized_start", "scenario_seed", "seed",
+        }
+
+
+class TestEventLoopStaysAuthoritative:
+    """The three-way harness's event-loop leg really is the plain engine."""
+
+    def test_event_leg_ignores_batch_switch(self):
+        case = draw_case(np.random.default_rng(FUZZ_SEED + 2))
+        spec = case_spec(case, fast_path=False)
+        first = execute_run(spec)
+        with batchpath.batchpath_disabled():
+            second = execute_run(spec)
+        assert canonical(first) == canonical(second)

@@ -255,11 +255,19 @@ class TestNewCompositions:
                [(v.time, v.node_id, v.mule_id) for v in slow.visits]
         assert fast.total_delivered_data() == slow.total_delivered_data()
 
-    def test_crw_tctp_falls_back_to_event_loop(self, recharge_scenario):
-        s = recharge_scenario.fresh_copy()
-        sim = PatrolSimulator(s, get_strategy("crw-tctp").plan(s),
-                              SimulationConfig(horizon=10_000.0))
-        assert not fast_path_eligible(sim)  # alternating routes have no fixed lap
+    def test_crw_tctp_rides_the_fast_path(self, recharge_scenario):
+        """Alternating routes are fast-path eligible (patrol×rounds + recharge lap)."""
+        cfg_fast = SimulationConfig(horizon=10_000.0)
+        cfg_slow = SimulationConfig(horizon=10_000.0, fast_path=False)
+        s1 = recharge_scenario.fresh_copy()
+        sim = PatrolSimulator(s1, get_strategy("crw-tctp").plan(s1), cfg_fast)
+        assert fast_path_eligible(sim)
+        fast = sim.run()
+        s2 = recharge_scenario.fresh_copy()
+        slow = PatrolSimulator(s2, get_strategy("crw-tctp").plan(s2), cfg_slow).run()
+        assert [(v.time, v.node_id, v.mule_id) for v in fast.visits] == \
+               [(v.time, v.node_id, v.mule_id) for v in slow.visits]
+        assert fast.total_delivered_data() == slow.total_delivered_data()
 
 
 # --------------------------------------------------------------------------- #

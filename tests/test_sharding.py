@@ -1,0 +1,217 @@
+"""Shard/merge golden tests: split campaigns must reassemble byte-identically.
+
+The contract under test (``repro.runner.sharding`` + ``ResultStore.merge_from``
++ the ``shard`` / ``store merge`` CLI): a campaign split into N shards, run
+independently and merged back, produces exactly the records — and exactly the
+``report`` output — of the unsharded run.  Merging is idempotent, duplicates
+are benign, and a fingerprint collision with different content aborts the
+merge without touching the destination.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.runner import execute_many
+from repro.runner.campaign import _json_sanitize
+from repro.runner.sharding import (
+    load_manifest,
+    make_manifest,
+    run_shard,
+    shard_cells,
+    write_manifest,
+)
+from repro.runner.spec import spec_from_dict
+from repro.store import MergeConflictError, ResultStore, run_fingerprint
+
+CAMPAIGN = {
+    "kind": "campaign",
+    "base": {
+        "scenario": {"family": "uniform",
+                     "params": {"num_targets": 6, "num_mules": 2}},
+        "strategy": "b-tctp",
+        "sim": {"horizon": 5_000.0, "track_energy": False},
+        "seed": 0,
+    },
+    "grid": {"strategy": ["b-tctp", "sweep"]},
+    "replications": 3,
+}
+
+
+def campaign_spec():
+    return spec_from_dict(json.loads(json.dumps(CAMPAIGN)))
+
+
+def canonical(records) -> str:
+    return json.dumps(_json_sanitize(records), sort_keys=True)
+
+
+class TestManifest:
+    def test_round_robin_split_is_disjoint_and_complete(self):
+        manifest = make_manifest(campaign_spec(), 3)
+        assert manifest["num_cells"] == 6
+        assert [s["cells"] for s in manifest["shards"]] == [
+            [0, 3], [1, 4], [2, 5],
+        ]
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        write_manifest(campaign_spec(), 2, path)
+        manifest = load_manifest(path)
+        assert manifest["num_shards"] == 2
+        assert len(shard_cells(manifest, 0)) == 3
+
+    def test_invalid_shard_counts_rejected(self):
+        with pytest.raises(ValueError, match="num_shards"):
+            make_manifest(campaign_spec(), 0)
+        with pytest.raises(ValueError, match="empty"):
+            make_manifest(campaign_spec(), 7)
+
+    @pytest.mark.parametrize("tamper,message", [
+        (lambda m: m.update(format="something-else"), "not a shard manifest"),
+        (lambda m: m.pop("shards"), "missing"),
+        (lambda m: m.update(num_cells=5), "expands to"),
+        (lambda m: m["shards"][0]["cells"].append(99), "outside"),
+        (lambda m: m["shards"][0]["cells"].append(1), "two shards"),
+        (lambda m: m["shards"][0]["cells"].remove(0), "first missing"),
+        (lambda m: m["shards"][0].update(index=1), "carries index"),
+    ], ids=["format", "missing-key", "cell-count", "out-of-range",
+            "duplicate", "incomplete", "index-mismatch"])
+    def test_tampered_manifests_rejected(self, tamper, message):
+        manifest = make_manifest(campaign_spec(), 2)
+        tamper(manifest)
+        with pytest.raises(ValueError, match=message):
+            load_manifest(manifest)
+
+    def test_shard_index_out_of_range(self):
+        manifest = make_manifest(campaign_spec(), 2)
+        with pytest.raises(ValueError, match="out of range"):
+            shard_cells(manifest, 2)
+
+
+class TestShardMergeGolden:
+    @pytest.mark.parametrize("num_shards", [2, 3])
+    def test_merged_records_byte_identical_to_unsharded(self, tmp_path, num_shards):
+        spec = campaign_spec()
+        unsharded = execute_many(spec.cells())
+        manifest = make_manifest(spec, num_shards)
+        for index in range(num_shards):
+            result = run_shard(manifest, index,
+                               store=tmp_path / f"shard-{index}")
+            assert result.metadata["shard"] == {
+                "index": index, "num_shards": num_shards,
+            }
+        merged = ResultStore(tmp_path / "merged")
+        counts = {"merged": 0, "duplicates": 0}
+        for index in range(num_shards):
+            got = merged.merge_from(tmp_path / f"shard-{index}")
+            counts["merged"] += got["merged"]
+            counts["duplicates"] += got["duplicates"]
+        assert counts == {"merged": 6, "duplicates": 0}
+        merged_records = [merged.get(run_fingerprint(c)) for c in spec.cells()]
+        assert canonical(merged_records) == canonical(unsharded)
+
+    def test_merge_is_idempotent(self, tmp_path):
+        spec = campaign_spec()
+        manifest = make_manifest(spec, 2)
+        for index in range(2):
+            run_shard(manifest, index, store=tmp_path / f"shard-{index}")
+        merged = ResultStore(tmp_path / "merged")
+        for index in range(2):
+            merged.merge_from(tmp_path / f"shard-{index}")
+        again = merged.merge_from(tmp_path / "shard-0")
+        assert again == {"merged": 0, "duplicates": 3}
+
+    def test_report_output_matches_unsharded_store(self, tmp_path, capsys):
+        spec = campaign_spec()
+        whole = run_shard(make_manifest(spec, 1), 0, store=tmp_path / "whole")
+        assert len(whole.records) == 6
+        manifest = make_manifest(spec, 2)
+        for index in range(2):
+            run_shard(manifest, index, store=tmp_path / f"shard-{index}")
+        merged = ResultStore(tmp_path / "merged")
+        for index in range(2):
+            merged.merge_from(tmp_path / f"shard-{index}")
+
+        assert main(["report", "--dir", str(tmp_path / "whole"), "--json"]) == 0
+        unsharded_report = json.loads(capsys.readouterr().out)
+        assert main(["report", "--dir", str(tmp_path / "merged"), "--json"]) == 0
+        merged_report = json.loads(capsys.readouterr().out)
+        assert merged_report == unsharded_report
+
+    def test_conflicting_fingerprint_aborts_without_writes(self, tmp_path):
+        spec = campaign_spec()
+        manifest = make_manifest(spec, 2)
+        for index in range(2):
+            run_shard(manifest, index, store=tmp_path / f"shard-{index}")
+        merged = ResultStore(tmp_path / "merged")
+        merged.merge_from(tmp_path / "shard-0")
+        before_entries = merged.stats()["entries"]
+
+        # Corrupt one record in shard-1 so a fingerprint seen by shard-0's
+        # campaign... is *not* shared; instead collide on shard-0's first
+        # fingerprint with different content.
+        victim = ResultStore(tmp_path / "shard-1")
+        fp = run_fingerprint(shard_cells(manifest, 0)[0])
+        record = dict(merged.get(fp))
+        record["average_dcdt"] = record["average_dcdt"] + 1.0
+        victim.put(fp, record)
+
+        with pytest.raises(MergeConflictError) as excinfo:
+            merged.merge_from(tmp_path / "shard-1")
+        assert excinfo.value.fingerprint == fp
+        # Phase-1 vetting means nothing was copied before the abort.
+        assert merged.stats()["entries"] == before_entries
+        assert merged.get(fp)["average_dcdt"] != record["average_dcdt"]
+
+
+class TestShardCli:
+    def _write_spec(self, tmp_path):
+        spec_path = tmp_path / "campaign.json"
+        spec_path.write_text(json.dumps(CAMPAIGN))
+        return str(spec_path)
+
+    def test_full_cli_workflow_matches_direct_run(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        manifest_path = str(tmp_path / "manifest.json")
+        assert main(["shard", "create", spec_path, "--num-shards", "2",
+                     "-o", manifest_path]) == 0
+        capsys.readouterr()
+        for index in range(2):
+            assert main(["shard", "run", manifest_path, "--index", str(index),
+                         "--store", str(tmp_path / f"shard-{index}"),
+                         "--json"]) == 0
+            capsys.readouterr()
+        assert main(["store", "merge", "--dir", str(tmp_path / "merged"),
+                     "--from-dir", str(tmp_path / "shard-0"),
+                     str(tmp_path / "shard-1"), "--json"]) == 0
+        out = capsys.readouterr().out  # per-source progress lines, then JSON
+        payload = json.loads(out[out.index("{"):])
+        assert payload["merged"] == 6 and payload["duplicates"] == 0
+
+        spec = campaign_spec()
+        merged = ResultStore(tmp_path / "merged")
+        merged_records = [merged.get(run_fingerprint(c)) for c in spec.cells()]
+        assert canonical(merged_records) == canonical(execute_many(spec.cells()))
+
+    def test_create_requires_num_shards(self, tmp_path, capsys):
+        assert main(["shard", "create", self._write_spec(tmp_path)]) == 2
+        assert "--num-shards" in capsys.readouterr().err
+
+    def test_run_requires_valid_index(self, tmp_path, capsys):
+        spec_path = self._write_spec(tmp_path)
+        manifest_path = str(tmp_path / "manifest.json")
+        assert main(["shard", "create", spec_path, "--num-shards", "2",
+                     "-o", manifest_path]) == 0
+        capsys.readouterr()
+        assert main(["shard", "run", manifest_path]) == 2
+        assert "--index" in capsys.readouterr().err
+        assert main(["shard", "run", manifest_path, "--index", "5"]) == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_merge_requires_sources(self, capsys, tmp_path):
+        assert main(["store", "merge", "--dir", str(tmp_path / "m")]) == 2
+        assert "--from-dir" in capsys.readouterr().err
