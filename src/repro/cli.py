@@ -359,6 +359,11 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--limit", type=int, default=None, help="cap the number of entries")
     report.add_argument("--csv", default=None, help="also write the summary table to this CSV file")
     report.add_argument("--json", action="store_true", help="emit machine-readable JSON")
+    report.add_argument("--timing", action="append", metavar="CAMPAIGN_JSON",
+                        help="instead of store aggregation: show the plan-time vs "
+                             "sim-time wall-clock split of saved campaign artifacts "
+                             "(repeatable; reads the metadata.timing block that "
+                             "Campaign.run records)")
     return parser
 
 
@@ -535,6 +540,19 @@ def _report_store_counts(result: CampaignResult, args: argparse.Namespace) -> No
     if info and getattr(args, "progress", False):
         print(f"store: {info['hits']} hits, {info['misses']} misses ({info['root']})",
               file=sys.stderr)
+    _report_timing_counts(result, args)
+
+
+def _report_timing_counts(result: CampaignResult, args: argparse.Namespace) -> None:
+    """``--progress`` stderr line for the plan-time vs sim-time split."""
+    info = result.metadata.get("timing")
+    if info and getattr(args, "progress", False) and info.get("cells_timed"):
+        print(
+            f"timing: planning {info['planning_s']:.3f}s, "
+            f"simulation {info['simulation_s']:.3f}s "
+            f"({info['cells_timed']} cells timed)",
+            file=sys.stderr,
+        )
 
 
 def _emit_campaign_result(result: CampaignResult, args: argparse.Namespace, title: str) -> None:
@@ -1062,8 +1080,52 @@ def _run_check_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_timing_split(paths: "list[str]", *, as_json: bool) -> int:
+    """Plan-time vs sim-time split across saved campaign artifacts."""
+    from pathlib import Path
+
+    rows = []
+    for path in paths:
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read campaign artifact {path}: {exc}", file=sys.stderr)
+            return 2
+        metadata = payload.get("metadata", {}) or {}
+        timing = metadata.get("timing") or {}
+        planning = timing.get("planning_s")
+        simulation = timing.get("simulation_s")
+        timed = timing.get("cells_timed", 0)
+        total = (planning or 0.0) + (simulation or 0.0)
+        rows.append({
+            "campaign": str(path),
+            "cells": metadata.get("num_cells", len(payload.get("records", []))),
+            "cells_timed": timed,
+            "planning_s": planning,
+            "simulation_s": simulation,
+            "planning_share": (planning / total) if planning is not None and total else None,
+        })
+    if as_json:
+        print(json.dumps({"campaigns": rows}, indent=2, sort_keys=True))
+        return 0
+    headers = ["campaign", "cells", "cells_timed", "planning_s", "simulation_s",
+               "planning_share"]
+    table = [
+        [r["campaign"], r["cells"], r["cells_timed"],
+         "" if r["planning_s"] is None else f"{r['planning_s']:.3f}",
+         "" if r["simulation_s"] is None else f"{r['simulation_s']:.3f}",
+         "" if r["planning_share"] is None else f"{r['planning_share']:.1%}"]
+        for r in rows
+    ]
+    print_report(format_table(headers, table,
+                              title=f"Plan vs sim wall-clock over {len(rows)} campaigns"))
+    return 0
+
+
 def _run_report_command(args: argparse.Namespace) -> int:
     """Aggregate stored records (group means) without re-simulating anything."""
+    if getattr(args, "timing", None):
+        return _report_timing_split(args.timing, as_json=args.json)
     store = _open_store(args)
     if store is None:
         return 2

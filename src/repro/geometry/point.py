@@ -20,6 +20,7 @@ __all__ = [
     "as_array",
     "distance",
     "distance_matrix",
+    "hypot_row",
     "centroid",
     "total_length",
     "northmost_index",
@@ -103,6 +104,20 @@ def distance_matrix(points: Iterable["Point | Sequence[float]"]) -> np.ndarray:
         return np.empty((0, 0), dtype=float)
     diff = arr[:, None, :] - arr[None, :, :]
     return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def hypot_row(coords: np.ndarray, index: int) -> np.ndarray:
+    """Distances from row ``index`` to every row of an ``(n, 2)`` array.
+
+    The batched companion of :func:`distance` for one source point: a single
+    ``np.hypot`` over the coordinate columns instead of n scalar calls.
+    Caution for exact-reproduction callers: ``np.hypot`` is faithful but not
+    guaranteed bit-identical to ``math.hypot`` — selection logic that must
+    match a ``math.hypot``-based scan has to re-measure near-minimal
+    candidates with the scalar function (see
+    :func:`repro.planning.kernels.nearest_neighbor_order`).
+    """
+    return np.hypot(coords[index, 0] - coords[:, 0], coords[index, 1] - coords[:, 1])
 
 
 def centroid(points: Iterable["Point | Sequence[float]"]) -> Point:

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.geometry.cache import ContentCache, cached_distance_matrix, points_fingerprint
 from repro.geometry.hull import convex_hull_indices
-from repro.geometry.point import Point, as_point, distance
+from repro.geometry.point import Point, as_array, as_point, distance
 from repro.graphs.tour import Tour
 
 __all__ = [
@@ -36,6 +36,18 @@ def _prepare(coordinates: Mapping[NodeId, Point]) -> tuple[list[NodeId], np.ndar
     nodes = list(coordinates)
     pts = [as_point(coordinates[n]) for n in nodes]
     return nodes, cached_distance_matrix(pts)
+
+
+def _vector_kernels():
+    """The vectorized planning kernels, or None when the switch is off.
+
+    Imported lazily inside the dispatch branch: :mod:`repro.planning.kernels`
+    only depends on numpy, but importing the ``repro.planning`` package at
+    module load would knot the graphs <-> planning import order.
+    """
+    from repro.planning import kernels
+
+    return kernels if kernels.vector_enabled() else None
 
 
 def convex_hull_insertion_tour(coordinates: Mapping[NodeId, Point]) -> Tour:
@@ -57,23 +69,29 @@ def convex_hull_insertion_tour(coordinates: Mapping[NodeId, Point]) -> Tour:
 
     dmat = cached_distance_matrix(pts)
     hull = convex_hull_indices(pts)
-    tour_idx: list[int] = list(hull)
-    remaining = [i for i in range(len(nodes)) if i not in set(hull)]
+    kernels = _vector_kernels()
+    if kernels is not None:
+        # One broadcast pass per insertion instead of the O(n^2) Python scan;
+        # byte-identical winners (see repro.planning.kernels).
+        tour_idx = kernels.cheapest_insertion_order(dmat, hull, len(nodes))
+    else:
+        tour_idx = list(hull)
+        remaining = [i for i in range(len(nodes)) if i not in set(hull)]
 
-    while remaining:
-        best = None  # (cost, point_index, insert_position)
-        m = len(tour_idx)
-        for p in remaining:
-            for pos in range(m):
-                a = tour_idx[pos]
-                b = tour_idx[(pos + 1) % m]
-                cost = dmat[a, p] + dmat[p, b] - dmat[a, b]
-                if best is None or cost < best[0] - 1e-12:
-                    best = (cost, p, pos + 1)
-        assert best is not None
-        _, p, pos = best
-        tour_idx.insert(pos, p)
-        remaining.remove(p)
+        while remaining:
+            best = None  # (cost, point_index, insert_position)
+            m = len(tour_idx)
+            for p in remaining:
+                for pos in range(m):
+                    a = tour_idx[pos]
+                    b = tour_idx[(pos + 1) % m]
+                    cost = dmat[a, p] + dmat[p, b] - dmat[a, b]
+                    if best is None or cost < best[0] - 1e-12:
+                        best = (cost, p, pos + 1)
+            assert best is not None
+            _, p, pos = best
+            tour_idx.insert(pos, p)
+            remaining.remove(p)
 
     order = [nodes[i] for i in tour_idx]
     return Tour(order, dict(zip(nodes, pts))).counterclockwise()
@@ -91,6 +109,16 @@ def nearest_neighbor_tour(
         start = nodes[0]
     if start not in pts:
         raise KeyError(start)
+    kernels = _vector_kernels()
+    if kernels is not None and len(nodes) > 1:
+        # Masked-row selection with the same (distance, str(id)) tie key;
+        # byte-identical picks (see repro.planning.kernels).
+        order_idx = kernels.nearest_neighbor_order(
+            as_array([pts[n] for n in nodes]),
+            [str(n) for n in nodes],
+            nodes.index(start),
+        )
+        return Tour([nodes[i] for i in order_idx], pts).counterclockwise()
     unvisited = set(nodes)
     unvisited.discard(start)
     order = [start]
@@ -113,10 +141,17 @@ def christofides_tour(coordinates: Mapping[NodeId, Point]) -> Tour:
     pts = {n: as_point(coordinates[n]) for n in nodes}
     if len(nodes) <= 3:
         return Tour(nodes, pts).counterclockwise()
+    # Complete graph in one pass from the cached distance matrix instead of
+    # an O(n^2) per-pair distance()+add_edge loop.  Zero-weight edges between
+    # coincident points are added too: christofides needs a complete graph.
+    dmat = cached_distance_matrix([pts[n] for n in nodes])
+    iu, ju = np.triu_indices(len(nodes), k=1)
     g = nx.Graph()
-    for i, a in enumerate(nodes):
-        for b in nodes[i + 1 :]:
-            g.add_edge(a, b, weight=distance(pts[a], pts[b]))
+    g.add_nodes_from(nodes)
+    g.add_weighted_edges_from(
+        (nodes[i], nodes[j], w)
+        for i, j, w in zip(iu.tolist(), ju.tolist(), dmat[iu, ju].tolist())
+    )
     cycle = nx.approximation.christofides(g, weight="weight")
     # networkx returns a closed walk with the start repeated at the end
     order = list(cycle[:-1])

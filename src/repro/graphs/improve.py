@@ -26,22 +26,37 @@ def _tour_matrix(tour: Tour) -> tuple[list[NodeId], np.ndarray]:
     return nodes, dmat
 
 
-def _order_length(order_idx: list[int], dmat: np.ndarray) -> float:
-    idx = np.asarray(order_idx)
-    return float(dmat[idx, np.roll(idx, -1)].sum())
+def _vector_kernels():
+    """The vectorized planning kernels, or None when the switch is off.
+
+    Imported lazily so module load order stays acyclic (see
+    :func:`repro.graphs.hamiltonian._vector_kernels`).
+    """
+    from repro.planning import kernels
+
+    return kernels if kernels.vector_enabled() else None
 
 
 def two_opt(tour: Tour, *, max_rounds: int = 50, tol: float = 1e-9) -> Tour:
     """Classic 2-opt: reverse tour segments while any reversal shortens the tour.
 
-    Runs full improvement rounds until no improving move exists or
-    ``max_rounds`` is reached.  Complexity is O(rounds * n^2), fine at the
-    paper's scales (n <= a few hundred).
+    Runs improvement rounds until no improving move exists or ``max_rounds``
+    is reached; each round applies the first improving reversal of a
+    row-major (i, j) scan.  By default the round is evaluated as one
+    broadcast O(n^2) delta matrix (:func:`repro.planning.kernels.two_opt_order`,
+    byte-identical move selection); with the vector switch off the original
+    scalar scan runs, costing O(n^2) Python-level iterations per round.
     """
     n = len(tour)
     if n < 4:
         return tour
     nodes, dmat = _tour_matrix(tour)
+    kernels = _vector_kernels()
+    if kernels is not None:
+        order = kernels.two_opt_order(
+            list(range(n)), dmat, max_rounds=max_rounds, tol=tol
+        )
+        return Tour([nodes[i] for i in order], tour.coordinates).counterclockwise()
     order = list(range(n))
 
     improved = True
@@ -69,11 +84,25 @@ def two_opt(tour: Tour, *, max_rounds: int = 50, tol: float = 1e-9) -> Tour:
 
 def or_opt(tour: Tour, *, segment_lengths: tuple[int, ...] = (1, 2, 3), max_rounds: int = 30,
            tol: float = 1e-9) -> Tour:
-    """Or-opt: relocate short chains of 1-3 consecutive nodes to a better position."""
+    """Or-opt: relocate short chains of 1-3 consecutive nodes to a better position.
+
+    Each round applies the first improving relocation of the (segment length,
+    rotation start, insertion edge) scan.  By default the candidate rows of a
+    round are evaluated as broadcast removal-gain/insertion-cost matrices
+    (:func:`repro.planning.kernels.or_opt_order`, byte-identical move
+    selection); with the vector switch off the original scalar scan runs.
+    """
     n = len(tour)
     if n < 5:
         return tour
     nodes, dmat = _tour_matrix(tour)
+    kernels = _vector_kernels()
+    if kernels is not None:
+        order = kernels.or_opt_order(
+            list(range(n)), dmat,
+            segment_lengths=tuple(segment_lengths), max_rounds=max_rounds, tol=tol,
+        )
+        return Tour([nodes[i] for i in order], tour.coordinates).counterclockwise()
     order = list(range(n))
 
     def try_round() -> bool:

@@ -51,6 +51,11 @@ class MultiTour:
         # adjacency: node -> list of (neighbor, key); parallel edges get distinct keys
         self._adj: dict[NodeId, list[tuple[NodeId, int]]] = {n: [] for n in self._coords}
         self._next_key = 0
+        # Lazy total-length memo, invalidated by edge surgery.  The memo holds
+        # the exact float the summation produced, so repeated length() queries
+        # (the balancing policy evaluates candidate structures repeatedly) are
+        # free and byte-identical to recomputation.
+        self._length_memo: float | None = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -68,6 +73,7 @@ class MultiTour:
         other = MultiTour(self._coords)
         other._adj = {n: list(neigh) for n, neigh in self._adj.items()}
         other._next_key = self._next_key
+        other._length_memo = self._length_memo
         return other
 
     # ------------------------------------------------------------------ #
@@ -107,6 +113,7 @@ class MultiTour:
         self._next_key += 1
         self._adj[u].append((v, key))
         self._adj[v].append((u, key))
+        self._length_memo = None
         return key
 
     def remove_edge(self, u: NodeId, v: NodeId, key: int | None = None) -> None:
@@ -117,6 +124,7 @@ class MultiTour:
         k = candidates[0]
         self._adj[u].remove((v, k))
         self._adj[v].remove((u, k))
+        self._length_memo = None
 
     def has_edge(self, u: NodeId, v: NodeId) -> bool:
         return any(n == v for (n, _k) in self._adj.get(u, []))
@@ -165,8 +173,15 @@ class MultiTour:
         return distance(self._coords[u], self._coords[v])
 
     def length(self) -> float:
-        """Total length of the patrol structure = length of one full traversal."""
-        return sum(self.edge_length(u, v) for u, v, _k in self.edges())
+        """Total length of the patrol structure = length of one full traversal.
+
+        Memoized until the next edge surgery; the cached value is the exact
+        float the summation produced, so callers see identical results
+        whether they hit the memo or force recomputation.
+        """
+        if self._length_memo is None:
+            self._length_memo = sum(self.edge_length(u, v) for u, v, _k in self.edges())
+        return self._length_memo
 
     def is_connected(self) -> bool:
         """True when every node with at least one edge is reachable from any other."""

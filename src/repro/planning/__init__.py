@@ -34,6 +34,11 @@ from repro.planning.stages import (
 )
 from repro.planning.spec import PipelineSpec, StageSpec
 from repro.planning.pipeline import Lane, PlanningContext, PlanningPipeline
+from repro.planning.kernels import (
+    vector_disabled,
+    vector_enabled,
+    configure as configure_kernels,
+)
 
 __all__ = [
     "STAGE_KINDS",
@@ -49,4 +54,7 @@ __all__ = [
     "Lane",
     "PlanningContext",
     "PlanningPipeline",
+    "vector_enabled",
+    "vector_disabled",
+    "configure_kernels",
 ]

@@ -1,0 +1,392 @@
+"""Vectorized planning kernels: the scalar tour heuristics as NumPy passes.
+
+PR 3/8 made *simulation* run at tensor speed; this module does the same for
+*planning*.  The four hot loops of tour construction and improvement —
+
+* cheapest insertion (:func:`cheapest_insertion_order`),
+* greedy nearest-neighbour (:func:`nearest_neighbor_order`),
+* 2-opt (:func:`two_opt_order`),
+* Or-opt (:func:`or_opt_order`),
+
+— are reformulated as bulk array updates per round: one broadcast evaluates
+every candidate move of a round at once, and the *selection* among
+candidates replicates the scalar scan's first-improvement semantics exactly.
+Every kernel is **byte-identical** to its scalar original:
+
+* float expressions keep the scalar grouping — e.g. the insertion cost is
+  computed as ``(dmat[a, p] + dmat[p, b]) - dmat[a, b]``, never reassociated
+  — so each candidate's value is the same IEEE double the scalar loop saw;
+* the cheapest-insertion scan's ``cost < best - 1e-12`` chain is *not* an
+  argmin: which candidate wins depends on scan order.  Every accepted
+  candidate is provably a strict running minimum of the cost sequence, so
+  :func:`chain_argmin` extracts the strict running minima with one
+  ``np.minimum.accumulate`` and replays the epsilon chain over just those
+  few indices;
+* 2-opt / Or-opt pick the first improving move in the scalar scan's
+  row-major order (a flattened ``argmax`` over the improvement mask);
+* nearest-neighbour keeps the scalar ``(distance, str(id))`` tie key:
+  ``np.hypot`` is not guaranteed bit-identical to ``math.hypot``, so the
+  vector row only shortlists candidates inside a relative window around the
+  row minimum (1e-12, about four thousand ulps — vastly wider than any
+  faithful-rounding discrepancy) and the exact ``math.hypot`` key decides
+  among the shortlist.
+
+Dispatch is wired into :mod:`repro.graphs.hamiltonian` and
+:mod:`repro.graphs.improve` behind this module's switch, which mirrors the
+geometry-cache and batchpath opt-outs: per process via :func:`configure` or
+``REPRO_PLANNING_VECTOR=0``, scoped via :func:`vector_disabled`.  The
+differential fuzz harness (``tests/test_planning_kernels.py``,
+``tests/test_fastpath_differential.py``) and ``benchmarks/bench_pr9.py``
+assert plans and full run records are byte-identical with the switch on or
+off before any speed claim.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from contextlib import contextmanager
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import hypot_row
+
+__all__ = [
+    "configure",
+    "vector_enabled",
+    "vector_disabled",
+    "chain_argmin",
+    "cheapest_insertion_order",
+    "nearest_neighbor_order",
+    "two_opt_order",
+    "or_opt_order",
+    "order_length",
+]
+
+_LOCK = threading.Lock()
+
+# Process-wide dispatch switch.  The environment variable gives CI and
+# benchmark harnesses an off-switch without code changes (case/whitespace
+# insensitive: "0", "false", "no", "off" all disable).  Byte-invisible by
+# proof: the kernel fuzz harness and bench_pr9 assert plans and records are
+# identical with the switch on or off, so this env read can never change a
+# result — exactly the justification the determinism lint suppression wants.
+_ENABLED: bool = (
+    os.environ.get("REPRO_PLANNING_VECTOR", "1").strip().lower()  # repro: allow[det-env-branch]
+    not in ("0", "false", "no", "off")
+)
+
+# Soft bound on floats per delta/cost block in the 2-opt and Or-opt rounds;
+# larger tours are scanned in row chunks (in scan order, so first-improvement
+# selection is unaffected) to keep peak memory flat.
+_MAX_BLOCK_FLOATS = 4_000_000
+
+# Relative shortlist window for the nearest-neighbour row minimum (see the
+# module docstring): any candidate whose np.hypot distance is within this
+# factor of the row minimum is re-measured with math.hypot before the exact
+# (distance, str(id)) key picks the winner.
+_NN_WINDOW = 1e-12
+
+
+def configure(*, enabled: bool) -> None:
+    """Turn the vectorized planning kernels on or off for this process."""
+    global _ENABLED
+    with _LOCK:
+        _ENABLED = bool(enabled)
+
+
+def vector_enabled() -> bool:
+    """Whether the process-wide vectorized-planning switch is on."""
+    return _ENABLED
+
+
+@contextmanager
+def vector_disabled():
+    """Temporarily force the scalar planning loops (benchmark baselines, tests)."""
+    previous = _ENABLED
+    configure(enabled=False)
+    try:
+        yield
+    finally:
+        configure(enabled=previous)
+
+
+# --------------------------------------------------------------------------- #
+# The first-improvement chain
+# --------------------------------------------------------------------------- #
+
+def chain_argmin(costs: np.ndarray, eps: float) -> int:
+    """Index the scalar scan ``if best is None or c < best - eps`` would accept last.
+
+    The scalar cheapest-insertion scan is *not* an argmin: ``best`` follows a
+    sequential chain in which a candidate is accepted only when it beats the
+    current best by more than ``eps``.  But every accepted candidate is a
+    strict running minimum of the sequence: when ``c[k]`` is accepted,
+    ``c[k] < best - eps``, every earlier rejected value satisfies
+    ``v >= best_then - eps >= best - eps > c[k]`` (``best`` never increases),
+    and every earlier accepted value is ``>= best`` — so no earlier value is
+    smaller.  The converse lets the chain be replayed over only the strict
+    running minima (a logarithmic-size set in expectation), extracted here
+    with one vectorized ``np.minimum.accumulate``.
+    """
+    flat = np.ascontiguousarray(costs).ravel()
+    if flat.size == 0:
+        raise ValueError("chain_argmin over an empty cost array")
+    running = np.minimum.accumulate(flat)
+    strict = np.empty(flat.size, dtype=bool)
+    strict[0] = True
+    strict[1:] = flat[1:] < running[:-1]
+    candidates = np.flatnonzero(strict)
+    best_index = int(candidates[0])
+    best = flat[best_index]
+    for k in candidates[1:]:
+        value = flat[k]
+        if value < best - eps:
+            best_index = int(k)
+            best = value
+    return best_index
+
+
+def order_length(order: Sequence[int], dmat: np.ndarray) -> float:
+    """Closed-tour length of an index order over a distance matrix.
+
+    Diagnostic accounting for the kernels' test/bench harnesses (monotone
+    improvement checks); the byte-identity contract never depends on it.
+    """
+    idx = np.asarray(order)
+    return float(dmat[idx, np.roll(idx, -1)].sum())
+
+
+# --------------------------------------------------------------------------- #
+# Cheapest insertion (convex-hull construction)
+# --------------------------------------------------------------------------- #
+
+def cheapest_insertion_order(
+    dmat: np.ndarray, hull: Sequence[int], n: int, *, eps: float = 1e-12
+) -> list[int]:
+    """Complete a convex-hull sub-tour by repeated cheapest insertion.
+
+    Vectorized twin of the scalar loop in
+    :func:`repro.graphs.hamiltonian.convex_hull_insertion_tour`: each
+    iteration evaluates the full (remaining x positions) insertion-cost
+    matrix in one broadcast pass — cost rows in ``remaining`` order,
+    position-minor, exactly the scalar scan's (p, pos) row-major order —
+    and :func:`chain_argmin` replays the ``cost < best - eps`` tie-break.
+    Returns the completed index tour (a permutation of ``range(n)``).
+    """
+    tour_idx: list[int] = list(hull)
+    in_hull = set(hull)
+    remaining = [i for i in range(n) if i not in in_hull]
+
+    while remaining:
+        tour = np.asarray(tour_idx)
+        rem = np.asarray(remaining)
+        nxt = np.roll(tour, -1)
+        # cost[p, pos] = (dmat[a, p] + dmat[p, b]) - dmat[a, b]  with
+        # a = tour[pos], b = tour[(pos+1) % m] — the scalar float grouping.
+        d_ap = dmat[tour][:, rem]          # (m, R): [pos, p]
+        d_pb = dmat[rem][:, nxt]           # (R, m): [p, pos]
+        costs = (d_ap.T + d_pb) - dmat[tour, nxt][None, :]
+        winner = chain_argmin(costs, eps)
+        p_index, pos = divmod(winner, len(tour_idx))
+        tour_idx.insert(pos + 1, remaining.pop(p_index))
+    return tour_idx
+
+
+# --------------------------------------------------------------------------- #
+# Nearest neighbour
+# --------------------------------------------------------------------------- #
+
+def nearest_neighbor_order(coords: np.ndarray, keys: Sequence[str], start: int) -> list[int]:
+    """Greedy nearest-neighbour visiting order over coordinate rows.
+
+    ``keys[i]`` is the scalar loop's ``str(node_id)`` tie-break key,
+    precomputed once.  Each step takes a masked ``np.hypot`` row, shortlists
+    everything within a relative window of the row minimum, and applies the
+    exact scalar key ``(math.hypot(...), keys[i])`` to the shortlist — so the
+    selected index matches the scalar ``min(unvisited, key=...)`` even where
+    ``np.hypot`` and ``math.hypot`` disagree in the last ulp.
+    """
+    coords = np.ascontiguousarray(coords, dtype=float)
+    n = coords.shape[0]
+    xs, ys = coords[:, 0], coords[:, 1]
+    alive = np.ones(n, dtype=bool)
+    alive[start] = False
+    order = [start]
+    current = start
+    for _ in range(n - 1):
+        row = hypot_row(coords, current)
+        masked = np.where(alive, row, np.inf)
+        rmin = masked.min()
+        shortlist = np.flatnonzero(masked <= rmin * (1.0 + _NN_WINDOW))
+        cx, cy = xs[current], ys[current]
+        nxt = min(
+            (int(i) for i in shortlist),
+            key=lambda i: (math.hypot(cx - xs[i], cy - ys[i]), keys[i]),
+        )
+        order.append(nxt)
+        alive[nxt] = False
+        current = nxt
+    return order
+
+
+# --------------------------------------------------------------------------- #
+# 2-opt
+# --------------------------------------------------------------------------- #
+
+def _first_true(mask: np.ndarray) -> "tuple[int, int] | None":
+    """Row-major (row, col) of the first True in a 2-D boolean mask, else None."""
+    flat = mask.ravel()
+    pos = int(flat.argmax())
+    if not flat[pos]:
+        return None
+    return divmod(pos, mask.shape[1])
+
+
+def two_opt_round(
+    order: list[int], dmat: np.ndarray, tol: float
+) -> "tuple[int, int] | None":
+    """The (i, j) move the scalar 2-opt scan would apply this round, else None.
+
+    Evaluates the whole delta matrix
+    ``(dmat[a, c] + dmat[b, d]) - (dmat[a, b] + dmat[c, d])`` by broadcast
+    (in row chunks so peak memory stays flat) and returns the first entry
+    with ``delta < -tol`` in the scalar scan's row-major (i, j) order —
+    i over ``range(n - 1)``, j over ``range(i + 2, n)``, skipping the
+    wrap-adjacent (0, n-1) pair.
+    """
+    n = len(order)
+    o = np.asarray(order)
+    succ = np.roll(o, -1)                  # d[j] = order[(j+1) % n]
+    edge = dmat[o, succ]                   # dmat[c, d] per j; rows reuse o/succ
+    j_idx = np.arange(n)
+    block = max(1, _MAX_BLOCK_FLOATS // max(n, 1))
+    for i0 in range(0, n - 1, block):
+        i1 = min(i0 + block, n - 1)
+        a = o[i0:i1]
+        b = o[i0 + 1 : i1 + 1]
+        # delta[i, j] = (dmat[a, c] + dmat[b, d]) - (dmat[a, b] + dmat[c, d])
+        delta = (dmat[a][:, o] + dmat[b][:, succ]) - (
+            dmat[a, b][:, None] + edge[None, :]
+        )
+        valid = j_idx[None, :] >= (np.arange(i0, i1) + 2)[:, None]
+        if i0 == 0:
+            valid[0, n - 1] = False        # d == a: reversing the whole tour
+        hit = _first_true((delta < -tol) & valid)
+        if hit is not None:
+            return i0 + hit[0], hit[1]
+    return None
+
+
+def two_opt_order(
+    order: list[int], dmat: np.ndarray, *, max_rounds: int, tol: float
+) -> list[int]:
+    """Run the scalar 2-opt move sequence over an index order, vectorized.
+
+    Each round applies the first improving reversal (exactly the move the
+    scalar first-improvement scan takes) and rescans; stops when a round
+    finds no improving move or after ``max_rounds`` rounds.
+    """
+    order = list(order)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        hit = two_opt_round(order, dmat, tol)
+        if hit is None:
+            break
+        i, j = hit
+        order[i + 1 : j + 1] = reversed(order[i + 1 : j + 1])
+    return order
+
+
+# --------------------------------------------------------------------------- #
+# Or-opt
+# --------------------------------------------------------------------------- #
+
+def _or_opt_round(
+    order: list[int], dmat: np.ndarray, seg_len: int, tol: float
+) -> "tuple[int, int] | None":
+    """First improving (i, j) relocation of a ``seg_len`` chain, else None.
+
+    Mirrors one ``seg_len`` pass of the scalar ``try_round``: for every
+    rotation start i the removal gain and the full row of insertion costs
+    over the reduced tour ``rest`` are evaluated at once, and the first
+    (i, j) with ``insertion_cost < removal_gain - tol`` in row-major order
+    wins.  Segments that contain their own neighbours (only possible when
+    ``seg_len >= n``) never improve in the scalar loop, so those passes are
+    skipped wholesale.
+    """
+    n = len(order)
+    if seg_len >= n:
+        return None
+    m = n - seg_len
+    o = np.asarray(order)
+    idx = np.arange(n)
+    s0 = o                                  # seg[0]  = order[i]
+    sl = o[(idx + seg_len - 1) % n]         # seg[-1] = order[(i+L-1) % n]
+    prev = o[(idx - 1) % n]
+    nxt = o[(idx + seg_len) % n]
+    # removal_gain[i] = (dmat[prev, seg0] + dmat[segL, next]) - dmat[prev, next]
+    gain = (dmat[prev, s0] + dmat[sl, nxt]) - dmat[prev, nxt]
+    threshold = gain - tol                  # scalar compares against this value
+
+    jj = np.arange(m)
+    block = max(1, _MAX_BLOCK_FLOATS // max(m, 1))
+    for i0 in range(0, n, block):
+        i1 = min(i0 + block, n)
+        rows = idx[i0:i1]
+        # rest = order minus the seg positions, original order preserved:
+        # without wrap-around rest skips positions [i, i+L); with wrap-around
+        # (i + L > n) the segment covers the ends and rest is the contiguous
+        # middle [i+L-n, i).
+        wrap = (rows + seg_len > n)[:, None]
+        positions = np.where(
+            wrap,
+            (rows + seg_len - n)[:, None] + jj[None, :],
+            jj[None, :] + seg_len * (jj[None, :] >= rows[:, None]),
+        )
+        a = o[positions]
+        b = o[positions[:, (jj + 1) % m]]
+        # insertion_cost = (dmat[a, seg0] + dmat[segL, b]) - dmat[a, b]
+        cost = (dmat[a, s0[i0:i1, None]] + dmat[sl[i0:i1, None], b]) - dmat[a, b]
+        hit = _first_true(cost < threshold[i0:i1, None])
+        if hit is not None:
+            return i0 + hit[0], hit[1]
+    return None
+
+
+def or_opt_order(
+    order: list[int],
+    dmat: np.ndarray,
+    *,
+    segment_lengths: "tuple[int, ...]",
+    max_rounds: int,
+    tol: float,
+) -> list[int]:
+    """Run the scalar Or-opt move sequence over an index order, vectorized.
+
+    Each round scans segment lengths in the given order and applies the
+    first improving relocation (the exact scalar move); rounds repeat while
+    a move was found and ``max_rounds`` is not exhausted.
+    """
+    order = list(order)
+    rounds = 0
+    while rounds < max_rounds:
+        hit = None
+        for seg_len in segment_lengths:
+            found = _or_opt_round(order, dmat, seg_len, tol)
+            if found is not None:
+                hit = (seg_len, *found)
+                break
+        if hit is None:
+            break
+        seg_len, i, j = hit
+        n = len(order)
+        seg = [order[(i + k) % n] for k in range(seg_len)]
+        removed = {(i + k) % n for k in range(seg_len)}
+        rest = [order[k] for k in range(n) if k not in removed]
+        order = rest[: j + 1] + seg + rest[j + 1 :]
+        rounds += 1
+    return order

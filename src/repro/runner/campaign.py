@@ -22,9 +22,11 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import threading
 import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -92,6 +94,53 @@ def build_cell_scenario(spec: RunSpec) -> Scenario:
 
 
 # --------------------------------------------------------------------------- #
+# Planning vs simulation wall-clock split
+# --------------------------------------------------------------------------- #
+
+# Per-cell (planning_s, simulation_s) wall-clock pairs, collected only while
+# a Campaign.run is active in this process (so long-lived services never
+# accumulate unbounded state).  The split goes into CampaignResult metadata
+# — mirroring the store hit/miss counters — NEVER into record dicts: records
+# stay byte-identical across timed and untimed execution.
+_TIMING_LOCK = threading.Lock()
+_TIMING_ACTIVE = False
+_TIMING_CELLS: list[tuple[float, float]] = []
+
+
+@contextmanager
+def _collect_timings():
+    """Scope the per-cell wall-clock collector; yields the collected pairs.
+
+    Only cells dispatched through :func:`execute_run` *in this process* are
+    timed: batched tensor cells (one stacked pass, no per-cell planning),
+    store hits (no execution at all) and pool-worker cells (timed in the
+    worker, unobservable here) contribute nothing — ``cells_timed`` in the
+    resulting metadata says how much of the campaign the split covers.
+    """
+    global _TIMING_ACTIVE
+    collected: list[tuple[float, float]] = []
+    with _TIMING_LOCK:
+        _TIMING_ACTIVE = True
+        _TIMING_CELLS.clear()
+    try:
+        yield collected
+    finally:
+        with _TIMING_LOCK:
+            _TIMING_ACTIVE = False
+            collected.extend(_TIMING_CELLS)
+            _TIMING_CELLS.clear()
+
+
+def _timing_metadata(pairs: "list[tuple[float, float]]") -> dict[str, Any]:
+    """The metadata block summarizing collected (planning, simulation) pairs."""
+    return {
+        "cells_timed": len(pairs),
+        "planning_s": sum(p for p, _s in pairs),
+        "simulation_s": sum(s for _p, s in pairs),
+    }
+
+
+# --------------------------------------------------------------------------- #
 # Single-cell execution (module-level so it pickles into worker processes)
 # --------------------------------------------------------------------------- #
 
@@ -131,8 +180,15 @@ def execute_run(spec: RunSpec) -> dict:
     if "seed" in strategy_params(spec.strategy) and "seed" not in params:
         params["seed"] = spec.seed
     planner = get_strategy(spec.strategy, **params)
+    plan_start = time.perf_counter()
     plan = planner.plan(scenario)
+    plan_elapsed = time.perf_counter() - plan_start
+    sim_start = time.perf_counter()
     result = PatrolSimulator(scenario, plan, spec.sim).run()
+    if _TIMING_ACTIVE:
+        sim_elapsed = time.perf_counter() - sim_start
+        with _TIMING_LOCK:
+            _TIMING_CELLS.append((plan_elapsed, sim_elapsed))
 
     record: dict[str, Any] = {
         "strategy": spec.strategy,
@@ -568,21 +624,34 @@ class Campaign:
             Optional ``cancel()`` poll: once it returns true, no further
             cell starts; the result keeps the records completed so far (in
             cell order) and its metadata gains ``"cancelled": True``.
+
+        Notes
+        -----
+        The result metadata always gains a ``"timing"`` block
+        (``cells_timed`` / ``planning_s`` / ``simulation_s``): the plan-time
+        vs sim-time wall-clock split over the cells that ran through
+        per-cell dispatch in this process, mirroring the store hit/miss
+        counters.  Batched tensor cells, store hits and pool-worker cells
+        are not timed per cell, so ``cells_timed`` may be less than
+        ``num_cells``.  Timing lives in metadata only — records stay
+        byte-identical whether or not they were timed.
         """
         cells = self.cells()
         metadata: dict[str, Any] = {"num_cells": len(cells), "max_workers": self.max_workers}
         resolved = resolve_store(store)
-        if resolved is None:
-            records = execute_many(cells, max_workers=self.max_workers, progress=progress,
-                                   on_record=on_record, cancel=cancel)
-        else:
-            records, hits, misses = execute_resumable(
-                cells, store=resolved, max_workers=self.max_workers, progress=progress,
-                on_record=on_record, cancel=cancel,
-            )
-            metadata["store"] = {
-                "root": str(resolved.root), "hits": hits, "misses": misses
-            }
+        with _collect_timings() as timed_cells:
+            if resolved is None:
+                records = execute_many(cells, max_workers=self.max_workers, progress=progress,
+                                       on_record=on_record, cancel=cancel)
+            else:
+                records, hits, misses = execute_resumable(
+                    cells, store=resolved, max_workers=self.max_workers, progress=progress,
+                    on_record=on_record, cancel=cancel,
+                )
+                metadata["store"] = {
+                    "root": str(resolved.root), "hits": hits, "misses": misses
+                }
+        metadata["timing"] = _timing_metadata(timed_cells)
         completed = [r for r in records if r is not None]
         if len(completed) < len(cells):
             metadata["cancelled"] = True

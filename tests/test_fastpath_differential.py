@@ -1,12 +1,14 @@
 """Differential fuzz harness: batched vs scalar vs event-loop, byte for byte.
 
 Draws seeded random :class:`~repro.runner.RunSpec` cases across scenario
-families, strategies and simulator configs, and asserts that the three
-execution paths —
+families, strategies and simulator configs, and asserts that the execution
+paths —
 
 * the **batched** tensor pass (:func:`repro.sim.batchpath.batch_execute_records`),
 * the **scalar** per-cell fast path (batchpath disabled),
 * the **event loop** (``fast_path=False``),
+* the **scalar-planned** per-cell path (vectorized planning kernels
+  disabled, tour caches cleared so planning really reruns),
 
 — produce byte-identical sanitized records for every case.  Cases the batch
 (or the scalar fast path) declines are still checked: a fallback must land on
@@ -29,6 +31,8 @@ import os
 import numpy as np
 import pytest
 
+from repro.geometry.cache import clear_caches
+from repro.planning import kernels
 from repro.runner.campaign import _json_sanitize, execute_run
 from repro.runner.spec import RunSpec
 from repro.scenarios import ScenarioSpec
@@ -107,11 +111,22 @@ def run_three_ways(case: dict) -> "tuple[str | None, dict]":
     with batchpath.batchpath_disabled():
         scalar = execute_run(spec)
     event = execute_run(case_spec(case, fast_path=False))
+    # Scalar-planning leg: clear the tour/plan memos first, else the cached
+    # vector-built circuit would be served and the comparison would be vacuous.
+    clear_caches()
+    with batchpath.batchpath_disabled(), kernels.vector_disabled():
+        scalar_planned = execute_run(spec)
     flags = {"batched": batched is not None}
     scalar_c = canonical(scalar)
     event_c = canonical(event)
     if scalar_c != event_c:
         return f"scalar != event loop\n scalar: {scalar_c}\n event:  {event_c}", flags
+    scalar_planned_c = canonical(scalar_planned)
+    if scalar_planned_c != scalar_c:
+        return (
+            "scalar-planned != vector-planned\n"
+            f" scalar-planned: {scalar_planned_c}\n vector-planned: {scalar_c}"
+        ), flags
     if batched is not None:
         batched_c = canonical(batched)
         if batched_c != scalar_c:

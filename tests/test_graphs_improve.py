@@ -7,6 +7,7 @@ from repro.geometry.point import Point
 from repro.graphs.improve import improve_tour, or_opt, two_opt
 from repro.graphs.tour import Tour
 from repro.graphs.validation import validate_tour
+from repro.planning import kernels
 
 
 def _random_tour(n, seed):
@@ -71,6 +72,110 @@ class TestOrOpt:
     def test_tiny_tour_unchanged(self):
         tour = _random_tour(4, 1)
         assert or_opt(tour) is tour
+
+
+class TestBoundarySizes:
+    """n=4 and n=5, the smallest tours each pass actually optimizes."""
+
+    def test_two_opt_n4_uncrosses_smallest_tour(self):
+        # n=4 is the smallest tour 2-opt touches (n < 4 returns unchanged)
+        coords = {"a": Point(0, 0), "b": Point(100, 0), "c": Point(100, 100), "d": Point(0, 100)}
+        crossed = Tour(["a", "c", "b", "d"], coords)
+        assert two_opt(crossed).length() == pytest.approx(400.0)
+
+    def test_two_opt_n4_scalar_and_vector_agree(self):
+        for seed in range(10):
+            tour = _random_tour(4, seed + 100)
+            with kernels.vector_disabled():
+                scalar = two_opt(tour)
+            assert list(two_opt(tour).order) == list(scalar.order)
+
+    def test_or_opt_n4_returned_unchanged(self):
+        # n < 5 is below Or-opt's minimum: same object, both dispatch paths
+        tour = _random_tour(4, 2)
+        assert or_opt(tour) is tour
+        with kernels.vector_disabled():
+            assert or_opt(tour) is tour
+
+    def test_or_opt_n5_relocates_on_smallest_tour(self):
+        # n=5 is the smallest tour Or-opt touches: an outlier visited out of
+        # line order must be relocated even at the boundary size
+        coords = {f"g{i}": Point(i * 100.0, 0.0) for i in range(4)}
+        coords["x"] = Point(50.0, 10.0)  # belongs between g0 and g1
+        bad = Tour(["g0", "g1", "g2", "x", "g3"], coords)
+        improved = or_opt(bad)
+        assert improved.length() < bad.length() - 1e-6
+        validate_tour(improved, expected_nodes=list(bad.order))
+
+    def test_or_opt_n5_scalar_and_vector_agree(self):
+        for seed in range(10):
+            tour = _random_tour(5, seed + 200)
+            with kernels.vector_disabled():
+                scalar = or_opt(tour)
+            assert list(or_opt(tour).order) == list(scalar.order)
+
+    def test_segment_length_at_least_n_never_moves(self):
+        # seg_len >= n means the segment contains its own neighbours: the
+        # scalar loop skips every rotation, the kernel skips the whole pass
+        tour = _random_tour(5, 3)
+        with kernels.vector_disabled():
+            scalar = or_opt(tour, segment_lengths=(5, 6))
+        vector = or_opt(tour, segment_lengths=(5, 6))
+        # no move is applied (the counterclockwise canonicalization may still
+        # reorient the cycle, so compare by length, and byte-compare dispatch)
+        assert scalar.length() == pytest.approx(tour.length())
+        assert list(vector.order) == list(scalar.order)
+
+
+class TestMaxRoundsExhaustion:
+    def _hard_tour(self, n=30, seed=77):
+        return _random_tour(n, seed)
+
+    def test_two_opt_zero_rounds_is_identity_order(self):
+        tour = self._hard_tour()
+        for dispatch in (kernels.vector_disabled, None):
+            if dispatch is None:
+                result = two_opt(tour, max_rounds=0)
+            else:
+                with dispatch():
+                    result = two_opt(tour, max_rounds=0)
+            # the counterclockwise() canonicalization still applies, so
+            # compare lengths: zero rounds may reorient but never improves
+            assert result.length() == pytest.approx(tour.length())
+
+    def test_two_opt_single_round_applies_exactly_one_move(self):
+        tour = self._hard_tour()
+        one = two_opt(tour, max_rounds=1)
+        full = two_opt(tour)
+        # a random 30-node permutation needs many moves: one round must stop
+        # early (strictly worse than convergence) yet still improve
+        assert one.length() < tour.length()
+        assert full.length() < one.length()
+
+    def test_two_opt_round_cap_is_monotone(self):
+        tour = self._hard_tour()
+        lengths = [two_opt(tour, max_rounds=k).length() for k in (1, 2, 4, 8, 50)]
+        assert all(b <= a + 1e-9 for a, b in zip(lengths, lengths[1:]))
+
+    def test_two_opt_exhaustion_identical_across_dispatch(self):
+        tour = self._hard_tour()
+        for rounds in (1, 2, 3, 7):
+            with kernels.vector_disabled():
+                scalar = two_opt(tour, max_rounds=rounds)
+            assert list(two_opt(tour, max_rounds=rounds).order) == list(scalar.order)
+
+    def test_or_opt_zero_rounds_never_moves(self):
+        tour = self._hard_tour(20, 78)
+        assert or_opt(tour, max_rounds=0).length() == pytest.approx(tour.length())
+
+    def test_or_opt_exhaustion_identical_across_dispatch(self):
+        coords = {f"g{i}": Point(i * 50.0, 0.0) for i in range(8)}
+        coords["g9"] = Point(25.0, 10.0)
+        tour = Tour(["g0", "g1", "g2", "g3", "g9", "g4", "g5", "g6", "g7"], coords)
+        for rounds in (0, 1, 2, 30):
+            with kernels.vector_disabled():
+                scalar = or_opt(tour, max_rounds=rounds)
+            assert list(or_opt(tour, max_rounds=rounds).order) == list(scalar.order)
 
 
 class TestImproveTour:

@@ -1,0 +1,312 @@
+"""Differential tests for the vectorized planning kernels (repro.planning.kernels).
+
+Every kernel must be **byte-identical** to the scalar loop it replaces:
+
+* kernel-level — the vectorized cheapest-insertion / nearest-neighbour /
+  2-opt / Or-opt orders match the scalar tours node for node over seeded
+  random instances (including tie-heavy lattices and duplicate points);
+* plan-level — ``serialize_plan`` of every golden strategy call and of
+  seeded random planning specs is byte-equal with the switch on and off;
+* record-level — full :func:`~repro.runner.campaign.execute_run` records are
+  byte-equal with the switch on and off.
+
+The tour cache is cleared between dispatch legs: the hamiltonian memo is
+keyed by content only (the switch is byte-invisible by contract), so a warm
+cache would serve the first leg's tour to the second and make the comparison
+vacuous.
+
+Seed and case count are fixed for CI but overridable::
+
+    REPRO_PLANNING_FUZZ_SEED=123 REPRO_PLANNING_FUZZ_CASES=80 \
+        pytest tests/test_planning_kernels.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from plan_golden import golden_scenarios, golden_strategy_calls, serialize_plan
+from repro.baselines.base import get_strategy, strategy_params
+from repro.geometry.cache import caching_disabled, clear_caches
+from repro.geometry.point import Point, distance_matrix
+from repro.graphs.hamiltonian import (
+    convex_hull_insertion_tour,
+    nearest_neighbor_tour,
+)
+from repro.graphs.improve import or_opt, two_opt
+from repro.planning import kernels
+from repro.runner.campaign import _json_sanitize, execute_run
+from repro.runner.spec import RunSpec
+from repro.scenarios import ScenarioSpec
+from repro.sim.engine import SimulationConfig
+
+FUZZ_SEED = int(os.environ.get("REPRO_PLANNING_FUZZ_SEED", "20260808"))
+FUZZ_CASES = int(os.environ.get("REPRO_PLANNING_FUZZ_CASES", "40"))
+
+
+def _random_coords(rng, n, *, lattice=False):
+    pts = rng.uniform(0, 1000, (n, 2))
+    if lattice:  # snap to a coarse grid so exact distance ties are common
+        pts = np.round(pts / 125) * 125
+    return {f"t{i}": Point(float(x), float(y)) for i, (x, y) in enumerate(pts)}
+
+
+def _both_ways(build, coords):
+    """(scalar, vector) tours for one builder, caches cold on both legs."""
+    clear_caches()
+    with caching_disabled():
+        with kernels.vector_disabled():
+            scalar = build(coords)
+        vector = build(coords)
+    return scalar, vector
+
+
+class TestSwitch:
+    def test_enabled_by_default(self):
+        assert kernels.vector_enabled()
+
+    def test_configure_round_trip(self):
+        kernels.configure(enabled=False)
+        try:
+            assert not kernels.vector_enabled()
+        finally:
+            kernels.configure(enabled=True)
+        assert kernels.vector_enabled()
+
+    def test_vector_disabled_scopes_and_restores(self):
+        assert kernels.vector_enabled()
+        with kernels.vector_disabled():
+            assert not kernels.vector_enabled()
+            with kernels.vector_disabled():
+                assert not kernels.vector_enabled()
+            assert not kernels.vector_enabled()
+        assert kernels.vector_enabled()
+
+    def test_package_reexports(self):
+        from repro import planning
+
+        assert planning.vector_enabled is kernels.vector_enabled
+        assert planning.vector_disabled is kernels.vector_disabled
+
+
+class TestChainArgmin:
+    @staticmethod
+    def _scalar_chain(costs, eps):
+        best = None
+        best_index = None
+        for index, cost in enumerate(costs):
+            if best is None or cost < best - eps:
+                best, best_index = cost, index
+        return best_index
+
+    def test_matches_scalar_chain_on_adversarial_sequences(self):
+        rng = np.random.default_rng(FUZZ_SEED)
+        eps = 1e-12
+        for _ in range(200):
+            base = rng.uniform(-10, 10, int(rng.integers(1, 60)))
+            # inject near-ties straddling the epsilon window
+            if base.size > 3:
+                base[2] = base[1] - eps / 2        # within eps: must NOT win
+                base[3] = base[1] - eps * 2        # beyond eps: must win
+            assert kernels.chain_argmin(base, eps) == self._scalar_chain(base, eps)
+
+    def test_descending_sequence_takes_last(self):
+        costs = np.array([5.0, 4.0, 3.0, 2.0, 1.0])
+        assert kernels.chain_argmin(costs, 1e-12) == 4
+
+    def test_tie_within_eps_keeps_first(self):
+        costs = np.array([1.0, 1.0 - 5e-13, 2.0])
+        assert kernels.chain_argmin(costs, 1e-12) == 0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kernels.chain_argmin(np.empty(0), 1e-12)
+
+
+class TestOrderLength:
+    def test_matches_tour_edge_sum(self):
+        rng = np.random.default_rng(3)
+        pts = rng.uniform(0, 100, (7, 2))
+        dmat = distance_matrix(pts)
+        order = [3, 1, 4, 0, 6, 2, 5]
+        expected = sum(dmat[a, b] for a, b in zip(order, order[1:] + order[:1]))
+        assert kernels.order_length(order, dmat) == pytest.approx(expected)
+
+
+class TestKernelTourIdentity:
+    def test_hull_insertion_identical(self):
+        rng = np.random.default_rng(FUZZ_SEED + 1)
+        for trial in range(25):
+            coords = _random_coords(rng, int(rng.integers(4, 45)), lattice=trial % 4 == 0)
+            scalar, vector = _both_ways(convex_hull_insertion_tour, coords)
+            assert list(vector.order) == list(scalar.order)
+
+    def test_nearest_neighbor_identical(self):
+        rng = np.random.default_rng(FUZZ_SEED + 2)
+        for trial in range(25):
+            coords = _random_coords(rng, int(rng.integers(2, 45)), lattice=trial % 3 == 0)
+            scalar, vector = _both_ways(nearest_neighbor_tour, coords)
+            assert list(vector.order) == list(scalar.order)
+
+    def test_nearest_neighbor_lattice_tie_break(self):
+        # four candidates exactly equidistant from the start: the scalar loop
+        # breaks the tie on str(id); the kernel must pick the same node
+        coords = {
+            "center": Point(0, 0),
+            "n": Point(0, 10), "s": Point(0, -10), "e": Point(10, 0), "w": Point(-10, 0),
+        }
+        scalar, vector = _both_ways(
+            lambda c: nearest_neighbor_tour(c, start="center"), coords
+        )
+        assert list(vector.order) == list(scalar.order)
+
+    def test_duplicate_points_identical(self):
+        coords = {
+            "a": Point(0, 0), "b": Point(100, 0), "c": Point(100, 100),
+            "d": Point(0, 100), "dup1": Point(50, 50), "dup2": Point(50, 50),
+        }
+        for build in (convex_hull_insertion_tour, nearest_neighbor_tour):
+            scalar, vector = _both_ways(build, coords)
+            assert list(vector.order) == list(scalar.order)
+
+    def test_two_opt_identical(self):
+        rng = np.random.default_rng(FUZZ_SEED + 3)
+        for trial in range(25):
+            coords = _random_coords(rng, int(rng.integers(4, 45)), lattice=trial % 4 == 0)
+            scalar, vector = _both_ways(
+                lambda c: two_opt(convex_hull_insertion_tour(c)), coords
+            )
+            assert list(vector.order) == list(scalar.order)
+
+    def test_or_opt_identical(self):
+        rng = np.random.default_rng(FUZZ_SEED + 4)
+        for trial in range(25):
+            coords = _random_coords(rng, int(rng.integers(5, 45)), lattice=trial % 4 == 0)
+            scalar, vector = _both_ways(
+                lambda c: or_opt(convex_hull_insertion_tour(c)), coords
+            )
+            assert list(vector.order) == list(scalar.order)
+
+    def test_improvement_passes_never_lengthen(self):
+        rng = np.random.default_rng(FUZZ_SEED + 5)
+        for _ in range(8):
+            coords = _random_coords(rng, int(rng.integers(6, 30)))
+            clear_caches()
+            with caching_disabled():
+                tour = convex_hull_insertion_tour(coords)
+                assert two_opt(tour).length() <= tour.length() + 1e-9
+                assert or_opt(tour).length() <= tour.length() + 1e-9
+
+
+class TestGoldenPlansUnderVectorDispatch:
+    """The PR 4 golden strategy calls plan byte-identically with kernels on."""
+
+    def test_golden_calls_identical_across_dispatch(self):
+        scenarios = golden_scenarios()
+        for key, strategy, kwargs in golden_strategy_calls():
+            clear_caches()
+            with kernels.vector_disabled():
+                scalar = serialize_plan(
+                    get_strategy(strategy, **kwargs).plan(scenarios[key].fresh_copy())
+                )
+            clear_caches()
+            vector = serialize_plan(
+                get_strategy(strategy, **kwargs).plan(scenarios[key].fresh_copy())
+            )
+            assert json.dumps(vector, sort_keys=True) == json.dumps(scalar, sort_keys=True), (
+                f"plan diverged under vector dispatch: {key} / {strategy} / {kwargs}"
+            )
+
+
+FAMILIES = ["uniform", "grid-jitter", "clustered", "ring"]
+STRATEGIES = [
+    "b-tctp", "w-tctp", "chb", "sweep", "random",
+    "b-tctp-cw", "sw-tctp", "cb-tctp", "staggered-chb",
+]
+
+
+def draw_case(rng: np.random.Generator) -> dict:
+    return {
+        "family": FAMILIES[int(rng.integers(len(FAMILIES)))],
+        "strategy": STRATEGIES[int(rng.integers(len(STRATEGIES)))],
+        "num_targets": int(rng.integers(4, 35)),
+        "num_mules": int(rng.integers(1, 5)),
+        "num_vips": int(rng.integers(0, 3)),
+        "scenario_seed": int(rng.integers(1_000)),
+        "seed": int(rng.integers(1_000_000)),
+        "improve": bool(rng.integers(2)),
+        "tsp_method": ["hull-insertion", "nearest-neighbor"][int(rng.integers(2))],
+    }
+
+
+def case_spec(case: dict) -> RunSpec:
+    declared = strategy_params(case["strategy"])
+    params = {}
+    if "tsp_method" in declared:
+        params["tsp_method"] = case["tsp_method"]
+    if "improve_tour" in declared:
+        params["improve_tour"] = case["improve"]
+    return RunSpec(
+        strategy=case["strategy"],
+        scenario=ScenarioSpec(
+            case["family"],
+            {
+                "num_targets": case["num_targets"],
+                "num_mules": case["num_mules"],
+                "num_vips": case["num_vips"],
+            },
+            seed=case["scenario_seed"],
+        ),
+        params=params,
+        sim=SimulationConfig(horizon=2_500.0),
+        seed=case["seed"],
+    )
+
+
+class TestFuzzedSpecsUnderVectorDispatch:
+    def test_plans_and_records_identical_on_random_specs(self):
+        rng = np.random.default_rng(FUZZ_SEED)
+        for index in range(FUZZ_CASES):
+            case = draw_case(rng)
+            spec = case_spec(case)
+            scenario_spec = spec.scenario
+
+            plan_params = dict(spec.params)
+            if "seed" in strategy_params(spec.strategy):
+                plan_params.setdefault("seed", spec.seed)
+
+            clear_caches()
+            with kernels.vector_disabled():
+                scalar_plan = serialize_plan(
+                    get_strategy(spec.strategy, **plan_params).plan(
+                        scenario_spec.build(spec.seed)
+                    )
+                )
+                scalar_record = json.dumps(
+                    _json_sanitize(execute_run(spec)), sort_keys=True
+                )
+            clear_caches()
+            vector_plan = serialize_plan(
+                get_strategy(spec.strategy, **plan_params).plan(
+                    scenario_spec.build(spec.seed)
+                )
+            )
+            vector_record = json.dumps(
+                _json_sanitize(execute_run(spec)), sort_keys=True
+            )
+
+            assert json.dumps(vector_plan, sort_keys=True) == json.dumps(
+                scalar_plan, sort_keys=True
+            ), f"case {index} (seed {FUZZ_SEED}) plan diverged: {json.dumps(case)}"
+            assert vector_record == scalar_record, (
+                f"case {index} (seed {FUZZ_SEED}) record diverged: {json.dumps(case)}"
+            )
+
+    def test_generator_is_deterministic(self):
+        a = [draw_case(np.random.default_rng(5)) for _ in range(4)]
+        b = [draw_case(np.random.default_rng(5)) for _ in range(4)]
+        assert a == b
