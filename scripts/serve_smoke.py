@@ -10,7 +10,9 @@ docs/SERVICE.md over the wire:
 2. re-POSTing the same campaign re-executes **zero** cells — every record is
    served from the store, byte-identical to the first stream;
 3. ``/stats`` agrees with the observed admission counters and embeds the
-   store stats document.
+   store stats document;
+4. ``/metrics`` serves Prometheus text telling the same story as ``/stats``
+   (one formatter behind both surfaces, see docs/OBSERVABILITY.md).
 
 Run locally: ``python scripts/serve_smoke.py``.
 """
@@ -129,6 +131,16 @@ def main() -> int:
             assert scheduler["store_hits"] == NUM_CELLS, scheduler
             assert scheduler["rejected"] == 0, scheduler
             assert stats["store"]["entries"] == NUM_CELLS, stats["store"]
+
+            # 4. /metrics: Prometheus text, consistent with /stats
+            status, raw = request(port, "GET", "/metrics")
+            assert status == 200, (status, raw)
+            text = raw.decode()
+            assert "# TYPE repro_service_requests_total counter" in text, text[:400]
+            assert "repro_service_requests_total 2" in text, text[:400]
+            assert f"repro_service_executed_total {NUM_CELLS}" in text
+            assert f"repro_service_store_hits_total {NUM_CELLS}" in text
+            assert f"repro_store_entries {NUM_CELLS}" in text
         finally:
             proc.terminate()
             proc.wait(timeout=30)

@@ -95,7 +95,7 @@ from repro.workloads import (
     grid_scenario,
 )
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "__version__",

@@ -19,7 +19,9 @@ that break the invariant:
   generators — are allowed;
 * ``det-wall-clock`` — ``time.time()`` / ``time.perf_counter()`` /
   ``datetime.now()`` and friends: records must never depend on when they
-  were computed;
+  were computed.  The :mod:`repro.obs` package carries a first-class
+  allowance for this rule (see :data:`SCOPED_ALLOWANCES`): its spans time
+  stages by design, and its byte-invisibility is proven differentially;
 * ``det-set-iteration`` — ``for x in {...}`` / comprehensions directly over
   ``set(...)``: iteration order is undefined, so anything built from it
   (plan legs, record rows) is load-order lottery.  Wrap in ``sorted(...)``;
@@ -40,7 +42,13 @@ from typing import Iterable
 from repro.analysis.findings import Finding
 from repro.analysis.registry_contract import relative_to_repo
 
-__all__ = ["DEFAULT_SCOPE", "scope_files", "check_determinism", "lint_source"]
+__all__ = [
+    "DEFAULT_SCOPE",
+    "SCOPED_ALLOWANCES",
+    "scope_files",
+    "check_determinism",
+    "lint_source",
+]
 
 #: Packages under ``repro`` whose modules are reachable from registered
 #: factories or the simulator: the registered code paths.  ``service`` is in
@@ -52,12 +60,26 @@ DEFAULT_SCOPE: tuple[str, ...] = (
     "geometry",
     "graphs",
     "network",
+    "obs",
     "planning",
     "scenarios",
     "service",
     "sim",
     "workloads",
 )
+
+#: First-class per-package allowances: ``package -> rule ids`` whose findings
+#: are dropped for files under ``repro/<package>/``.  The observability
+#: registry (:mod:`repro.obs`) *exists* to read the clock — its spans time
+#: stages by design, and its byte-invisibility is proven by differential
+#: tests, not by avoiding ``perf_counter`` — so the wall-clock rule does not
+#: apply there.  A scoped allowance beats sprinkling inline suppressions on
+#: every timing line: the policy is declared once, here, and every other
+#: rule (env branches, unseeded RNGs, set iteration) still applies to obs
+#: in full.
+SCOPED_ALLOWANCES: dict[str, frozenset[str]] = {
+    "obs": frozenset({"det-wall-clock"}),
+}
 
 #: Seeded / explicitly-deterministic numpy RNG entry points.
 _NP_RANDOM_ALLOWED = frozenset({
@@ -293,6 +315,9 @@ def check_determinism(
     Returns ``(findings, sources)`` where ``sources`` maps each finding path
     to the file's text — the orchestrator reuses it to honour inline
     ``# repro: allow[...]`` suppressions without re-reading files.
+
+    Findings covered by a :data:`SCOPED_ALLOWANCES` entry (by package and
+    rule id) are dropped here, before suppression accounting.
     """
     if paths is None:
         files: list[Path] = scope_files()
@@ -313,5 +338,16 @@ def check_determinism(
         except OSError as exc:
             raise FileNotFoundError(f"cannot lint {file}: {exc}") from exc
         sources[rel] = source
-        findings.extend(lint_source(source, rel))
+        findings.extend(
+            f for f in lint_source(source, rel) if not _scope_allowed(rel, f.rule)
+        )
     return findings, sources
+
+
+def _scope_allowed(path: str, rule: str) -> bool:
+    """Whether a finding falls under a first-class per-package allowance."""
+    normalized = path.replace("\\", "/")
+    return any(
+        rule in rules and f"repro/{package}/" in normalized
+        for package, rules in SCOPED_ALLOWANCES.items()
+    )

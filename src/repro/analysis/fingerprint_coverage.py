@@ -17,7 +17,8 @@ Three rules:
   :data:`~repro.store.fingerprint.FINGERPRINT_COVERAGE` and no exemption in
   :data:`~repro.store.fingerprint.FINGERPRINT_EXEMPT`;
 * ``fpr-stale-entry`` — a coverage or exemption entry naming a field (or
-  class) that no longer exists;
+  class) that no longer exists, or a field that is both explicitly declared
+  and exempted (an exemption may override only the ``"*"`` wildcard);
 * ``fpr-unread-field`` — a coverage entry claiming ``"hashed"`` whose field
   the canonicaliser's source never actually reads (checked against the AST
   of ``repro/store/fingerprint.py``), or an ``"asdict"`` wildcard with no
@@ -142,6 +143,20 @@ def check_fingerprint_coverage(
                  f"{class_name}.{field_name}")
         for field_name in sorted(fields):
             mechanism = declared.get(field_name, wildcard)
+            # An exemption overrides a *wildcard* mechanism: "every field is
+            # asdict-hashed" is the class default, and an exempt field is the
+            # declared exception to it (the payload builder pops it from the
+            # asdict output).  An exemption on an *explicitly* declared field
+            # is a contradiction and stays an error below.
+            if (class_name, field_name) in exempt:
+                if field_name in declared:
+                    _add("fpr-stale-entry",
+                         f"{class_name}.{field_name} is both explicitly "
+                         f"declared ({declared[field_name]!r}) and exempted: "
+                         "pick one — a field cannot be hashed and excluded "
+                         "at once")
+                    continue
+                mechanism = None
             if mechanism is None:
                 if (class_name, field_name) in exempt:
                     reason = str(exempt[(class_name, field_name)]).strip()

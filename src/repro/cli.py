@@ -364,6 +364,24 @@ def build_parser() -> argparse.ArgumentParser:
                              "sim-time wall-clock split of saved campaign artifacts "
                              "(repeatable; reads the metadata.timing block that "
                              "Campaign.run records)")
+    report.add_argument("--dispatch", action="append", metavar="CAMPAIGN_JSON",
+                        help="instead of store aggregation: show the per-reason "
+                             "fastpath/batchpath dispatch outcomes of saved campaign "
+                             "artifacts (repeatable; reads the metadata.obs block "
+                             "recorded when observability is enabled)")
+
+    obs = sub.add_parser(
+        "obs",
+        help="inspect observability artifacts: campaign metadata.obs summaries "
+             "and span logs (see docs/OBSERVABILITY.md)",
+    )
+    obs.add_argument("artifact", metavar="FILE",
+                     help="a campaign artifact JSON (from run/sweep --out with "
+                          "observability on) or a .spans.jsonl span log")
+    obs.add_argument("--trace", default=None, metavar="OUT.json",
+                     help="span-log input only: also write a Chrome Trace Event "
+                          "JSON file (load it at https://ui.perfetto.dev)")
+    obs.add_argument("--json", action="store_true", help="emit machine-readable JSON")
     return parser
 
 
@@ -555,9 +573,35 @@ def _report_timing_counts(result: CampaignResult, args: argparse.Namespace) -> N
         )
 
 
+def _write_span_artifacts(result: CampaignResult, out: str) -> None:
+    """``<out stem>.spans.jsonl`` + ``<out stem>.trace.json`` next to ``--out``.
+
+    Only written when the campaign recorded an ``obs`` metadata block (the
+    registry was on) and spans survived in the process registry — i.e. a
+    plain run without ``REPRO_OBS=1`` / ``sim.obs`` writes nothing extra.
+    """
+    from pathlib import Path
+
+    from repro import obs as _obs_pkg
+
+    if not result.metadata.get("obs"):
+        return
+    spans = _obs_pkg.spans()
+    if not spans:
+        return
+    stem = Path(out).with_suffix("")
+    log_path = stem.with_suffix(".spans.jsonl")
+    trace_path = stem.with_suffix(".trace.json")
+    _obs_pkg.write_span_log(log_path, spans)
+    _obs_pkg.write_trace(trace_path, spans)
+    print(f"obs: wrote {len(spans)} spans to {log_path} and a Chrome trace "
+          f"to {trace_path}", file=sys.stderr)
+
+
 def _emit_campaign_result(result: CampaignResult, args: argparse.Namespace, title: str) -> None:
     if args.out:
         result.save_json(args.out)
+        _write_span_artifacts(result, args.out)
     if args.csv:
         result.save_csv(args.csv)
     if args.json:
@@ -665,6 +709,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_store_command(args)
     if args.command == "report":
         return _run_report_command(args)
+    if args.command == "obs":
+        return _run_obs_command(args)
     if args.command == "check":
         return _run_check_command(args)
     if args.command in _FIGURE_RUNNERS:
@@ -1122,10 +1168,169 @@ def _report_timing_split(paths: "list[str]", *, as_json: bool) -> int:
     return 0
 
 
+def _format_obs_labels(labels: "dict | None") -> str:
+    return ",".join(f"{key}={value}" for key, value in sorted((labels or {}).items()))
+
+
+def _dispatch_rows(path: str, obs_doc: dict) -> list[dict]:
+    """Per-reason dispatch rows out of one artifact's ``metadata.obs`` block."""
+    rows = []
+    for counter in obs_doc.get("counters", []):
+        if counter.get("name") not in ("sim_dispatch", "batch_dispatch"):
+            continue
+        labels = counter.get("labels") or {}
+        rows.append({
+            "campaign": str(path),
+            "counter": counter["name"],
+            "outcome": labels.get("outcome", ""),
+            "reason": labels.get("reason", ""),
+            "count": counter.get("value", 0),
+        })
+    rows.sort(key=lambda r: (r["counter"], r["outcome"], r["reason"]))
+    return rows
+
+
+def _report_dispatch_split(paths: "list[str]", *, as_json: bool) -> int:
+    """Fastpath/batchpath dispatch outcomes across saved campaign artifacts.
+
+    The ``run``/``sweep`` side of the story: with observability enabled
+    (``REPRO_OBS=1`` or ``sim.obs``), ``Campaign.run`` embeds the registry
+    snapshot in ``metadata.obs``; this renders its ``sim_dispatch`` /
+    ``batch_dispatch`` counters — which cells took a vectorized path and,
+    for the ones that fell back, the per-reason breakdown.
+    """
+    from pathlib import Path
+
+    rows = []
+    for path in paths:
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read campaign artifact {path}: {exc}", file=sys.stderr)
+            return 2
+        obs_doc = (payload.get("metadata") or {}).get("obs")
+        if not obs_doc:
+            print(f"error: {path} has no metadata.obs block; re-run the campaign "
+                  "with REPRO_OBS=1 (or sim.obs=true) to record dispatch counters",
+                  file=sys.stderr)
+            return 2
+        rows.extend(_dispatch_rows(path, obs_doc))
+    if as_json:
+        print(json.dumps({"dispatch": rows}, indent=2, sort_keys=True))
+        return 0
+    if not rows:
+        print("no dispatch counters recorded (the campaign ran no simulation cells)")
+        return 0
+    table = [[r["campaign"], r["counter"], r["outcome"], r["reason"], r["count"]]
+             for r in rows]
+    print_report(format_table(
+        ["campaign", "counter", "outcome", "reason", "count"], table,
+        title=f"Dispatch outcomes over {len(paths)} campaigns",
+    ))
+    return 0
+
+
+def _obs_artifact_summary(path, payload: dict, *, as_json: bool) -> int:
+    """Render the ``metadata.obs`` block of one campaign artifact."""
+    obs_doc = (payload.get("metadata") or {}).get("obs")
+    if not obs_doc:
+        print(f"error: {path} has no metadata.obs block; re-run the campaign "
+              "with REPRO_OBS=1 (or sim.obs=true) to record one", file=sys.stderr)
+        return 2
+    if as_json:
+        print(json.dumps(obs_doc, indent=2, sort_keys=True))
+        return 0
+    counters = obs_doc.get("counters", [])
+    if counters:
+        print_report(format_table(
+            ["counter", "labels", "value"],
+            [[c["name"], _format_obs_labels(c.get("labels")), c.get("value", 0)]
+             for c in counters],
+            title=f"Counters of {path}",
+        ))
+    hists = obs_doc.get("histograms", [])
+    if hists:
+        print_report(format_table(
+            ["histogram", "labels", "count", "sum", "min", "max"],
+            [[h["name"], _format_obs_labels(h.get("labels")), h.get("count", 0),
+              h.get("sum", 0), h.get("min", ""), h.get("max", "")]
+             for h in hists],
+            title="Histograms",
+        ))
+    dispatch = _dispatch_rows(path, obs_doc)
+    if dispatch:
+        print_report(format_table(
+            ["counter", "outcome", "reason", "count"],
+            [[r["counter"], r["outcome"], r["reason"], r["count"]] for r in dispatch],
+            title="Dispatch outcomes",
+        ))
+    spans = obs_doc.get("spans") or {}
+    print(f"spans: {spans.get('recorded', 0)} recorded, {spans.get('dropped', 0)} dropped")
+    return 0
+
+
+def _obs_span_log_summary(path, *, trace_out: "str | None", as_json: bool) -> int:
+    """Summarise (and optionally convert) a ``.spans.jsonl`` span log."""
+    from repro.obs import read_span_log, write_trace
+
+    try:
+        spans = read_span_log(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if trace_out:
+        write_trace(trace_out, spans)
+        print(f"wrote Chrome trace to {trace_out} ({len(spans)} spans); "
+              "load it at https://ui.perfetto.dev", file=sys.stderr)
+    groups: "dict[tuple[str, str], list[float]]" = {}
+    for span in spans:
+        groups.setdefault((span.get("cat", "repro"), span["name"]), []).append(
+            float(span.get("dur", 0.0))
+        )
+    rows = [
+        {"cat": cat, "name": name, "count": len(durs),
+         "total_ms": sum(durs) / 1000.0, "max_ms": max(durs) / 1000.0}
+        for (cat, name), durs in sorted(groups.items())
+    ]
+    if as_json:
+        print(json.dumps({"spans": len(spans), "groups": rows},
+                         indent=2, sort_keys=True))
+        return 0
+    print_report(format_table(
+        ["cat", "span", "count", "total_ms", "max_ms"],
+        [[r["cat"], r["name"], r["count"], f"{r['total_ms']:.3f}",
+          f"{r['max_ms']:.3f}"] for r in rows],
+        title=f"{len(spans)} spans in {path}",
+    ))
+    return 0
+
+
+def _run_obs_command(args: argparse.Namespace) -> int:
+    """Inspect observability artifacts (campaign metadata.obs / span logs)."""
+    from pathlib import Path
+
+    path = Path(args.artifact)
+    if path.suffix == ".jsonl":
+        return _obs_span_log_summary(path, trace_out=args.trace, as_json=args.json)
+    if args.trace:
+        print("error: --trace needs a .spans.jsonl span log input (the "
+              "<out>.spans.jsonl file written next to run/sweep --out)",
+              file=sys.stderr)
+        return 2
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read campaign artifact {path}: {exc}", file=sys.stderr)
+        return 2
+    return _obs_artifact_summary(path, payload, as_json=args.json)
+
+
 def _run_report_command(args: argparse.Namespace) -> int:
     """Aggregate stored records (group means) without re-simulating anything."""
     if getattr(args, "timing", None):
         return _report_timing_split(args.timing, as_json=args.json)
+    if getattr(args, "dispatch", None):
+        return _report_dispatch_split(args.dispatch, as_json=args.json)
     store = _open_store(args)
     if store is None:
         return 2

@@ -51,6 +51,7 @@ import numpy as np
 
 from repro.geometry.point import as_array, distance_matrix
 from repro.geometry.polyline import Polyline
+from repro.obs import registry as _obs
 
 __all__ = [
     "ContentCache",
@@ -114,20 +115,24 @@ class ContentCache:
         self._data: "OrderedDict[Any, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         register_cache(self)
 
     def get(self, key: Any, default: Any = None) -> Any:
         if not _ENABLED:
             self.misses += 1
+            _obs.inc("cache_requests", cache=self.name, outcome="miss")
             return default
         with _LOCK:
             try:
                 value = self._data[key]
             except KeyError:
                 self.misses += 1
+                _obs.inc("cache_requests", cache=self.name, outcome="miss")
                 return default
             self._data.move_to_end(key)
             self.hits += 1
+            _obs.inc("cache_requests", cache=self.name, outcome="hit")
             return value
 
     def put(self, key: Any, value: Any) -> None:
@@ -138,6 +143,8 @@ class ContentCache:
             self._data.move_to_end(key)
             while len(self._data) > self.maxsize:
                 self._data.popitem(last=False)
+                self.evictions += 1
+                _obs.inc("cache_evictions", cache=self.name)
 
     def get_or_compute(self, key: Any, compute: Callable[[], Any]) -> Any:
         """Cached value for ``key``, computing (and storing) it on a miss."""
@@ -153,6 +160,7 @@ class ContentCache:
             self._data.clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._data)
@@ -163,6 +171,7 @@ class ContentCache:
             "maxsize": self.maxsize,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
         }
 
 
@@ -216,7 +225,7 @@ def clear_caches() -> None:
 
 
 def cache_stats() -> dict[str, dict]:
-    """Per-cache ``{size, maxsize, hits, misses}`` statistics, by cache name."""
+    """Per-cache ``{size, maxsize, hits, misses, evictions}`` stats, by name."""
     return {name: cache.stats() for name, cache in sorted(_REGISTRY.items())}
 
 

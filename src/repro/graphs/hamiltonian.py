@@ -45,9 +45,12 @@ def _vector_kernels():
     only depends on numpy, but importing the ``repro.planning`` package at
     module load would knot the graphs <-> planning import order.
     """
+    from repro.obs import registry as _obs
     from repro.planning import kernels
 
-    return kernels if kernels.vector_enabled() else None
+    vector = kernels.vector_enabled()
+    _obs.inc("planning_kernel_dispatch", path="vector" if vector else "scalar")
+    return kernels if vector else None
 
 
 def convex_hull_insertion_tour(coordinates: Mapping[NodeId, Point]) -> Tour:

@@ -32,9 +32,12 @@ def _vector_kernels():
     Imported lazily so module load order stays acyclic (see
     :func:`repro.graphs.hamiltonian._vector_kernels`).
     """
+    from repro.obs import registry as _obs
     from repro.planning import kernels
 
-    return kernels if kernels.vector_enabled() else None
+    vector = kernels.vector_enabled()
+    _obs.inc("planning_kernel_dispatch", path="vector" if vector else "scalar")
+    return kernels if vector else None
 
 
 def two_opt(tour: Tour, *, max_rounds: int = 50, tol: float = 1e-9) -> Tour:

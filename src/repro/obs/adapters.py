@@ -1,0 +1,68 @@
+"""The unified stats document and the legacy-shape adapter views.
+
+Before this layer existed, three surfaces each had their own bespoke stats
+plumbing: ``repro-patrol store stats --json`` (the store's dict), the serve
+daemon's ``/stats`` (scheduler counters + store dict), and
+:func:`repro.geometry.cache.cache_stats` (per-cache dicts).  They now all
+read from one place: :func:`stats_document` assembles the registry snapshot
+plus every subsystem's stats into a single document, and the thin views
+below slice the *exact historical shapes* back out of it — shape
+compatibility is asserted by tests, so existing dashboards and scripts
+keep working unchanged.
+
+Document layout::
+
+    {
+      "obs":       repro.obs.snapshot(),          # counters/histograms/spans
+      "caches":    {cache_name: {size, maxsize, hits, misses, evictions}},
+      "store":     ResultStore.stats() | None,    # when a store is given
+      "scheduler": ServiceScheduler.stats(),      # when a scheduler is given
+    }
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import snapshot
+
+__all__ = [
+    "stats_document",
+    "store_stats_view",
+    "scheduler_stats_view",
+    "cache_stats_view",
+]
+
+
+def stats_document(*, store=None, scheduler=None) -> dict:
+    """Assemble the process's unified stats document (see module docstring)."""
+    # Lazy import: geometry.cache mirrors its counters into the registry, so
+    # importing it at module load would close an import cycle through the
+    # obs package __init__.
+    from repro.geometry.cache import cache_stats
+
+    document = {"obs": snapshot(), "caches": cache_stats()}
+    if store is not None:
+        document["store"] = store.stats()
+    if scheduler is not None:
+        document["scheduler"] = scheduler.stats()
+    return document
+
+
+def store_stats_view(document: dict) -> dict:
+    """The historical ``store stats --json`` shape out of the document."""
+    store = document.get("store")
+    if store is None:
+        raise ValueError("stats document carries no store section")
+    return store
+
+
+def scheduler_stats_view(document: dict) -> dict:
+    """The historical scheduler ``/stats`` counter shape out of the document."""
+    scheduler = document.get("scheduler")
+    if scheduler is None:
+        raise ValueError("stats document carries no scheduler section")
+    return scheduler
+
+
+def cache_stats_view(document: dict) -> dict:
+    """The historical :func:`cache_stats` per-cache shape out of the document."""
+    return document.get("caches", {})

@@ -1,0 +1,148 @@
+"""Prometheus text exposition of the unified stats document.
+
+One formatter, two surfaces: the serve daemon's ``GET /metrics`` endpoint
+and the stdio transport's ``metrics`` op both render exactly the output of
+:func:`prometheus_text` over :func:`repro.obs.adapters.stats_document`, so
+a scraper can point at either transport interchangeably.
+
+The output follows the Prometheus text exposition format (version 0.0.4):
+``# HELP``/``# TYPE`` headers, ``_total``-suffixed counters, plain gauges
+for point-in-time values (queue depth, store entries, cache sizes), and
+``_count``/``_sum``/``_min``/``_max`` series for the registry's running
+histograms (min/max are emitted as gauges — they are running extremes,
+not quantiles).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Mapping
+
+__all__ = ["prometheus_text"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_NAME_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str) -> str:
+    name = _NAME_BAD.sub("_", name)
+    if not _NAME_OK.match(name):
+        name = "_" + name
+    return f"repro_{name}"
+
+
+def _label_value(value) -> str:
+    text = str(value)
+    return text.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _labels(labels: "Mapping | None") -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{_NAME_BAD.sub("_", str(k))}="{_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+class _Lines:
+    """Accumulates samples grouped per metric with one HELP/TYPE header."""
+
+    def __init__(self) -> None:
+        self._out: list[str] = []
+        self._seen: set[str] = set()
+
+    def sample(self, name: str, kind: str, help_text: str,
+               value, labels: "Mapping | None" = None) -> None:
+        if value is None:
+            return
+        if name not in self._seen:
+            self._seen.add(name)
+            self._out.append(f"# HELP {name} {help_text}")
+            self._out.append(f"# TYPE {name} {kind}")
+        self._out.append(f"{name}{_labels(labels)} {_number(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self._out) + ("\n" if self._out else "")
+
+
+def prometheus_text(document: Mapping) -> str:
+    """Render a :func:`~repro.obs.adapters.stats_document` as Prometheus text."""
+    lines = _Lines()
+
+    obs = document.get("obs") or {}
+    lines.sample("repro_obs_enabled", "gauge",
+                 "Whether the instrumentation registry is recording.",
+                 obs.get("enabled", False))
+    for counter in obs.get("counters", ()):
+        lines.sample(_metric_name(counter["name"]) + "_total", "counter",
+                     f"Registry counter {counter['name']}.",
+                     counter["value"], counter.get("labels"))
+    for hist in obs.get("histograms", ()):
+        base = _metric_name(hist["name"])
+        labels = hist.get("labels")
+        lines.sample(base + "_count", "counter",
+                     f"Observations of {hist['name']}.", hist["count"], labels)
+        lines.sample(base + "_sum", "counter",
+                     f"Sum of {hist['name']} observations.", hist["sum"], labels)
+        lines.sample(base + "_min", "gauge",
+                     f"Minimum observed {hist['name']}.", hist["min"], labels)
+        lines.sample(base + "_max", "gauge",
+                     f"Maximum observed {hist['name']}.", hist["max"], labels)
+    span_tally = obs.get("spans") or {}
+    lines.sample("repro_obs_spans_recorded", "gauge",
+                 "Spans currently held by the registry.", span_tally.get("recorded"))
+    lines.sample("repro_obs_spans_dropped_total", "counter",
+                 "Spans dropped at the registry cap.", span_tally.get("dropped"))
+
+    for cache_name, stats in sorted((document.get("caches") or {}).items()):
+        labels = {"cache": cache_name}
+        lines.sample("repro_cache_size", "gauge",
+                     "Entries currently cached.", stats.get("size"), labels)
+        lines.sample("repro_cache_maxsize", "gauge",
+                     "Configured cache capacity.", stats.get("maxsize"), labels)
+        lines.sample("repro_cache_hits_total", "counter",
+                     "Cache lookups served from cache.", stats.get("hits"), labels)
+        lines.sample("repro_cache_misses_total", "counter",
+                     "Cache lookups that missed.", stats.get("misses"), labels)
+        lines.sample("repro_cache_evictions_total", "counter",
+                     "Entries evicted at capacity.", stats.get("evictions"), labels)
+
+    store = document.get("store")
+    if store:
+        lines.sample("repro_store_entries", "gauge",
+                     "Runs in the result store.", store.get("entries"))
+        lines.sample("repro_store_payload_bytes", "gauge",
+                     "Bytes of stored record payloads.", store.get("payload_bytes"))
+        lines.sample("repro_store_hits_total", "counter",
+                     "Store lookups served from disk.", store.get("hits"))
+        lines.sample("repro_store_misses_total", "counter",
+                     "Store lookups that missed.", store.get("misses"))
+        for version, count in sorted((store.get("library_versions") or {}).items()):
+            lines.sample("repro_store_version_entries", "gauge",
+                         "Stored runs per library version.", count,
+                         {"library_version": version})
+
+    scheduler = document.get("scheduler")
+    if scheduler:
+        for key in ("requests", "cells", "coalesced", "store_hits",
+                    "executed", "failed", "rejected"):
+            lines.sample(f"repro_service_{key}_total", "counter",
+                         f"Scheduler lifetime count of {key}.", scheduler.get(key))
+        for key in ("pending", "inflight", "workers", "queue_limit"):
+            lines.sample(f"repro_service_{key}", "gauge",
+                         f"Scheduler current {key}.", scheduler.get(key))
+        lines.sample("repro_service_accepting", "gauge",
+                     "Whether the scheduler accepts new work.",
+                     scheduler.get("accepting"))
+
+    return lines.text()

@@ -1,0 +1,149 @@
+"""Span export: Chrome Trace Event JSON and the JSONL span log.
+
+The registry records spans as plain dicts (see :mod:`repro.obs.registry`);
+this module turns them into the two artifact formats the CLI writes next
+to campaign outputs:
+
+* ``<out>.trace.json`` — the Chrome Trace Event format (the JSON object
+  flavor: ``{"traceEvents": [...]}``), loadable in Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``.  Each span becomes a
+  complete event (``"ph": "X"``) with microsecond ``ts``/``dur``; one
+  metadata event (``"ph": "M"``) per process names its track.
+* ``<out>.spans.jsonl`` — one span dict per line, the replayable raw log.
+  ``repro-patrol obs LOG.jsonl --trace OUT.json`` converts a saved log
+  into a trace after the fact.
+
+Both writers go through :func:`repro.store.io.atomic_write_text` like
+every other artifact in the library.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping
+
+__all__ = [
+    "chrome_trace",
+    "validate_trace",
+    "write_trace",
+    "write_span_log",
+    "read_span_log",
+]
+
+#: Span-dict keys every exporter relies on (shared with the schema check).
+SPAN_REQUIRED_KEYS = ("name", "ts", "dur", "pid", "tid")
+
+
+def chrome_trace(spans: "Iterable[Mapping]") -> dict:
+    """Spans -> a Chrome Trace Event document (``{"traceEvents": [...]}``).
+
+    Events are sorted by start timestamp; one ``process_name`` metadata
+    event per distinct pid labels the tracks (the parent process and each
+    pool worker get their own).
+    """
+    events = []
+    pids = {}
+    for span in sorted(spans, key=lambda s: (s.get("ts", 0.0), s.get("id", 0))):
+        pid = span.get("pid", 0)
+        pids.setdefault(pid, len(pids))
+        event = {
+            "name": span["name"],
+            "cat": span.get("cat", "repro"),
+            "ph": "X",
+            "ts": span["ts"],
+            "dur": span["dur"],
+            "pid": pid,
+            "tid": span.get("tid", 0),
+        }
+        args = dict(span.get("args") or {})
+        if span.get("id") is not None:
+            args.setdefault("span_id", span["id"])
+        if span.get("parent") is not None:
+            args.setdefault("parent_id", span["parent"])
+        if args:
+            event["args"] = args
+        events.append(event)
+    metadata = [
+        {
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0, "ts": 0,
+            "args": {"name": "repro-patrol" if index == 0 else f"worker {pid}"},
+        }
+        for pid, index in sorted(pids.items(), key=lambda item: item[1])
+    ]
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def validate_trace(document: Mapping) -> list[str]:
+    """Problems that would keep Perfetto from loading the document.
+
+    Returns a list of human-readable complaints; empty means the document
+    conforms to the Trace Event JSON-object format as this library emits
+    it (used by the schema test and the CI obs-smoke job).
+    """
+    problems = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, Mapping):
+            problems.append(f"{where} is not an object")
+            continue
+        ph = event.get("ph")
+        if ph not in ("X", "M"):
+            problems.append(f"{where}: unexpected phase {ph!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: name must be a string")
+        for key in ("pid", "tid", "ts") + (("dur",) if ph == "X" else ()):
+            if not isinstance(event.get(key), (int, float)) or isinstance(event.get(key), bool):
+                problems.append(f"{where}: {key} must be a number")
+        if ph == "X" and isinstance(event.get("dur"), (int, float)) and event["dur"] < 0:
+            problems.append(f"{where}: dur must be non-negative")
+        args = event.get("args")
+        if args is not None and not isinstance(args, Mapping):
+            problems.append(f"{where}: args must be an object")
+    return problems
+
+
+def _atomic_write_text(path, text):
+    # Lazy import: repro.obs must stay import-light — instrumented modules
+    # (geometry.cache, the simulator) import it at load time, and pulling
+    # the store package in here would close that cycle.
+    from repro.store.io import atomic_write_text
+
+    return atomic_write_text(path, text)
+
+
+def write_trace(path: "str | Path", spans: "Iterable[Mapping]") -> Path:
+    """Write the spans as a Chrome trace JSON file; returns the path."""
+    document = chrome_trace(spans)
+    return _atomic_write_text(path, json.dumps(document, sort_keys=True) + "\n")
+
+
+def write_span_log(path: "str | Path", spans: "Iterable[Mapping]") -> Path:
+    """Write the raw span dicts as JSONL (one per line); returns the path."""
+    lines = "".join(
+        json.dumps(dict(span), sort_keys=True) + "\n" for span in spans
+    )
+    return _atomic_write_text(path, lines)
+
+
+def read_span_log(path: "str | Path") -> list[dict]:
+    """Read a JSONL span log back into span dicts (blank lines skipped)."""
+    spans = []
+    for number, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            span = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{number}: not valid JSON: {exc}") from None
+        if not isinstance(span, dict):
+            raise ValueError(f"{path}:{number}: span line must be a JSON object")
+        missing = [key for key in SPAN_REQUIRED_KEYS if key not in span]
+        if missing:
+            raise ValueError(f"{path}:{number}: span missing keys {missing}")
+        spans.append(span)
+    return spans

@@ -38,6 +38,7 @@ from repro.geometry.point import Point
 from repro.graphs.multitour import MultiTour
 from repro.graphs.tour import Tour
 from repro.network.scenario import Scenario
+from repro.obs import registry as _obs
 from repro.planning.spec import PipelineSpec
 from repro.planning.stages import stage_backend_info
 
@@ -152,7 +153,7 @@ class PlanningPipeline:
         self.metadata_profile = metadata_profile
         # Backend resolution memoized per pipeline: specs are immutable and
         # campaign cells re-plan through shared pipeline instances.
-        self._resolved: "list[tuple[str, Callable, dict]] | None" = None
+        self._resolved: "list[tuple[str, str, Callable, dict]] | None" = None
         self._name_is_template = "{policy}" in name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
@@ -168,13 +169,15 @@ class PlanningPipeline:
         """Run the four stages and assemble the patrol plan."""
         if self._resolved is None:
             self._resolved = [
-                (kind, stage_backend_info(kind, stage.name).factory, dict(stage.params))
+                (kind, stage.name,
+                 stage_backend_info(kind, stage.name).factory, dict(stage.params))
                 for kind, stage in self.spec.stages()
             ]
         ctx = PlanningContext(scenario=scenario, spec=self.spec)
         routes: "dict[str, MuleRoute] | None" = None
-        for kind, factory, params in self._resolved:
-            result = factory(ctx, **params)
+        for kind, backend, factory, params in self._resolved:
+            with _obs.span(f"stage:{kind}", cat="planning", backend=backend):
+                result = factory(ctx, **params)
             if kind == "init":
                 routes = result
         assert routes is not None  # the init stage always returns the routes

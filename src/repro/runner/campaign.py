@@ -36,6 +36,7 @@ import numpy as np
 from repro.baselines.base import get_strategy, strategy_params
 from repro.geometry.cache import ContentCache, cache_enabled, configure as _configure_caches
 from repro.network.scenario import Scenario
+from repro.obs import registry as _obs
 from repro.runner.record_metrics import compute_metric, metric_name
 from repro.runner.spec import CampaignSpec, RunSpec
 from repro.sim.engine import PatrolSimulator
@@ -111,10 +112,11 @@ _TIMING_CELLS: list[tuple[float, float]] = []
 def _collect_timings():
     """Scope the per-cell wall-clock collector; yields the collected pairs.
 
-    Only cells dispatched through :func:`execute_run` *in this process* are
-    timed: batched tensor cells (one stacked pass, no per-cell planning),
-    store hits (no execution at all) and pool-worker cells (timed in the
-    worker, unobservable here) contribute nothing — ``cells_timed`` in the
+    Cells dispatched through :func:`execute_run` in this process are timed
+    directly; pool-worker cells are timed in the worker and merged here by
+    the parent's result loop (see :func:`_execute_run_traced`).  Batched
+    tensor cells (one stacked pass, no per-cell planning) and store hits
+    (no execution at all) contribute nothing — ``cells_timed`` in the
     resulting metadata says how much of the campaign the split covers.
     """
     global _TIMING_ACTIVE
@@ -175,39 +177,71 @@ def execute_run(spec: RunSpec) -> dict:
     :func:`build_cell_scenario`); records are byte-identical with caching on
     or off.
     """
-    scenario = build_cell_scenario(spec)
-    params = dict(spec.params)
-    if "seed" in strategy_params(spec.strategy) and "seed" not in params:
-        params["seed"] = spec.seed
-    planner = get_strategy(spec.strategy, **params)
-    plan_start = time.perf_counter()
-    plan = planner.plan(scenario)
-    plan_elapsed = time.perf_counter() - plan_start
-    sim_start = time.perf_counter()
-    result = PatrolSimulator(scenario, plan, spec.sim).run()
+    record, pair = _execute_run_timed(spec)
     if _TIMING_ACTIVE:
-        sim_elapsed = time.perf_counter() - sim_start
         with _TIMING_LOCK:
-            _TIMING_CELLS.append((plan_elapsed, sim_elapsed))
-
-    record: dict[str, Any] = {
-        "strategy": spec.strategy,
-        "seed": spec.seed,
-        "num_targets": scenario.num_targets,
-        "num_mules": scenario.num_mules,
-        "horizon": spec.sim.horizon,
-    }
-    record.update(spec.labels)
-    record["planner"] = plan.strategy
-    record["average_dcdt"] = average_dcdt(result)
-    record["average_sd"] = average_sd(result)
-    record["max_visiting_interval"] = max_visiting_interval(result)
-    record["delivered_data"] = result.total_delivered_data()
-    record["total_distance"] = result.total_distance()
-    record["num_dead_mules"] = len(result.dead_mules())
-    for entry in spec.metrics:
-        record[metric_name(entry)] = compute_metric(entry, scenario, plan, result)
+            _TIMING_CELLS.append(pair)
     return record
+
+
+def _execute_run_timed(spec: RunSpec) -> "tuple[dict, tuple[float, float]]":
+    """One cell end to end; returns ``(record, (planning_s, simulation_s))``.
+
+    The timed core of :func:`execute_run`: callers decide what to do with
+    the wall-clock pair (the in-process wrapper feeds the campaign timing
+    accumulator; pool workers return it alongside the record so the parent
+    can merge it — see :func:`_execute_run_traced`).  With the obs registry
+    enabled, the cell and its scenario-build / plan / simulate stages are
+    wrapped in spans; neither timing nor spans ever touch the record.
+    """
+    with _obs.span("cell", cat="campaign", strategy=spec.strategy, seed=spec.seed):
+        with _obs.span("scenario-build", cat="campaign"):
+            scenario = build_cell_scenario(spec)
+        params = dict(spec.params)
+        if "seed" in strategy_params(spec.strategy) and "seed" not in params:
+            params["seed"] = spec.seed
+        planner = get_strategy(spec.strategy, **params)
+        plan_start = time.perf_counter()
+        with _obs.span("plan", cat="campaign", strategy=spec.strategy):
+            plan = planner.plan(scenario)
+        plan_elapsed = time.perf_counter() - plan_start
+        sim_start = time.perf_counter()
+        with _obs.span("simulate", cat="campaign"):
+            result = PatrolSimulator(scenario, plan, spec.sim).run()
+        sim_elapsed = time.perf_counter() - sim_start
+
+        record: dict[str, Any] = {
+            "strategy": spec.strategy,
+            "seed": spec.seed,
+            "num_targets": scenario.num_targets,
+            "num_mules": scenario.num_mules,
+            "horizon": spec.sim.horizon,
+        }
+        record.update(spec.labels)
+        record["planner"] = plan.strategy
+        record["average_dcdt"] = average_dcdt(result)
+        record["average_sd"] = average_sd(result)
+        record["max_visiting_interval"] = max_visiting_interval(result)
+        record["delivered_data"] = result.total_delivered_data()
+        record["total_distance"] = result.total_distance()
+        record["num_dead_mules"] = len(result.dead_mules())
+        for entry in spec.metrics:
+            record[metric_name(entry)] = compute_metric(entry, scenario, plan, result)
+    return record, (plan_elapsed, sim_elapsed)
+
+
+def _execute_run_traced(spec: RunSpec) -> "tuple[dict, tuple[float, float], dict | None]":
+    """Pool-worker cell execution: record + wall-clock pair + obs payload.
+
+    Workers cannot reach the parent's timing accumulator or registry, so
+    both travel back with the record: the parent merges the pair into the
+    campaign timing (closing PR 9's serial-only gap) and absorbs the
+    drained registry payload (counters add up exactly; span timestamps are
+    rebased — see :func:`repro.obs.registry.absorb`).
+    """
+    record, pair = _execute_run_timed(spec)
+    payload = _obs.drain() if _obs.obs_enabled() else None
+    return record, pair, payload
 
 
 def execute_cell(spec: RunSpec, *, store=None) -> "tuple[dict, str]":
@@ -234,15 +268,19 @@ def execute_cell(spec: RunSpec, *, store=None) -> "tuple[dict, str]":
     fingerprint = run_fingerprint(spec)
     record = store.get(fingerprint)
     if record is not None:
+        _obs.inc("store_lookup", outcome="hit")
         return record, "store"
+    _obs.inc("store_lookup", outcome="miss")
     record = execute_run(spec)
-    store.put(fingerprint, record, spec)
+    with _obs.span("store-write", cat="store", fingerprint=fingerprint):
+        store.put(fingerprint, record, spec)
     return record, "executed"
 
 
-def _init_worker_caches(enabled: bool) -> None:
-    """Pool-worker initializer: mirror the parent's global cache switch."""
-    _configure_caches(enabled=enabled)
+def _init_worker_state(cache_on: bool, obs_on: bool) -> None:
+    """Pool-worker initializer: mirror the parent's global switches."""
+    _configure_caches(enabled=cache_on)
+    _obs.configure(enabled=obs_on)
 
 
 def execute_many(
@@ -287,15 +325,15 @@ def execute_many(
         except ValueError:  # pragma: no cover - spawn-only platforms
             mp_context = None
         try:
-            # Workers inherit the parent's cache on/off switch explicitly:
-            # spawn-started processes re-import with the default, and even
+            # Workers inherit the parent's cache and obs switches explicitly:
+            # spawn-started processes re-import with the defaults, and even
             # forked ones would miss a configure() call made after the pool
             # was created — the initializer makes the state deterministic.
             pool = ProcessPoolExecutor(
                 max_workers=max_workers,
                 mp_context=mp_context,
-                initializer=_init_worker_caches,
-                initargs=(cache_enabled(),),
+                initializer=_init_worker_state,
+                initargs=(cache_enabled(), _obs.obs_enabled()),
             )
         except OSError as exc:  # platforms without process support
             # Only pool *construction* falls back to serial — an error raised
@@ -307,7 +345,22 @@ def execute_many(
             with pool:
                 chunksize = max(1, len(specs) // (max_workers * 4))
                 records = []
-                for record in pool.map(execute_run, specs, chunksize=chunksize):
+                # Timing and obs payloads travel back with each record (a
+                # worker cannot reach this process's accumulators); the
+                # plain mapper stays on the wire when neither is collecting,
+                # so the common path ships records and nothing else.
+                traced = _TIMING_ACTIVE or _obs.obs_enabled()
+                mapper = _execute_run_traced if traced else execute_run
+                for item in pool.map(mapper, specs, chunksize=chunksize):
+                    if traced:
+                        record, pair, payload = item
+                        if _TIMING_ACTIVE:
+                            with _TIMING_LOCK:
+                                _TIMING_CELLS.append(pair)
+                        if payload is not None:
+                            _obs.absorb(payload)
+                    else:
+                        record = item
                     records.append(record)
                     if on_record is not None:
                         on_record(len(records) - 1, record)
@@ -373,6 +426,10 @@ def execute_resumable(
         if record is None:
             miss_indices.append(index)
     hits = len(specs) - len(miss_indices)
+    if hits:
+        _obs.inc("store_lookup", hits, outcome="hit")
+    if miss_indices:
+        _obs.inc("store_lookup", len(miss_indices), outcome="miss")
     if progress is not None and hits:
         progress(hits, len(specs))
     if on_record is not None:
@@ -382,7 +439,8 @@ def execute_resumable(
 
     def _write_back(subset_index: int, record: dict) -> None:
         index = miss_indices[subset_index]
-        store.put(fingerprints[index], record, specs[index])
+        with _obs.span("store-write", cat="store", fingerprint=fingerprints[index]):
+            store.put(fingerprints[index], record, specs[index])
         if on_record is not None:
             on_record(index, record)
 
@@ -630,27 +688,42 @@ class Campaign:
         The result metadata always gains a ``"timing"`` block
         (``cells_timed`` / ``planning_s`` / ``simulation_s``): the plan-time
         vs sim-time wall-clock split over the cells that ran through
-        per-cell dispatch in this process, mirroring the store hit/miss
-        counters.  Batched tensor cells, store hits and pool-worker cells
-        are not timed per cell, so ``cells_timed`` may be less than
-        ``num_cells``.  Timing lives in metadata only — records stay
+        per-cell dispatch, in this process or in a pool worker (workers
+        return their pair alongside the record).  Batched tensor cells and
+        store hits are not timed per cell, so ``cells_timed`` may be less
+        than ``num_cells``.  Timing lives in metadata only — records stay
         byte-identical whether or not they were timed.
+
+        With the obs registry enabled — process-wide (``REPRO_OBS=1`` /
+        :func:`repro.obs.configure`) or per-campaign via any cell's
+        ``sim.obs`` knob — the metadata additionally gains an ``"obs"``
+        block: the registry's snapshot *for this campaign only* (counter
+        and histogram deltas plus span tallies; see
+        :func:`repro.obs.registry.obs_collected`).  Span bodies never land
+        in metadata — they carry timestamps and go to the trace/JSONL
+        exporters instead.
         """
         cells = self.cells()
         metadata: dict[str, Any] = {"num_cells": len(cells), "max_workers": self.max_workers}
         resolved = resolve_store(store)
-        with _collect_timings() as timed_cells:
-            if resolved is None:
-                records = execute_many(cells, max_workers=self.max_workers, progress=progress,
-                                       on_record=on_record, cancel=cancel)
-            else:
-                records, hits, misses = execute_resumable(
-                    cells, store=resolved, max_workers=self.max_workers, progress=progress,
-                    on_record=on_record, cancel=cancel,
-                )
-                metadata["store"] = {
-                    "root": str(resolved.root), "hits": hits, "misses": misses
-                }
+        obs_on = _obs.obs_enabled() or any(cell.sim.obs for cell in cells)
+        with _obs.obs_collected(enabled=obs_on or None) as window, \
+                _collect_timings() as timed_cells:
+            with _obs.span("campaign", cat="campaign", cells=len(cells)):
+                if resolved is None:
+                    records = execute_many(cells, max_workers=self.max_workers,
+                                           progress=progress,
+                                           on_record=on_record, cancel=cancel)
+                else:
+                    records, hits, misses = execute_resumable(
+                        cells, store=resolved, max_workers=self.max_workers,
+                        progress=progress, on_record=on_record, cancel=cancel,
+                    )
+                    metadata["store"] = {
+                        "root": str(resolved.root), "hits": hits, "misses": misses
+                    }
+            if window is not None:
+                metadata["obs"] = window.snapshot()
         metadata["timing"] = _timing_metadata(timed_cells)
         completed = [r for r in records if r is not None]
         if len(completed) < len(cells):

@@ -15,6 +15,7 @@ Endpoints (full reference with wire examples in ``docs/SERVICE.md``):
 ``POST /campaigns``   body: CampaignSpec JSON — stream every cell's events
 ``GET /runs/{fp}``    cached lookup: 200 stored / 202 in flight / 404 miss
 ``GET /stats``        scheduler counters + the store's stats document
+``GET /metrics``      Prometheus text exposition of the same stats document
 ``GET /healthz``      liveness + whether the scheduler still admits work
 ``GET /version``      the library version serving this daemon
 ====================  ======================================================
@@ -81,6 +82,18 @@ def _plain_response(status: int, payload: Any, *, headers: "tuple[tuple[str, str
         "Connection: close\r\n"
         + "".join(f"{name}: {value}\r\n" for name, value in headers)
         + "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+def _text_response(status: int, text: str, *, content_type: str) -> bytes:
+    body = text.encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS[status]}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
     ).encode("latin-1")
     return head + body
 
@@ -253,6 +266,14 @@ class HttpTransport:
         if method == "GET" and path == "/stats":
             writer.write(_plain_response(200, self._stats_payload()))
             return
+        if method == "GET" and path == "/metrics":
+            from repro.obs import prometheus_text
+
+            writer.write(_text_response(
+                200, prometheus_text(self._stats_document()),
+                content_type="text/plain; version=0.0.4; charset=utf-8",
+            ))
+            return
         if method == "GET" and path == "/healthz":
             stats = self.scheduler.stats()
             writer.write(_plain_response(
@@ -266,7 +287,7 @@ class HttpTransport:
 
             writer.write(_plain_response(200, {"version": __version__}))
             return
-        known_get = ("/runs/{fingerprint}", "/stats", "/healthz", "/version")
+        known_get = ("/runs/{fingerprint}", "/stats", "/metrics", "/healthz", "/version")
         if path in ("/runs", "/campaigns"):
             writer.write(_plain_response(
                 405, {"error": f"{path} only accepts POST (a spec JSON body)"}
@@ -277,15 +298,21 @@ class HttpTransport:
                            f"{', '.join(known_get)}; POST routes: /runs, /campaigns"}
         ))
 
+    def _stats_document(self) -> dict:
+        """The unified stats document for this daemon's scheduler and store."""
+        from repro.obs.adapters import stats_document
+
+        return stats_document(store=self.scheduler.store, scheduler=self.scheduler)
+
     def _stats_payload(self) -> dict:
         from repro import __version__
-        from repro.store.report import store_stats_payload
+        from repro.obs.adapters import scheduler_stats_view
 
-        store = self.scheduler.store
+        document = self._stats_document()
         return {
             "version": __version__,
-            "scheduler": self.scheduler.stats(),
-            "store": None if store is None else store_stats_payload(store),
+            "scheduler": scheduler_stats_view(document),
+            "store": document.get("store"),
         }
 
     def _handle_lookup(self, fingerprint: str, writer: asyncio.StreamWriter) -> None:
@@ -354,7 +381,8 @@ class HttpTransport:
     "http",
     aliases=("rest",),
     description="stdlib asyncio HTTP/1.1 + chunked NDJSON streaming (POST "
-                "/runs, POST /campaigns, GET /runs/{fp}, /stats, /healthz)",
+                "/runs, POST /campaigns, GET /runs/{fp}, /stats, /metrics, "
+                "/healthz)",
 )
 def http_transport(scheduler, *, host: str = "127.0.0.1", port: int = 8422) -> HttpTransport:
     """Build the HTTP transport (see :class:`HttpTransport`).

@@ -38,6 +38,7 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Iterator, Mapping
 
+from repro.obs import registry as _obs
 from repro.runner.campaign import Campaign, _json_sanitize, execute_cell
 from repro.runner.spec import CampaignSpec, RunSpec
 from repro.store import run_fingerprint
@@ -240,6 +241,9 @@ class ServiceScheduler:
             cells = self._admit(cell_specs, fingerprints)
             self._counters["requests"] += 1
             self._counters["cells"] += len(cells)
+            _obs.inc("service_requests", outcome="admitted")
+            _obs.inc("service_cells", len(cells))
+            _obs.observe("service_queue_depth", self._pending)
         return CampaignTicket(cells)
 
     def _admit(self, cell_specs: list[RunSpec], fingerprints: list[str]) -> "list[_Cell]":
@@ -251,11 +255,13 @@ class ServiceScheduler:
             inflight = self._inflight.get(fingerprint) or started.get(fingerprint)
             if inflight is not None:
                 self._counters["coalesced"] += 1
+                _obs.inc("service_admission", outcome="coalesced")
                 cells.append(_Cell(spec, fingerprint, source="coalesced", future=inflight))
                 continue
             record = self.store.get(fingerprint) if self.store is not None else None
             if record is not None:
                 self._counters["store_hits"] += 1
+                _obs.inc("service_admission", outcome="store")
                 cells.append(_Cell(spec, fingerprint, source="store", record=record))
                 continue
             future: Future = Future()
@@ -265,6 +271,7 @@ class ServiceScheduler:
             to_execute.append(cell)
         if self._pending + len(to_execute) > self.queue_limit:
             self._counters["rejected"] += 1
+            _obs.inc("service_requests", outcome="rejected")
             raise ServiceOverloaded(
                 f"queue full: {len(to_execute)} new cell(s) do not fit "
                 f"({self._pending}/{self.queue_limit} in flight); "
@@ -273,6 +280,7 @@ class ServiceScheduler:
             )
         for cell in to_execute:
             self._counters["executed"] += 1
+            _obs.inc("service_admission", outcome="executed")
             self._pending += 1
             self._inflight[cell.fingerprint] = cell.future
             self._pool.submit(self._run_cell, cell.spec, cell.fingerprint, cell.future)
@@ -293,6 +301,7 @@ class ServiceScheduler:
         except BaseException as exc:
             with self._lock:
                 self._counters["failed"] += 1
+                _obs.inc("service_cells_failed")
                 self._pending -= 1
                 self._inflight.pop(fingerprint, None)
             future.set_exception(exc)
@@ -353,6 +362,9 @@ class ServiceScheduler:
         """
         with self._lock:
             self._closed = True
+            pending = self._pending
+        _obs.inc("service_shutdowns")
+        _obs.observe("service_drain_pending", pending)
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "ServiceScheduler":

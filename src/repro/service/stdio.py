@@ -11,6 +11,7 @@ Request lines::
     {"kind": "run", "strategy": "b-tctp", "seed": 3}     stream the cell events
     {"kind": "campaign", "base": {...}, ...}             stream every cell
     {"op": "stats"}                                      one stats line
+    {"op": "metrics"}                                    one Prometheus-text line
     {"op": "lookup", "fingerprint": "<fp>"}              one lookup line
 
 Errors never kill the session: a malformed line or rejected spec emits one
@@ -76,6 +77,16 @@ class StdioTransport:
         if op == "stats":
             self._emit({"event": "stats", "stats": self.scheduler.stats()})
             return
+        if op == "metrics":
+            # The same exposition text GET /metrics serves on the http
+            # transport, carried as one JSON line.
+            from repro.obs import prometheus_text
+            from repro.obs.adapters import stats_document
+
+            document = stats_document(store=self.scheduler.store,
+                                      scheduler=self.scheduler)
+            self._emit({"event": "metrics", "text": prometheus_text(document)})
+            return
         if op == "lookup":
             fingerprint = request.get("fingerprint", "")
             found = self.scheduler.lookup(fingerprint)
@@ -84,7 +95,7 @@ class StdioTransport:
             return
         if op is not None:
             self._emit({"event": "error", "message": f"unknown op {op!r}; "
-                        "ops: stats, lookup"})
+                        "ops: stats, metrics, lookup"})
             return
         try:
             ticket = self.scheduler.submit(request)

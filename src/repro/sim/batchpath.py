@@ -58,6 +58,7 @@ import numpy as np
 
 from repro.geometry.cache import ContentCache
 from repro.geometry.point import distance
+from repro.obs import registry as _obs
 from repro.sim.fastpath import (
     _Fallback,
     dedup_walk,
@@ -262,6 +263,20 @@ class _Cell:
         self.rates_arr = rates_arr
 
 
+def _reject(reason: str) -> None:
+    """Count one cell's fall to the scalar path; always returns ``None``.
+
+    The reason taxonomy is the end-to-end dispatch story ("why is this
+    sweep slow"): static spec vetoes (``batch-path-disabled`` /
+    ``max-visits`` / ``custom-metrics`` / ``tracked-energy``), the scalar
+    fast path's own rejection prefixed ``fastpath-``, row construction
+    fallbacks (``row-fallback``), and the two post-tensor per-cell checks
+    (``lap-estimate``, ``order-dependent``).
+    """
+    _obs.inc("batch_dispatch", outcome="scalar", reason=reason)
+    return None
+
+
 def _prepare_cell(spec) -> "_Cell | None":
     """Build scenario/plan for ``spec`` and vet it for the batch class."""
     from repro.runner.campaign import _scenario_cache_key, build_cell_scenario
@@ -270,11 +285,15 @@ def _prepare_cell(spec) -> "_Cell | None":
     from repro.sim.engine import PatrolSimulator
 
     cfg = spec.sim
-    if not cfg.batch_path or cfg.max_visits is not None or spec.metrics:
-        return None
+    if not cfg.batch_path:
+        return _reject("batch-path-disabled")
+    if cfg.max_visits is not None:
+        return _reject("max-visits")
+    if spec.metrics:
+        return _reject("custom-metrics")
     scenario = build_cell_scenario(spec)
     if cfg.track_energy and any(m.battery is not None for m in scenario.mules):
-        return None
+        return _reject("tracked-energy")
     params = dict(spec.params)
     if "seed" in strategy_params(spec.strategy) and "seed" not in params:
         params["seed"] = spec.seed
@@ -289,8 +308,9 @@ def _prepare_cell(spec) -> "_Cell | None":
         plan = planner.plan(scenario)
         _PLAN_CACHE.put(plan_key, plan)
     sim = PatrolSimulator(scenario, plan, cfg)
-    if fast_path_rejection(sim) is not None:
-        return None
+    rejection = fast_path_rejection(sim)
+    if rejection is not None:
+        return _reject(f"fastpath-{rejection}")
 
     sync_time = sim._synchronized_start_time() if cfg.synchronized_start else 0.0
     targets = scenario.targets
@@ -303,7 +323,7 @@ def _prepare_cell(spec) -> "_Cell | None":
     row_key = (plan_key, cfg.horizon, cfg.synchronized_start)
     rows = _ROW_CACHE.get(row_key)
     if rows is _ROW_FALLBACK:
-        return None
+        return _reject("row-fallback")
     if rows is None:
         try:
             rows = [
@@ -313,7 +333,7 @@ def _prepare_cell(spec) -> "_Cell | None":
             ]
         except _Fallback:
             _ROW_CACHE.put(row_key, _ROW_FALLBACK)
-            return None
+            return _reject("row-fallback")
         _ROW_CACHE.put(row_key, rows)
     target_ids = [t.id for t in targets]
     rates_arr = np.array([t.data_rate for t in targets], dtype=float)
@@ -336,6 +356,8 @@ def _stacked_cumsum(rows: "list[_Row]") -> None:
     for row in rows:
         groups.setdefault(len(row.inc), []).append(row)
     for width, members in groups.items():
+        # Group-size distribution: how well the campaign's rows stack.
+        _obs.observe("batch_group_rows", len(members))
         chunk = max(1, _MAX_BLOCK_FLOATS // (width + 1))
         for lo in range(0, len(members), chunk):
             part = members[lo:lo + chunk]
@@ -405,7 +427,8 @@ def _finish_cell(cell: _Cell) -> "dict | None":
         full = row.full
         arrivals = full[1::2]
         if row.cyclic and arrivals[-1] <= horizon:
-            return None  # lap estimate fell short: scalar path extends exactly
+            # Lap estimate fell short: the scalar path extends exactly.
+            return _reject("lap-estimate")
         n_keep = int(np.searchsorted(arrivals, horizon, side="right"))
         init_applied = 1 if (row.init_event and row.init_time <= horizon) else 0
         applied = n_keep + init_applied
@@ -460,7 +483,7 @@ def _finish_cell(cell: _Cell) -> "dict | None":
     # and simultaneous flushes with data on board (delivery-list order is
     # the float summation order).
     if not _ties_are_benign(times_all, codes_all, tidx_all, row_all):
-        return None
+        return _reject("order-dependent")
 
     # Per-target grouping in one lexsort: primary key target index, secondary
     # key time — each group slice comes out time-sorted, exactly the
@@ -547,6 +570,7 @@ def _finish_cell(cell: _Cell) -> "dict | None":
     record["delivered_data"] = delivered_data
     record["total_distance"] = sum(per_mule_distance)
     record["num_dead_mules"] = 0
+    _obs.inc("batch_dispatch", outcome="batch")
     return record
 
 

@@ -27,6 +27,7 @@ from repro.geometry.point import Point, distance
 from repro.network.datamodel import DataCollectionModel
 from repro.network.mules import DataMule, MuleState
 from repro.network.scenario import Scenario
+from repro.obs.registry import inc as _obs_inc, obs_enabled as _obs_enabled
 from repro.sim.events import Event, EventKind, EventQueue
 from repro.sim.recorder import DeliveryRecord, MuleTrace, SimulationResult, VisitRecord
 
@@ -66,6 +67,14 @@ class SimulationConfig:
         byte-identical either way; disable (or set ``REPRO_BATCHPATH=0``) to
         force per-cell dispatch.  Has no effect on single runs — only
         :func:`repro.runner.campaign.execute_many` consults it.
+    obs:
+        Turn on the instrumentation registry (:mod:`repro.obs`) for the
+        campaign this spec belongs to, as if ``REPRO_OBS=1`` were set for
+        its duration.  Recording is proven byte-invisible — records and
+        fingerprints are identical either way — so like the dispatch
+        switches this knob is exempt from run fingerprints.  Has no effect
+        on single runs — only :meth:`repro.runner.campaign.Campaign.run`
+        consults it.
     """
 
     horizon: float = 50_000.0
@@ -74,6 +83,7 @@ class SimulationConfig:
     synchronized_start: bool = True
     fast_path: bool = True
     batch_path: bool = True
+    obs: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -130,7 +140,19 @@ class PatrolSimulator:
 
             result = run_fast_path(self)
             if result is not None:
+                _obs_inc("sim_dispatch", outcome="fastpath")
                 return result
+            if _obs_enabled():
+                from repro.sim.fastpath import fast_path_rejection
+
+                # A None result with no static rejection means a dynamic
+                # fallback fired mid-flight (zero-advance lap, event-cap
+                # overflow, empty walk) — the static probe can't see those.
+                reason = fast_path_rejection(self) or "dynamic-fallback"
+                _obs_inc("sim_dispatch", outcome="event-loop", reason=reason)
+        else:
+            _obs_inc("sim_dispatch", outcome="event-loop",
+                     reason="fast-path-disabled")
         return self._run_event_loop()
 
     def _run_event_loop(self) -> SimulationResult:

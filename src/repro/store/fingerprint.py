@@ -26,7 +26,8 @@ Canonicalisation mirrors what execution actually does:
   so insertion order never leaks into the hash.
 
 The fingerprint deliberately does **not** include execution-mode knobs that
-are proven byte-invisible (worker count, geometry-cache switch): records are
+are proven byte-invisible (worker count, geometry-cache switch, the
+``sim.obs`` observability switch — see ``FINGERPRINT_EXEMPT``): records are
 identical either way, so they must share an address.
 """
 
@@ -85,10 +86,24 @@ FINGERPRINT_COVERAGE: dict[str, dict[str, str]] = {
 }
 
 #: ``(class name, field name) -> reason`` for fields deliberately excluded
-#: from the fingerprint.  Empty today: exemptions are for knobs *proven*
-#: byte-invisible (records identical either way), and every current spec
-#: field changes records.
-FINGERPRINT_EXEMPT: dict[tuple[str, str], str] = {}
+#: from the fingerprint.  Exemptions are reserved for knobs *proven*
+#: byte-invisible (records identical either way); the coverage analyzer
+#: rejects a field that is both exempt and explicitly declared, and
+#: :func:`canonical_run_payload` pops exempt SimulationConfig fields out of
+#: the hashed payload so old and new specs keep their addresses.
+FINGERPRINT_EXEMPT: dict[tuple[str, str], str] = {
+    ("SimulationConfig", "obs"): (
+        "observability switch: recording is proven byte-invisible (the obs "
+        "differential tests assert records and fingerprints are identical "
+        "with the registry on or off), so obs-on and obs-off runs must "
+        "share a content address"
+    ),
+}
+
+#: Exempt SimulationConfig field names (what the payload builder strips).
+_SIM_EXEMPT_FIELDS = frozenset(
+    field for cls, field in FINGERPRINT_EXEMPT if cls == "SimulationConfig"
+)
 
 
 def code_salt() -> str:
@@ -143,11 +158,14 @@ def canonical_run_payload(spec) -> dict:
     }
     if scenario.seed is not None:
         scenario_payload["seed"] = scenario.seed
+    sim_payload = dataclasses.asdict(spec.sim)
+    for field in _SIM_EXEMPT_FIELDS:  # proven byte-invisible; see FINGERPRINT_EXEMPT
+        sim_payload.pop(field, None)
     return {
         "strategy": str(spec.strategy),
         "scenario": scenario_payload,
         "params": _jsonable(params),
-        "sim": _jsonable(dataclasses.asdict(spec.sim)),
+        "sim": _jsonable(sim_payload),
         "seed": spec.seed,
         "metrics": [_jsonable(list(m) if isinstance(m, tuple) else m) for m in spec.metrics],
         "labels": _jsonable(dict(spec.labels)),

@@ -35,11 +35,15 @@ def store_stats_payload(store) -> dict:
     The single formatter behind ``repro-patrol store stats --json`` **and**
     the serve daemon's ``/stats`` endpoint — both render exactly this dict,
     so dashboards and scripts can consume either source interchangeably.
-    Currently this is :meth:`repro.store.ResultStore.stats` verbatim (root,
-    entries, payload bytes, per-version entry counts, session hit/miss
-    counters); any future field lands in both surfaces at once.
+    The shape is the ``store`` section of the unified stats document
+    (:func:`repro.obs.adapters.stats_document`), which is
+    :meth:`repro.store.ResultStore.stats` verbatim (root, entries, payload
+    bytes, per-version entry counts, session hit/miss counters); any future
+    field lands in both surfaces at once.
     """
-    return store.stats()
+    from repro.obs.adapters import stats_document, store_stats_view
+
+    return store_stats_view(stats_document(store=store))
 
 
 def _records(entries: "Iterable[StoredRun | Mapping[str, Any]]") -> list[dict]:

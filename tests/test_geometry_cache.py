@@ -159,7 +159,8 @@ class TestCacheControls:
         cached_distance_matrix(pts)
         clear_caches()
         stats = cache_stats()["distance_matrix"]
-        assert stats == {"size": 0, "maxsize": 128, "hits": 0, "misses": 0}
+        assert stats == {"size": 0, "maxsize": 128, "hits": 0, "misses": 0,
+                         "evictions": 0}
 
     def test_lru_eviction(self):
         cache = ContentCache("test_lru_eviction", maxsize=2)

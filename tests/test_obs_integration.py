@@ -1,0 +1,264 @@
+"""Integration proofs for the observability layer.
+
+The load-bearing guarantee: instrumentation is **byte-invisible**.  Records
+and fingerprints must be identical with the registry on or off, on both the
+serial and the process-pool execution paths — these tests are the proof the
+determinism lint's ``obs`` wall-clock allowance and the fingerprint
+exemption for ``SimulationConfig.obs`` both point at.
+
+Also covered here: the counter reconciliation invariant (every cell shows
+up in exactly one dispatch counter), the pool-worker timing merge (the PR 9
+gap — ``cells_timed`` now counts pool cells too), the scheduler's coalesced
+counter mirroring, the stdio ``metrics`` op, and the CLI surfaces
+(``obs``, ``report --dispatch``, span artifacts next to ``--out``).
+"""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.runner import Campaign, CampaignSpec, RunSpec
+from repro.runner.campaign import _json_sanitize
+from repro.scenarios import ScenarioSpec
+from repro.service import ServiceScheduler
+from repro.service.stdio import StdioTransport
+from repro.sim import SimulationConfig
+from repro.store import run_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def clean_registry():
+    previous = obs.obs_enabled()
+    obs.reset()
+    obs.configure(enabled=False)
+    yield
+    obs.reset()
+    obs.configure(enabled=previous)
+
+
+def campaign_spec(*, obs_on: bool, replications: int = 3) -> CampaignSpec:
+    base = RunSpec(
+        strategy="b-tctp",
+        scenario=ScenarioSpec("uniform", {"num_targets": 6, "num_mules": 2}),
+        sim=SimulationConfig(horizon=2_000.0, track_energy=False, obs=obs_on),
+        seed=0,
+    )
+    return CampaignSpec(base=base, grid={"strategy": ["b-tctp", "chb"]},
+                        replications=replications)
+
+
+def canonical(records):
+    return [json.dumps(_json_sanitize(r), sort_keys=True) for r in records]
+
+
+def counter_value(snapshot: dict, name: str, **labels) -> float:
+    total = 0
+    for counter in snapshot["counters"]:
+        if counter["name"] != name:
+            continue
+        if all(counter["labels"].get(k) == v for k, v in labels.items()):
+            total += counter["value"]
+    return total
+
+
+class TestByteIdentity:
+    def test_serial_records_and_fingerprints_identical(self):
+        plain = Campaign(campaign_spec(obs_on=False)).run(store=False)
+        instrumented = Campaign(campaign_spec(obs_on=True)).run(store=False)
+        assert canonical(plain.records) == canonical(instrumented.records)
+        off_cells = Campaign(campaign_spec(obs_on=False)).cells()
+        on_cells = Campaign(campaign_spec(obs_on=True)).cells()
+        for off, on in zip(off_cells, on_cells):
+            assert run_fingerprint(off) == run_fingerprint(on)
+        assert "obs" not in plain.metadata
+        assert instrumented.metadata["obs"]["enabled"] is True
+
+    def test_pool_records_identical_and_workers_instrumented(self):
+        plain = Campaign(campaign_spec(obs_on=False)).run(store=False)
+        pooled = Campaign(campaign_spec(obs_on=True), max_workers=2).run(store=False)
+        assert canonical(plain.records) == canonical(pooled.records)
+        # worker drains merged into the parent: the per-cell dispatch
+        # counters cover every cell even though workers ran them
+        snapshot = pooled.metadata["obs"]
+        cells = pooled.metadata["num_cells"]
+        dispatched = (counter_value(snapshot, "batch_dispatch", outcome="batch")
+                      + counter_value(snapshot, "sim_dispatch"))
+        assert dispatched == cells
+
+    def test_env_switch_keeps_records_identical(self, monkeypatch):
+        plain = Campaign(campaign_spec(obs_on=False)).run(store=False)
+        obs.configure(enabled=True)
+        instrumented = Campaign(campaign_spec(obs_on=False)).run(store=False)
+        assert canonical(plain.records) == canonical(instrumented.records)
+        assert instrumented.metadata["obs"]["spans"]["recorded"] > 0
+
+
+class TestReconciliation:
+    def test_every_cell_lands_in_exactly_one_execution_counter(self):
+        # Cells the batch layer executes count once as batch_dispatch{batch};
+        # cells it declines count once as batch_dispatch{scalar, reason} AND
+        # once in sim_dispatch when the per-cell path actually runs them —
+        # so executions reconcile as batch + sim_dispatch == cells.
+        result = Campaign(campaign_spec(obs_on=True)).run(store=False)
+        snapshot = result.metadata["obs"]
+        cells = result.metadata["num_cells"]
+        batch = counter_value(snapshot, "batch_dispatch", outcome="batch")
+        scalar = counter_value(snapshot, "batch_dispatch", outcome="scalar")
+        sim = counter_value(snapshot, "sim_dispatch")
+        assert batch + sim == cells
+        assert scalar == sim  # every decline fell through to the per-cell path
+        assert batch > 0
+
+    def test_store_lookup_counters_match_store_metadata(self, tmp_path):
+        spec = campaign_spec(obs_on=True, replications=2)
+        store = str(tmp_path / "store")
+        cold = Campaign(spec).run(store=store)
+        warm = Campaign(spec).run(store=store)
+        cold_obs, warm_obs = cold.metadata["obs"], warm.metadata["obs"]
+        assert counter_value(cold_obs, "store_lookup", outcome="miss") \
+            == cold.metadata["store"]["misses"]
+        assert counter_value(warm_obs, "store_lookup", outcome="hit") \
+            == warm.metadata["store"]["hits"] == warm.metadata["num_cells"]
+
+    def test_snapshot_scoped_to_the_campaign_window(self):
+        obs.configure(enabled=True)
+        obs.inc("sim_dispatch", 99, outcome="fastpath")  # pre-window noise
+        result = Campaign(campaign_spec(obs_on=True)).run(store=False)
+        snapshot = result.metadata["obs"]
+        cells = result.metadata["num_cells"]
+        assert (counter_value(snapshot, "batch_dispatch", outcome="batch")
+                + counter_value(snapshot, "sim_dispatch")) == cells
+
+
+class TestWorkerTimingMerge:
+    """PR 9 recorded wall-clock only on the serial path; both paths now do."""
+
+    def test_serial_times_every_per_cell_execution(self):
+        from repro.sim.batchpath import batchpath_disabled
+
+        with batchpath_disabled():  # batch-executed groups are not per-cell timed
+            result = Campaign(campaign_spec(obs_on=False)).run(store=False)
+        timing = result.metadata["timing"]
+        assert timing["cells_timed"] == result.metadata["num_cells"]
+        assert timing["planning_s"] >= 0 and timing["simulation_s"] > 0
+
+    def test_pool_times_every_cell(self):
+        result = Campaign(campaign_spec(obs_on=False), max_workers=2).run(store=False)
+        timing = result.metadata["timing"]
+        assert timing["cells_timed"] == result.metadata["num_cells"]
+        assert timing["simulation_s"] > 0
+
+
+class TestServiceCounters:
+    def test_coalesced_counter_matches_subscriber_count(self):
+        release = threading.Event()
+
+        def slow_runner(spec, store=None):
+            release.wait(timeout=30)
+            return {"seed": spec.seed}, "executed"
+
+        spec = RunSpec(
+            strategy="b-tctp",
+            scenario=ScenarioSpec("uniform", {"num_targets": 5, "num_mules": 2}),
+            sim=SimulationConfig(horizon=300.0, track_energy=False),
+        )
+        with obs.obs_collected(enabled=True) as window:
+            scheduler = ServiceScheduler(store=False, workers=2,
+                                         cell_runner=slow_runner)
+            try:
+                tickets = [scheduler.submit(spec) for _ in range(3)]
+                release.set()
+                for ticket in tickets:
+                    ticket.records()
+            finally:
+                release.set()
+                scheduler.shutdown()
+            snapshot = window.snapshot()
+        stats = scheduler.stats()
+        assert stats["coalesced"] == 2
+        assert counter_value(snapshot, "service_admission", outcome="coalesced") == 2
+        assert counter_value(snapshot, "service_admission", outcome="executed") == 1
+        assert counter_value(snapshot, "service_requests", outcome="admitted") == 3
+        assert counter_value(snapshot, "service_shutdowns") == 1
+
+    def test_stdio_metrics_op_serves_prometheus_text(self):
+        output = io.StringIO()
+        scheduler = ServiceScheduler(store=False, workers=1)
+        transport = StdioTransport(
+            scheduler,
+            input_stream=io.StringIO('{"op": "metrics"}\n{"op": "nope"}\n'),
+            output_stream=output,
+        )
+        transport.serve_forever()
+        lines = [json.loads(line) for line in output.getvalue().splitlines()]
+        assert lines[0]["event"] == "metrics"
+        assert "repro_service_requests_total 0" in lines[0]["text"]
+        assert "repro_obs_enabled 0" in lines[0]["text"]
+        assert "ops: stats, metrics, lookup" in lines[1]["message"]
+
+
+class TestCliSurfaces:
+    def _run_campaign(self, tmp_path, *, obs_on=True):
+        spec = campaign_spec(obs_on=obs_on, replications=2)
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(spec.to_json())
+        out = tmp_path / "camp.json"
+        rc = main(["run", str(spec_path), "--no-store", "--out", str(out), "--json"])
+        assert rc == 0
+        return out
+
+    def test_run_writes_span_artifacts_next_to_out(self, tmp_path, capsys):
+        out = self._run_campaign(tmp_path)
+        capsys.readouterr()
+        log = tmp_path / "camp.spans.jsonl"
+        trace = tmp_path / "camp.trace.json"
+        assert log.exists() and trace.exists()
+        spans = obs.read_span_log(log)
+        assert spans and obs.validate_trace(json.loads(trace.read_text())) == []
+        assert json.loads(out.read_text())["metadata"]["obs"]["spans"]["recorded"] \
+            == len(spans)
+
+    def test_run_without_obs_writes_no_span_artifacts(self, tmp_path, capsys):
+        self._run_campaign(tmp_path, obs_on=False)
+        capsys.readouterr()
+        assert not (tmp_path / "camp.spans.jsonl").exists()
+        assert not (tmp_path / "camp.trace.json").exists()
+
+    def test_obs_command_summarises_artifact_and_replays_trace(self, tmp_path, capsys):
+        out = self._run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["obs", str(out)]) == 0
+        plain = capsys.readouterr().out
+        assert "Counters of" in plain and "spans:" in plain
+        assert main(["obs", str(out), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == json.loads(out.read_text())["metadata"]["obs"]
+        replay = tmp_path / "replay.json"
+        assert main(["obs", str(tmp_path / "camp.spans.jsonl"),
+                     "--trace", str(replay)]) == 0
+        capsys.readouterr()
+        assert json.loads(replay.read_text()) \
+            == json.loads((tmp_path / "camp.trace.json").read_text())
+
+    def test_obs_command_rejects_artifact_without_obs_block(self, tmp_path, capsys):
+        out = self._run_campaign(tmp_path, obs_on=False)
+        capsys.readouterr()
+        assert main(["obs", str(out)]) == 2
+        assert "no metadata.obs block" in capsys.readouterr().err
+
+    def test_report_dispatch_renders_per_reason_counts(self, tmp_path, capsys):
+        out = self._run_campaign(tmp_path)
+        capsys.readouterr()
+        assert main(["report", "--dispatch", str(out), "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)["dispatch"]
+        assert rows and all(r["counter"] in ("sim_dispatch", "batch_dispatch")
+                            for r in rows)
+        executed = sum(r["count"] for r in rows
+                       if (r["counter"], r["outcome"]) != ("batch_dispatch", "scalar"))
+        assert executed == json.loads(out.read_text())["metadata"]["num_cells"]
+        assert main(["report", "--dispatch", str(out)]) == 0
+        assert "Dispatch outcomes" in capsys.readouterr().out

@@ -105,10 +105,22 @@ class TestPlumbing:
         assert stats["scheduler"]["requests"] == 0
         assert stats["store"]["entries"] == 0  # the shared store formatter
 
+    def test_metrics_serves_prometheus_text(self, daemon):
+        status, headers, raw = daemon.request("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = raw.decode()
+        assert "# TYPE repro_service_requests_total counter" in text
+        assert "repro_store_entries" in text  # daemon fixture has a store
+        # the scheduler gauges agree with the JSON /stats document
+        _status, stats = daemon.get_json("/stats")
+        assert f"repro_service_workers {stats['scheduler']['workers']}" in text
+
     def test_unknown_route_404_lists_routes(self, daemon):
         status, payload = daemon.get_json("/nope")
         assert status == 404
         assert "/healthz" in payload["error"]
+        assert "/metrics" in payload["error"]
 
     def test_get_on_submit_routes_is_405(self, daemon):
         status, _headers, raw = daemon.request("GET", "/runs")
